@@ -1,0 +1,41 @@
+//! Fusion-transformation cost: applying a validated plan to SCALE-LES
+//! sized programs (the step the paper performed by hand).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kfuse_core::fuse::{apply_plan, condensation_order};
+use kfuse_core::model::ProposedModel;
+use kfuse_core::pipeline::{prepare, Solver};
+use kfuse_gpu::{FpPrecision, GpuSpec};
+use kfuse_search::GreedySolver;
+use kfuse_workloads::scale_les;
+use std::hint::black_box;
+
+fn bench_fusion(c: &mut Criterion) {
+    let program = scale_les::full_on_grid([256, 32, 8]);
+    let (relaxed, ctx) = prepare(&program, &GpuSpec::k20x(), FpPrecision::Double);
+    let out = GreedySolver.solve(&ctx, &ProposedModel::default());
+    let specs = ctx.validate(&out.plan).expect("plan valid");
+
+    let mut g = c.benchmark_group("fusion");
+    g.bench_function("condensation_order_142", |b| {
+        b.iter(|| condensation_order(black_box(&out.plan), &ctx.exec))
+    });
+    g.bench_function("apply_plan_142", |b| {
+        b.iter(|| {
+            apply_plan(
+                black_box(&relaxed),
+                &ctx.info,
+                &ctx.exec,
+                &out.plan,
+                &specs,
+            )
+        })
+    });
+    g.bench_function("validate_plan_142", |b| {
+        b.iter(|| ctx.validate(black_box(&out.plan)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fusion);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Projection-model evaluation cost.
+//!
+//! The paper's scalability argument (§VI-C2): evaluating one candidate
+//! fusion with a code-representation model (GROPHECY's MWP) costs ~3 ms,
+//! which would make the SCALE-LES search take 2.1e39 hours; the codeless
+//! models evaluate in microseconds. This bench measures our three models
+//! plus group-spec synthesis on SCALE-LES-sized groups.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use kfuse_core::model::{PerfModel, ProposedModel, RooflineModel, SimpleModel};
+use kfuse_core::pipeline::prepare;
+use kfuse_core::spec::GroupSpec;
+use kfuse_gpu::{FpPrecision, GpuSpec};
+use kfuse_ir::KernelId;
+use kfuse_workloads::scale_les;
+use std::hint::black_box;
+
+fn bench_models(c: &mut Criterion) {
+    let program = scale_les::full_on_grid([256, 32, 8]);
+    let (_, ctx) = prepare(&program, &GpuSpec::k20x(), FpPrecision::Double);
+
+    // A representative 5-member group from one epoch.
+    let group: Vec<KernelId> = (0..5).map(KernelId).collect();
+    let spec = GroupSpec::synthesize(&ctx.info, &group);
+
+    let mut g = c.benchmark_group("projection");
+    g.bench_function("spec_synthesis_5_kernels", |b| {
+        b.iter(|| GroupSpec::synthesize(black_box(&ctx.info), black_box(&group)))
+    });
+    let models: Vec<(&str, Box<dyn PerfModel>)> = vec![
+        ("roofline", Box::new(RooflineModel)),
+        ("simple", Box::new(SimpleModel)),
+        ("proposed", Box::new(ProposedModel::default())),
+    ];
+    for (name, model) in models {
+        g.bench_function(name, |b| {
+            b.iter(|| model.project(black_box(&ctx.info), black_box(&spec)))
+        });
+    }
+    g.bench_function("full_group_check", |b| {
+        b.iter_batched(
+            || group.clone(),
+            |grp| ctx.check_group(black_box(&grp), 0),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Search throughput: HGGA generations per second and whole-search wall
+//! time on test-suite benchmarks of increasing size, plus the greedy
+//! baseline (the Table VI scalability story).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kfuse_core::model::ProposedModel;
+use kfuse_core::pipeline::{prepare, Solver};
+use kfuse_gpu::{FpPrecision, GpuSpec};
+use kfuse_search::{GreedySolver, HggaConfig, HggaSolver};
+use kfuse_workloads::{SuiteParams, TestSuite};
+use std::hint::black_box;
+
+fn bench_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("search");
+    g.sample_size(10);
+    for kernels in [20usize, 50, 100] {
+        let params = SuiteParams {
+            kernels,
+            arrays: (kernels * 2).min(200),
+            ..SuiteParams::default()
+        };
+        let program = TestSuite::generate_on_grid(&params, [128, 32, 4], (32, 4));
+        let (_, ctx) = prepare(&program, &GpuSpec::k20x(), FpPrecision::Double);
+        let model = ProposedModel::default();
+
+        g.bench_with_input(BenchmarkId::new("hgga_short", kernels), &ctx, |b, ctx| {
+            let solver = HggaSolver {
+                config: HggaConfig {
+                    population: 30,
+                    max_generations: 20,
+                    stall_generations: 20,
+                    seed: 1,
+                    ..HggaConfig::default()
+                },
+            };
+            b.iter(|| solver.solve(black_box(ctx), &model))
+        });
+        g.bench_with_input(BenchmarkId::new("greedy", kernels), &ctx, |b, ctx| {
+            b.iter(|| GreedySolver.solve(black_box(ctx), &model))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

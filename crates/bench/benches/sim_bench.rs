@@ -1,0 +1,37 @@
+//! Substrate throughput: the timing simulator (used for every "measured"
+//! number) and the functional interpreter (used for semantics checks).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kfuse_gpu::{FpPrecision, GpuSpec};
+use kfuse_sim::{run_block_mode, run_reference, simulate_program, DeviceState};
+use kfuse_workloads::scale_les;
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let gpu = GpuSpec::k20x();
+    let full = scale_les::full(); // 1280×32×32, timing only
+    let small = scale_les::rk_core([96, 32, 4]); // interpreter-sized
+
+    let mut g = c.benchmark_group("sim");
+    g.bench_function("timing_scale_les_142", |b| {
+        b.iter(|| simulate_program(&gpu, black_box(&full), FpPrecision::Double))
+    });
+    g.bench_function("interp_reference_rk3_96x32x4", |b| {
+        b.iter(|| {
+            let mut s = DeviceState::default_init(&small);
+            run_reference(black_box(&small), &mut s);
+            s
+        })
+    });
+    g.bench_function("interp_block_mode_rk3_96x32x4", |b| {
+        b.iter(|| {
+            let mut s = DeviceState::default_init(&small);
+            run_block_mode(black_box(&small), &mut s);
+            s
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

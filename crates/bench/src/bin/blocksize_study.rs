@@ -1,0 +1,82 @@
+//! Block-size trade-off study (§II-D2).
+//!
+//! Complex fusions trade redundant halo computation against SMEM strain as
+//! the thread-block tile grows. This experiment sweeps warp-aligned tile
+//! shapes over the CloverLeaf timestep and the SCALE-LES RK3 core and
+//! reports, per shape: unfused and fused runtimes, the fusion speedup, and
+//! the plan the search chose — making the non-monotone optimum visible.
+
+use kfuse_bench::write_json;
+use kfuse_core::model::ProposedModel;
+use kfuse_core::tuner::{default_candidates, tune_block_size, TunePoint};
+use kfuse_gpu::{FpPrecision, GpuSpec};
+use kfuse_search::{HggaConfig, HggaSolver};
+use kfuse_workloads::{cloverleaf, scale_les};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    workload: &'static str,
+    point: TunePoint,
+    best: bool,
+}
+
+fn main() {
+    let gpu = GpuSpec::k20x();
+    let model = ProposedModel::default();
+    let solver = HggaSolver {
+        config: HggaConfig {
+            population: 60,
+            max_generations: 300,
+            stall_generations: 40,
+            seed: 13,
+            ..HggaConfig::default()
+        },
+    };
+
+    println!("Block-size trade-off study on {} (§II-D2)", gpu.name);
+    let mut rows = Vec::new();
+    for (name, program) in [
+        ("CloverLeaf", cloverleaf::timestep([960, 960, 1])),
+        ("RK3-core", scale_les::rk_core([1280, 32, 32])),
+    ] {
+        let r = tune_block_size(
+            &program,
+            &gpu,
+            FpPrecision::Double,
+            &model,
+            &solver,
+            &default_candidates(),
+        )
+        .expect("tuning succeeds");
+        println!();
+        println!(
+            "{name}: best tile {}x{}",
+            r.best_block.0, r.best_block.1
+        );
+        println!(
+            "{:>8} {:>12} {:>12} {:>9} {:>5}",
+            "tile", "orig (us)", "fused (us)", "speedup", "new"
+        );
+        kfuse_bench::rule(52);
+        for pt in &r.sweep {
+            let best = (pt.block_x, pt.block_y) == r.best_block;
+            println!(
+                "{:>5}x{:<3} {:>12.1} {:>12.1} {:>8.3}x {:>5}{}",
+                pt.block_x,
+                pt.block_y,
+                pt.original_s * 1e6,
+                pt.fused_s * 1e6,
+                pt.speedup,
+                pt.new_kernels,
+                if best { "  <- best" } else { "" }
+            );
+            rows.push(Row {
+                workload: name,
+                point: pt.clone(),
+                best,
+            });
+        }
+    }
+    write_json("blocksize_study", &rows);
+}

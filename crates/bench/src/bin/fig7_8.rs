@@ -1,0 +1,193 @@
+//! Fig. 7 (SCALE-LES) and Fig. 8 (HOMME): measured, projected, and
+//! original-sum runtimes for every new kernel of the best-found plan on
+//! K20X, in increasing order of execution time.
+//!
+//! The paper's headline structure: SCALE-LES fuses 117 of 142 kernels into
+//! 38 new kernels, 4 of which end up slower than their original sum;
+//! HOMME fuses 22 of 43 into 9, with 1 unprofitable.
+
+use kfuse_bench::{context, hgga, simulate, write_json};
+use kfuse_core::fuse::apply_plan;
+use kfuse_core::model::{PerfModel, ProposedModel};
+use kfuse_core::pipeline::Solver;
+use kfuse_gpu::GpuSpec;
+use kfuse_workloads::{homme, scale_les};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct KernelRow {
+    name: String,
+    members: usize,
+    measured_us: f64,
+    projected_us: f64,
+    original_sum_us: f64,
+    profitable: bool,
+}
+
+#[derive(Serialize)]
+struct AppResult {
+    application: String,
+    fused_kernels: usize,
+    new_kernels: usize,
+    unprofitable: usize,
+    rows: Vec<KernelRow>,
+}
+
+fn run_app(name: &str, program: kfuse_ir::Program, figure: &str) -> AppResult {
+    let gpu = GpuSpec::k20x();
+    let model = ProposedModel::default();
+    let (relaxed, ctx) = context(&program, &gpu);
+    let out = hgga(17).solve(&ctx, &model);
+    let specs = ctx.validate(&out.plan).expect("plan valid");
+    let fused = apply_plan(&relaxed, &ctx.info, &ctx.exec, &out.plan, &specs).unwrap();
+    let timing = simulate(&gpu, &fused);
+
+    let mut rows = Vec::new();
+    for (gi, spec) in specs.iter().enumerate() {
+        if out.plan.groups[gi].len() < 2 {
+            continue;
+        }
+        let fk = fused
+            .kernels
+            .iter()
+            .position(|k| k.sources() == spec.members)
+            .unwrap();
+        let measured = timing.kernels[fk].time_s;
+        let projected = model.project(&ctx.info, spec);
+        let original = ctx.info.original_sum(&spec.members);
+        rows.push(KernelRow {
+            name: fused.kernels[fk].name.clone(),
+            members: spec.members.len(),
+            measured_us: measured * 1e6,
+            projected_us: projected * 1e6,
+            original_sum_us: original * 1e6,
+            profitable: measured < original,
+        });
+    }
+    rows.sort_by(|a, b| a.measured_us.total_cmp(&b.measured_us));
+
+    let unprofitable = rows.iter().filter(|r| !r.profitable).count();
+    println!();
+    println!(
+        "{figure}: {name} — {} kernels fused into {} new kernels ({} unprofitable)",
+        out.plan.fused_kernel_count(),
+        out.plan.new_kernel_count(),
+        unprofitable
+    );
+    println!(
+        "{:<46} {:>3} {:>10} {:>10} {:>10} {:>6}",
+        "new kernel", "m", "meas(us)", "proj(us)", "orig(us)", "ok?"
+    );
+    kfuse_bench::rule(92);
+    for r in &rows {
+        let label: String = if r.name.len() > 44 {
+            format!("{}…", &r.name[..43])
+        } else {
+            r.name.clone()
+        };
+        println!(
+            "{:<46} {:>3} {:>10.1} {:>10.1} {:>10.1} {:>6}",
+            label,
+            r.members,
+            r.measured_us,
+            r.projected_us,
+            r.original_sum_us,
+            if r.profitable { "yes" } else { "NO" }
+        );
+    }
+
+    AppResult {
+        application: name.into(),
+        fused_kernels: out.plan.fused_kernel_count(),
+        new_kernels: out.plan.new_kernel_count(),
+        unprofitable,
+        rows,
+    }
+}
+
+/// §VI-D1 ablation: how many measured-unprofitable new kernels (false
+/// positives) does each projection model admit when used as the search
+/// objective? The paper argues Roofline/simple objectives "would have
+/// included search solutions overly loaded with false positives".
+#[derive(Serialize)]
+struct AblationRow {
+    application: String,
+    objective_model: &'static str,
+    new_kernels: usize,
+    unprofitable: usize,
+    speedup: f64,
+}
+
+fn ablation(name: &str, program: &kfuse_ir::Program, rows: &mut Vec<AblationRow>) {
+    let gpu = GpuSpec::k20x();
+    let (relaxed, ctx) = context(program, &gpu);
+    for model in kfuse_bench::all_models() {
+        let out = hgga(17).solve(&ctx, model.as_ref());
+        let Ok(specs) = ctx.validate(&out.plan) else { continue };
+        let Ok(fused) = apply_plan(&relaxed, &ctx.info, &ctx.exec, &out.plan, &specs) else {
+            continue;
+        };
+        let timing = simulate(&gpu, &fused);
+        let orig = simulate(&gpu, &relaxed);
+        let mut unprofitable = 0usize;
+        let mut new_kernels = 0usize;
+        for (gi, spec) in specs.iter().enumerate() {
+            if out.plan.groups[gi].len() < 2 {
+                continue;
+            }
+            new_kernels += 1;
+            let fk = fused
+                .kernels
+                .iter()
+                .position(|k| k.sources() == spec.members)
+                .unwrap();
+            if timing.kernels[fk].time_s >= ctx.info.original_sum(&spec.members) {
+                unprofitable += 1;
+            }
+        }
+        let speedup = orig.total_s / timing.total_s;
+        println!(
+            "{:<11} {:<10} {:>5} new kernels, {:>3} unprofitable, speedup {:>6.3}x",
+            name,
+            model.name(),
+            new_kernels,
+            unprofitable,
+            speedup
+        );
+        rows.push(AblationRow {
+            application: name.into(),
+            objective_model: model.name(),
+            new_kernels,
+            unprofitable,
+            speedup,
+        });
+    }
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "both".into());
+    let mut results = Vec::new();
+    let scale = scale_les::full();
+    let hm = homme::full();
+    if which == "scale-les" || which == "both" {
+        results.push(run_app("SCALE-LES", scale.clone(), "Fig. 7"));
+    }
+    if which == "homme" || which == "both" {
+        results.push(run_app("HOMME", hm.clone(), "Fig. 8"));
+    }
+    println!();
+    println!("paper: SCALE-LES 117→38 new kernels (4 unprofitable); HOMME 22→9 (1 unprofitable)");
+
+    println!();
+    println!("§VI-D1 ablation: false positives by objective model");
+    kfuse_bench::rule(72);
+    let mut ablation_rows = Vec::new();
+    if which == "scale-les" || which == "both" {
+        ablation("SCALE-LES", &scale, &mut ablation_rows);
+    }
+    if which == "homme" || which == "both" {
+        ablation("HOMME", &hm, &mut ablation_rows);
+    }
+    write_json("fig7_8", &results);
+    write_json("fig7_8_ablation", &ablation_rows);
+}

@@ -1,0 +1,117 @@
+//! §VI-F: Fusion Efficiency (Eq. 12) — how much of the GMEM traffic
+//! reduction each new kernel converts into runtime reduction. The paper
+//! observes FE between 87% and 96% across the test suite, SCALE-LES and
+//! HOMME, slightly higher on Maxwell.
+
+use kfuse_bench::{context, hgga, hgga_quick, simulate, write_json};
+use kfuse_core::efficiency::fusion_efficiency;
+use kfuse_core::fuse::apply_plan;
+use kfuse_core::model::ProposedModel;
+use kfuse_core::pipeline::Solver;
+use kfuse_gpu::GpuSpec;
+use kfuse_workloads::{homme, scale_les, SuiteParams, TestSuite};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    gpu: String,
+    workload: String,
+    new_kernel: String,
+    fe: f64,
+}
+
+fn collect(
+    gpu: &GpuSpec,
+    workload: &str,
+    program: kfuse_ir::Program,
+    quick: bool,
+    rows: &mut Vec<Row>,
+) {
+    let (relaxed, ctx) = context(&program, gpu);
+    let solver: Box<dyn Solver> = if quick {
+        Box::new(hgga_quick(23))
+    } else {
+        Box::new(hgga(23))
+    };
+    let out = solver.solve(&ctx, &ProposedModel::default());
+    let specs = match ctx.validate(&out.plan) {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let fused = apply_plan(&relaxed, &ctx.info, &ctx.exec, &out.plan, &specs).unwrap();
+    let timing = simulate(gpu, &fused);
+    for (gi, spec) in specs.iter().enumerate() {
+        if out.plan.groups[gi].len() < 2 {
+            continue;
+        }
+        let fk = fused
+            .kernels
+            .iter()
+            .position(|k| k.sources() == spec.members)
+            .unwrap();
+        let fused_elems = timing.kernels[fk].traffic.elems();
+        let fused_time = timing.kernels[fk].time_s;
+        let orig_elems: u64 = spec
+            .members
+            .iter()
+            .map(|&m| ctx.info.meta(m).traffic_elems)
+            .sum();
+        let orig_time = ctx.info.original_sum(&spec.members);
+        let fe = fusion_efficiency(fused_elems, fused_time, orig_elems, orig_time);
+        rows.push(Row {
+            gpu: gpu.name.clone(),
+            workload: workload.into(),
+            new_kernel: fused.kernels[fk].name.clone(),
+            fe,
+        });
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for gpu in [GpuSpec::k20x(), GpuSpec::gtx750ti()] {
+        collect(
+            &gpu,
+            "suite",
+            TestSuite::generate(&SuiteParams::default()),
+            true,
+            &mut rows,
+        );
+    }
+    let k20x = GpuSpec::k20x();
+    collect(&k20x, "SCALE-LES", scale_les::full(), false, &mut rows);
+    collect(&k20x, "HOMME", homme::full(), false, &mut rows);
+
+    println!("§VI-F: Fusion Efficiency of new kernels (paper: 87–96%)");
+    println!("{:<10} {:<10} {:>8} {:>8} {:>8} {:>8}", "GPU", "workload", "n", "min FE", "mean FE", "max FE");
+    kfuse_bench::rule(58);
+    let mut groups: Vec<(String, String)> = rows
+        .iter()
+        .map(|r| (r.gpu.clone(), r.workload.clone()))
+        .collect();
+    groups.sort();
+    groups.dedup();
+    for (gpu, wl) in groups {
+        let fes: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.gpu == gpu && r.workload == wl)
+            .map(|r| r.fe)
+            .collect();
+        if fes.is_empty() {
+            continue;
+        }
+        let min = fes.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = fes.iter().copied().fold(0.0, f64::max);
+        let mean = fes.iter().sum::<f64>() / fes.len() as f64;
+        println!(
+            "{:<10} {:<10} {:>8} {:>7.1}% {:>7.1}% {:>7.1}%",
+            gpu,
+            wl,
+            fes.len(),
+            100.0 * min,
+            100.0 * mean,
+            100.0 * max
+        );
+    }
+    write_json("fusion_efficiency", &rows);
+}

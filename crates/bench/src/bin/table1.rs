@@ -1,0 +1,55 @@
+//! Table I: features of different weather applications — kernel count,
+//! array count, and the upper bound on reducible GMEM traffic.
+
+use kfuse_bench::{context, write_json};
+use kfuse_core::efficiency::reducible_traffic;
+use kfuse_gpu::GpuSpec;
+use kfuse_workloads::census;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    application: &'static str,
+    kernels: usize,
+    arrays: usize,
+    sharing_sets: usize,
+    reducible_pct: f64,
+    paper_reducible_pct: f64,
+}
+
+fn main() {
+    let gpu = GpuSpec::k20x();
+    println!("Table I: Features of Different Weather Applications");
+    println!(
+        "{:<12} {:>8} {:>7} {:>13} {:>16} {:>10}",
+        "Application", "Kernels", "Arrays", "Sharing sets", "Reducible (ours)", "Paper"
+    );
+    kfuse_bench::rule(72);
+
+    let mut rows = Vec::new();
+    for (row, program) in census::all([256, 32, 16]) {
+        let (relaxed, ctx) = context(&program, &gpu);
+        let dep = kfuse_core::depgraph::DependencyGraph::build(&relaxed);
+        let sharing_sets = dep.sharing_set_count();
+        let red = reducible_traffic(&ctx);
+        let pct = 100.0 * red.fraction();
+        println!(
+            "{:<12} {:>8} {:>7} {:>13} {:>15.1}% {:>9.0}%",
+            row.application,
+            row.kernels,
+            row.arrays,
+            sharing_sets,
+            pct,
+            row.paper_reducible_pct
+        );
+        rows.push(Row {
+            application: row.application,
+            kernels: row.kernels,
+            arrays: row.arrays,
+            sharing_sets,
+            reducible_pct: pct,
+            paper_reducible_pct: row.paper_reducible_pct,
+        });
+    }
+    write_json("table1", &rows);
+}

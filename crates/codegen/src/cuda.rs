@@ -1,0 +1,622 @@
+//! The CUDA C emitter.
+
+use kfuse_ir::{ArrayId, Expr, Kernel, Offset, Program, StagingMedium};
+use std::fmt::Write;
+
+/// Emission options.
+#[derive(Debug, Clone)]
+pub struct CodegenOptions {
+    /// Element type (`true` → `double`, `false` → `float`).
+    pub double_precision: bool,
+    /// Decorate read-only parameters with `const … __restrict__`.
+    pub restrict: bool,
+}
+
+impl Default for CodegenOptions {
+    fn default() -> Self {
+        CodegenOptions {
+            double_precision: true,
+            restrict: true,
+        }
+    }
+}
+
+impl CodegenOptions {
+    fn ty(&self) -> &'static str {
+        if self.double_precision {
+            "double"
+        } else {
+            "float"
+        }
+    }
+}
+
+/// Sanitize an IR name into a C identifier.
+fn cname(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        s.insert(0, '_');
+    }
+    s
+}
+
+/// Where the emitted expression is being evaluated.
+#[derive(Clone, Copy)]
+enum Site<'a> {
+    /// The thread's own site: local (tx, ty), global (i, j), level `k`.
+    Interior,
+    /// A halo site handled by a specialized warp: local/global coordinate
+    /// variable names.
+    Halo {
+        /// Local x inside the extended tile.
+        lx: &'a str,
+        /// Local y inside the extended tile.
+        ly: &'a str,
+        /// Clamped global i.
+        gi: &'a str,
+        /// Clamped global j.
+        gj: &'a str,
+    },
+}
+
+/// Per-kernel staging lookup.
+struct StagingInfo {
+    array: ArrayId,
+    halo: i32,
+    medium: StagingMedium,
+}
+
+struct Emitter<'a> {
+    p: &'a Program,
+    opts: &'a CodegenOptions,
+    staging: Vec<StagingInfo>,
+}
+
+impl<'a> Emitter<'a> {
+    fn staged(&self, a: ArrayId) -> Option<&StagingInfo> {
+        self.staging.iter().find(|s| s.array == a)
+    }
+
+    fn aname(&self, a: ArrayId) -> String {
+        cname(&self.p.array(a).name)
+    }
+
+    /// GMEM load with clamped indices.
+    fn gmem_load(&self, a: ArrayId, o: Offset, site: Site) -> String {
+        let (i, j) = match site {
+            Site::Interior => ("i".to_string(), "j".to_string()),
+            Site::Halo { gi, gj, .. } => (gi.to_string(), gj.to_string()),
+        };
+        let ix = offset_index(&i, o.di, "NX");
+        let jx = offset_index(&j, o.dj, "NY");
+        let kx = offset_index("k", o.dk, "NZ");
+        format!("{}[IDX3({ix}, {jx}, {kx})]", self.aname(a))
+    }
+
+    /// SMEM tile access at local coordinates (no bounds check).
+    fn smem_at(&self, a: ArrayId, lx: &str, ly: &str) -> String {
+        format!("s_{}[{ly}][{lx}]", self.aname(a))
+    }
+
+    /// Emit one load, resolving staging per the Fig. 3 idiom.
+    fn load(&self, a: ArrayId, o: Offset, site: Site) -> String {
+        let Some(st) = self.staged(a) else {
+            return self.gmem_load(a, o, site);
+        };
+        match st.medium {
+            StagingMedium::ReadOnlyCache => {
+                // Hardware-managed: route through the read-only data path.
+                format!("__ldg(&{})", self.gmem_load(a, o, site))
+            }
+            StagingMedium::Register => {
+                if o == Offset::ZERO && matches!(site, Site::Interior) {
+                    format!("r_{}", self.aname(a))
+                } else {
+                    self.gmem_load(a, o, site)
+                }
+            }
+            StagingMedium::Smem => {
+                // Per-slice tiles: vertical offsets always read GMEM (the
+                // k loop owns the vertical direction).
+                if o.dk != 0 {
+                    return self.gmem_load(a, o, site);
+                }
+                let h = st.halo;
+                let radius = i32::from(o.di.unsigned_abs().max(o.dj.unsigned_abs()));
+                match site {
+                    Site::Interior => {
+                        let lx = format!("tx + {}", h + i32::from(o.di));
+                        let ly = format!("ty + {}", h + i32::from(o.dj));
+                        if radius <= h {
+                            // Always inside the staged tile.
+                            self.smem_at(a, &lx, &ly)
+                        } else {
+                            // Listing 7 pattern: boundary threads read GMEM.
+                            let in_tile = format!(
+                                "(tx + {dx} >= -{h} && tx + {dx} < BX + {h} && \
+                                 ty + {dy} >= -{h} && ty + {dy} < BY + {h})",
+                                dx = o.di,
+                                dy = o.dj,
+                                h = h
+                            );
+                            format!(
+                                "({in_tile} ? {} : {})",
+                                self.smem_at(a, &lx, &ly),
+                                self.gmem_load(a, o, site)
+                            )
+                        }
+                    }
+                    Site::Halo { lx, ly, .. } => {
+                        // Specialized-warp context: stay in the tile when
+                        // the neighbor is covered, else clamped GMEM.
+                        let nlx = format!("{lx} + {}", o.di);
+                        let nly = format!("{ly} + {}", o.dj);
+                        let in_tile = format!(
+                            "({lx} + {dx} >= 0 && {lx} + {dx} < BX + 2*{h} && \
+                             {ly} + {dy} >= 0 && {ly} + {dy} < BY + 2*{h})",
+                            dx = o.di,
+                            dy = o.dj,
+                            h = h
+                        );
+                        format!(
+                            "({in_tile} ? {} : {})",
+                            self.smem_at(a, &nlx, &nly),
+                            self.gmem_load(a, o, site)
+                        )
+                    }
+                }
+            }
+        }
+    }
+
+    fn expr(&self, e: &Expr, site: Site) -> String {
+        match e {
+            Expr::Load { array, offset } => self.load(*array, *offset, site),
+            Expr::Const(c) => {
+                if self.opts.double_precision {
+                    format!("{c:?}")
+                } else {
+                    format!("{c:?}f")
+                }
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                use kfuse_ir::BinOp::*;
+                let l = self.expr(lhs, site);
+                let r = self.expr(rhs, site);
+                match op {
+                    Add => format!("({l} + {r})"),
+                    Sub => format!("({l} - {r})"),
+                    Mul => format!("({l} * {r})"),
+                    Div => format!("({l} / {r})"),
+                    Min => format!("fmin({l}, {r})"),
+                    Max => format!("fmax({l}, {r})"),
+                }
+            }
+        }
+    }
+}
+
+fn offset_index(base: &str, d: i8, extent: &str) -> String {
+    match d.cmp(&0) {
+        std::cmp::Ordering::Equal => format!("CLAMPI({base}, {extent})"),
+        _ => format!("CLAMPI({base} + ({d}), {extent})"),
+    }
+}
+
+/// Emit the program header: index macros and grid/block constants.
+fn emit_header(p: &Program, opts: &CodegenOptions) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "// Generated by kfuse-codegen — program `{}`", p.name);
+    let _ = writeln!(s, "// Grid {}x{}x{}, block {}x{}, {} precision",
+        p.grid.nx, p.grid.ny, p.grid.nz, p.launch.block_x, p.launch.block_y,
+        if opts.double_precision { "double" } else { "single" });
+    let _ = writeln!(s);
+    let _ = writeln!(s, "#define NX {}", p.grid.nx);
+    let _ = writeln!(s, "#define NY {}", p.grid.ny);
+    let _ = writeln!(s, "#define NZ {}", p.grid.nz);
+    let _ = writeln!(s, "#define BX {}", p.launch.block_x);
+    let _ = writeln!(s, "#define BY {}", p.launch.block_y);
+    let _ = writeln!(s, "#define IDX3(i, j, k) ((((k) * NY + (j)) * NX) + (i))");
+    let _ = writeln!(
+        s,
+        "#define CLAMPI(v, n) ((v) < 0 ? 0 : ((v) >= (n) ? (n) - 1 : (v)))"
+    );
+    s
+}
+
+/// Emit one kernel as CUDA C.
+pub fn emit_kernel(p: &Program, k: &Kernel, opts: &CodegenOptions) -> String {
+    let em = Emitter {
+        p,
+        opts,
+        staging: k
+            .staging
+            .iter()
+            .map(|st| StagingInfo {
+                array: st.array,
+                halo: i32::from(st.halo),
+                medium: st.medium,
+            })
+            .collect(),
+    };
+    let ty = opts.ty();
+    let mut s = String::new();
+
+    // Signature: written arrays mutable, read-only arrays const.
+    let writes = k.writes();
+    let mut params = Vec::new();
+    for a in k.touched() {
+        let name = em.aname(a);
+        if writes.contains(&a) {
+            params.push(format!("{ty}* {name}"));
+        } else if opts.restrict {
+            params.push(format!("const {ty}* __restrict__ {name}"));
+        } else {
+            params.push(format!("const {ty}* {name}"));
+        }
+    }
+    let _ = writeln!(s, "// {} segment(s), {} barrier(s)", k.segments.len(), k.barrier_count());
+    let _ = writeln!(
+        s,
+        "__global__ void {}({}) {{",
+        cname(&k.name),
+        params.join(", ")
+    );
+    let _ = writeln!(s, "  const int tx = threadIdx.x, ty = threadIdx.y;");
+    let _ = writeln!(s, "  const int i = blockIdx.x * BX + tx;");
+    let _ = writeln!(s, "  const int j = blockIdx.y * BY + ty;");
+    let _ = writeln!(s, "  const int tid = ty * BX + tx;");
+    let _ = writeln!(s, "  (void)tid;");
+
+    // SMEM tiles (one padding column against bank conflicts, Eq. 7) and
+    // register staging.
+    for st in &em.staging {
+        let name = em.aname(st.array);
+        match st.medium {
+            StagingMedium::Smem => {
+                let h = st.halo;
+                let _ = writeln!(
+                    s,
+                    "  __shared__ {ty} s_{name}[BY + 2*{h}][BX + 2*{h} + 1];"
+                );
+            }
+            StagingMedium::Register => {
+                let _ = writeln!(s, "  {ty} r_{name} = ({ty})0;");
+            }
+            StagingMedium::ReadOnlyCache => {
+                let _ = writeln!(s, "  // {name} routed through the read-only cache (__ldg)");
+            }
+        }
+    }
+
+    let _ = writeln!(s, "  for (int k = 0; k < NZ; ++k) {{");
+
+    // Cooperative fills for loaded (clean) SMEM pivots: arrays staged but
+    // not written by this kernel.
+    let mut filled_any = false;
+    for st in &em.staging {
+        if st.medium != StagingMedium::Smem || writes.contains(&st.array) {
+            continue;
+        }
+        let name = em.aname(st.array);
+        let h = st.halo;
+        let _ = writeln!(s, "    // cooperative fill of s_{name} (halo {h})");
+        let _ = writeln!(
+            s,
+            "    for (int t = tid; t < (BX + 2*{h}) * (BY + 2*{h}); t += BX * BY) {{"
+        );
+        let _ = writeln!(s, "      const int lx = t % (BX + 2*{h});");
+        let _ = writeln!(s, "      const int ly = t / (BX + 2*{h});");
+        let _ = writeln!(
+            s,
+            "      const int gi = CLAMPI(blockIdx.x * BX + lx - {h}, NX);"
+        );
+        let _ = writeln!(
+            s,
+            "      const int gj = CLAMPI(blockIdx.y * BY + ly - {h}, NY);"
+        );
+        let _ = writeln!(s, "      s_{name}[ly][lx] = {name}[IDX3(gi, gj, k)];");
+        let _ = writeln!(s, "    }}");
+        filled_any = true;
+    }
+    if filled_any {
+        let _ = writeln!(s, "    __syncthreads();");
+    }
+
+    // Segments.
+    let mut val_id = 0usize;
+    for seg in &k.segments {
+        if seg.barrier_before {
+            let _ = writeln!(s, "    __syncthreads();");
+        }
+        // Segment provenance: source ids refer to the pre-fusion program,
+        // which is not in scope here; emit the id (the fused kernel's name
+        // lists the member names).
+        let _ = writeln!(s, "    // ---- segment from original kernel {} ----", seg.source);
+        for stmt in &seg.statements {
+            let tname = em.aname(stmt.target);
+            let tst = em.staged(stmt.target);
+            let v = format!("v{val_id}_{tname}");
+            val_id += 1;
+            let rhs = em.expr(&stmt.expr, Site::Interior);
+            let _ = writeln!(s, "    {{");
+            let _ = writeln!(s, "      const {ty} {v} = {rhs};");
+            match tst {
+                Some(st) if st.medium == StagingMedium::Smem => {
+                    let h = st.halo;
+                    let _ = writeln!(
+                        s,
+                        "      s_{tname}[ty + {h}][tx + {h}] = {v};"
+                    );
+                    let _ = writeln!(s, "      if (i < NX && j < NY) {tname}[IDX3(i, j, k)] = {v};");
+                    if st.halo > 0 {
+                        // Specialized warps recompute the halo ring
+                        // (generalized Listing 6).
+                        let halo_rhs = em.expr(
+                            &stmt.expr,
+                            Site::Halo {
+                                lx: "hlx",
+                                ly: "hly",
+                                gi: "hgi",
+                                gj: "hgj",
+                            },
+                        );
+                        let _ = writeln!(
+                            s,
+                            "      // specialized warps: recompute halo ring of s_{tname}"
+                        );
+                        let _ = writeln!(
+                            s,
+                            "      for (int t = tid; t < (BX + 2*{h}) * (BY + 2*{h}); t += BX * BY) {{"
+                        );
+                        let _ = writeln!(s, "        const int hlx = t % (BX + 2*{h});");
+                        let _ = writeln!(s, "        const int hly = t / (BX + 2*{h});");
+                        let _ = writeln!(
+                            s,
+                            "        if (hlx >= {h} && hlx < BX + {h} && hly >= {h} && hly < BY + {h}) continue;"
+                        );
+                        let _ = writeln!(
+                            s,
+                            "        const int hgi = CLAMPI(blockIdx.x * BX + hlx - {h}, NX);"
+                        );
+                        let _ = writeln!(
+                            s,
+                            "        const int hgj = CLAMPI(blockIdx.y * BY + hly - {h}, NY);"
+                        );
+                        let _ = writeln!(s, "        s_{tname}[hly][hlx] = {halo_rhs};");
+                        let _ = writeln!(s, "      }}");
+                    }
+                }
+                Some(_) => {
+                    // Register staging.
+                    let _ = writeln!(s, "      r_{tname} = {v};");
+                    let _ = writeln!(s, "      if (i < NX && j < NY) {tname}[IDX3(i, j, k)] = {v};");
+                }
+                None => {
+                    let _ = writeln!(s, "      if (i < NX && j < NY) {tname}[IDX3(i, j, k)] = {v};");
+                }
+            }
+            let _ = writeln!(s, "    }}");
+        }
+    }
+
+    let _ = writeln!(s, "  }}");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Emit the whole program: header, every kernel, and a host-side launch
+/// sequence comment (including host sync points).
+pub fn emit_program(p: &Program, opts: &CodegenOptions) -> String {
+    let mut s = emit_header(p, opts);
+    let _ = writeln!(s);
+    for k in &p.kernels {
+        s.push_str(&emit_kernel(p, k, opts));
+        let _ = writeln!(s);
+    }
+    let _ = writeln!(s, "// Host launch sequence:");
+    let epochs = p.epochs();
+    let mut prev = 0u32;
+    for (ki, k) in p.kernels.iter().enumerate() {
+        if epochs[ki] != prev {
+            let _ = writeln!(s, "//   <host synchronization>");
+            prev = epochs[ki];
+        }
+        let _ = writeln!(
+            s,
+            "//   {}<<<dim3((NX+BX-1)/BX, (NY+BY-1)/BY), dim3(BX, BY)>>>(...);",
+            cname(&k.name)
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfuse_ir::builder::ProgramBuilder;
+    use kfuse_ir::kernel::{KernelId, Segment, Staging, Statement};
+
+    fn ld(a: ArrayId, di: i8, dj: i8) -> Expr {
+        Expr::load(a, Offset::new(di, dj, 0))
+    }
+
+    fn simple_program() -> Program {
+        let mut pb = ProgramBuilder::new("demo", [64, 32, 8]);
+        let a = pb.array("A");
+        let b = pb.array("B");
+        let c = pb.array("C");
+        pb.kernel("scale").write(b, Expr::at(a) * Expr::lit(2.0)).build();
+        pb.kernel("diff")
+            .write(c, ld(b, 1, 0) - ld(b, -1, 0))
+            .build();
+        pb.build()
+    }
+
+    #[test]
+    fn emits_signature_and_indexing() {
+        let p = simple_program();
+        let code = emit_kernel(&p, &p.kernels[0], &CodegenOptions::default());
+        assert!(code.contains("__global__ void scale(const double* __restrict__ A, double* B)"));
+        assert!(code.contains("blockIdx.x * BX + tx"));
+        assert!(code.contains("for (int k = 0; k < NZ; ++k)"));
+        assert!(code.contains("B[IDX3(i, j, k)]"));
+    }
+
+    #[test]
+    fn unstaged_stencil_reads_are_clamped_gmem() {
+        let p = simple_program();
+        let code = emit_kernel(&p, &p.kernels[1], &CodegenOptions::default());
+        assert!(code.contains("B[IDX3(CLAMPI(i + (1), NX)"));
+        assert!(code.contains("B[IDX3(CLAMPI(i + (-1), NX)"));
+    }
+
+    /// Fused kernel: produced pivot with one halo layer → shared tile,
+    /// barrier, specialized-warp halo recompute.
+    fn fused_program() -> Program {
+        let mut pb = ProgramBuilder::new("fused_demo", [64, 32, 8]);
+        let a = pb.array("A");
+        let b = pb.array("B");
+        let c = pb.array("C");
+        pb.kernel("placeholder").write(b, Expr::at(a)).build();
+        let mut p = pb.build();
+        let seg0 = Segment::new(
+            KernelId(0),
+            vec![Statement {
+                target: b,
+                expr: Expr::at(a) + Expr::lit(1.0),
+            }],
+        );
+        let mut seg1 = Segment::new(
+            KernelId(1),
+            vec![Statement {
+                target: c,
+                expr: ld(b, 1, 0) + ld(b, -1, 0),
+            }],
+        );
+        seg1.barrier_before = true;
+        p.kernels = vec![kfuse_ir::Kernel {
+            id: KernelId(0),
+            name: "F[k0+k1]".into(),
+            segments: vec![seg0, seg1],
+            staging: vec![Staging {
+                array: b,
+                halo: 1,
+                medium: StagingMedium::Smem,
+            }],
+        }];
+        p
+    }
+
+    #[test]
+    fn fused_kernel_has_smem_barrier_and_halo_warps() {
+        let p = fused_program();
+        let code = emit_kernel(&p, &p.kernels[0], &CodegenOptions::default());
+        assert!(code.contains("__shared__ double s_B[BY + 2*1][BX + 2*1 + 1];"));
+        assert!(code.contains("__syncthreads();"));
+        assert!(code.contains("specialized warps: recompute halo ring of s_B"));
+        // Consumer reads come from the tile (radius 1 ≤ halo 1).
+        assert!(code.contains("s_B[ty + 2][tx + 2]") || code.contains("s_B[ty + 1][tx + 2]"));
+        // Producer writes both SMEM and GMEM.
+        assert!(code.contains("s_B[ty + 1][tx + 1] ="));
+        assert!(code.contains("B[IDX3(i, j, k)] ="));
+    }
+
+    #[test]
+    fn register_staging_emits_scalar_reuse() {
+        let mut p = simple_program();
+        p.kernels[1].staging.push(Staging {
+            array: ArrayId(1),
+            halo: 0,
+            medium: StagingMedium::Register,
+        });
+        // Change reads to center so the register path triggers.
+        p.kernels[1].segments[0].statements[0].expr = Expr::at(ArrayId(1)) * Expr::lit(3.0);
+        let code = emit_kernel(&p, &p.kernels[1], &CodegenOptions::default());
+        assert!(code.contains("double r_B = (double)0;"));
+        assert!(code.contains("r_B * 3.0"));
+    }
+
+    #[test]
+    fn boundary_fallback_matches_listing7_idiom() {
+        // Staged with halo 0, read at radius 1 → ternary SMEM/GMEM.
+        let mut p = simple_program();
+        p.kernels[1].staging.push(Staging {
+            array: ArrayId(1),
+            halo: 0,
+            medium: StagingMedium::Smem,
+        });
+        let code = emit_kernel(&p, &p.kernels[1], &CodegenOptions::default());
+        assert!(code.contains("? s_B["));
+        assert!(code.contains(": B[IDX3("));
+    }
+
+    #[test]
+    fn loaded_pivot_gets_cooperative_fill() {
+        let mut p = simple_program();
+        // Stage the READ array A of kernel 0.
+        p.kernels[0].staging.push(Staging {
+            array: ArrayId(0),
+            halo: 0,
+            medium: StagingMedium::Smem,
+        });
+        let code = emit_kernel(&p, &p.kernels[0], &CodegenOptions::default());
+        assert!(code.contains("cooperative fill of s_A"));
+        assert!(code.contains("s_A[ly][lx] = A[IDX3(gi, gj, k)];"));
+    }
+
+    #[test]
+    fn program_emission_includes_header_and_launch_sequence() {
+        let p = simple_program();
+        let code = emit_program(&p, &CodegenOptions::default());
+        assert!(code.contains("#define NX 64"));
+        assert!(code.contains("#define BX 32"));
+        assert!(code.contains("// Host launch sequence:"));
+        assert!(code.contains("scale<<<"));
+        assert!(code.contains("diff<<<"));
+    }
+
+    #[test]
+    fn host_syncs_appear_in_launch_sequence() {
+        let mut pb = ProgramBuilder::new("sync_demo", [64, 32, 4]);
+        let a = pb.array("A");
+        let b = pb.array("B");
+        let c = pb.array("C");
+        pb.kernel("k0").write(b, Expr::at(a)).build();
+        pb.host_sync();
+        pb.kernel("k1").write(c, Expr::at(a)).build();
+        let p = pb.build();
+        let code = emit_program(&p, &CodegenOptions::default());
+        assert!(code.contains("<host synchronization>"));
+    }
+
+    #[test]
+    fn single_precision_mode() {
+        let p = simple_program();
+        let opts = CodegenOptions {
+            double_precision: false,
+            restrict: false,
+        };
+        let code = emit_kernel(&p, &p.kernels[0], &opts);
+        assert!(code.contains("__global__ void scale(const float* A, float* B)"));
+        assert!(code.contains("2.0f"));
+    }
+
+    #[test]
+    fn emission_is_deterministic() {
+        let p = fused_program();
+        let a = emit_program(&p, &CodegenOptions::default());
+        let b = emit_program(&p, &CodegenOptions::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn identifier_sanitization() {
+        assert_eq!(cname("F[k0+k1]"), "F_k0_k1_");
+        assert_eq!(cname("3var"), "_3var");
+        assert_eq!(cname("QFLX__r1"), "QFLX__r1");
+    }
+}

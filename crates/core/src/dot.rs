@@ -1,0 +1,150 @@
+//! Graphviz DOT export of the paper's two graphs.
+//!
+//! [`dependency_dot`] renders the bipartite data dependency graph in the
+//! style of Fig. 1 — circles for kernels, diamonds for arrays colored by
+//! touch class (read-only red, read-write yellow, expandable blue,
+//! write-only green) — and [`exec_order_dot`] the order-of-execution DAG
+//! of Fig. 2, optionally with a fusion plan drawn as clusters (the paper's
+//! dotted rectangles).
+
+use crate::depgraph::{DependencyGraph, TouchClass};
+use crate::exec_order::ExecOrderGraph;
+use crate::plan::FusionPlan;
+use kfuse_ir::Program;
+use std::fmt::Write;
+
+fn class_color(c: TouchClass) -> &'static str {
+    match c {
+        TouchClass::ReadOnly => "#e74c3c",            // red
+        TouchClass::ReadWrite => "#f1c40f",           // yellow
+        TouchClass::ExpandableReadWrite => "#3498db", // blue
+        TouchClass::WriteOnly => "#2ecc71",           // green
+    }
+}
+
+/// Render the Fig. 1-style data dependency graph.
+pub fn dependency_dot(p: &Program, dep: &DependencyGraph) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph dependency {{");
+    let _ = writeln!(s, "  rankdir=TB;");
+    let _ = writeln!(s, "  node [fontname=\"Helvetica\"];");
+    for k in &p.kernels {
+        let _ = writeln!(
+            s,
+            "  k{} [label=\"{}\", shape=circle];",
+            k.id.0, k.name
+        );
+    }
+    for a in &p.arrays {
+        let touched = !dep.readers[a.id.index()].is_empty()
+            || !dep.writers[a.id.index()].is_empty();
+        if !touched {
+            continue;
+        }
+        let _ = writeln!(
+            s,
+            "  a{} [label=\"{}\", shape=diamond, style=filled, fillcolor=\"{}\"];",
+            a.id.0,
+            a.name,
+            class_color(dep.class(a.id))
+        );
+    }
+    for (ai, readers) in dep.readers.iter().enumerate() {
+        for r in readers {
+            let _ = writeln!(s, "  a{ai} -> k{};", r.0);
+        }
+    }
+    for (ai, writers) in dep.writers.iter().enumerate() {
+        for w in writers {
+            let _ = writeln!(s, "  k{} -> a{ai};", w.0);
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Render the Fig. 2-style order-of-execution DAG. When `plan` is given,
+/// multi-member groups are drawn as dashed clusters (the proposed new
+/// kernels).
+pub fn exec_order_dot(p: &Program, exec: &ExecOrderGraph, plan: Option<&FusionPlan>) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph exec_order {{");
+    let _ = writeln!(s, "  rankdir=LR;");
+    let _ = writeln!(s, "  node [fontname=\"Helvetica\", shape=circle];");
+
+    let mut clustered = vec![false; p.kernels.len()];
+    if let Some(plan) = plan {
+        for (gi, g) in plan.groups.iter().enumerate() {
+            if g.len() < 2 {
+                continue;
+            }
+            let _ = writeln!(s, "  subgraph cluster_{gi} {{");
+            let _ = writeln!(s, "    style=dashed; label=\"K_{gi}\";");
+            for k in g {
+                let _ = writeln!(s, "    k{} [label=\"{}\"];", k.0, p.kernel(*k).name);
+                clustered[k.index()] = true;
+            }
+            let _ = writeln!(s, "  }}");
+        }
+    }
+    for k in &p.kernels {
+        if !clustered[k.id.index()] {
+            let _ = writeln!(s, "  k{} [label=\"{}\"];", k.id.0, k.name);
+        }
+    }
+    for (u, succs) in exec.succs.iter().enumerate() {
+        for v in succs {
+            let _ = writeln!(s, "  k{u} -> k{};", v.0);
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfuse_ir::builder::ProgramBuilder;
+    use kfuse_ir::{Expr, KernelId};
+
+    fn program() -> Program {
+        let mut pb = ProgramBuilder::new("p", [64, 16, 2]);
+        let a = pb.array("A");
+        let b = pb.array("B");
+        let c = pb.array("C");
+        pb.kernel("k0").write(b, Expr::at(a)).build();
+        pb.kernel("k1").write(c, Expr::at(b)).build();
+        pb.build()
+    }
+
+    #[test]
+    fn dependency_dot_contains_nodes_and_colors() {
+        let p = program();
+        let dep = DependencyGraph::build(&p);
+        let dot = dependency_dot(&p, &dep);
+        assert!(dot.starts_with("digraph dependency {"));
+        assert!(dot.contains("k0 [label=\"k0\""));
+        assert!(dot.contains("a0 [label=\"A\""));
+        // A is read-only → red.
+        assert!(dot.contains("#e74c3c"));
+        // B is read-write → yellow.
+        assert!(dot.contains("#f1c40f"));
+        // read edge and write edge.
+        assert!(dot.contains("a0 -> k0;"));
+        assert!(dot.contains("k0 -> a1;"));
+    }
+
+    #[test]
+    fn exec_order_dot_draws_plan_clusters() {
+        let p = program();
+        let exec = ExecOrderGraph::build(&p);
+        let plan = FusionPlan::new(vec![vec![KernelId(0), KernelId(1)]]);
+        let dot = exec_order_dot(&p, &exec, Some(&plan));
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("k0 -> k1;"));
+        // Without a plan, no clusters.
+        let plain = exec_order_dot(&p, &exec, None);
+        assert!(!plain.contains("subgraph"));
+    }
+}

@@ -1,0 +1,282 @@
+//! Algorithm 1: end-to-end performance improvement by kernel fusion.
+//!
+//! 1. Gather metadata of original kernels (Table III);
+//! 2. create the dependency and order-of-execution graphs;
+//! 3. (steps 3–8) search for the best fusion plan (generic over
+//!    [`Solver`] — the HGGA of the paper lives in `kfuse-search`, with
+//!    exhaustive and greedy baselines);
+//! 4. (step 9) use the best solution to guide fusion (here: automatically
+//!    applied by [`crate::fuse::apply_plan`]).
+
+use crate::depgraph::DependencyGraph;
+use crate::exec_order::ExecOrderGraph;
+use crate::fuse::{apply_plan, FuseError};
+use crate::kinship::ShareGraph;
+use crate::metadata::ProgramInfo;
+use crate::model::PerfModel;
+use crate::plan::{FusionPlan, PlanContext};
+use crate::relax::relax_expandable;
+use crate::spec::GroupSpec;
+use kfuse_gpu::{FpPrecision, GpuSpec};
+use kfuse_ir::Program;
+use kfuse_sim::{simulate_program, ProgramTiming};
+use std::time::Duration;
+
+/// Statistics reported by a solver run (Table VI columns).
+#[derive(Debug, Clone, Default)]
+pub struct SolveStats {
+    /// Generations executed (0 for non-evolutionary solvers).
+    pub generations: u32,
+    /// Objective-function evaluations.
+    pub evaluations: u64,
+    /// Wall-clock time of the search.
+    pub elapsed: Duration,
+    /// Wall-clock time until the best solution was first reached.
+    pub time_to_best: Duration,
+    /// Generation at which the best solution was first reached.
+    pub best_generation: u32,
+}
+
+/// Outcome of a solver run.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// Best plan found.
+    pub plan: FusionPlan,
+    /// Its objective value (total projected runtime, Eq. 1).
+    pub objective: f64,
+    /// Search statistics.
+    pub stats: SolveStats,
+}
+
+/// A search strategy over the space of feasible fusion plans.
+pub trait Solver {
+    /// Solver name for reports.
+    fn name(&self) -> &str;
+
+    /// Find a (near-)optimal plan for `ctx` under `model`.
+    fn solve(&self, ctx: &PlanContext, model: &dyn PerfModel) -> SolveOutcome;
+}
+
+/// Everything produced by one pipeline run.
+pub struct PipelineResult {
+    /// The relaxed program the plan applies to.
+    pub relaxed: Program,
+    /// The fused program.
+    pub fused: Program,
+    /// The winning plan.
+    pub plan: FusionPlan,
+    /// Synthesized specs, one per group.
+    pub specs: Vec<GroupSpec>,
+    /// Planning context (metadata + graphs), reusable for reporting.
+    pub ctx: PlanContext,
+    /// Solver statistics.
+    pub stats: SolveStats,
+    /// Simulated timing of the relaxed (original) program.
+    pub original_timing: ProgramTiming,
+    /// Simulated timing of the fused program.
+    pub fused_timing: ProgramTiming,
+}
+
+impl PipelineResult {
+    /// End-to-end speedup (original / fused), the paper's Table VII metric.
+    pub fn speedup(&self) -> f64 {
+        self.original_timing.total_s / self.fused_timing.total_s
+    }
+
+    /// Number of original kernels fused into multi-member groups.
+    pub fn fused_kernel_count(&self) -> usize {
+        self.plan.fused_kernel_count()
+    }
+
+    /// Number of new (multi-member) kernels.
+    pub fn new_kernel_count(&self) -> usize {
+        self.plan.new_kernel_count()
+    }
+}
+
+/// Errors from the pipeline.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The winning plan failed validation (solver bug).
+    InvalidPlan(crate::plan::PlanError),
+    /// The winning plan could not be applied.
+    Fuse(FuseError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::InvalidPlan(e) => write!(f, "solver returned invalid plan: {e}"),
+            PipelineError::Fuse(e) => write!(f, "fusion failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Pipeline options (ablation knobs).
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineOptions {
+    /// Apply the expandable read-write relaxation (§II-B1c). On by
+    /// default; turning it off keeps the original precedence constraints.
+    pub relax: bool,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions { relax: true }
+    }
+}
+
+/// Build the [`PlanContext`] for `program` on `gpu`: relaxation, metadata
+/// extraction, graph construction. Returns the relaxed program alongside.
+pub fn prepare(program: &Program, gpu: &GpuSpec, precision: FpPrecision) -> (Program, PlanContext) {
+    prepare_with(program, gpu, precision, PipelineOptions::default())
+}
+
+/// [`prepare`] with explicit [`PipelineOptions`].
+pub fn prepare_with(
+    program: &Program,
+    gpu: &GpuSpec,
+    precision: FpPrecision,
+    opts: PipelineOptions,
+) -> (Program, PlanContext) {
+    let relaxed = if opts.relax {
+        relax_expandable(program).program
+    } else {
+        program.clone()
+    };
+    let info = ProgramInfo::extract(&relaxed, gpu, precision);
+    let exec = ExecOrderGraph::build(&relaxed);
+    let dep = DependencyGraph::build(&relaxed);
+    let share = ShareGraph::build(&dep, relaxed.kernels.len());
+    (relaxed, PlanContext::new(info, exec, share))
+}
+
+/// Run Algorithm 1 end to end.
+pub fn run(
+    program: &Program,
+    gpu: &GpuSpec,
+    precision: FpPrecision,
+    model: &dyn PerfModel,
+    solver: &dyn Solver,
+) -> Result<PipelineResult, PipelineError> {
+    run_with(program, gpu, precision, model, solver, PipelineOptions::default())
+}
+
+/// [`run`] with explicit [`PipelineOptions`].
+pub fn run_with(
+    program: &Program,
+    gpu: &GpuSpec,
+    precision: FpPrecision,
+    model: &dyn PerfModel,
+    solver: &dyn Solver,
+    opts: PipelineOptions,
+) -> Result<PipelineResult, PipelineError> {
+    let (relaxed, ctx) = prepare_with(program, gpu, precision, opts);
+    let outcome = solver.solve(&ctx, model);
+    let specs = ctx.validate(&outcome.plan).map_err(PipelineError::InvalidPlan)?;
+    let fused = apply_plan(&relaxed, &ctx.info, &ctx.exec, &outcome.plan, &specs)
+        .map_err(PipelineError::Fuse)?;
+
+    let original_timing = simulate_program(gpu, &relaxed, precision);
+    let fused_timing = simulate_program(gpu, &fused, precision);
+
+    Ok(PipelineResult {
+        relaxed,
+        fused,
+        plan: outcome.plan,
+        specs,
+        ctx,
+        stats: outcome.stats,
+        original_timing,
+        fused_timing,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ProposedModel;
+    use kfuse_ir::builder::ProgramBuilder;
+    use kfuse_ir::{Expr, KernelId};
+
+    /// A trivial solver fusing nothing — pipeline plumbing test.
+    struct IdentitySolver;
+    impl Solver for IdentitySolver {
+        fn name(&self) -> &str {
+            "identity"
+        }
+        fn solve(&self, ctx: &PlanContext, model: &dyn PerfModel) -> SolveOutcome {
+            let plan = FusionPlan::identity(ctx.n_kernels());
+            let objective = ctx.objective(&plan, model);
+            SolveOutcome {
+                plan,
+                objective,
+                stats: SolveStats::default(),
+            }
+        }
+    }
+
+    /// A solver that fuses the first two kernels (valid for the test
+    /// program below).
+    struct PairSolver;
+    impl Solver for PairSolver {
+        fn name(&self) -> &str {
+            "pair"
+        }
+        fn solve(&self, ctx: &PlanContext, model: &dyn PerfModel) -> SolveOutcome {
+            let mut groups = vec![vec![KernelId(0), KernelId(1)]];
+            for i in 2..ctx.n_kernels() {
+                groups.push(vec![KernelId(i as u32)]);
+            }
+            let plan = FusionPlan::new(groups);
+            let objective = ctx.objective(&plan, model);
+            SolveOutcome {
+                plan,
+                objective,
+                stats: SolveStats::default(),
+            }
+        }
+    }
+
+    fn program() -> kfuse_ir::Program {
+        let mut pb = ProgramBuilder::new("p", [256, 128, 16]);
+        let a = pb.array("A");
+        let [b, c, d] = pb.arrays(["B", "C", "D"]);
+        pb.kernel("k0").write(b, Expr::at(a) + Expr::lit(1.0)).build();
+        pb.kernel("k1").write(c, Expr::at(a) * Expr::lit(2.0)).build();
+        pb.kernel("k2").write(d, Expr::at(c) - Expr::lit(1.0)).build();
+        pb.build()
+    }
+
+    #[test]
+    fn identity_pipeline_runs_and_reports_speedup_one() {
+        let r = run(
+            &program(),
+            &GpuSpec::k20x(),
+            FpPrecision::Double,
+            &ProposedModel::default(),
+            &IdentitySolver,
+        )
+        .unwrap();
+        assert!((r.speedup() - 1.0).abs() < 1e-9);
+        assert_eq!(r.new_kernel_count(), 0);
+    }
+
+    #[test]
+    fn fusing_pipeline_speeds_up() {
+        let r = run(
+            &program(),
+            &GpuSpec::k20x(),
+            FpPrecision::Double,
+            &ProposedModel::default(),
+            &PairSolver,
+        )
+        .unwrap();
+        assert!(r.speedup() > 1.0, "speedup {}", r.speedup());
+        assert_eq!(r.fused_kernel_count(), 2);
+        assert_eq!(r.new_kernel_count(), 1);
+        assert_eq!(r.fused.kernels.len(), 2);
+    }
+}

@@ -1,0 +1,219 @@
+//! Expandable read-write relaxation (§II-B1c).
+//!
+//! For an array written by several kernels (e.g. `QFLX` in Fig. 1, written
+//! by K_8 and again by K_12), every write *generation* except the last is
+//! renamed into a fresh redundant copy and the reads belonging to that
+//! generation are redirected. This removes the write-after-read and
+//! write-after-write precedence constraints between generations, enlarging
+//! the space of legal fusions at the cost of extra device memory — exactly
+//! the trade the paper describes.
+//!
+//! The *last* generation keeps the original array so the program's final
+//! outputs stay in place (functional equivalence with the unrelaxed program
+//! is checked by integration tests).
+
+use crate::depgraph::{DependencyGraph, TouchClass};
+use kfuse_ir::{ArrayDecl, ArrayId, Program};
+
+/// Result of the relaxation.
+#[derive(Debug, Clone)]
+pub struct Relaxation {
+    /// The transformed program (renamed reads/writes, extra array decls).
+    pub program: Program,
+    /// Number of redundant copies added (the capacity cost).
+    pub copies_added: usize,
+}
+
+/// Apply the expandable-array relaxation to `p`.
+///
+/// Kernels that read *and* write the same expandable array (accumulation)
+/// keep the read bound to the previous generation.
+pub fn relax_expandable(p: &Program) -> Relaxation {
+    let dep = DependencyGraph::build(p);
+    let mut out = p.clone();
+    let mut copies_added = 0usize;
+
+    for (a_idx, class) in dep.classes.iter().enumerate() {
+        if *class != TouchClass::ExpandableReadWrite {
+            continue;
+        }
+        let array = ArrayId(a_idx as u32);
+        let writers = &dep.writers[a_idx];
+        if writers.len() < 2 {
+            continue;
+        }
+        // Generations 0..n-2 get fresh copies; the last keeps `array`.
+        // gen_name[g] = array id carrying generation g's value.
+        let mut gen_name = Vec::with_capacity(writers.len());
+        for g in 0..writers.len() - 1 {
+            let new_id = ArrayId(out.arrays.len() as u32);
+            out.arrays.push(ArrayDecl {
+                id: new_id,
+                name: format!("{}__r{}", p.array(array).name, g + 1),
+                redundant_copy_of: Some(array),
+            });
+            gen_name.push(new_id);
+            copies_added += 1;
+        }
+        gen_name.push(array);
+
+        // Walk kernels in invocation order tracking the current generation.
+        // Reads before the first write keep the original array (initial
+        // input data lives there); the remaining WAR edge against the final
+        // writer is kept by the order-of-execution graph.
+        let mut gen: Option<usize> = None;
+        for k in &mut out.kernels {
+            let kid = k.id;
+            let writes_here = writers.contains(&kid);
+            // Reads use the generation *before* this kernel's write.
+            let read_name = match gen {
+                None => array,
+                Some(g) => gen_name[g],
+            };
+            for seg in &mut k.segments {
+                for st in &mut seg.statements {
+                    st.expr = st
+                        .expr
+                        .map_arrays(&|x| if x == array { read_name } else { x });
+                }
+            }
+            // Staging directives follow the reads they serve.
+            for st in &mut k.staging {
+                if st.array == array {
+                    st.array = read_name;
+                }
+            }
+            if writes_here {
+                let g = gen.map_or(0, |g| g + 1);
+                let write_name = gen_name[g];
+                for seg in &mut k.segments {
+                    for st in &mut seg.statements {
+                        if st.target == array {
+                            st.target = write_name;
+                        }
+                    }
+                }
+                gen = Some(g);
+            }
+        }
+    }
+
+    // Renaming may alias two staging entries onto one array; deduplicate
+    // keeping the widest halo (SMEM wins over register).
+    for k in &mut out.kernels {
+        let mut dedup: std::collections::BTreeMap<ArrayId, kfuse_ir::Staging> =
+            std::collections::BTreeMap::new();
+        for st in &k.staging {
+            dedup
+                .entry(st.array)
+                .and_modify(|e| {
+                    e.halo = e.halo.max(st.halo);
+                    if st.medium == kfuse_ir::StagingMedium::Smem {
+                        e.medium = kfuse_ir::StagingMedium::Smem;
+                    }
+                })
+                .or_insert(*st);
+        }
+        k.staging = dedup.into_values().collect();
+    }
+
+    Relaxation {
+        program: out,
+        copies_added,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfuse_ir::builder::ProgramBuilder;
+    use kfuse_ir::{Expr, KernelId};
+
+    /// The QFLX pattern from Fig. 1: K8 writes, K10 reads, K12 writes,
+    /// K14 reads.
+    fn qflx_program() -> Program {
+        let mut pb = ProgramBuilder::new("p", [32, 8, 2]);
+        let a = pb.array("A");
+        let qflx = pb.array("QFLX");
+        let out1 = pb.array("OUT1");
+        let out2 = pb.array("OUT2");
+        pb.kernel("K8").write(qflx, Expr::at(a) + Expr::lit(1.0)).build();
+        pb.kernel("K10").write(out1, Expr::at(qflx)).build();
+        pb.kernel("K12").write(qflx, Expr::at(a) * Expr::lit(2.0)).build();
+        pb.kernel("K14").write(out2, Expr::at(qflx)).build();
+        pb.build()
+    }
+
+    #[test]
+    fn qflx_generations_are_renamed() {
+        let p = qflx_program();
+        let r = relax_expandable(&p);
+        assert_eq!(r.copies_added, 1);
+        let q = ArrayId(1);
+        let copy = ArrayId(4);
+        assert_eq!(r.program.array(copy).redundant_copy_of, Some(q));
+
+        // K8 now writes the copy, K10 reads it.
+        let k8 = &r.program.kernels[0];
+        assert_eq!(k8.writes(), vec![copy]);
+        let k10 = &r.program.kernels[1];
+        assert!(k10.reads().contains_key(&copy));
+        assert!(!k10.reads().contains_key(&q));
+
+        // K12 keeps the original array; K14 reads it.
+        let k12 = &r.program.kernels[2];
+        assert_eq!(k12.writes(), vec![q]);
+        let k14 = &r.program.kernels[3];
+        assert!(k14.reads().contains_key(&q));
+    }
+
+    #[test]
+    fn relaxation_removes_cross_generation_precedence() {
+        let p = qflx_program();
+        let r = relax_expandable(&p);
+        let dep = DependencyGraph::build(&r.program);
+        // Original array QFLX now has a single writer (last generation):
+        // it is plain ReadWrite, not Expandable.
+        assert_eq!(dep.class(ArrayId(1)), TouchClass::ReadWrite);
+        assert_eq!(dep.class(ArrayId(4)), TouchClass::ReadWrite);
+        // K10 no longer shares QFLX with K12/K14.
+        let sharing_q = dep.sharing_set(ArrayId(1));
+        assert!(!sharing_q.contains(&KernelId(1)));
+    }
+
+    #[test]
+    fn non_expandable_arrays_untouched() {
+        let mut pb = ProgramBuilder::new("p", [32, 8, 2]);
+        let a = pb.array("A");
+        let b = pb.array("B");
+        pb.kernel("k0").write(b, Expr::at(a)).build();
+        pb.kernel("k1").write(b, Expr::at(b) + Expr::lit(1.0)).build();
+        // B is written twice but k1 also reads it: still expandable by
+        // class; accumulation reads previous generation.
+        let p = pb.build();
+        let r = relax_expandable(&p);
+        assert_eq!(r.copies_added, 1);
+        // k1 reads generation 1 (the copy written by k0), writes original.
+        let k1 = &r.program.kernels[1];
+        assert!(k1.reads().contains_key(&ArrayId(2)));
+        assert_eq!(k1.writes(), vec![b]);
+    }
+
+    #[test]
+    fn program_without_expandable_arrays_is_identity() {
+        let mut pb = ProgramBuilder::new("p", [32, 8, 2]);
+        let a = pb.array("A");
+        let b = pb.array("B");
+        pb.kernel("k0").write(b, Expr::at(a)).build();
+        let p = pb.build();
+        let r = relax_expandable(&p);
+        assert_eq!(r.copies_added, 0);
+        assert_eq!(r.program, p);
+    }
+
+    #[test]
+    fn relaxed_program_validates() {
+        let r = relax_expandable(&qflx_program());
+        assert!(r.program.validate().is_ok());
+    }
+}

@@ -1,0 +1,180 @@
+//! Repeated-invocation expansion (§II-C extension).
+//!
+//! The paper assumes each original kernel has a single call site and
+//! suggests handling multiple invocations "as if they are invocations of
+//! different kernels, i.e., the same approach as expandable arrays but for
+//! kernels". This module implements that extension: a host *schedule* —
+//! a sequence of invocations of a template program's kernels, possibly
+//! repeating (e.g. the three sub-steps of an RK3 integrator), interleaved
+//! with host synchronizations — is expanded into a flat program in which
+//! every invocation is a distinct kernel, ready for the ordinary pipeline.
+
+use kfuse_ir::{Kernel, KernelId, Program};
+
+/// One entry of a host schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleItem {
+    /// Launch the template kernel.
+    Invoke(KernelId),
+    /// A blocking host synchronization (PCIe transfer / CPU work).
+    HostSync,
+}
+
+/// A convenience constructor: repeat the template's full kernel sequence
+/// `times` times, separated by host syncs when `sync_between` is set.
+pub fn repeat_whole_program(template: &Program, times: usize, sync_between: bool) -> Vec<ScheduleItem> {
+    let mut sched = Vec::new();
+    for rep in 0..times {
+        if rep > 0 && sync_between {
+            sched.push(ScheduleItem::HostSync);
+        }
+        for k in &template.kernels {
+            sched.push(ScheduleItem::Invoke(k.id));
+        }
+    }
+    sched
+}
+
+/// Expand `schedule` over `template` into a flat program.
+///
+/// Each invocation becomes its own kernel named `<name>@<n>` (n counting
+/// invocations of that template kernel); arrays are shared — it is the
+/// job of the ordinary expandable-array relaxation to rename multi-writer
+/// generations afterwards.
+///
+/// # Panics
+/// Panics if the schedule references an unknown template kernel.
+pub fn expand_schedule(template: &Program, schedule: &[ScheduleItem]) -> Program {
+    let mut out = template.clone();
+    out.kernels.clear();
+    out.host_syncs.clear();
+    out.streams.clear();
+    out.name = format!("{} (expanded)", template.name);
+
+    let mut counts = vec![0usize; template.kernels.len()];
+    for item in schedule {
+        match item {
+            ScheduleItem::HostSync => {
+                let next = out.kernels.len() as u32;
+                if next > 0 && !out.host_syncs.contains(&next) {
+                    out.host_syncs.push(next);
+                }
+            }
+            ScheduleItem::Invoke(kid) => {
+                let orig = template
+                    .kernels
+                    .get(kid.index())
+                    .unwrap_or_else(|| panic!("schedule references unknown kernel {kid}"));
+                let n = counts[kid.index()];
+                counts[kid.index()] += 1;
+                let new_id = KernelId(out.kernels.len() as u32);
+                let mut k: Kernel = orig.clone();
+                k.id = new_id;
+                if n > 0 {
+                    k.name = format!("{}@{}", orig.name, n);
+                }
+                // Segment provenance must stay unique per invocation so
+                // fused kernels never repeat a source (constraint 1.2).
+                for seg in &mut k.segments {
+                    seg.source = new_id;
+                }
+                out.streams.push(template.stream_of(*kid));
+                out.kernels.push(k);
+            }
+        }
+    }
+    debug_assert!(out.validate().is_ok());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfuse_ir::builder::ProgramBuilder;
+    use kfuse_ir::Expr;
+    use kfuse_sim::{run_reference, DeviceState};
+
+    fn template() -> Program {
+        let mut pb = ProgramBuilder::new("step", [64, 16, 2]);
+        let a = pb.array("A");
+        let b = pb.array("B");
+        pb.kernel("advance")
+            .write(b, Expr::at(a) + Expr::lit(1.0))
+            .build();
+        pb.kernel("copyback").write(a, Expr::at(b)).build();
+        pb.build()
+    }
+
+    #[test]
+    fn expansion_clones_and_renames() {
+        let t = template();
+        let sched = repeat_whole_program(&t, 3, false);
+        let p = expand_schedule(&t, &sched);
+        assert_eq!(p.kernels.len(), 6);
+        assert_eq!(p.kernels[0].name, "advance");
+        assert_eq!(p.kernels[2].name, "advance@1");
+        assert_eq!(p.kernels[5].name, "copyback@2");
+        assert!(p.validate().is_ok());
+        // Sources are unique per invocation.
+        let mut sources: Vec<KernelId> =
+            p.kernels.iter().flat_map(|k| k.sources()).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        assert_eq!(sources.len(), 6);
+    }
+
+    #[test]
+    fn sync_between_repeats_creates_epochs() {
+        let t = template();
+        let sched = repeat_whole_program(&t, 3, true);
+        let p = expand_schedule(&t, &sched);
+        assert_eq!(p.host_syncs.len(), 2);
+        let epochs = p.epochs();
+        assert_eq!(epochs, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn expanded_program_semantics_equal_iterated_template() {
+        let t = template();
+        let p = expand_schedule(&t, &repeat_whole_program(&t, 3, false));
+
+        // Run the template three times.
+        let mut s_iter = DeviceState::default_init(&t);
+        for _ in 0..3 {
+            run_reference(&t, &mut s_iter);
+        }
+        // Run the expanded program once.
+        let mut s_exp = DeviceState::default_init(&p);
+        run_reference(&p, &mut s_exp);
+        for a in 0..t.arrays.len() {
+            let a = kfuse_ir::ArrayId(a as u32);
+            assert_eq!(s_iter.max_abs_diff(&s_exp, a), 0.0);
+        }
+    }
+
+    #[test]
+    fn expanded_program_is_fusible_across_iterations() {
+        use crate::model::ProposedModel;
+        use crate::plan::FusionPlan;
+        let t = template();
+        let p = expand_schedule(&t, &repeat_whole_program(&t, 2, false));
+        let gpu = kfuse_gpu::GpuSpec::k20x();
+        let (_, ctx) = crate::pipeline::prepare(&p, &gpu, kfuse_gpu::FpPrecision::Double);
+        // advance@1 may fuse with copyback (iteration boundary crossing):
+        // after relaxation of A/B generations the chain is fusible.
+        let plan = FusionPlan::new(vec![
+            vec![KernelId(0), KernelId(1), KernelId(2), KernelId(3)],
+        ]);
+        let specs = ctx.validate(&plan);
+        assert!(specs.is_ok(), "cross-iteration fusion must be legal: {specs:?}");
+        let model = ProposedModel::default();
+        assert!(ctx.objective(&plan, &model).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown kernel")]
+    fn unknown_kernel_panics() {
+        let t = template();
+        let _ = expand_schedule(&t, &[ScheduleItem::Invoke(KernelId(99))]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Thread-block-size tuning.
+//!
+//! §II-D2 identifies the block-size trade-off introduced by complex
+//! fusion: "a larger size would mean a smaller number of redundant halo
+//! layer(s) computations and less SMEM bytes used for the total number of
+//! stencil sites. By contrast, the larger size would add more strain on
+//! the already limited SMEM capacity." The paper keeps one launch
+//! configuration per program (§II-C); this tuner makes that choice
+//! data-driven: re-run Algorithm 1 under each candidate tile shape and
+//! keep the fastest fused result.
+
+use crate::model::PerfModel;
+use crate::pipeline::{self, PipelineError, PipelineResult, Solver};
+use kfuse_gpu::{FpPrecision, GpuSpec};
+use kfuse_ir::{program::LaunchConfig, Program};
+use serde::{Deserialize, Serialize};
+
+/// One candidate's outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TunePoint {
+    /// Tile width.
+    pub block_x: u32,
+    /// Tile height.
+    pub block_y: u32,
+    /// Simulated unfused runtime (s).
+    pub original_s: f64,
+    /// Simulated fused runtime (s).
+    pub fused_s: f64,
+    /// Fusion speedup at this shape.
+    pub speedup: f64,
+    /// New kernels in the winning plan.
+    pub new_kernels: usize,
+}
+
+/// Tuning outcome: the best candidate plus the full sweep.
+pub struct TuneResult {
+    /// The best pipeline run (fastest fused runtime).
+    pub best: PipelineResult,
+    /// The tile shape that won.
+    pub best_block: (u32, u32),
+    /// Every evaluated point, in candidate order.
+    pub sweep: Vec<TunePoint>,
+}
+
+/// Default candidate tiles: warp-aligned shapes from 64 to 512 threads.
+pub fn default_candidates() -> Vec<(u32, u32)> {
+    vec![(32, 2), (32, 4), (32, 8), (32, 16), (16, 8), (16, 16)]
+}
+
+/// Sweep `candidates` and return the best fused configuration.
+///
+/// Candidates whose tile exceeds the grid are skipped; if none fit, the
+/// program's own launch is used alone.
+pub fn tune_block_size(
+    program: &Program,
+    gpu: &GpuSpec,
+    precision: FpPrecision,
+    model: &dyn PerfModel,
+    solver: &dyn Solver,
+    candidates: &[(u32, u32)],
+) -> Result<TuneResult, PipelineError> {
+    let mut sweep = Vec::new();
+    let mut best: Option<(PipelineResult, (u32, u32))> = None;
+
+    let mut shapes: Vec<(u32, u32)> = candidates
+        .iter()
+        .copied()
+        .filter(|&(bx, by)| bx <= program.grid.nx && by <= program.grid.ny)
+        .collect();
+    if shapes.is_empty() {
+        shapes.push((program.launch.block_x, program.launch.block_y));
+    }
+
+    for (bx, by) in shapes {
+        let mut candidate = program.clone();
+        candidate.launch = LaunchConfig::new(bx, by);
+        let r = pipeline::run(&candidate, gpu, precision, model, solver)?;
+        sweep.push(TunePoint {
+            block_x: bx,
+            block_y: by,
+            original_s: r.original_timing.total_s,
+            fused_s: r.fused_timing.total_s,
+            speedup: r.speedup(),
+            new_kernels: r.new_kernel_count(),
+        });
+        let better = best
+            .as_ref()
+            .is_none_or(|(b, _)| r.fused_timing.total_s < b.fused_timing.total_s);
+        if better {
+            best = Some((r, (bx, by)));
+        }
+    }
+
+    let (best, best_block) = best.expect("at least one candidate evaluated");
+    Ok(TuneResult {
+        best,
+        best_block,
+        sweep,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ProposedModel;
+    use crate::pipeline::{SolveOutcome, SolveStats};
+    use crate::plan::{FusionPlan, PlanContext};
+
+    /// Deterministic greedy-ish stub solver (avoids pulling kfuse-search
+    /// into core's dev-deps): fuses the first two kernels when feasible.
+    struct PairSolver;
+    impl Solver for PairSolver {
+        fn name(&self) -> &str {
+            "pair"
+        }
+        fn solve(&self, ctx: &PlanContext, model: &dyn PerfModel) -> SolveOutcome {
+            let n = ctx.n_kernels();
+            let mut groups = vec![vec![kfuse_ir::KernelId(0), kfuse_ir::KernelId(1)]];
+            for i in 2..n {
+                groups.push(vec![kfuse_ir::KernelId(i as u32)]);
+            }
+            let mut plan = FusionPlan::new(groups);
+            if !ctx.objective(&plan, model).is_finite() {
+                plan = FusionPlan::identity(n);
+            }
+            let objective = ctx.objective(&plan, model);
+            SolveOutcome {
+                plan,
+                objective,
+                stats: SolveStats::default(),
+            }
+        }
+    }
+
+    fn program() -> Program {
+        use kfuse_ir::builder::ProgramBuilder;
+        use kfuse_ir::Expr;
+        let mut pb = ProgramBuilder::new("p", [256, 128, 8]);
+        let a = pb.array("A");
+        let b = pb.array("B");
+        let c = pb.array("C");
+        pb.kernel("k0").write(b, Expr::at(a) + Expr::lit(1.0)).build();
+        pb.kernel("k1").write(c, Expr::at(a) * Expr::lit(2.0)).build();
+        pb.build()
+    }
+
+    #[test]
+    fn tuner_sweeps_and_picks_the_fastest() {
+        let p = program();
+        let gpu = GpuSpec::k20x();
+        let r = tune_block_size(
+            &p,
+            &gpu,
+            FpPrecision::Double,
+            &ProposedModel::default(),
+            &PairSolver,
+            &default_candidates(),
+        )
+        .unwrap();
+        assert_eq!(r.sweep.len(), default_candidates().len());
+        let best_time = r.best.fused_timing.total_s;
+        for pt in &r.sweep {
+            assert!(best_time <= pt.fused_s + 1e-15);
+        }
+        let (bx, by) = r.best_block;
+        assert!(bx * by >= 64);
+    }
+
+    #[test]
+    fn oversized_tiles_are_skipped() {
+        let mut p = program();
+        p.grid = kfuse_ir::GridDims::new(64, 4, 8); // ny=4 rejects by>4
+        let gpu = GpuSpec::k20x();
+        let r = tune_block_size(
+            &p,
+            &gpu,
+            FpPrecision::Double,
+            &ProposedModel::default(),
+            &PairSolver,
+            &default_candidates(),
+        )
+        .unwrap();
+        assert!(r.sweep.iter().all(|pt| pt.block_y <= 4));
+        assert!(!r.sweep.is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! GPU architecture specifications and occupancy modeling.
+//!
+//! This crate is the hardware substrate of the kernel-fusion reproduction:
+//! it describes the on-chip resource envelope (registers, shared memory,
+//! thread/block slots per multiprocessor) that constrains both the fusion
+//! optimization problem (constraints 1.6 and 1.7 of the paper) and the
+//! timing simulator in `kfuse-sim`.
+//!
+//! The presets in [`spec`] reproduce Table IV of the paper: Nvidia Kepler
+//! K20X and K40, and Maxwell GTX 750 Ti. Hypothetical variants with enlarged
+//! shared memory (128 KiB / 256 KiB) support the what-if study of §VI-E2.
+//!
+//! # Example
+//!
+//! ```
+//! use kfuse_gpu::{GpuSpec, LaunchConfig, occupancy::occupancy};
+//!
+//! let gpu = GpuSpec::k20x();
+//! let launch = LaunchConfig::new(64, 128);
+//! // A kernel using 40 registers/thread and 8 KiB of SMEM per block:
+//! let occ = occupancy(&gpu, &launch, 40, 8 * 1024);
+//! assert!(occ.active_blocks_per_smx >= 1);
+//! ```
+
+pub mod launch;
+pub mod occupancy;
+pub mod spec;
+
+pub use launch::LaunchConfig;
+pub use occupancy::{occupancy, Occupancy};
+pub use spec::{FpPrecision, GpuGeneration, GpuSpec};

@@ -1,0 +1,182 @@
+//! CUDA occupancy calculation.
+//!
+//! Active blocks per SMX are limited by four resources: register file,
+//! shared memory, resident-thread slots, and resident-block slots. The
+//! minimum over the four limits is what the paper's projection model calls
+//! `Blocks_SMX` (Table III) and what feeds the latency-hiding term of the
+//! timing simulator.
+
+use crate::{GpuSpec, LaunchConfig};
+use serde::{Deserialize, Serialize};
+
+/// Result of an occupancy calculation for one kernel on one device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Occupancy {
+    /// Blocks resident per SMX (`Blocks_SMX`). Zero means the kernel cannot
+    /// launch at all (a single block exceeds some per-SMX resource).
+    pub active_blocks_per_smx: u32,
+    /// Warps resident per SMX.
+    pub active_warps_per_smx: u32,
+    /// `active_warps / max_warps`, the conventional occupancy metric in
+    /// [0, 1].
+    pub occupancy: f64,
+    /// Which resource is the binding constraint.
+    pub limiter: Limiter,
+}
+
+/// The resource that bounds occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Limiter {
+    /// Register file exhausted first.
+    Registers,
+    /// Shared memory exhausted first.
+    SharedMemory,
+    /// Resident-thread slots exhausted first.
+    Threads,
+    /// Resident-block slots exhausted first.
+    BlockSlots,
+    /// Kernel cannot be resident at all.
+    Infeasible,
+}
+
+/// Compute occupancy for a kernel using `regs_per_thread` registers and
+/// `smem_per_block` bytes of shared memory under `launch` on `gpu`.
+pub fn occupancy(
+    gpu: &GpuSpec,
+    launch: &LaunchConfig,
+    regs_per_thread: u32,
+    smem_per_block: u32,
+) -> Occupancy {
+    let threads = launch.threads_per_block;
+
+    if regs_per_thread > gpu.max_regs_per_thread
+        || smem_per_block > gpu.smem_per_smx
+        || threads > gpu.max_threads_per_smx
+    {
+        return Occupancy {
+            active_blocks_per_smx: 0,
+            active_warps_per_smx: 0,
+            occupancy: 0.0,
+            limiter: Limiter::Infeasible,
+        };
+    }
+
+    let reg_limit = if regs_per_thread == 0 {
+        u32::MAX
+    } else {
+        gpu.registers_per_smx() / (regs_per_thread * threads).max(1)
+    };
+    let smem_limit = gpu
+        .smem_per_smx
+        .checked_div(smem_per_block)
+        .unwrap_or(u32::MAX);
+    let thread_limit = gpu.max_threads_per_smx / threads;
+    let slot_limit = gpu.max_blocks_per_smx;
+
+    let blocks = reg_limit
+        .min(smem_limit)
+        .min(thread_limit)
+        .min(slot_limit);
+
+    let limiter = if blocks == 0 {
+        Limiter::Infeasible
+    } else if blocks == reg_limit {
+        Limiter::Registers
+    } else if blocks == smem_limit {
+        Limiter::SharedMemory
+    } else if blocks == thread_limit {
+        Limiter::Threads
+    } else {
+        Limiter::BlockSlots
+    };
+
+    let warps = blocks * launch.warps_per_block(gpu.warp_size);
+    let max_warps = gpu.max_warps_per_smx();
+    Occupancy {
+        active_blocks_per_smx: blocks,
+        active_warps_per_smx: warps,
+        occupancy: f64::from(warps) / f64::from(max_warps),
+        limiter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k20x_128() -> (GpuSpec, LaunchConfig) {
+        (GpuSpec::k20x(), LaunchConfig::new(64, 128))
+    }
+
+    #[test]
+    fn light_kernel_is_slot_or_thread_limited() {
+        let (gpu, lc) = k20x_128();
+        let occ = occupancy(&gpu, &lc, 16, 0);
+        // 2048/128 = 16 blocks and slot limit = 16 coincide on Kepler.
+        assert_eq!(occ.active_blocks_per_smx, 16);
+        assert!((occ.occupancy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn register_pressure_limits_blocks() {
+        let (gpu, lc) = k20x_128();
+        // 128 regs * 128 threads = 16384 regs/block; 65536/16384 = 4 blocks.
+        let occ = occupancy(&gpu, &lc, 128, 0);
+        assert_eq!(occ.active_blocks_per_smx, 4);
+        assert_eq!(occ.limiter, Limiter::Registers);
+    }
+
+    #[test]
+    fn smem_pressure_limits_blocks() {
+        let (gpu, lc) = k20x_128();
+        // 20 KiB/block: 48/20 = 2 blocks.
+        let occ = occupancy(&gpu, &lc, 16, 20 * 1024);
+        assert_eq!(occ.active_blocks_per_smx, 2);
+        assert_eq!(occ.limiter, Limiter::SharedMemory);
+    }
+
+    #[test]
+    fn infeasible_kernel_reports_zero() {
+        let (gpu, lc) = k20x_128();
+        let occ = occupancy(&gpu, &lc, 300, 0); // > 255 regs/thread
+        assert_eq!(occ.active_blocks_per_smx, 0);
+        assert_eq!(occ.limiter, Limiter::Infeasible);
+
+        let occ = occupancy(&gpu, &lc, 16, 49 * 1024); // > 48 KiB SMEM
+        assert_eq!(occ.limiter, Limiter::Infeasible);
+    }
+
+    #[test]
+    fn maxwell_allows_more_blocks() {
+        let gpu = GpuSpec::gtx750ti();
+        let lc = LaunchConfig::new(64, 64);
+        let occ = occupancy(&gpu, &lc, 16, 0);
+        // 2048/64 = 32 thread-limited blocks == Maxwell's 32 slots.
+        assert_eq!(occ.active_blocks_per_smx, 32);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_one() {
+        let gpu = GpuSpec::k20x();
+        for &t in &[32u32, 64, 128, 256, 512, 1024] {
+            let lc = LaunchConfig::new(8, t);
+            for &r in &[8u32, 32, 64, 128, 255] {
+                for &s in &[0u32, 4096, 16384, 32768] {
+                    let occ = occupancy(&gpu, &lc, r, s);
+                    assert!(occ.occupancy <= 1.0 + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_registers_never_increases_occupancy() {
+        let (gpu, lc) = k20x_128();
+        let mut prev = u32::MAX;
+        for r in (8..=255).step_by(8) {
+            let occ = occupancy(&gpu, &lc, r, 0);
+            assert!(occ.active_blocks_per_smx <= prev);
+            prev = occ.active_blocks_per_smx;
+        }
+    }
+}

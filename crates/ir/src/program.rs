@@ -1,0 +1,148 @@
+//! Whole-program container.
+
+use crate::{
+    array::{ArrayDecl, ArrayId, GridDims},
+    kernel::{Kernel, KernelId},
+    validate::{validate, ValidationError},
+};
+use serde::{Deserialize, Serialize};
+
+/// Launch configuration (kept IR-local so `kfuse-ir` stays free of hardware
+/// dependencies; `kfuse-sim` converts to `kfuse_gpu::LaunchConfig`).
+pub mod launch {
+    use serde::{Deserialize, Serialize};
+
+    /// Grid/block sizes shared by every kernel of a program (§II-C: all
+    /// kernels, original and new, use the same configuration).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+    pub struct LaunchConfig {
+        /// Block tile width (threads along i).
+        pub block_x: u32,
+        /// Block tile height (threads along j).
+        pub block_y: u32,
+    }
+
+    impl LaunchConfig {
+        /// Construct; panics if either extent is zero.
+        pub fn new(block_x: u32, block_y: u32) -> Self {
+            assert!(block_x > 0 && block_y > 0, "tile dims must be non-zero");
+            LaunchConfig { block_x, block_y }
+        }
+
+        /// Threads per block.
+        pub fn threads_per_block(&self) -> u32 {
+            self.block_x * self.block_y
+        }
+    }
+
+    impl Default for LaunchConfig {
+        fn default() -> Self {
+            LaunchConfig::new(32, 4)
+        }
+    }
+}
+
+/// A complete device program: data arrays over one grid plus kernels in
+/// host invocation order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Program name (e.g. `"SCALE-LES RK3"`).
+    pub name: String,
+    /// Grid extents shared by all arrays.
+    pub grid: GridDims,
+    /// Thread-block tile shared by all kernels.
+    pub launch: launch::LaunchConfig,
+    /// Array declarations, indexed by [`ArrayId`].
+    pub arrays: Vec<ArrayDecl>,
+    /// Kernels in host invocation order, indexed by [`KernelId`].
+    pub kernels: Vec<Kernel>,
+    /// Host synchronization points: a kernel index `i` in this list means
+    /// the host performs a blocking operation (PCIe transfer, MPI boundary
+    /// exchange, CPU-side work) *before* kernel `i` launches. Kernels on
+    /// opposite sides of a sync point can never be fused (§II-C treats
+    /// existing host-device transfers as order-of-execution constraints).
+    #[serde(default)]
+    pub host_syncs: Vec<u32>,
+    /// CUDA stream of each kernel (§II-C: existing streams are fusion
+    /// constraints). Empty means every kernel runs in the default stream.
+    /// Kernels in different streams may execute concurrently; fusing
+    /// across streams would serialize them, so the planner forbids it.
+    #[serde(default)]
+    pub streams: Vec<u32>,
+}
+
+impl Program {
+    /// Look up an array declaration.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn array(&self, id: ArrayId) -> &ArrayDecl {
+        &self.arrays[id.index()]
+    }
+
+    /// Look up a kernel.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn kernel(&self, id: KernelId) -> &Kernel {
+        &self.kernels[id.index()]
+    }
+
+    /// Number of thread blocks tiling the horizontal plane under the
+    /// program's launch config (`B` in Table III).
+    pub fn blocks(&self) -> u32 {
+        let bx = self.grid.nx.div_ceil(self.launch.block_x);
+        let by = self.grid.ny.div_ceil(self.launch.block_y);
+        bx * by
+    }
+
+    /// Check structural invariants; see [`crate::validate`].
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        validate(self)
+    }
+
+    /// Convert the IR launch config into the hardware crate's form given
+    /// this program's grid (blocks × threads).
+    pub fn launch_dims(&self) -> (u32, u32) {
+        (self.blocks(), self.launch.threads_per_block())
+    }
+
+    /// Stream of kernel `k` (0 when streams are unset).
+    pub fn stream_of(&self, k: KernelId) -> u32 {
+        self.streams.get(k.index()).copied().unwrap_or(0)
+    }
+
+    /// Host-sync epoch of every kernel: kernels in different epochs are
+    /// separated by at least one host synchronization point.
+    pub fn epochs(&self) -> Vec<u32> {
+        let mut syncs: Vec<u32> = self.host_syncs.clone();
+        syncs.sort_unstable();
+        self.kernels
+            .iter()
+            .map(|k| syncs.iter().filter(|&&s| s <= k.id.0).count() as u32)
+            .collect()
+    }
+}
+
+// Re-export for convenient access as `program::LaunchConfig`.
+pub use launch::LaunchConfig;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::expr::Expr;
+
+    #[test]
+    fn block_count_rounds_up() {
+        let mut pb = ProgramBuilder::new("p", [100, 50, 8]);
+        let a = pb.array("A");
+        let b = pb.array("B");
+        pb.kernel("k").write(b, Expr::at(a)).build();
+        let mut p = pb.build();
+        p.launch = LaunchConfig::new(32, 4);
+        // ceil(100/32)=4, ceil(50/4)=13 → 52 blocks
+        assert_eq!(p.blocks(), 52);
+        assert_eq!(p.launch_dims(), (52, 128));
+    }
+}

@@ -1,0 +1,154 @@
+//! Expression simplification: constant folding and algebraic identities.
+//!
+//! Fused kernels concatenate expressions from many sources, and generated
+//! workloads carry scale factors that often collapse; this pass shrinks
+//! them before code generation or FLOP accounting. Only *value-exact*
+//! rewrites are applied, assuming finite arithmetic (the interpreter's
+//! grids are finite by construction):
+//!
+//! * `const ⊕ const` folds;
+//! * `x + 0`, `0 + x`, `x - 0`, `x * 1`, `1 * x`, `x / 1` drop the
+//!   neutral element;
+//! * `min(c, c)` / `max(c, c)` of identical constants fold.
+//!
+//! `x * 0 → 0` is deliberately **not** applied: it changes results for
+//! non-finite inputs and drops load dependencies the traffic analysis
+//! would otherwise count.
+
+use crate::expr::{BinOp, Expr};
+use crate::program::Program;
+
+/// Simplify one expression (recursively, bottom-up).
+pub fn simplify(e: &Expr) -> Expr {
+    match e {
+        Expr::Load { .. } | Expr::Const(_) => e.clone(),
+        Expr::Bin { op, lhs, rhs } => {
+            let l = simplify(lhs);
+            let r = simplify(rhs);
+            // Constant folding.
+            if let (Expr::Const(a), Expr::Const(b)) = (&l, &r) {
+                return Expr::Const(op.apply(*a, *b));
+            }
+            // Neutral elements.
+            match op {
+                BinOp::Add => {
+                    if is_const(&l, 0.0) {
+                        return r;
+                    }
+                    if is_const(&r, 0.0) {
+                        return l;
+                    }
+                }
+                BinOp::Sub => {
+                    if is_const(&r, 0.0) {
+                        return l;
+                    }
+                }
+                BinOp::Mul => {
+                    if is_const(&l, 1.0) {
+                        return r;
+                    }
+                    if is_const(&r, 1.0) {
+                        return l;
+                    }
+                }
+                BinOp::Div => {
+                    if is_const(&r, 1.0) {
+                        return l;
+                    }
+                }
+                BinOp::Min | BinOp::Max => {}
+            }
+            Expr::Bin {
+                op: *op,
+                lhs: Box::new(l),
+                rhs: Box::new(r),
+            }
+        }
+    }
+}
+
+fn is_const(e: &Expr, v: f64) -> bool {
+    matches!(e, Expr::Const(c) if *c == v)
+}
+
+/// Simplify every statement of every kernel in place. Returns the number
+/// of FLOPs (per site) removed across the program.
+pub fn simplify_program(p: &mut Program) -> u64 {
+    let mut removed = 0u64;
+    for k in &mut p.kernels {
+        for seg in &mut k.segments {
+            for st in &mut seg.statements {
+                let before = st.expr.flops();
+                st.expr = simplify(&st.expr);
+                removed += before - st.expr.flops();
+            }
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::ArrayId;
+    use crate::stencil::Offset;
+
+    fn a() -> Expr {
+        Expr::at(ArrayId(0))
+    }
+
+    #[test]
+    fn constants_fold() {
+        let e = Expr::lit(2.0) + Expr::lit(3.0) * Expr::lit(4.0);
+        assert_eq!(simplify(&e), Expr::Const(14.0));
+    }
+
+    #[test]
+    fn neutral_elements_drop() {
+        assert_eq!(simplify(&(a() + Expr::lit(0.0))), a());
+        assert_eq!(simplify(&(Expr::lit(0.0) + a())), a());
+        assert_eq!(simplify(&(a() - Expr::lit(0.0))), a());
+        assert_eq!(simplify(&(a() * Expr::lit(1.0))), a());
+        assert_eq!(simplify(&(Expr::lit(1.0) * a())), a());
+        assert_eq!(simplify(&(a() / Expr::lit(1.0))), a());
+    }
+
+    #[test]
+    fn mul_by_zero_is_kept() {
+        let e = a() * Expr::lit(0.0);
+        assert_eq!(simplify(&e), e, "x*0 must not fold (NaN/Inf, traffic)");
+    }
+
+    #[test]
+    fn nested_simplification() {
+        // (A + (2 - 2)) * (3 / 3) → A
+        let e = (a() + (Expr::lit(2.0) - Expr::lit(2.0))) * (Expr::lit(3.0) / Expr::lit(3.0));
+        assert_eq!(simplify(&e), a());
+    }
+
+    #[test]
+    fn loads_and_structure_survive() {
+        let e = Expr::load(ArrayId(1), Offset::new(-1, 0, 0)) + a() * Expr::lit(2.0);
+        let s = simplify(&e);
+        assert_eq!(s, e);
+        assert_eq!(s.flops(), 2);
+    }
+
+    #[test]
+    fn program_pass_counts_removed_flops() {
+        use crate::builder::ProgramBuilder;
+        let mut pb = ProgramBuilder::new("p", [32, 8, 2]);
+        let x = pb.array("X");
+        let y = pb.array("Y");
+        pb.kernel("k")
+            .write(y, (Expr::at(x) + Expr::lit(0.0)) * (Expr::lit(2.0) * Expr::lit(3.0)))
+            .build();
+        let mut p = pb.build();
+        let before = p.kernels[0].flops();
+        let removed = simplify_program(&mut p);
+        assert_eq!(removed, 2); // +0 dropped, 2*3 folded
+        assert_eq!(p.kernels[0].flops(), before - removed);
+        assert!(p.validate().is_ok());
+    }
+}

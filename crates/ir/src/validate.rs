@@ -1,0 +1,251 @@
+//! Structural validation of programs.
+
+use crate::{
+    array::ArrayId,
+    kernel::KernelId,
+    program::Program,
+};
+use std::fmt;
+
+/// A violated structural invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// `arrays[i].id != i`.
+    ArrayIdMismatch {
+        /// Position in the array table.
+        index: usize,
+    },
+    /// `kernels[i].id != i`.
+    KernelIdMismatch {
+        /// Position in the kernel table.
+        index: usize,
+    },
+    /// A statement references an undeclared array.
+    UnknownArray {
+        /// Offending kernel.
+        kernel: KernelId,
+        /// The undeclared array id.
+        array: ArrayId,
+    },
+    /// A kernel has no statements.
+    EmptyKernel {
+        /// Offending kernel.
+        kernel: KernelId,
+    },
+    /// A fused kernel contains the same source kernel twice (violates
+    /// constraint 1.2: each original kernel is fused exactly once).
+    DuplicateSource {
+        /// Offending kernel.
+        kernel: KernelId,
+        /// Repeated source.
+        source: KernelId,
+    },
+    /// A staging directive names an array the kernel never touches.
+    UselessStaging {
+        /// Offending kernel.
+        kernel: KernelId,
+        /// The staged but untouched array.
+        array: ArrayId,
+    },
+    /// The block tile exceeds the grid extent (threads with no site).
+    TileLargerThanGrid,
+    /// `streams` is non-empty but does not cover every kernel.
+    StreamTableLength,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::ArrayIdMismatch { index } => {
+                write!(f, "array at position {index} has mismatched id")
+            }
+            ValidationError::KernelIdMismatch { index } => {
+                write!(f, "kernel at position {index} has mismatched id")
+            }
+            ValidationError::UnknownArray { kernel, array } => {
+                write!(f, "kernel {kernel} references undeclared array {array}")
+            }
+            ValidationError::EmptyKernel { kernel } => {
+                write!(f, "kernel {kernel} has no statements")
+            }
+            ValidationError::DuplicateSource { kernel, source } => {
+                write!(f, "kernel {kernel} contains source {source} more than once")
+            }
+            ValidationError::UselessStaging { kernel, array } => {
+                write!(f, "kernel {kernel} stages array {array} it never touches")
+            }
+            ValidationError::TileLargerThanGrid => {
+                write!(f, "block tile exceeds grid extent")
+            }
+            ValidationError::StreamTableLength => {
+                write!(f, "streams table does not cover every kernel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Check all structural invariants of `p`.
+pub fn validate(p: &Program) -> Result<(), ValidationError> {
+    for (i, a) in p.arrays.iter().enumerate() {
+        if a.id.index() != i {
+            return Err(ValidationError::ArrayIdMismatch { index: i });
+        }
+    }
+    if p.launch.block_x > p.grid.nx || p.launch.block_y > p.grid.ny {
+        return Err(ValidationError::TileLargerThanGrid);
+    }
+    if !p.streams.is_empty() && p.streams.len() != p.kernels.len() {
+        return Err(ValidationError::StreamTableLength);
+    }
+    let n_arrays = p.arrays.len() as u32;
+    for (i, k) in p.kernels.iter().enumerate() {
+        if k.id.index() != i {
+            return Err(ValidationError::KernelIdMismatch { index: i });
+        }
+        if k.segments.iter().all(|s| s.statements.is_empty()) {
+            return Err(ValidationError::EmptyKernel { kernel: k.id });
+        }
+        let mut sources = k.sources();
+        sources.sort_unstable();
+        for w in sources.windows(2) {
+            if w[0] == w[1] {
+                return Err(ValidationError::DuplicateSource {
+                    kernel: k.id,
+                    source: w[0],
+                });
+            }
+        }
+        for st in k.statements() {
+            if st.target.0 >= n_arrays {
+                return Err(ValidationError::UnknownArray {
+                    kernel: k.id,
+                    array: st.target,
+                });
+            }
+            let mut bad = None;
+            st.expr.for_each_load(&mut |a, _| {
+                if a.0 >= n_arrays && bad.is_none() {
+                    bad = Some(a);
+                }
+            });
+            if let Some(a) = bad {
+                return Err(ValidationError::UnknownArray {
+                    kernel: k.id,
+                    array: a,
+                });
+            }
+        }
+        let touched = k.touched();
+        for st in &k.staging {
+            if !touched.contains(&st.array) {
+                return Err(ValidationError::UselessStaging {
+                    kernel: k.id,
+                    array: st.array,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::expr::Expr;
+    use crate::kernel::{Staging, StagingMedium};
+
+    fn valid_program() -> Program {
+        let mut pb = ProgramBuilder::new("p", [32, 16, 4]);
+        let a = pb.array("A");
+        let b = pb.array("B");
+        pb.kernel("k").write(b, Expr::at(a)).build();
+        pb.build()
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        assert!(valid_program().validate().is_ok());
+    }
+
+    #[test]
+    fn unknown_array_detected() {
+        let mut p = valid_program();
+        p.kernels[0].segments[0].statements[0].target = ArrayId(99);
+        assert!(matches!(
+            p.validate(),
+            Err(ValidationError::UnknownArray { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_kernel_detected() {
+        let mut p = valid_program();
+        p.kernels[0].segments[0].statements.clear();
+        assert!(matches!(
+            p.validate(),
+            Err(ValidationError::EmptyKernel { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_source_detected() {
+        let mut p = valid_program();
+        let seg = p.kernels[0].segments[0].clone();
+        p.kernels[0].segments.push(seg);
+        assert!(matches!(
+            p.validate(),
+            Err(ValidationError::DuplicateSource { .. })
+        ));
+    }
+
+    #[test]
+    fn useless_staging_detected() {
+        let mut p = valid_program();
+        p.kernels[0].staging.push(Staging {
+            array: ArrayId(1),
+            halo: 0,
+            medium: StagingMedium::Smem,
+        });
+        // B is written by the kernel, so staging it is legal...
+        assert!(p.validate().is_ok());
+        // ...but staging an id the kernel never touches is not. Declare a
+        // third array so the id itself is known.
+        p.arrays.push(crate::array::ArrayDecl {
+            id: ArrayId(2),
+            name: "C".into(),
+            redundant_copy_of: None,
+        });
+        p.kernels[0].staging.push(Staging {
+            array: ArrayId(2),
+            halo: 0,
+            medium: StagingMedium::Smem,
+        });
+        assert!(matches!(
+            p.validate(),
+            Err(ValidationError::UselessStaging { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_tile_detected() {
+        let mut p = valid_program();
+        p.launch = crate::program::LaunchConfig::new(64, 1);
+        assert!(matches!(
+            p.validate(),
+            Err(ValidationError::TileLargerThanGrid)
+        ));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = ValidationError::UnknownArray {
+            kernel: KernelId(3),
+            array: ArrayId(7),
+        };
+        assert!(e.to_string().contains("K3"));
+        assert!(e.to_string().contains("D7"));
+    }
+}

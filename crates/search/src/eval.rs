@@ -1,0 +1,179 @@
+//! Memoized objective evaluation shared by all solvers.
+//!
+//! The paper's key scalability lever is a cheap objective (§IV): projecting
+//! a candidate new kernel must not require code generation. On top of that
+//! we memoize per-group results — HGGA populations re-evaluate the same
+//! groups constantly (good groups survive crossover by design), so the
+//! effective cost per *plan* evaluation collapses to a few hash lookups.
+//!
+//! Active-constraint pruning (§III-C) falls out of
+//! [`kfuse_core::plan::PlanContext::check_group`]: capacity checks run only
+//! for groups that actually stage pivots, and the first violated constraint
+//! short-circuits the rest.
+
+use kfuse_core::fuse::condensation_order;
+use kfuse_core::model::PerfModel;
+use kfuse_core::plan::{FusionPlan, PlanContext};
+use kfuse_ir::KernelId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Result of evaluating one group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupEval {
+    /// Projected runtime of the group's new kernel, or [`f64::INFINITY`]
+    /// if any constraint is violated (incl. profitability 1.1).
+    pub time_s: f64,
+}
+
+impl GroupEval {
+    /// True if the group satisfies every constraint.
+    pub fn feasible(&self) -> bool {
+        self.time_s.is_finite()
+    }
+}
+
+/// Shared, thread-safe objective evaluator.
+pub struct Evaluator<'a> {
+    /// Planning context (metadata + graphs).
+    pub ctx: &'a PlanContext,
+    /// The projection model used as objective (Eq. 1).
+    pub model: &'a dyn PerfModel,
+    memo: RwLock<HashMap<Vec<KernelId>, GroupEval>>,
+    evaluations: AtomicU64,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Create an evaluator over `ctx` and `model`.
+    pub fn new(ctx: &'a PlanContext, model: &'a dyn PerfModel) -> Self {
+        Evaluator {
+            ctx,
+            model,
+            memo: RwLock::new(HashMap::new()),
+            evaluations: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of *distinct* objective evaluations performed (memo misses).
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations.load(Ordering::Relaxed)
+    }
+
+    /// Evaluate one group (memoized). `group` need not be sorted.
+    pub fn group(&self, group: &[KernelId]) -> GroupEval {
+        let mut key = group.to_vec();
+        key.sort_unstable();
+        if let Some(hit) = self.memo.read().get(&key) {
+            return *hit;
+        }
+        let eval = self.compute(&key);
+        self.memo.write().insert(key, eval);
+        eval
+    }
+
+    fn compute(&self, group: &[KernelId]) -> GroupEval {
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        let spec = match self.ctx.check_group(group, 0) {
+            Ok(s) => s,
+            Err(_) => {
+                return GroupEval {
+                    time_s: f64::INFINITY,
+                }
+            }
+        };
+        let t = self.model.project(&self.ctx.info, &spec);
+        if group.len() >= 2 {
+            // Constraint 1.1: profitability.
+            let original = self.ctx.info.original_sum(group);
+            if t >= original || t.is_nan() {
+                return GroupEval {
+                    time_s: f64::INFINITY,
+                };
+            }
+        }
+        GroupEval { time_s: t }
+    }
+
+    /// Evaluate a whole plan: sum of group times, or infinity if any group
+    /// is infeasible or the plan's condensation has a cycle.
+    pub fn plan(&self, plan: &FusionPlan) -> f64 {
+        let mut total = 0.0;
+        for g in &plan.groups {
+            let e = self.group(g);
+            if !e.feasible() {
+                return f64::INFINITY;
+            }
+            total += e.time_s;
+        }
+        if plan.groups.iter().any(|g| g.len() >= 2)
+            && condensation_order(plan, &self.ctx.exec).is_err()
+        {
+            return f64::INFINITY;
+        }
+        total
+    }
+
+    /// True if `group` satisfies every constraint.
+    pub fn feasible(&self, group: &[KernelId]) -> bool {
+        self.group(group).feasible()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfuse_core::model::ProposedModel;
+    use kfuse_core::pipeline::prepare;
+    use kfuse_gpu::{FpPrecision, GpuSpec};
+    use kfuse_ir::builder::ProgramBuilder;
+    use kfuse_ir::Expr;
+
+    fn ctx() -> PlanContext {
+        let mut pb = ProgramBuilder::new("p", [256, 128, 8]);
+        let a = pb.array("A");
+        let [b, c, d] = pb.arrays(["B", "C", "D"]);
+        pb.kernel("k0").write(b, Expr::at(a) + Expr::lit(1.0)).build();
+        pb.kernel("k1").write(c, Expr::at(a) * Expr::lit(2.0)).build();
+        pb.kernel("k2").write(d, Expr::at(b) + Expr::at(c)).build();
+        let p = pb.build();
+        prepare(&p, &GpuSpec::k20x(), FpPrecision::Double).1
+    }
+
+    #[test]
+    fn memoization_counts_distinct_groups_once() {
+        let ctx = ctx();
+        let model = ProposedModel::default();
+        let ev = Evaluator::new(&ctx, &model);
+        let g = vec![KernelId(0), KernelId(1)];
+        let e1 = ev.group(&g);
+        let e2 = ev.group(&[KernelId(1), KernelId(0)]); // order-insensitive
+        assert_eq!(e1, e2);
+        assert_eq!(ev.evaluations(), 1);
+    }
+
+    #[test]
+    fn identity_plan_is_finite_and_equals_measured_sum() {
+        let ctx = ctx();
+        let model = ProposedModel::default();
+        let ev = Evaluator::new(&ctx, &model);
+        let plan = FusionPlan::identity(3);
+        let t = ev.plan(&plan);
+        let sum: f64 = ctx.info.kernels.iter().map(|k| k.runtime_s).sum();
+        assert!((t - sum).abs() / sum < 1e-12);
+    }
+
+    #[test]
+    fn profitable_merge_is_feasible_and_faster() {
+        let ctx = ctx();
+        let model = ProposedModel::default();
+        let ev = Evaluator::new(&ctx, &model);
+        let fused = FusionPlan::new(vec![
+            vec![KernelId(0), KernelId(1), KernelId(2)],
+        ]);
+        let t_f = ev.plan(&fused);
+        let t_i = ev.plan(&FusionPlan::identity(3));
+        assert!(t_f.is_finite());
+        assert!(t_f < t_i);
+    }
+}

@@ -1,0 +1,133 @@
+//! Greedy pairwise-merge baseline.
+//!
+//! §III-A observes that classical polynomial-time approximations (e.g.
+//! first-fit decreasing) do not transfer to kernel fusion because there is
+//! no natural notion of "size" to sort by. This solver is the honest
+//! attempt anyway: repeatedly apply the single pairwise group merge with
+//! the largest projected improvement until no merge improves the
+//! objective. It is fast and serves as the non-architecture-aware /
+//! non-global baseline the HGGA is compared against.
+
+use crate::eval::Evaluator;
+use kfuse_core::fuse::condensation_order;
+use kfuse_core::model::PerfModel;
+use kfuse_core::pipeline::{SolveOutcome, SolveStats, Solver};
+use kfuse_core::plan::{FusionPlan, PlanContext};
+use kfuse_ir::KernelId;
+use std::time::Instant;
+
+/// The greedy best-merge-first solver.
+#[derive(Debug, Clone, Default)]
+pub struct GreedySolver;
+
+impl Solver for GreedySolver {
+    fn name(&self) -> &str {
+        "greedy"
+    }
+
+    fn solve(&self, ctx: &PlanContext, model: &dyn PerfModel) -> SolveOutcome {
+        let ev = Evaluator::new(ctx, model);
+        let start = Instant::now();
+        let n = ctx.n_kernels();
+        let mut groups: Vec<Vec<KernelId>> = (0..n).map(|i| vec![KernelId(i as u32)]).collect();
+
+        loop {
+            let mut best: Option<(usize, usize, f64)> = None;
+            for i in 0..groups.len() {
+                for j in i + 1..groups.len() {
+                    // Kinship prefilter: skip cross-component pairs.
+                    if ctx.share.component(groups[i][0]) != ctx.share.component(groups[j][0]) {
+                        continue;
+                    }
+                    let cur = ev.group(&groups[i]).time_s + ev.group(&groups[j]).time_s;
+                    let mut merged = groups[i].clone();
+                    merged.extend_from_slice(&groups[j]);
+                    let t = ev.group(&merged).time_s;
+                    if !t.is_finite() {
+                        continue;
+                    }
+                    let gain = cur - t;
+                    if gain > 0.0 && best.is_none_or(|(_, _, g)| gain > g) {
+                        // Verify the merged plan remains realizable.
+                        let mut cand = groups.clone();
+                        let mg = {
+                            let mut m = cand[i].clone();
+                            m.extend_from_slice(&cand[j]);
+                            m
+                        };
+                        cand.remove(j);
+                        cand.remove(i);
+                        cand.push(mg);
+                        let plan = FusionPlan::new(cand);
+                        if ev.plan(&plan).is_finite()
+                            && condensation_order(&plan, &ctx.exec).is_ok()
+                        {
+                            best = Some((i, j, gain));
+                        }
+                    }
+                }
+            }
+            match best {
+                Some((i, j, _)) => {
+                    let gj = groups.remove(j);
+                    groups[i].extend(gj);
+                }
+                None => break,
+            }
+        }
+
+        let plan = FusionPlan::new(groups);
+        let objective = ev.plan(&plan);
+        SolveOutcome {
+            plan,
+            objective,
+            stats: SolveStats {
+                generations: 0,
+                evaluations: ev.evaluations(),
+                elapsed: start.elapsed(),
+                time_to_best: start.elapsed(),
+                best_generation: 0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfuse_core::model::ProposedModel;
+    use kfuse_core::pipeline::prepare;
+    use kfuse_gpu::{FpPrecision, GpuSpec};
+    use kfuse_ir::builder::ProgramBuilder;
+    use kfuse_ir::Expr;
+
+    #[test]
+    fn greedy_fuses_profitable_shared_readers() {
+        let mut pb = ProgramBuilder::new("p", [256, 128, 8]);
+        let a = pb.array("A");
+        let [b, c] = pb.arrays(["B", "C"]);
+        pb.kernel("k0").write(b, Expr::at(a) + Expr::lit(1.0)).build();
+        pb.kernel("k1").write(c, Expr::at(a) * Expr::lit(2.0)).build();
+        let (_, ctx) = prepare(&pb.build(), &GpuSpec::k20x(), FpPrecision::Double);
+        let model = ProposedModel::default();
+        let out = GreedySolver.solve(&ctx, &model);
+        assert_eq!(out.plan.groups.len(), 1);
+        assert!(out.objective.is_finite());
+        assert!(ctx.validate(&out.plan).is_ok());
+    }
+
+    #[test]
+    fn greedy_leaves_unrelated_kernels_alone() {
+        let mut pb = ProgramBuilder::new("p", [256, 128, 8]);
+        let a = pb.array("A");
+        let b = pb.array("B");
+        let c = pb.array("C");
+        let d = pb.array("D");
+        pb.kernel("k0").write(b, Expr::at(a)).build();
+        pb.kernel("k1").write(d, Expr::at(c)).build();
+        let (_, ctx) = prepare(&pb.build(), &GpuSpec::k20x(), FpPrecision::Double);
+        let model = ProposedModel::default();
+        let out = GreedySolver.solve(&ctx, &model);
+        assert_eq!(out.plan.groups.len(), 2);
+    }
+}

@@ -1,0 +1,634 @@
+//! The Hybrid Grouping Genetic Algorithm (§III-C).
+//!
+//! Follows Falkenauer's grouping GA: chromosomes are variable-length lists
+//! of *groups* (prospective new kernels), and the genetic operators act on
+//! whole groups so that crossover transmits meaningful building blocks —
+//! a good fusion discovered in one individual survives intact in its
+//! offspring. The paper's adaptation adds multi-dependency awareness: every
+//! individual is repaired to satisfy the full constraint system (path
+//! closure 1.3, kinship 1.5, capacity 1.6/1.7, profitability 1.1, and
+//! condensation acyclicity) before it enters the population, so infeasible
+//! solutions never "pollute the search population".
+//!
+//! The objective (Eq. 1) is the total projected runtime under any
+//! [`PerfModel`]; evaluation is memoized per group ([`Evaluator`]) and the
+//! population is evaluated in parallel with rayon.
+
+use crate::eval::Evaluator;
+use kfuse_core::fuse::condensation_order;
+use kfuse_core::model::PerfModel;
+use kfuse_core::pipeline::{SolveOutcome, SolveStats, Solver};
+use kfuse_core::plan::{FusionPlan, PlanContext};
+use kfuse_ir::KernelId;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// HGGA hyper-parameters. Defaults follow Table VI (population 100) with
+/// the stall-based stop criterion described in §VI-C1.
+#[derive(Debug, Clone)]
+pub struct HggaConfig {
+    /// Population size `M`.
+    pub population: usize,
+    /// Hard cap on generations.
+    pub max_generations: u32,
+    /// Stop after this many generations without improvement.
+    pub stall_generations: u32,
+    /// Tournament size for selection.
+    pub tournament: usize,
+    /// Probability of crossover (else the fitter parent is cloned).
+    pub crossover_rate: f64,
+    /// Probability of mutating each offspring.
+    pub mutation_rate: f64,
+    /// Elites copied unchanged into the next generation.
+    pub elitism: usize,
+    /// Probability of applying the hill-climbing local-improvement step to
+    /// an offspring (the "hybrid" of Falkenauer's HGGA).
+    pub local_search_rate: f64,
+    /// RNG seed (runs are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for HggaConfig {
+    fn default() -> Self {
+        HggaConfig {
+            population: 100,
+            max_generations: 2000,
+            stall_generations: 60,
+            tournament: 3,
+            crossover_rate: 0.85,
+            mutation_rate: 0.35,
+            elitism: 2,
+            local_search_rate: 0.3,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// The HGGA solver.
+#[derive(Debug, Clone, Default)]
+pub struct HggaSolver {
+    /// Hyper-parameters.
+    pub config: HggaConfig,
+}
+
+impl HggaSolver {
+    /// Solver with a specific seed (used to run the paper's 10 repeats).
+    pub fn with_seed(seed: u64) -> Self {
+        HggaSolver {
+            config: HggaConfig {
+                seed,
+                ..HggaConfig::default()
+            },
+        }
+    }
+}
+
+struct Individual {
+    plan: FusionPlan,
+    cost: f64,
+}
+
+impl Solver for HggaSolver {
+    fn name(&self) -> &str {
+        "hgga"
+    }
+
+    fn solve(&self, ctx: &PlanContext, model: &dyn PerfModel) -> SolveOutcome {
+        let cfg = &self.config;
+        let n = ctx.n_kernels();
+        let ev = Evaluator::new(ctx, model);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let start = Instant::now();
+
+        // Initial population: randomized constructive merges.
+        let mut plans: Vec<FusionPlan> = (0..cfg.population)
+            .map(|_| random_plan(ctx, &ev, &mut rng))
+            .collect();
+        let mut pop: Vec<Individual> = evaluate(&ev, std::mem::take(&mut plans));
+        pop.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+
+        let mut best = pop[0].plan.clone();
+        let mut best_cost = pop[0].cost;
+        let mut best_gen = 0u32;
+        let mut time_to_best = start.elapsed();
+        let mut stall = 0u32;
+        let mut generations = 0u32;
+
+        for gen in 1..=cfg.max_generations {
+            generations = gen;
+            let mut offspring: Vec<FusionPlan> = Vec::with_capacity(cfg.population);
+            // Elites survive unchanged.
+            for e in pop.iter().take(cfg.elitism) {
+                offspring.push(e.plan.clone());
+            }
+            while offspring.len() < cfg.population {
+                let pa = tournament(&pop, cfg.tournament, &mut rng);
+                let pb = tournament(&pop, cfg.tournament, &mut rng);
+                let mut child = if rng.gen_bool(cfg.crossover_rate) {
+                    crossover(ctx, &ev, &pop[pa].plan, &pop[pb].plan, &mut rng)
+                } else {
+                    pop[pa.min(pb)].plan.clone()
+                };
+                if rng.gen_bool(cfg.mutation_rate) {
+                    child = mutate(ctx, &ev, &child, &mut rng);
+                }
+                if rng.gen_bool(cfg.local_search_rate) {
+                    child = local_search(ctx, &ev, child, &mut rng);
+                }
+                offspring.push(child);
+            }
+            let mut next = evaluate(&ev, offspring);
+            next.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+            pop = next;
+
+            if pop[0].cost < best_cost - 1e-15 {
+                best_cost = pop[0].cost;
+                best = pop[0].plan.clone();
+                best_gen = gen;
+                time_to_best = start.elapsed();
+                stall = 0;
+            } else {
+                stall += 1;
+                if stall >= cfg.stall_generations {
+                    break;
+                }
+            }
+        }
+
+        let _ = n;
+        SolveOutcome {
+            plan: best,
+            objective: best_cost,
+            stats: SolveStats {
+                generations,
+                evaluations: ev.evaluations(),
+                elapsed: start.elapsed(),
+                time_to_best,
+                best_generation: best_gen,
+            },
+        }
+    }
+}
+
+fn evaluate(ev: &Evaluator<'_>, plans: Vec<FusionPlan>) -> Vec<Individual> {
+    plans
+        .into_par_iter()
+        .map(|plan| {
+            let cost = ev.plan(&plan);
+            Individual { plan, cost }
+        })
+        .collect()
+}
+
+fn tournament(pop: &[Individual], k: usize, rng: &mut SmallRng) -> usize {
+    (0..k.max(1))
+        .map(|_| rng.gen_range(0..pop.len()))
+        .min_by(|&a, &b| pop[a].cost.total_cmp(&pop[b].cost))
+        .unwrap()
+}
+
+/// Build a random feasible plan by constructive merging from the identity.
+fn random_plan(ctx: &PlanContext, ev: &Evaluator<'_>, rng: &mut SmallRng) -> FusionPlan {
+    let n = ctx.n_kernels();
+    let mut group_of: Vec<usize> = (0..n).collect();
+    let mut groups: Vec<Vec<KernelId>> = (0..n).map(|i| vec![KernelId(i as u32)]).collect();
+
+    let attempts = 2 * n;
+    for _ in 0..attempts {
+        let k = rng.gen_range(0..n);
+        let neigh = ctx.share.neighbors(KernelId(k as u32));
+        if neigh.is_empty() {
+            continue;
+        }
+        let m = neigh[rng.gen_range(0..neigh.len())] as usize;
+        let (ga, gb) = (group_of[k], group_of[m]);
+        if ga == gb || groups[ga].is_empty() || groups[gb].is_empty() {
+            continue;
+        }
+        let mut merged = groups[ga].clone();
+        merged.extend_from_slice(&groups[gb]);
+        if ev.feasible(&merged) {
+            for &kid in &groups[gb] {
+                group_of[kid.index()] = ga;
+            }
+            groups[ga] = merged;
+            groups[gb].clear();
+        }
+    }
+    let plan = FusionPlan::new(groups.into_iter().filter(|g| !g.is_empty()).collect());
+    repair(ctx, ev, plan, rng)
+}
+
+/// Falkenauer group crossover: inject a selection of B's groups into A,
+/// evict intersecting groups, first-fit the orphans, repair.
+fn crossover(
+    ctx: &PlanContext,
+    ev: &Evaluator<'_>,
+    a: &FusionPlan,
+    b: &FusionPlan,
+    rng: &mut SmallRng,
+) -> FusionPlan {
+    let donors: Vec<&Vec<KernelId>> = b.groups.iter().filter(|g| g.len() >= 2).collect();
+    if donors.is_empty() {
+        return a.clone();
+    }
+    // Inject 1..=ceil(half) random donor groups.
+    let count = rng.gen_range(1..=donors.len().div_ceil(2));
+    let mut chosen: Vec<Vec<KernelId>> = donors
+        .choose_multiple(rng, count)
+        .map(|g| (*g).clone())
+        .collect();
+    // Donor groups may overlap each other (they don't, within one plan),
+    // but must not overlap: they come from one partition, so they are
+    // disjoint by construction.
+    let injected: std::collections::HashSet<KernelId> =
+        chosen.iter().flatten().copied().collect();
+
+    let mut child: Vec<Vec<KernelId>> = Vec::new();
+    let mut orphans: Vec<KernelId> = Vec::new();
+    for g in &a.groups {
+        if g.iter().any(|k| injected.contains(k)) {
+            orphans.extend(g.iter().filter(|k| !injected.contains(k)));
+        } else {
+            child.push(g.clone());
+        }
+    }
+    child.append(&mut chosen);
+
+    first_fit(ev, &mut child, orphans, rng);
+    repair(ctx, ev, FusionPlan::new(child), rng)
+}
+
+/// Mutation: eliminate a group, merge two groups, or move one kernel.
+fn mutate(
+    ctx: &PlanContext,
+    ev: &Evaluator<'_>,
+    plan: &FusionPlan,
+    rng: &mut SmallRng,
+) -> FusionPlan {
+    let mut groups = plan.groups.clone();
+    match rng.gen_range(0..4u8) {
+        3 => {
+            // Bipartition a random multi-member group: the only operator
+            // that can escape a mega-group local optimum whose improvement
+            // requires a coordinated split.
+            let multi: Vec<usize> = groups
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| g.len() >= 3)
+                .map(|(i, _)| i)
+                .collect();
+            if let Some(&gi) = multi.as_slice().choose(rng) {
+                let members = groups[gi].clone();
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                for &m in &members {
+                    if rng.gen_bool(0.5) {
+                        a.push(m);
+                    } else {
+                        b.push(m);
+                    }
+                }
+                if !a.is_empty() && !b.is_empty() {
+                    groups[gi] = a;
+                    groups.push(b);
+                }
+            }
+        }
+        0 => {
+            // Eliminate a random multi-member group, scatter its members.
+            let multi: Vec<usize> = groups
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| g.len() >= 2)
+                .map(|(i, _)| i)
+                .collect();
+            if let Some(&gi) = multi.as_slice().choose(rng) {
+                let orphans = groups.remove(gi);
+                first_fit(ev, &mut groups, orphans, rng);
+            }
+        }
+        1 => {
+            // Merge two random groups.
+            if groups.len() >= 2 {
+                let gi = rng.gen_range(0..groups.len());
+                let gj = rng.gen_range(0..groups.len());
+                if gi != gj {
+                    let mut merged = groups[gi].clone();
+                    merged.extend_from_slice(&groups[gj]);
+                    if ev.feasible(&merged) {
+                        let (lo, hi) = (gi.min(gj), gi.max(gj));
+                        groups.remove(hi);
+                        groups.remove(lo);
+                        groups.push(merged);
+                    }
+                }
+            }
+        }
+        _ => {
+            // Move one kernel to another group.
+            let from: Vec<usize> = groups
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| g.len() >= 2)
+                .map(|(i, _)| i)
+                .collect();
+            if let (Some(&gi), true) = (from.as_slice().choose(rng), groups.len() >= 2) {
+                let vi = rng.gen_range(0..groups[gi].len());
+                let k = groups[gi][vi];
+                let gj = rng.gen_range(0..groups.len());
+                if gj != gi {
+                    let mut target = groups[gj].clone();
+                    target.push(k);
+                    let mut source = groups[gi].clone();
+                    source.remove(vi);
+                    if ev.feasible(&target) && (source.is_empty() || ev.feasible(&source)) {
+                        groups[gj] = target;
+                        if source.is_empty() {
+                            groups.remove(gi);
+                        } else {
+                            groups[gi] = source;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    repair(ctx, ev, FusionPlan::new(groups), rng)
+}
+
+/// Falkenauer's local-improvement step: greedy best-of-sample moves
+/// (pairwise merges and single-kernel transfers) applied while they reduce
+/// the summed group cost. Bounded per invocation so the GA stays the
+/// driver and the hill climber the polisher.
+fn local_search(
+    ctx: &PlanContext,
+    ev: &Evaluator<'_>,
+    plan: FusionPlan,
+    rng: &mut SmallRng,
+) -> FusionPlan {
+    let mut groups = plan.groups;
+    for _pass in 0..4 {
+        let costs: Vec<f64> = groups.iter().map(|g| ev.group(g).time_s).collect();
+        // Improving bipartitions first: sample random splits of larger
+        // groups and take the best one found.
+        let mut best_split: Option<(f64, usize, Vec<KernelId>, Vec<KernelId>)> = None;
+        for _ in 0..12 {
+            let gi = rng.gen_range(0..groups.len());
+            if groups[gi].len() < 3 {
+                continue;
+            }
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            for &m in &groups[gi] {
+                if rng.gen_bool(0.5) {
+                    a.push(m);
+                } else {
+                    b.push(m);
+                }
+            }
+            if a.is_empty() || b.is_empty() {
+                continue;
+            }
+            let (ta, tb) = (ev.group(&a).time_s, ev.group(&b).time_s);
+            if ta.is_finite() && tb.is_finite() {
+                let gain = costs[gi] - ta - tb;
+                if gain > 1e-15 && best_split.as_ref().is_none_or(|(g, ..)| gain > *g) {
+                    best_split = Some((gain, gi, a, b));
+                }
+            }
+        }
+        if let Some((_, gi, a, b)) = best_split {
+            groups[gi] = a;
+            groups.push(b);
+            continue;
+        }
+
+        let mut best: Option<(f64, usize, usize, Option<usize>)> = None; // (gain, i, j, moved idx)
+        let samples = 48.min(groups.len() * groups.len());
+        for _ in 0..samples {
+            let i = rng.gen_range(0..groups.len());
+            let j = rng.gen_range(0..groups.len());
+            if i == j {
+                continue;
+            }
+            if rng.gen_bool(0.5) {
+                // Merge i and j.
+                let mut merged = groups[i].clone();
+                merged.extend_from_slice(&groups[j]);
+                let t = ev.group(&merged).time_s;
+                if t.is_finite() {
+                    let gain = costs[i] + costs[j] - t;
+                    if gain > 1e-15 && best.is_none_or(|(g, ..)| gain > g) {
+                        best = Some((gain, i, j, None));
+                    }
+                }
+            } else if groups[i].len() >= 2 {
+                // Move one kernel i→j.
+                let vi = rng.gen_range(0..groups[i].len());
+                let k = groups[i][vi];
+                let mut target = groups[j].clone();
+                target.push(k);
+                let mut source = groups[i].clone();
+                source.remove(vi);
+                let ts = if source.is_empty() {
+                    0.0
+                } else {
+                    ev.group(&source).time_s
+                };
+                let tt = ev.group(&target).time_s;
+                if ts.is_finite() && tt.is_finite() {
+                    let gain = costs[i] + costs[j] - ts - tt;
+                    if gain > 1e-15 && best.is_none_or(|(g, ..)| gain > g) {
+                        best = Some((gain, i, j, Some(vi)));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((_, i, j, None)) => {
+                let gj = std::mem::take(&mut groups[j]);
+                groups[i].extend(gj);
+                groups.retain(|g| !g.is_empty());
+            }
+            Some((_, i, j, Some(vi))) => {
+                let k = groups[i].remove(vi);
+                groups[j].push(k);
+                groups.retain(|g| !g.is_empty());
+            }
+            None => break,
+        }
+    }
+    repair(ctx, ev, FusionPlan::new(groups), rng)
+}
+
+/// Insert orphans into existing feasible groups, else as singletons.
+fn first_fit(
+    ev: &Evaluator<'_>,
+    groups: &mut Vec<Vec<KernelId>>,
+    mut orphans: Vec<KernelId>,
+    rng: &mut SmallRng,
+) {
+    orphans.shuffle(rng);
+    for k in orphans {
+        let mut placed = false;
+        // Try a bounded random sample of hosts.
+        let mut idxs: Vec<usize> = (0..groups.len()).collect();
+        idxs.shuffle(rng);
+        for &gi in idxs.iter().take(8) {
+            let mut cand = groups[gi].clone();
+            cand.push(k);
+            if ev.feasible(&cand) {
+                groups[gi] = cand;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            groups.push(vec![k]);
+        }
+    }
+}
+
+/// Repair to full feasibility: split infeasible groups into singletons and
+/// break condensation cycles.
+fn repair(
+    ctx: &PlanContext,
+    ev: &Evaluator<'_>,
+    plan: FusionPlan,
+    _rng: &mut SmallRng,
+) -> FusionPlan {
+    let mut groups: Vec<Vec<KernelId>> = Vec::with_capacity(plan.groups.len());
+    for g in plan.groups {
+        if g.len() == 1 || ev.feasible(&g) {
+            groups.push(g);
+        } else {
+            for k in g {
+                groups.push(vec![k]);
+            }
+        }
+    }
+    // Break condensation cycles by splitting one involved group at a time.
+    loop {
+        let candidate = FusionPlan::new(groups.clone());
+        match condensation_order(&candidate, &ctx.exec) {
+            Ok(_) => return candidate,
+            Err(kfuse_core::fuse::FuseError::OrderCycle(a, _)) => {
+                // Split the first stuck group.
+                let gi = a.min(candidate.groups.len() - 1);
+                let victim = candidate.groups[gi].clone();
+                groups = candidate.groups;
+                groups.remove(gi);
+                for k in victim {
+                    groups.push(vec![k]);
+                }
+            }
+            Err(_) => return FusionPlan::identity(ctx.n_kernels()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfuse_core::model::ProposedModel;
+    use kfuse_core::pipeline::prepare;
+    use kfuse_gpu::{FpPrecision, GpuSpec};
+    use kfuse_ir::builder::ProgramBuilder;
+    use kfuse_ir::stencil::Offset;
+    use kfuse_ir::{Expr, Program};
+
+    /// Six kernels over a shared input with two dependency chains.
+    fn program() -> Program {
+        let mut pb = ProgramBuilder::new("p", [256, 128, 8]);
+        let a = pb.array("A");
+        let [b, c, d, e, f, g] = pb.arrays(["B", "C", "D", "E", "F", "G"]);
+        pb.kernel("k0").write(b, Expr::at(a) + Expr::lit(1.0)).build();
+        pb.kernel("k1")
+            .write(c, Expr::load(b, Offset::new(1, 0, 0)) * Expr::lit(2.0))
+            .build();
+        pb.kernel("k2").write(d, Expr::at(a) - Expr::lit(3.0)).build();
+        pb.kernel("k3").write(e, Expr::at(d) + Expr::at(a)).build();
+        pb.kernel("k4").write(f, Expr::at(c) + Expr::at(e)).build();
+        pb.kernel("k5").write(g, Expr::at(a) * Expr::lit(0.5)).build();
+        pb.build()
+    }
+
+    fn quick_config(seed: u64) -> HggaConfig {
+        HggaConfig {
+            population: 30,
+            max_generations: 60,
+            stall_generations: 15,
+            seed,
+            ..HggaConfig::default()
+        }
+    }
+
+    #[test]
+    fn hgga_beats_identity_plan() {
+        let (_, ctx) = prepare(&program(), &GpuSpec::k20x(), FpPrecision::Double);
+        let model = ProposedModel::default();
+        let solver = HggaSolver {
+            config: quick_config(7),
+        };
+        let out = solver.solve(&ctx, &model);
+        let ev = Evaluator::new(&ctx, &model);
+        let id_cost = ev.plan(&FusionPlan::identity(6));
+        assert!(out.objective.is_finite());
+        assert!(
+            out.objective < id_cost,
+            "HGGA {} vs identity {id_cost}",
+            out.objective
+        );
+        // Result must validate and fuse at least one pair.
+        assert!(ctx.validate(&out.plan).is_ok());
+        assert!(out.plan.new_kernel_count() >= 1);
+    }
+
+    #[test]
+    fn hgga_is_deterministic_per_seed() {
+        let (_, ctx) = prepare(&program(), &GpuSpec::k20x(), FpPrecision::Double);
+        let model = ProposedModel::default();
+        let s1 = HggaSolver {
+            config: quick_config(42),
+        }
+        .solve(&ctx, &model);
+        let s2 = HggaSolver {
+            config: quick_config(42),
+        }
+        .solve(&ctx, &model);
+        assert_eq!(s1.plan, s2.plan);
+        assert_eq!(s1.objective, s2.objective);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (_, ctx) = prepare(&program(), &GpuSpec::k20x(), FpPrecision::Double);
+        let model = ProposedModel::default();
+        let out = HggaSolver {
+            config: quick_config(3),
+        }
+        .solve(&ctx, &model);
+        assert!(out.stats.generations >= 1);
+        assert!(out.stats.evaluations >= 1);
+        assert!(out.stats.elapsed >= out.stats.time_to_best);
+    }
+
+    #[test]
+    fn all_returned_plans_are_feasible_across_seeds() {
+        let (_, ctx) = prepare(&program(), &GpuSpec::k20x(), FpPrecision::Double);
+        let model = ProposedModel::default();
+        for seed in 0..5 {
+            let out = HggaSolver {
+                config: quick_config(seed),
+            }
+            .solve(&ctx, &model);
+            assert!(ctx.validate(&out.plan).is_ok(), "seed {seed}");
+            assert!(
+                condensation_order(&out.plan, &ctx.exec).is_ok(),
+                "seed {seed} cycle"
+            );
+        }
+    }
+}

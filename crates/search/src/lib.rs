@@ -1,0 +1,24 @@
+//! Solvers for the kernel-fusion combinatorial optimization problem.
+//!
+//! * [`hgga`] — the paper's search heuristic (§III-C): a Hybrid Grouping
+//!   Genetic Algorithm after Falkenauer, adapted so crossover and mutation
+//!   act on *groups* (prospective new kernels) and every individual is
+//!   repaired to feasibility (constraints 1.1–1.7 plus condensation
+//!   acyclicity) before evaluation. Objective evaluation is memoized per
+//!   group and parallelized with rayon (the paper used OpenMP on 8 cores).
+//! * [`exhaustive`] — exact enumeration of set partitions with feasibility
+//!   pruning; the deterministic ground truth used to verify HGGA optimality
+//!   on small benchmarks (Fig. 5a).
+//! * [`greedy`] — a first-fit-style baseline that repeatedly applies the
+//!   best profitable pairwise merge; stands in for the "polynomial-time
+//!   approximation" strawman of §III-A.
+
+pub mod eval;
+pub mod exhaustive;
+pub mod greedy;
+pub mod hgga;
+
+pub use eval::Evaluator;
+pub use exhaustive::ExhaustiveSolver;
+pub use greedy::GreedySolver;
+pub use hgga::{HggaConfig, HggaSolver};

@@ -1,0 +1,223 @@
+//! Event-driven block-level timing simulator.
+//!
+//! A second, finer-grained opinion on kernel runtimes used to
+//! cross-validate the wave model of [`crate::timing`]: thread blocks are
+//! scheduled onto SMX slots as they free up, and device GMEM bandwidth is
+//! shared among *resident* blocks processor-sharing style — the service
+//! rate of every block changes whenever a block retires or launches, which
+//! captures the tail effects (ragged last waves, bandwidth over-subscription
+//! early on) that the closed-form wave model rounds away.
+//!
+//! Both models use the same per-kernel resource inputs (traffic, occupancy,
+//! latency-hiding curve), so agreement between them is a consistency check
+//! of the *scheduling* abstraction, not of the resource model.
+
+use crate::registers::estimate_registers;
+use crate::timing::smem_with_padding;
+use kfuse_gpu::{occupancy, FpPrecision, GpuSpec, LaunchConfig};
+use kfuse_ir::{analysis, Kernel, Program};
+use serde::{Deserialize, Serialize};
+
+/// Result of an event-driven simulation of one kernel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EventTiming {
+    /// Kernel name.
+    pub name: String,
+    /// Total kernel time in seconds (including launch overhead).
+    pub time_s: f64,
+    /// Number of scheduling events processed.
+    pub events: u32,
+    /// Maximum blocks resident at any instant.
+    pub peak_resident: u32,
+}
+
+/// Event-driven simulation of one kernel invocation.
+///
+/// Model: every block must move `bytes_per_block` through GMEM and execute
+/// `barrier_s_per_block` of serialized barrier time. Resident blocks share
+/// the device bandwidth equally; the per-SMX latency-hiding factor (from
+/// the *current* residency) caps how much of that share a block can use.
+pub fn simulate_kernel_events(
+    gpu: &GpuSpec,
+    p: &Program,
+    k: &Kernel,
+    prec: FpPrecision,
+) -> EventTiming {
+    let elem = prec.bytes() as u64;
+    let traffic = analysis::kernel_traffic(p, k);
+    let (total_blocks, threads) = p.launch_dims();
+    let smem_block = smem_with_padding(p, k, gpu, prec);
+    let regs = estimate_registers(p, k).min(gpu.max_regs_per_thread);
+    let launch = LaunchConfig::new(total_blocks, threads);
+    let occ = occupancy(gpu, &launch, regs, smem_block as u32);
+
+    if occ.active_blocks_per_smx == 0 || total_blocks == 0 {
+        return EventTiming {
+            name: k.name.clone(),
+            time_s: f64::INFINITY,
+            events: 0,
+            peak_resident: 0,
+        };
+    }
+
+    let slots = occ.active_blocks_per_smx * gpu.smx_count;
+    let warps_per_block = launch.warps_per_block(gpu.warp_size);
+    let bytes_per_block = traffic.bytes(elem) as f64 / f64::from(total_blocks);
+    let barrier_s_per_block = f64::from(k.barrier_count())
+        * f64::from(p.grid.nz)
+        * gpu.barrier_ns
+        * 1e-9;
+
+    // Processor-sharing over bandwidth: remaining bytes per resident block.
+    let mut remaining: Vec<f64> = Vec::with_capacity(slots as usize);
+    let mut queued = total_blocks;
+    let mut now = 0.0f64;
+    let mut events = 0u32;
+    let mut peak = 0u32;
+
+    while queued > 0 && (remaining.len() as u32) < slots {
+        remaining.push(bytes_per_block.max(1.0));
+        queued -= 1;
+    }
+    peak = peak.max(remaining.len() as u32);
+
+    while !remaining.is_empty() {
+        events += 1;
+        let resident = remaining.len() as u32;
+        // Warps in flight per SMX under the current residency.
+        let blocks_per_smx =
+            (f64::from(resident) / f64::from(gpu.smx_count)).min(f64::from(occ.active_blocks_per_smx));
+        let active_warps = blocks_per_smx * f64::from(warps_per_block);
+        let hide = gpu.latency_hiding_factor(active_warps).max(1e-6);
+        let device_rate = gpu.gmem_bw_gbps * 1e9 * hide; // bytes/s total
+        let per_block_rate = device_rate / f64::from(resident);
+
+        // Next completion.
+        let (idx, _) = remaining
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("non-empty");
+        let head = remaining[idx];
+        let dt = head / per_block_rate;
+        now += dt;
+        for r in &mut remaining {
+            *r -= per_block_rate * dt;
+        }
+        // Retire every block that reached zero (ties retire together).
+        remaining.retain(|&r| r > 1e-9);
+        // Refill free slots.
+        while queued > 0 && (remaining.len() as u32) < slots {
+            remaining.push(bytes_per_block.max(1.0));
+            queued -= 1;
+        }
+        peak = peak.max(remaining.len() as u32);
+        if events > 4 * total_blocks + 16 {
+            break; // safety valve; cannot happen with positive rates
+        }
+    }
+
+    // Barriers serialize within each block; with `slots` lanes they add
+    // total_blocks/slots sequential barrier sections.
+    let barrier_total =
+        barrier_s_per_block * (f64::from(total_blocks) / f64::from(slots)).ceil();
+    let time_s = now + barrier_total + gpu.launch_overhead_us * 1e-6;
+
+    EventTiming {
+        name: k.name.clone(),
+        time_s,
+        events,
+        peak_resident: peak,
+    }
+}
+
+/// Event-driven simulation of a whole program.
+pub fn simulate_program_events(gpu: &GpuSpec, p: &Program, prec: FpPrecision) -> Vec<EventTiming> {
+    p.kernels
+        .iter()
+        .map(|k| simulate_kernel_events(gpu, p, k, prec))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::simulate_program;
+    use kfuse_ir::builder::ProgramBuilder;
+    use kfuse_ir::stencil::Offset;
+    use kfuse_ir::Expr;
+
+    fn program() -> Program {
+        let mut pb = ProgramBuilder::new("p", [256, 128, 16]);
+        let a = pb.array("A");
+        let b = pb.array("B");
+        let c = pb.array("C");
+        pb.kernel("k0")
+            .write(b, Expr::at(a) + Expr::load(a, Offset::new(-1, 0, 0)))
+            .build();
+        pb.kernel("k1").write(c, Expr::at(b) * Expr::lit(2.0)).build();
+        pb.build()
+    }
+
+    #[test]
+    fn event_sim_completes_all_blocks() {
+        let p = program();
+        let gpu = GpuSpec::k20x();
+        let t = simulate_kernel_events(&gpu, &p, &p.kernels[0], FpPrecision::Double);
+        assert!(t.time_s.is_finite() && t.time_s > 0.0);
+        assert!(t.events >= 1);
+        assert!(t.peak_resident >= 1);
+    }
+
+    #[test]
+    fn event_and_wave_models_agree_within_tolerance() {
+        let p = program();
+        let gpu = GpuSpec::k20x();
+        let wave = simulate_program(&gpu, &p, FpPrecision::Double);
+        let events = simulate_program_events(&gpu, &p, FpPrecision::Double);
+        for (w, e) in wave.kernels.iter().zip(&events) {
+            let rel = (w.time_s - e.time_s).abs() / w.time_s;
+            assert!(
+                rel < 0.35,
+                "{}: wave {} vs events {} ({}% apart)",
+                w.name,
+                w.time_s,
+                e.time_s,
+                (rel * 100.0) as u32
+            );
+        }
+    }
+
+    #[test]
+    fn peak_residency_bounded_by_slots() {
+        let p = program();
+        let gpu = GpuSpec::k20x();
+        let t = simulate_kernel_events(&gpu, &p, &p.kernels[0], FpPrecision::Double);
+        // 16 blocks/SMX × 14 SMX at most (lighter limits may apply).
+        assert!(t.peak_resident <= 16 * 14);
+    }
+
+    #[test]
+    fn infeasible_kernel_is_infinite() {
+        let mut p = program();
+        p.kernels[0].staging.push(kfuse_ir::Staging {
+            array: kfuse_ir::ArrayId(0),
+            halo: 120,
+            medium: kfuse_ir::StagingMedium::Smem,
+        });
+        let gpu = GpuSpec::k20x();
+        let t = simulate_kernel_events(&gpu, &p, &p.kernels[0], FpPrecision::Double);
+        assert!(t.time_s.is_infinite());
+    }
+
+    #[test]
+    fn more_blocks_take_longer() {
+        let gpu = GpuSpec::k20x();
+        let small = program();
+        let mut big = program();
+        big.grid = kfuse_ir::GridDims::new(512, 256, 16);
+        let ts = simulate_kernel_events(&gpu, &small, &small.kernels[0], FpPrecision::Double);
+        let tb = simulate_kernel_events(&gpu, &big, &big.kernels[0], FpPrecision::Double);
+        assert!(tb.time_s > ts.time_s * 2.0);
+    }
+}

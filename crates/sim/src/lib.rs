@@ -1,0 +1,43 @@
+//! GPU execution substrate: functional interpreter and timing simulator.
+//!
+//! The original study measured kernels on real Kepler/Maxwell GPUs. This
+//! crate substitutes that hardware with two complementary machines over the
+//! `kfuse-ir` representation:
+//!
+//! * **Functional interpreter** ([`interp`]) — executes programs on real
+//!   `f64` grids. Two modes:
+//!   - *reference* mode: every statement is a full-grid update with a
+//!     global barrier after it (the mathematically intended semantics of
+//!     the unfused program);
+//!   - *block* mode: thread blocks execute independently against a
+//!     kernel-entry snapshot of device memory, with an explicit SMEM
+//!     staging model. Inter-block incoherence is modeled faithfully: a
+//!     block reading a neighbor site of an array written earlier in the
+//!     same kernel sees the *stale* snapshot unless the fusion staged the
+//!     array with enough halo layers (§II-D2 of the paper). Invalid
+//!     fusions therefore produce observably wrong numbers.
+//! * **Timing simulator** ([`timing`]) — an SMX-level wave model: occupancy
+//!   from `kfuse-gpu`, effective bandwidth collapsing at low warp
+//!   concurrency, SMEM bank-conflict slowdown, barrier and kernel-launch
+//!   overheads, and register-spill penalties. It shares its first-order
+//!   physics with the paper's proposed projection model, which is exactly
+//!   the paper's premise: the bound model abstracts the machine the code
+//!   runs on.
+//!
+//! Vertical (k) dependencies: statements are executed full-column per
+//! statement (each thread loops over all k, then the block synchronizes),
+//! so a later segment may read an earlier segment's output at `dk != 0`.
+//! SMEM *capacity* accounting remains per k-slice (2D tiles as in the
+//! paper's Fig. 3 listings), which is the binding architectural constraint.
+
+pub mod event;
+pub mod grid;
+pub mod interp;
+pub mod registers;
+pub mod timing;
+
+pub use event::{simulate_kernel_events, simulate_program_events, EventTiming};
+pub use grid::DeviceState;
+pub use interp::{run_block_mode, run_reference};
+pub use registers::estimate_registers;
+pub use timing::{simulate_kernel, simulate_program, KernelTiming, ProgramTiming};

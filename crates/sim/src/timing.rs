@@ -1,0 +1,546 @@
+//! SMX-level timing simulator.
+//!
+//! This is the stand-in for "measured" runtimes in the paper. Kernel time
+//! is the maximum of the GMEM, compute and SMEM pipelines (they overlap on
+//! real hardware) plus serialized overheads (barriers, kernel launch):
+//!
+//! ```text
+//! T = max(T_gmem, T_compute, T_smem) + T_barrier + T_launch
+//! T_gmem    = bytes_moved / (BW_peak · hide(active_warps))
+//! T_compute = FLOPs / (peak · hide(active_warps))
+//! T_smem    = smem_bytes / BW_smem · conflict_factor
+//! ```
+//!
+//! `hide` is the latency-hiding curve of [`kfuse_gpu::GpuSpec`]; occupancy
+//! comes from the real resource calculation, so a fusion that exhausts SMEM
+//! or registers loses concurrency and its effective bandwidth collapses —
+//! the mechanism behind the paper's unprofitable fusions (§VI-D2) — while
+//! register demand beyond the architectural limit spills (to L1 on Kepler,
+//! L2 on Maxwell with a higher penalty, §IV).
+
+use kfuse_gpu::{occupancy, FpPrecision, GpuGeneration, GpuSpec, LaunchConfig, Occupancy};
+use kfuse_ir::analysis::{self, halo_fill, HaloFill, KernelTraffic};
+use kfuse_ir::{Kernel, Program, StagingMedium};
+use serde::{Deserialize, Serialize};
+
+use crate::registers::estimate_registers;
+
+/// Spill penalty multiplier per generation (register spills hit L1 on
+/// Kepler, the farther L2 on Maxwell).
+fn spill_penalty(generation: GpuGeneration) -> f64 {
+    match generation {
+        GpuGeneration::Kepler => 1.0,
+        GpuGeneration::Maxwell => 2.0,
+    }
+}
+
+/// Barrier cost discount for Maxwell's improved instruction scheduling
+/// (the paper observes reduced instruction latencies on Maxwell, §VI-F).
+fn barrier_scale(generation: GpuGeneration) -> f64 {
+    match generation {
+        GpuGeneration::Kepler => 1.0,
+        GpuGeneration::Maxwell => 0.7,
+    }
+}
+
+/// Simulated timing of one kernel invocation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelTiming {
+    /// Kernel name.
+    pub name: String,
+    /// Total time in seconds ([`f64::INFINITY`] if the kernel cannot
+    /// launch, e.g. its SMEM demand exceeds the device).
+    pub time_s: f64,
+    /// GMEM pipeline time.
+    pub gmem_s: f64,
+    /// Compute pipeline time.
+    pub compute_s: f64,
+    /// SMEM pipeline time.
+    pub smem_s: f64,
+    /// Serialized barrier overhead.
+    pub barrier_s: f64,
+    /// Kernel launch overhead.
+    pub launch_s: f64,
+    /// Occupancy achieved.
+    pub occupancy: Occupancy,
+    /// Estimated registers per thread (before spilling).
+    pub regs_per_thread: u32,
+    /// SMEM bytes per block including bank-conflict padding.
+    pub smem_per_block: u64,
+    /// GMEM traffic (elements).
+    pub traffic: KernelTraffic,
+    /// Total FLOPs (including redundant halo compute).
+    pub flops: u64,
+}
+
+/// Simulated timing of a whole program (sum of kernel invocations).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProgramTiming {
+    /// Per-kernel breakdown in invocation order.
+    pub kernels: Vec<KernelTiming>,
+    /// Total program time in seconds.
+    pub total_s: f64,
+}
+
+impl ProgramTiming {
+    /// Total GMEM bytes moved at `elem_bytes` per element.
+    pub fn total_bytes(&self, elem_bytes: u64) -> u64 {
+        self.kernels.iter().map(|k| k.traffic.bytes(elem_bytes)).sum()
+    }
+}
+
+/// SMEM bytes per block, including the bank-conflict padding of Eq. 7
+/// (`B_conf`: 1/32 of the used capacity on Kepler-class devices).
+pub fn smem_with_padding(p: &Program, k: &Kernel, gpu: &GpuSpec, prec: FpPrecision) -> u64 {
+    let raw = analysis::smem_bytes_per_block(p, k, prec.bytes() as u64);
+    if raw == 0 {
+        0
+    } else {
+        raw + raw / u64::from(gpu.smem_banks)
+    }
+}
+
+/// Bank-conflict degree of a staged tile: the number of serialized
+/// replays a warp's row access incurs, following the stride analysis the
+/// paper adopts from Gou & Gaydadjiev (reference 25). A warp reads 32 consecutive
+/// `tx` positions of one tile row; the accessed banks are
+/// `(base + tx·elem/bank_bytes) mod banks`. With `elem == bank_bytes`
+/// (double precision on Kepler's 8-byte banks) that is conflict-free, but
+/// a row *pitch* that is a multiple of the bank count makes column-wise
+/// accesses (tx fixed, ty varying across a warp when BX < 32) collide.
+/// The Eq. 7 padding column removes exactly that case; tiles whose padded
+/// pitch still shares a factor with the bank count replay proportionally.
+pub fn bank_conflict_ways(gpu: &GpuSpec, tile_pitch_elems: u64, elem: u64) -> u64 {
+    let banks = u64::from(gpu.smem_banks);
+    let words_per_elem = (elem / u64::from(gpu.smem_bank_bytes)).max(1);
+    // Effective bank stride between vertically adjacent tile elements.
+    let stride = (tile_pitch_elems * words_per_elem) % banks;
+    if stride == 0 {
+        // Column accesses all land in one bank: full serialization, bounded
+        // by the warp size.
+        u64::from(gpu.warp_size).min(banks)
+    } else {
+        // Replays = gcd(stride, banks) (elements that alias each bank).
+        gcd(stride, banks)
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// SMEM bytes moved per kernel invocation: buffer fills, staged reads and
+/// staged writes.
+fn smem_bytes_moved(p: &Program, k: &Kernel, elem: u64) -> u64 {
+    let blocks = u64::from(p.blocks());
+    let nz = u64::from(p.grid.nz);
+    let tile = u64::from(p.launch.block_x) * u64::from(p.launch.block_y);
+    let mut bytes = 0u64;
+
+    for st in &k.staging {
+        if st.medium != StagingMedium::Smem {
+            continue;
+        }
+        let with_halo = (u64::from(p.launch.block_x) + 2 * u64::from(st.halo))
+            * (u64::from(p.launch.block_y) + 2 * u64::from(st.halo));
+        // Fill (GMEM→SMEM) for loaded pivots; produced pivots are written
+        // below as part of statement commits.
+        if halo_fill(k, st) == HaloFill::Loaded {
+            bytes += blocks * with_halo * nz * elem;
+        }
+        // Reads from the staged tile: one SMEM access per load reference
+        // per site.
+        for stmt in k.statements() {
+            let refs = stmt
+                .expr
+                .loads()
+                .iter()
+                .filter(|(a, _)| *a == st.array)
+                .count() as u64;
+            bytes += refs * blocks * tile * nz * elem;
+        }
+        // Writes into the staged tile by producing statements.
+        for stmt in k.statements() {
+            if stmt.target == st.array {
+                bytes += blocks * with_halo * nz * elem;
+            }
+        }
+    }
+    bytes
+}
+
+/// Simulate one kernel invocation of `p` on `gpu` at `prec`.
+pub fn simulate_kernel(gpu: &GpuSpec, p: &Program, k: &Kernel, prec: FpPrecision) -> KernelTiming {
+    let elem = prec.bytes() as u64;
+    let traffic = analysis::kernel_traffic(p, k);
+    let flops = analysis::kernel_flops(p, k);
+    let smem_block = smem_with_padding(p, k, gpu, prec);
+
+    let regs = estimate_registers(p, k);
+    let (regs_resident, spilled) = if regs > gpu.max_regs_per_thread {
+        (gpu.max_regs_per_thread, regs - gpu.max_regs_per_thread)
+    } else {
+        (regs, 0)
+    };
+
+    let (blocks, threads) = p.launch_dims();
+    let launch = LaunchConfig::new(blocks, threads);
+    let occ = occupancy(gpu, &launch, regs_resident, smem_block as u32);
+
+    if occ.active_blocks_per_smx == 0 {
+        return KernelTiming {
+            name: k.name.clone(),
+            time_s: f64::INFINITY,
+            gmem_s: f64::INFINITY,
+            compute_s: 0.0,
+            smem_s: 0.0,
+            barrier_s: 0.0,
+            launch_s: 0.0,
+            occupancy: occ,
+            regs_per_thread: regs,
+            smem_per_block: smem_block,
+            traffic,
+            flops,
+        };
+    }
+
+    // Actual residency can be far below the occupancy cap when the grid
+    // has fewer blocks than the device has slots (small problems like the
+    // paper's 4x26x101 HOMME configuration).
+    let resident_blocks_per_smx = f64::from(occ.active_blocks_per_smx)
+        .min((f64::from(blocks) / f64::from(gpu.smx_count)).ceil());
+    let active_warps =
+        resident_blocks_per_smx * f64::from(launch.warps_per_block(gpu.warp_size));
+    let hide = gpu.latency_hiding_factor(active_warps);
+
+    // GMEM pipeline: demand traffic plus spill traffic.
+    let spill_bytes = u64::from(spilled)
+        * 8
+        * u64::from(blocks)
+        * u64::from(threads)
+        * 2; // store + reload
+    let gmem_bytes =
+        traffic.bytes(elem) as f64 + spill_bytes as f64 * spill_penalty(gpu.generation);
+    let gmem_s = gmem_bytes / (gpu.gmem_bw_gbps * 1e9 * hide);
+
+    // Compute pipeline.
+    let compute_s = flops as f64 / (gpu.peak_gflops * 1e9 * hide.max(0.05));
+
+    // SMEM pipeline, slowed by the worst staged tile's bank-conflict
+    // replays. The paper's Eq. 7 padding (already included in the capacity
+    // accounting) is modeled here as one extra padding element of pitch.
+    let conflict = k
+        .staging
+        .iter()
+        .filter(|s| s.medium == StagingMedium::Smem)
+        .map(|s| {
+            let pitch = u64::from(p.launch.block_x) + 2 * u64::from(s.halo) + 1;
+            bank_conflict_ways(gpu, pitch, elem)
+        })
+        .max()
+        .unwrap_or(1);
+    let smem_s =
+        smem_bytes_moved(p, k, elem) as f64 * conflict as f64 / (gpu.smem_bw_gbps * 1e9);
+
+    // Barriers serialize per wave of blocks.
+    let waves = (f64::from(blocks)
+        / (f64::from(gpu.smx_count) * f64::from(occ.active_blocks_per_smx)))
+    .ceil()
+    .max(1.0);
+    let barrier_s = f64::from(k.barrier_count())
+        * f64::from(p.grid.nz)
+        * gpu.barrier_ns
+        * barrier_scale(gpu.generation)
+        * waves
+        * 1e-9;
+
+    let launch_s = gpu.launch_overhead_us * 1e-6;
+
+    let time_s = gmem_s.max(compute_s).max(smem_s) + barrier_s + launch_s;
+    KernelTiming {
+        name: k.name.clone(),
+        time_s,
+        gmem_s,
+        compute_s,
+        smem_s,
+        barrier_s,
+        launch_s,
+        occupancy: occ,
+        regs_per_thread: regs,
+        smem_per_block: smem_block,
+        traffic,
+        flops,
+    }
+}
+
+/// Simulate every kernel of `p` in order.
+///
+/// Kernels in one CUDA stream serialize; kernels in different streams
+/// overlap, except that memory-bound kernels share the single GMEM pipe —
+/// so the program time is the larger of (a) the busiest stream's serial
+/// time and (b) the aggregate GMEM time plus one launch (bandwidth is a
+/// device-wide resource). Programs without streams reduce to a plain sum.
+pub fn simulate_program(gpu: &GpuSpec, p: &Program, prec: FpPrecision) -> ProgramTiming {
+    let kernels: Vec<KernelTiming> = p
+        .kernels
+        .iter()
+        .map(|k| simulate_kernel(gpu, p, k, prec))
+        .collect();
+
+    let distinct_streams: std::collections::BTreeSet<u32> = (0..p.kernels.len())
+        .map(|i| p.stream_of(kfuse_ir::KernelId(i as u32)))
+        .collect();
+    let total_s = if distinct_streams.len() <= 1 {
+        kernels.iter().map(|k| k.time_s).sum()
+    } else {
+        let mut per_stream: std::collections::BTreeMap<u32, f64> =
+            std::collections::BTreeMap::new();
+        for (i, kt) in kernels.iter().enumerate() {
+            *per_stream
+                .entry(p.stream_of(kfuse_ir::KernelId(i as u32)))
+                .or_insert(0.0) += kt.time_s;
+        }
+        let busiest = per_stream.values().copied().fold(0.0, f64::max);
+        let gmem_total: f64 = kernels.iter().map(|k| k.gmem_s).sum();
+        busiest.max(gmem_total + gpu.launch_overhead_us * 1e-6)
+    };
+    ProgramTiming { kernels, total_s }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfuse_ir::builder::ProgramBuilder;
+    use kfuse_ir::kernel::{KernelId, Segment, Staging};
+    use kfuse_ir::stencil::Offset;
+    use kfuse_ir::{ArrayId, Expr};
+
+    /// Two kernels both reading a large shared array A.
+    fn shared_array_program() -> (Program, ArrayId) {
+        let mut pb = ProgramBuilder::new("p", [256, 256, 32]);
+        let a = pb.array("A");
+        let b = pb.array("B");
+        let c = pb.array("C");
+        pb.kernel("k0")
+            .write(b, Expr::at(a) + Expr::load(a, Offset::new(-1, 0, 0)))
+            .build();
+        pb.kernel("k1")
+            .write(c, Expr::at(a) * Expr::lit(0.5) + Expr::load(a, Offset::new(0, -1, 0)))
+            .build();
+        (pb.build(), a)
+    }
+
+    /// Simple fusion of the two kernels with A staged once.
+    fn fused(p: &Program, a: ArrayId) -> Program {
+        let mut pf = p.clone();
+        let seg0 = Segment::new(KernelId(0), pf.kernels[0].segments[0].statements.clone());
+        let seg1 = Segment::new(KernelId(1), pf.kernels[1].segments[0].statements.clone());
+        pf.kernels = vec![kfuse_ir::Kernel {
+            id: KernelId(0),
+            name: "fused".into(),
+            segments: vec![seg0, seg1],
+            staging: vec![Staging {
+                array: a,
+                halo: 1,
+                medium: StagingMedium::Smem,
+            }],
+        }];
+        pf
+    }
+
+    #[test]
+    fn memory_bound_kernels_are_gmem_dominated() {
+        let (p, _) = shared_array_program();
+        let t = simulate_kernel(&GpuSpec::k20x(), &p, &p.kernels[0], FpPrecision::Double);
+        assert!(t.gmem_s > t.compute_s, "stencils must be memory-bound");
+        assert!(t.time_s.is_finite());
+        assert!(t.time_s > 0.0);
+    }
+
+    #[test]
+    fn profitable_fusion_beats_original_sum() {
+        let (p, a) = shared_array_program();
+        let gpu = GpuSpec::k20x();
+        let orig = simulate_program(&gpu, &p, FpPrecision::Double);
+        let pf = fused(&p, a);
+        let new = simulate_program(&gpu, &pf, FpPrecision::Double);
+        assert!(
+            new.total_s < orig.total_s,
+            "fusing shared-array kernels must pay off: fused {} vs original {}",
+            new.total_s,
+            orig.total_s
+        );
+    }
+
+    #[test]
+    fn smem_exhaustion_is_infeasible() {
+        let (p, a) = shared_array_program();
+        let mut pf = fused(&p, a);
+        // Absurd halo → enormous SMEM tile → cannot launch.
+        pf.kernels[0].staging[0].halo = 120;
+        let t = simulate_kernel(&GpuSpec::k20x(), &pf, &pf.kernels[0], FpPrecision::Double);
+        assert_eq!(t.occupancy.active_blocks_per_smx, 0);
+        assert!(t.time_s.is_infinite());
+    }
+
+    #[test]
+    fn launch_overhead_counts_per_kernel() {
+        let (p, _) = shared_array_program();
+        let gpu = GpuSpec::k20x();
+        let t = simulate_program(&gpu, &p, FpPrecision::Double);
+        let total_launch: f64 = t.kernels.iter().map(|k| k.launch_s).sum();
+        assert!((total_launch - 2.0 * gpu.launch_overhead_us * 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barriers_cost_time() {
+        let (p, a) = shared_array_program();
+        let gpu = GpuSpec::k20x();
+        let pf = fused(&p, a);
+        let mut pf_barrier = pf.clone();
+        pf_barrier.kernels[0].segments[1].barrier_before = true;
+        let t0 = simulate_kernel(&gpu, &pf, &pf.kernels[0], FpPrecision::Double);
+        let t1 = simulate_kernel(
+            &gpu,
+            &pf_barrier,
+            &pf_barrier.kernels[0],
+            FpPrecision::Double,
+        );
+        assert!(t1.barrier_s > t0.barrier_s);
+        assert!(t1.time_s > t0.time_s);
+    }
+
+    #[test]
+    fn register_spill_slows_kernel_more_on_maxwell() {
+        // Build a kernel with an enormous expression to force spilling.
+        let mut pb = ProgramBuilder::new("p", [256, 256, 8]);
+        let arrays: Vec<ArrayId> = (0..80).map(|i| pb.array(format!("A{i}"))).collect();
+        let target = pb.array("T");
+        let mut e = Expr::at(arrays[0]);
+        for &a in &arrays[1..] {
+            e = e + Expr::at(a) + Expr::load(a, Offset::new(-1, 0, 0));
+        }
+        pb.kernel("big").write(target, e).build();
+        let p = pb.build();
+        let regs = estimate_registers(&p, &p.kernels[0]);
+        assert!(regs > 255, "test premise: kernel must spill (got {regs})");
+
+        let tk = simulate_kernel(&GpuSpec::k20x(), &p, &p.kernels[0], FpPrecision::Single);
+        let tm = simulate_kernel(&GpuSpec::gtx750ti(), &p, &p.kernels[0], FpPrecision::Single);
+        // Compare spill contribution indirectly: both finite, both spilled.
+        assert!(tk.time_s.is_finite() && tm.time_s.is_finite());
+        assert_eq!(tk.regs_per_thread, tm.regs_per_thread);
+    }
+
+    #[test]
+    fn lower_occupancy_reduces_effective_bandwidth() {
+        let (p, a) = shared_array_program();
+        let gpu = GpuSpec::k20x();
+        let pf = fused(&p, a);
+        let mut pf_heavy = pf.clone();
+        // Inflate SMEM demand (halo 8) to crush occupancy but stay feasible.
+        pf_heavy.kernels[0].staging[0].halo = 8;
+        let t_light = simulate_kernel(&gpu, &pf, &pf.kernels[0], FpPrecision::Double);
+        let t_heavy = simulate_kernel(&gpu, &pf_heavy, &pf_heavy.kernels[0], FpPrecision::Double);
+        assert!(
+            t_heavy.occupancy.active_blocks_per_smx < t_light.occupancy.active_blocks_per_smx
+        );
+        // Same demand traffic must take longer at lower concurrency
+        // (modulo the traffic increase from the halo ring itself).
+        assert!(t_heavy.gmem_s > t_light.gmem_s);
+    }
+
+    #[test]
+    fn program_total_is_sum_of_kernels() {
+        let (p, _) = shared_array_program();
+        let t = simulate_program(&GpuSpec::k40(), &p, FpPrecision::Double);
+        let sum: f64 = t.kernels.iter().map(|k| k.time_s).sum();
+        assert!((t.total_s - sum).abs() < 1e-15);
+    }
+
+    #[test]
+    fn single_precision_moves_half_the_bytes() {
+        let (p, _) = shared_array_program();
+        let gpu = GpuSpec::k20x();
+        let td = simulate_program(&gpu, &p, FpPrecision::Double);
+        let ts = simulate_program(&gpu, &p, FpPrecision::Single);
+        assert_eq!(ts.total_bytes(4) * 2, td.total_bytes(8));
+        assert!(ts.total_s < td.total_s);
+    }
+}
+
+#[cfg(test)]
+mod conflict_tests {
+    use super::*;
+
+    #[test]
+    fn padded_pitch_is_nearly_conflict_free() {
+        let gpu = GpuSpec::k20x(); // 32 banks × 8 B, DP elems = 1 word
+        // Pitch 33 (32 + 1 padding): gcd(33 % 32, 32) = gcd(1,32) = 1.
+        assert_eq!(bank_conflict_ways(&gpu, 33, 8), 1);
+        // Unpadded pitch 32: stride 0 → full serialization.
+        assert_eq!(bank_conflict_ways(&gpu, 32, 8), 32);
+        // Pitch 36: gcd(4, 32) = 4-way replay.
+        assert_eq!(bank_conflict_ways(&gpu, 36, 8), 4);
+    }
+
+    #[test]
+    fn single_precision_on_maxwell_banks() {
+        let gpu = GpuSpec::gtx750ti(); // 32 banks × 4 B, SP elems = 1 word
+        assert_eq!(bank_conflict_ways(&gpu, 33, 4), 1);
+        assert_eq!(bank_conflict_ways(&gpu, 48, 4), 16);
+    }
+
+    #[test]
+    fn double_on_4byte_banks_doubles_stride() {
+        let gpu = GpuSpec::gtx750ti(); // 4-byte banks, 8-byte elements
+        // words_per_elem = 2 → pitch 33 gives stride 66 % 32 = 2 → 2-way.
+        assert_eq!(bank_conflict_ways(&gpu, 33, 8), 2);
+    }
+}
+
+#[cfg(test)]
+mod stream_tests {
+    use super::*;
+    use kfuse_ir::builder::ProgramBuilder;
+    use kfuse_ir::Expr;
+
+    fn two_stream_program() -> Program {
+        let mut pb = ProgramBuilder::new("p", [256, 128, 8]);
+        let a = pb.array("A");
+        let b = pb.array("B");
+        let c = pb.array("C");
+        let d = pb.array("D");
+        pb.kernel("s0_k").write(b, Expr::at(a) + Expr::lit(1.0)).build();
+        pb.stream(1);
+        pb.kernel("s1_k").write(d, Expr::at(c) * Expr::lit(2.0)).build();
+        pb.build()
+    }
+
+    #[test]
+    fn streams_overlap_but_share_bandwidth() {
+        let gpu = GpuSpec::k20x();
+        let p = two_stream_program();
+        let t = simulate_program(&gpu, &p, FpPrecision::Double);
+        let serial: f64 = t.kernels.iter().map(|k| k.time_s).sum();
+        let gmem: f64 = t.kernels.iter().map(|k| k.gmem_s).sum();
+        // Overlap helps (less than serial) but bandwidth still binds
+        // (no faster than the aggregate GMEM time).
+        assert!(t.total_s < serial);
+        assert!(t.total_s >= gmem);
+    }
+
+    #[test]
+    fn single_stream_is_a_plain_sum() {
+        let gpu = GpuSpec::k20x();
+        let mut p = two_stream_program();
+        p.streams = vec![0, 0];
+        let t = simulate_program(&gpu, &p, FpPrecision::Double);
+        let serial: f64 = t.kernels.iter().map(|k| k.time_s).sum();
+        assert!((t.total_s - serial).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,63 @@
+//! CAM-HOMME dynamical-core model.
+//!
+//! HOMME is the spectral-element dynamical core of the Community
+//! Atmospheric Model; the paper evaluates the GPU-ported dynamical-core
+//! and tracer-advection routines: 43 kernels over 27 arrays with 29
+//! sharing sets (Table VI), ~21% reducible traffic (Table I), at a
+//! 4×26×101 problem size (Table VII). The best-found fusion merged 22
+//! kernels into 9 (§VI-D2) for a 1.20x/1.18x speedup (Table VII).
+
+use kfuse_ir::Program;
+
+/// The paper's HOMME problem size (4 × 26 × 101): spectral elements ×
+/// columns × levels, mapped here to a 3D grid with the level dimension
+/// innermost-looped.
+pub const PROBLEM_SIZE: [u32; 3] = [104, 26, 101];
+
+/// The full 43-kernel / 27-array HOMME model at the paper's problem size.
+pub fn full() -> Program {
+    full_on_grid(PROBLEM_SIZE)
+}
+
+/// The model on a custom grid (small grids for functional tests).
+pub fn full_on_grid(grid: [u32; 3]) -> Program {
+    let mut p = crate::census::build(&crate::census::TABLE1[4], grid);
+    // HOMME's spectral-element tiles are narrow; keep the paper's 26-wide
+    // column layout.
+    if grid[0].is_multiple_of(26) {
+        p.launch = kfuse_ir::program::LaunchConfig::new(26, 4);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfuse_core::depgraph::DependencyGraph;
+
+    #[test]
+    fn census_counts_match_table1() {
+        let p = full_on_grid([104, 26, 8]);
+        assert_eq!(p.kernels.len(), 43);
+        assert_eq!(p.arrays.len(), 27);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn sharing_sets_near_paper() {
+        // The paper reports 29 sharing sets.
+        let p = full_on_grid([104, 26, 8]);
+        let dep = DependencyGraph::build(&p);
+        let n = dep.sharing_set_count();
+        assert!((18..=29).contains(&n), "sharing sets {n} vs paper's 29");
+    }
+
+    #[test]
+    fn problem_size_is_papers() {
+        let p = full();
+        assert_eq!(
+            [p.grid.nx, p.grid.ny, p.grid.nz],
+            PROBLEM_SIZE
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Synthetic workloads reproducing the paper's benchmark programs.
+//!
+//! The original study evaluated on proprietary-scale weather codes
+//! (SCALE-LES, CAM-HOMME) and a test suite derived from the CloverLeaf
+//! mini-app. None of those GPU ports are available here, so this crate
+//! builds *structurally equivalent* programs in the `kfuse-ir`
+//! representation: matching kernel/array counts, sharing-set structure,
+//! dependency (kinship) depth, stencil thread loads, and expandable-array
+//! patterns — the statistics that determine both the difficulty of the
+//! search problem and the reducible-traffic headroom (see DESIGN.md §2 for
+//! the substitution argument).
+//!
+//! * [`motivating`] — the five CUDA kernels of Fig. 3, verbatim.
+//! * [`synth`] — the parameterized stencil-program generator underlying
+//!   everything else.
+//! * [`cloverleaf`] — a hand-built one-timestep CloverLeaf mini-app.
+//! * [`suite`] — the CloverLeaf-derived test suite of Table V.
+//! * [`scale_les`] — the RK3 routine of Fig. 1 plus the full 142-kernel
+//!   SCALE-LES model (1280×32×32 problem size).
+//! * [`homme`] — the 43-kernel HOMME dynamical-core model.
+//! * [`census`] — the six weather applications of Table I.
+
+pub mod census;
+pub mod cloverleaf;
+pub mod homme;
+pub mod motivating;
+pub mod scale_les;
+pub mod suite;
+pub mod synth;
+
+pub use suite::{SuiteParams, TestSuite};
+pub use synth::SynthConfig;

@@ -1,0 +1,226 @@
+//! The CloverLeaf-derived test suite (Table V).
+//!
+//! CloverLeaf is a Lagrangian-Eulerian hydrodynamics mini-app whose
+//! computation decomposes into per-field stencil kernels (ideal_gas,
+//! viscosity, PdV, accelerate, flux_calc, advec_cell, advec_mom, …). The
+//! paper builds a controlled benchmark family from those kernels, sweeping
+//! six attributes (Table V): number of kernels (10–100, Δ10), number of
+//! arrays (20–200, Δ20), data copies (2–10, Δ2), sharing-set size (2–8,
+//! Δ2), average thread load (4–12, Δ4) and kinship (2–5, Δ1).
+//!
+//! [`TestSuite::generate`] materializes one benchmark per attribute point;
+//! kernels are named after the CloverLeaf roster cyclically so the
+//! provenance stays visible in reports.
+
+use crate::synth::{generate, SynthConfig};
+use kfuse_ir::Program;
+use serde::{Deserialize, Serialize};
+
+/// The CloverLeaf kernel roster used for naming (standard problem is a
+/// 962² grid; we keep the 2D-tile/3D-grid layout of the rest of the
+/// paper's kernels).
+pub const CLOVERLEAF_KERNELS: [&str; 14] = [
+    "ideal_gas",
+    "viscosity",
+    "PdV",
+    "revert",
+    "accelerate",
+    "flux_calc",
+    "advec_cell_x",
+    "advec_cell_y",
+    "advec_mom_x",
+    "advec_mom_y",
+    "reset_field",
+    "update_halo",
+    "field_summary",
+    "timestep",
+];
+
+/// One point in the Table V attribute grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuiteParams {
+    /// Number of kernels (10–100).
+    pub kernels: usize,
+    /// Number of arrays (20–200).
+    pub arrays: usize,
+    /// Data copies / expandable arrays (2–10).
+    pub data_copies: usize,
+    /// Sharing-set cardinality (2–8).
+    pub sharing_set: usize,
+    /// Average thread load (4–12).
+    pub thread_load: usize,
+    /// Kinship window (2–5).
+    pub kinship: usize,
+    /// Benchmark seed.
+    pub seed: u64,
+}
+
+impl Default for SuiteParams {
+    /// Table V midpoints.
+    fn default() -> Self {
+        SuiteParams {
+            kernels: 50,
+            arrays: 100,
+            data_copies: 6,
+            sharing_set: 4,
+            thread_load: 8,
+            kinship: 3,
+            seed: 0,
+        }
+    }
+}
+
+impl SuiteParams {
+    /// Table V attribute ranges: (kernels, arrays, copies, sharing,
+    /// thread load, kinship) min/max/Δ.
+    pub const KERNELS_RANGE: (usize, usize, usize) = (10, 100, 10);
+    /// Array-count range.
+    pub const ARRAYS_RANGE: (usize, usize, usize) = (20, 200, 20);
+    /// Data-copy range.
+    pub const COPIES_RANGE: (usize, usize, usize) = (2, 10, 2);
+    /// Sharing-set range.
+    pub const SHARING_RANGE: (usize, usize, usize) = (2, 8, 2);
+    /// Thread-load range.
+    pub const THREAD_LOAD_RANGE: (usize, usize, usize) = (4, 12, 4);
+    /// Kinship range.
+    pub const KINSHIP_RANGE: (usize, usize, usize) = (2, 5, 1);
+
+    /// Benchmark name, e.g. `clover_k50_a100_c6_s4_t8_d3`.
+    pub fn name(&self) -> String {
+        format!(
+            "clover_k{}_a{}_c{}_s{}_t{}_d{}",
+            self.kernels, self.arrays, self.data_copies, self.sharing_set, self.thread_load,
+            self.kinship
+        )
+    }
+}
+
+/// The test-suite factory.
+pub struct TestSuite;
+
+impl TestSuite {
+    /// Generate the benchmark for one attribute point.
+    ///
+    /// Suite benchmarks use 32×8 thread blocks (256 threads): CloverLeaf's
+    /// kernels tile a 962² grid with larger blocks than the weather codes,
+    /// and the bigger per-block SMEM demand is what differentiates the
+    /// 48 KiB Kepler from the 64 KiB Maxwell in Fig. 9.
+    pub fn generate(params: &SuiteParams) -> Program {
+        Self::generate_on_grid(params, [256, 128, 16], (32, 8))
+    }
+
+    /// Generate on a custom grid (small grids for functional tests).
+    pub fn generate_on_grid(
+        params: &SuiteParams,
+        grid: [u32; 3],
+        block: (u32, u32),
+    ) -> Program {
+        let cfg = SynthConfig {
+            name: params.name(),
+            kernels: params.kernels,
+            arrays: params.arrays,
+            data_copies: params.data_copies,
+            sharing_set: params.sharing_set,
+            thread_load: params.thread_load,
+            kinship: params.kinship,
+            grid,
+            block,
+            dep_prob: 0.45,
+            reads_per_kernel: 3,
+            pointwise_prob: 0.3,
+            sync_interval: None,
+            seed: params.seed ^ 0xC10E_41EA,
+        };
+        let mut p = generate(&cfg);
+        // CloverLeaf naming.
+        for (i, k) in p.kernels.iter_mut().enumerate() {
+            k.name = format!(
+                "{}_{}",
+                CLOVERLEAF_KERNELS[i % CLOVERLEAF_KERNELS.len()],
+                i / CLOVERLEAF_KERNELS.len()
+            );
+        }
+        p
+    }
+
+    /// The full kernel-count sweep of Table V at otherwise-default
+    /// attributes.
+    pub fn kernel_sweep(seed: u64) -> Vec<(SuiteParams, Program)> {
+        let (lo, hi, step) = SuiteParams::KERNELS_RANGE;
+        (lo..=hi)
+            .step_by(step)
+            .map(|k| {
+                let params = SuiteParams {
+                    kernels: k,
+                    arrays: (k * 2).clamp(20, 200),
+                    seed,
+                    ..SuiteParams::default()
+                };
+                let p = Self::generate(&params);
+                (params, p)
+            })
+            .collect()
+    }
+
+    /// Thread-load × sharing-set grid (the Fig. 5a axes) at a small kernel
+    /// count suitable for exhaustive verification.
+    pub fn small_verification_grid(seed: u64) -> Vec<(SuiteParams, Program)> {
+        let mut out = Vec::new();
+        let (tlo, thi, tstep) = SuiteParams::THREAD_LOAD_RANGE;
+        let (slo, shi, sstep) = SuiteParams::SHARING_RANGE;
+        for t in (tlo..=thi).step_by(tstep) {
+            for s in (slo..=shi).step_by(sstep) {
+                let params = SuiteParams {
+                    kernels: 10,
+                    arrays: 20,
+                    data_copies: 2,
+                    sharing_set: s,
+                    thread_load: t,
+                    kinship: 2,
+                    seed,
+                };
+                out.push((params, Self::generate(&params)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmarks_are_valid_and_named() {
+        let p = TestSuite::generate(&SuiteParams::default());
+        assert!(p.validate().is_ok());
+        assert_eq!(p.kernels.len(), 50);
+        assert_eq!(p.arrays.len(), 100);
+        assert!(p.kernels[0].name.starts_with("ideal_gas"));
+        assert!(p.name.starts_with("clover_k50"));
+    }
+
+    #[test]
+    fn kernel_sweep_covers_table5_range() {
+        let sweep = TestSuite::kernel_sweep(0);
+        assert_eq!(sweep.len(), 10);
+        assert_eq!(sweep[0].1.kernels.len(), 10);
+        assert_eq!(sweep[9].1.kernels.len(), 100);
+    }
+
+    #[test]
+    fn verification_grid_is_small_enough_for_exhaustive() {
+        let grid = TestSuite::small_verification_grid(1);
+        assert_eq!(grid.len(), 3 * 4); // 3 thread loads × 4 sharing sizes
+        for (params, p) in &grid {
+            assert!(p.kernels.len() <= 13, "{}", params.name());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = TestSuite::generate(&SuiteParams::default());
+        let b = TestSuite::generate(&SuiteParams::default());
+        assert_eq!(a, b);
+    }
+}

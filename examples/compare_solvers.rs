@@ -1,0 +1,56 @@
+//! Solver comparison on a small CloverLeaf-suite benchmark: exhaustive
+//! enumeration (exact optimum), the HGGA, and the greedy best-merge
+//! baseline — the §III-A argument that kernel fusion needs more than a
+//! first-fit-style heuristic.
+//!
+//! ```sh
+//! cargo run --release --example compare_solvers
+//! ```
+
+use kernel_fusion::prelude::*;
+use kfuse_workloads::{SuiteParams, TestSuite};
+
+fn main() {
+    let params = SuiteParams {
+        kernels: 12,
+        arrays: 24,
+        sharing_set: 4,
+        thread_load: 8,
+        ..SuiteParams::default()
+    };
+    let program = TestSuite::generate(&params);
+    let gpu = GpuSpec::k20x();
+    let model = ProposedModel::default();
+    let (_, ctx) = pipeline::prepare(&program, &gpu, FpPrecision::Double);
+
+    let identity_cost: f64 = ctx.info.kernels.iter().map(|k| k.runtime_s).sum();
+    println!("benchmark {} ({} kernels)", params.name(), params.kernels);
+    println!("unfused objective: {:.1} us", identity_cost * 1e6);
+    println!();
+    println!(
+        "{:<12} {:>12} {:>9} {:>12} {:>12}",
+        "solver", "objective", "gain", "evaluations", "time"
+    );
+    println!("{}", "-".repeat(62));
+
+    let solvers: Vec<Box<dyn Solver>> = vec![
+        Box::new(ExhaustiveSolver::default()),
+        Box::new(HggaSolver::with_seed(1)),
+        Box::new(GreedySolver),
+    ];
+    let mut best = f64::INFINITY;
+    for solver in &solvers {
+        let out = solver.solve(&ctx, &model);
+        best = best.min(out.objective);
+        println!(
+            "{:<12} {:>9.1} us {:>8.1}% {:>12} {:>12?}",
+            solver.name(),
+            out.objective * 1e6,
+            100.0 * (1.0 - out.objective / identity_cost),
+            out.stats.evaluations,
+            out.stats.elapsed
+        );
+    }
+    println!();
+    println!("exact optimum: {:.1} us (exhaustive search is the ground truth)", best * 1e6);
+}

@@ -1,0 +1,30 @@
+//! Generate the CUDA C for the Fig. 3 fusion — the automated version of
+//! the paper's hand-written Listings 6 and 7.
+//!
+//! ```sh
+//! cargo run --release --example emit_cuda
+//! ```
+
+use kernel_fusion::prelude::*;
+use kfuse_codegen::{emit_kernel, CodegenOptions};
+use kfuse_core::fuse::apply_plan;
+use kfuse_workloads::motivating;
+
+fn main() {
+    let (program, _) = motivating::program([1280, 32, 32]);
+    let gpu = GpuSpec::k20x();
+    let (relaxed, ctx) = pipeline::prepare(&program, &gpu, FpPrecision::Double);
+    let plan = motivating::fig3_plan();
+    let specs = ctx.validate(&plan).expect("fig3 plan valid");
+    let fused = apply_plan(&relaxed, &ctx.info, &ctx.exec, &plan, &specs).unwrap();
+
+    let opts = CodegenOptions::default();
+    println!("// ======== BEFORE FUSION: the five original kernels ========\n");
+    for k in &relaxed.kernels {
+        println!("{}", emit_kernel(&relaxed, k, &opts));
+    }
+    println!("// ======== AFTER FUSION: Kernel X and Kernel Y ========\n");
+    for k in &fused.kernels {
+        println!("{}", emit_kernel(&fused, k, &opts));
+    }
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper. Results are printed and
+# written as JSON under results/ (see EXPERIMENTS.md for the index).
+set -euo pipefail
+
+cargo build --release -p kfuse-bench
+
+bins=(table1 fig3_motivating table5 fig5a fig5b table6 fig6 fig7_8 fig9 table7 smem_whatif fusion_efficiency ablation blocksize_study weak_scaling)
+for b in "${bins[@]}"; do
+  echo
+  echo "================================================================"
+  echo "== $b"
+  echo "================================================================"
+  ./target/release/"$b"
+done

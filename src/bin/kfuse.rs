@@ -1,0 +1,247 @@
+//! `kfuse` — command-line driver for the kernel-fusion pipeline.
+//!
+//! Programs are exchanged as JSON-serialized `kfuse_ir::Program` values;
+//! `kfuse example <name>` dumps the built-in workloads to get started.
+//!
+//! ```text
+//! kfuse example rk3 > rk3.json        # dump a built-in program
+//! kfuse analyze rk3.json              # graphs, classes, reducible traffic
+//! kfuse fuse rk3.json --gpu k20x      # search + fuse + simulate
+//! kfuse fuse rk3.json --emit-cuda out.cu
+//! kfuse simulate rk3.json             # per-kernel timing table
+//! kfuse codegen rk3.json > rk3.cu     # CUDA C for the program as-is
+//! ```
+
+use kernel_fusion::prelude::*;
+use kfuse_core::depgraph::{DependencyGraph, TouchClass};
+use kfuse_core::efficiency::reducible_traffic;
+use kfuse_core::fuse::apply_plan;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         kfuse example <quickstart|rk3|fig3|scale-les|homme|suite>\n  \
+         kfuse analyze  <program.json> [--gpu k20x|k40|gtx750ti] [--dot-deps FILE] [--dot-exec FILE]\n  \
+         kfuse simulate <program.json> [--gpu ...]\n  \
+         kfuse fuse     <program.json> [--gpu ...] [--seed N] [--emit-cuda FILE] [--plan-out FILE]\n  \
+         kfuse codegen  <program.json> [--single]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_gpu(args: &[String]) -> GpuSpec {
+    match flag_value(args, "--gpu").as_deref() {
+        Some("k40") => GpuSpec::k40(),
+        Some("gtx750ti") => GpuSpec::gtx750ti(),
+        _ => GpuSpec::k20x(),
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn load_program(path: &str) -> Result<Program, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let p: Program =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    p.validate().map_err(|e| format!("invalid program: {e}"))?;
+    Ok(p)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { return usage() };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "example" => cmd_example(rest),
+        "analyze" => cmd_analyze(rest),
+        "simulate" => cmd_simulate(rest),
+        "fuse" => cmd_fuse(rest),
+        "codegen" => cmd_codegen(rest),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_example(args: &[String]) -> Result<(), String> {
+    let Some(name) = args.first() else {
+        return Err("example name required".into());
+    };
+    let p: Program = match name.as_str() {
+        "quickstart" => {
+            let mut pb = ProgramBuilder::new("quickstart", [256, 128, 16]);
+            let a = pb.array("A");
+            let b = pb.array("B");
+            let c = pb.array("C");
+            pb.kernel("k0").write(b, Expr::at(a) + Expr::lit(1.0)).build();
+            pb.kernel("k1").write(c, Expr::at(a) * Expr::lit(2.0)).build();
+            pb.build()
+        }
+        "rk3" => kfuse_workloads::scale_les::rk_core([1280, 32, 32]),
+        "fig3" => kfuse_workloads::motivating::program([1280, 32, 32]).0,
+        "scale-les" => kfuse_workloads::scale_les::full(),
+        "homme" => kfuse_workloads::homme::full(),
+        "suite" => kfuse_workloads::TestSuite::generate(&kfuse_workloads::SuiteParams::default()),
+        other => return Err(format!("unknown example `{other}`")),
+    };
+    let json = serde_json::to_string_pretty(&p).map_err(|e| e.to_string())?;
+    println!("{json}");
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first() else {
+        return Err("program path required".into());
+    };
+    let p = load_program(path)?;
+    let gpu = parse_gpu(args);
+    println!("program `{}`", p.name);
+    println!(
+        "  grid {}x{}x{}, block {}x{} ({} blocks)",
+        p.grid.nx, p.grid.ny, p.grid.nz, p.launch.block_x, p.launch.block_y, p.blocks()
+    );
+    println!("  {} kernels, {} arrays, {} host syncs", p.kernels.len(), p.arrays.len(), p.host_syncs.len());
+
+    let dep = DependencyGraph::build(&p);
+    let count = |c: TouchClass| dep.classes.iter().filter(|&&x| x == c).count();
+    println!(
+        "  touch classes: {} read-only / {} read-write / {} expandable / {} write-only",
+        count(TouchClass::ReadOnly),
+        count(TouchClass::ReadWrite),
+        count(TouchClass::ExpandableReadWrite),
+        count(TouchClass::WriteOnly)
+    );
+    println!("  sharing sets: {}", dep.sharing_set_count());
+
+    let (_, ctx) = pipeline::prepare(&p, &gpu, gpu.default_precision());
+    if let Some(out) = flag_value(args, "--dot-deps") {
+        let dot = kfuse_core::dot::dependency_dot(&p, &dep);
+        std::fs::write(&out, dot).map_err(|e| e.to_string())?;
+        println!("  wrote dependency graph to {out}");
+    }
+    if let Some(out) = flag_value(args, "--dot-exec") {
+        let dot = kfuse_core::dot::exec_order_dot(&p, &kfuse_core::exec_order::ExecOrderGraph::build(&p), None);
+        std::fs::write(&out, dot).map_err(|e| e.to_string())?;
+        println!("  wrote order-of-execution graph to {out}");
+    }
+    let red = reducible_traffic(&ctx);
+    println!(
+        "  reducible GMEM traffic on {}: {:.1}% ({:.1} MB of {:.1} MB)",
+        gpu.name,
+        100.0 * red.fraction(),
+        (red.original_bytes - red.max_fused_bytes) as f64 / 1e6,
+        red.original_bytes as f64 / 1e6
+    );
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first() else {
+        return Err("program path required".into());
+    };
+    let p = load_program(path)?;
+    let gpu = parse_gpu(args);
+    let t = simulate_program(&gpu, &p, gpu.default_precision());
+    println!("{:<40} {:>10} {:>10} {:>9} {:>7}", "kernel", "time (us)", "gmem (us)", "occupancy", "regs");
+    println!("{}", "-".repeat(82));
+    for k in &t.kernels {
+        println!(
+            "{:<40} {:>10.2} {:>10.2} {:>8.0}% {:>7}",
+            if k.name.len() > 38 { &k.name[..38] } else { &k.name },
+            k.time_s * 1e6,
+            k.gmem_s * 1e6,
+            k.occupancy.occupancy * 100.0,
+            k.regs_per_thread
+        );
+    }
+    println!("{}", "-".repeat(82));
+    println!("total: {:.2} us on {}", t.total_s * 1e6, gpu.name);
+    Ok(())
+}
+
+fn cmd_fuse(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first() else {
+        return Err("program path required".into());
+    };
+    let p = load_program(path)?;
+    let gpu = parse_gpu(args);
+    let seed = flag_value(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(17u64);
+
+    let model = ProposedModel::default();
+    let solver = HggaSolver::with_seed(seed);
+    let r = pipeline::run(&p, &gpu, gpu.default_precision(), &model, &solver)
+        .map_err(|e| e.to_string())?;
+
+    println!(
+        "fused {} of {} kernels into {} new kernels ({} calls total)",
+        r.fused_kernel_count(),
+        p.kernels.len(),
+        r.new_kernel_count(),
+        r.fused.kernels.len()
+    );
+    for (gi, g) in r.plan.groups.iter().enumerate() {
+        if g.len() < 2 {
+            continue;
+        }
+        let names: Vec<&str> = g.iter().map(|&k| r.relaxed.kernel(k).name.as_str()).collect();
+        let spec = &r.specs[gi];
+        println!(
+            "  {} <- {:?}{}",
+            gi,
+            names,
+            if spec.complex { "  [complex]" } else { "" }
+        );
+    }
+    println!(
+        "simulated on {}: {:.2} ms -> {:.2} ms  (speedup {:.3}x)",
+        gpu.name,
+        r.original_timing.total_s * 1e3,
+        r.fused_timing.total_s * 1e3,
+        r.speedup()
+    );
+    println!(
+        "search: {} generations, {} evaluations, {:?}",
+        r.stats.generations, r.stats.evaluations, r.stats.elapsed
+    );
+
+    if let Some(out) = flag_value(args, "--plan-out") {
+        let json = serde_json::to_string_pretty(&r.plan).map_err(|e| e.to_string())?;
+        std::fs::write(&out, json).map_err(|e| e.to_string())?;
+        println!("wrote plan to {out}");
+    }
+    if let Some(out) = flag_value(args, "--emit-cuda") {
+        let opts = kfuse_codegen::CodegenOptions::default();
+        let code = kfuse_codegen::emit_program(&r.fused, &opts);
+        std::fs::write(&out, code).map_err(|e| e.to_string())?;
+        println!("wrote fused CUDA C to {out}");
+    }
+    // Always re-apply + verify determinism of the plan as a sanity check.
+    let specs = r.ctx.validate(&r.plan).map_err(|e| e.to_string())?;
+    apply_plan(&r.relaxed, &r.ctx.info, &r.ctx.exec, &r.plan, &specs).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn cmd_codegen(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first() else {
+        return Err("program path required".into());
+    };
+    let p = load_program(path)?;
+    let opts = kfuse_codegen::CodegenOptions {
+        double_precision: !args.iter().any(|a| a == "--single"),
+        restrict: true,
+    };
+    print!("{}", kfuse_codegen::emit_program(&p, &opts));
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! # kernel-fusion
+//!
+//! A Rust reproduction of **Wahib & Maruyama, "Scalable Kernel Fusion for
+//! Memory-Bound GPU Applications" (SC 2014)**: a planner that decides which
+//! kernels of a large stencil application to fuse, using a Hybrid Grouping
+//! Genetic Algorithm guided by a codeless performance upper-bound
+//! projection model — plus the full substrate needed to evaluate it without
+//! GPU hardware (a stencil-kernel IR, a functional interpreter with an
+//! explicit SMEM coherence model, and an SMX-level timing simulator).
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`gpu`] | device specs (Table IV), occupancy |
+//! | [`ir`] | stencil-kernel IR, traffic/FLOP analysis |
+//! | [`sim`] | functional interpreter + timing simulator |
+//! | [`core`] | graphs, constraints, fusion transform, projection models |
+//! | [`search`] | HGGA, exhaustive and greedy solvers |
+//! | [`workloads`] | Fig. 3 example, CloverLeaf suite, SCALE-LES, HOMME |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use kernel_fusion::prelude::*;
+//!
+//! // A toy program: two kernels sharing a heavy input array.
+//! let mut pb = ProgramBuilder::new("demo", [256, 128, 8]);
+//! let a = pb.array("A");
+//! let b = pb.array("B");
+//! let c = pb.array("C");
+//! pb.kernel("k0").write(b, Expr::at(a) + Expr::lit(1.0)).build();
+//! pb.kernel("k1").write(c, Expr::at(a) * Expr::lit(2.0)).build();
+//! let program = pb.build();
+//!
+//! // Algorithm 1: metadata → graphs → HGGA search → fusion.
+//! let gpu = GpuSpec::k20x();
+//! let model = ProposedModel::default();
+//! let solver = HggaSolver::with_seed(42);
+//! let result = pipeline::run(&program, &gpu, FpPrecision::Double, &model, &solver).unwrap();
+//! assert!(result.speedup() > 1.0);
+//! ```
+
+pub use kfuse_core as core;
+pub use kfuse_gpu as gpu;
+pub use kfuse_ir as ir;
+pub use kfuse_search as search;
+pub use kfuse_sim as sim;
+pub use kfuse_workloads as workloads;
+
+pub use kfuse_core::pipeline;
+
+/// Common imports for applications using the library.
+pub mod prelude {
+    pub use kfuse_core::model::{PerfModel, ProposedModel, RooflineModel, SimpleModel};
+    pub use kfuse_core::pipeline::{self, Solver};
+    pub use kfuse_core::plan::{FusionPlan, PlanContext};
+    pub use kfuse_gpu::{FpPrecision, GpuSpec};
+    pub use kfuse_ir::builder::ProgramBuilder;
+    pub use kfuse_ir::{ArrayId, Expr, KernelId, Program};
+    pub use kfuse_search::{ExhaustiveSolver, GreedySolver, HggaConfig, HggaSolver};
+    pub use kfuse_sim::{run_block_mode, run_reference, simulate_program, DeviceState};
+}

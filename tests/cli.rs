@@ -1,0 +1,112 @@
+//! Integration tests for the `kfuse` CLI binary.
+
+use std::process::Command;
+
+fn kfuse(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_kfuse"))
+        .args(args)
+        .output()
+        .expect("kfuse binary runs")
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("kfuse-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn usage_on_no_args() {
+    let out = kfuse(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn example_emits_valid_program_json() {
+    let out = kfuse(&["example", "rk3"]);
+    assert!(out.status.success());
+    let p: kfuse_ir::Program = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert_eq!(p.kernels.len(), 18);
+    assert!(p.validate().is_ok());
+}
+
+#[test]
+fn analyze_reports_structure() {
+    let path = tmp("rk3_analyze.json");
+    let dump = kfuse(&["example", "rk3"]);
+    std::fs::write(&path, &dump.stdout).unwrap();
+
+    let out = kfuse(&["analyze", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("18 kernels"));
+    assert!(text.contains("expandable"));
+    assert!(text.contains("reducible GMEM traffic"));
+}
+
+#[test]
+fn fuse_emits_cuda_and_plan() {
+    let path = tmp("quickstart.json");
+    let dump = kfuse(&["example", "quickstart"]);
+    std::fs::write(&path, &dump.stdout).unwrap();
+
+    let cu = tmp("quickstart.cu");
+    let plan = tmp("quickstart_plan.json");
+    let out = kfuse(&[
+        "fuse",
+        path.to_str().unwrap(),
+        "--seed",
+        "3",
+        "--emit-cuda",
+        cu.to_str().unwrap(),
+        "--plan-out",
+        plan.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("speedup"));
+
+    let cuda = std::fs::read_to_string(&cu).unwrap();
+    assert!(cuda.contains("__global__ void"));
+    let plan_json = std::fs::read_to_string(&plan).unwrap();
+    let p: kfuse_core::plan::FusionPlan = serde_json::from_str(&plan_json).unwrap();
+    assert!(p.new_kernel_count() >= 1);
+}
+
+#[test]
+fn simulate_prints_per_kernel_table() {
+    let path = tmp("rk3_sim.json");
+    let dump = kfuse(&["example", "rk3"]);
+    std::fs::write(&path, &dump.stdout).unwrap();
+
+    let out = kfuse(&["simulate", path.to_str().unwrap(), "--gpu", "k40"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("K1_velx"));
+    assert!(text.contains("total:"));
+    assert!(text.contains("K40"));
+}
+
+#[test]
+fn codegen_streams_cuda_to_stdout() {
+    let path = tmp("rk3_cg.json");
+    let dump = kfuse(&["example", "rk3"]);
+    std::fs::write(&path, &dump.stdout).unwrap();
+
+    let out = kfuse(&["codegen", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("#define NX 1280"));
+    assert!(text.contains("__global__ void K1_velx"));
+    assert!(text.contains("// Host launch sequence:"));
+}
+
+#[test]
+fn invalid_json_reports_error() {
+    let path = tmp("garbage.json");
+    std::fs::write(&path, "{not json").unwrap();
+    let out = kfuse(&["analyze", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot parse"));
+}

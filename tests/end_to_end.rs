@@ -1,0 +1,182 @@
+//! End-to-end integration tests: Algorithm 1 on the paper's workloads,
+//! checking plan validity, semantics preservation and determinism.
+
+use kernel_fusion::prelude::*;
+use kfuse_core::fuse::apply_plan;
+use kfuse_workloads::{homme, motivating, scale_les, SuiteParams, TestSuite};
+
+fn quick_solver(seed: u64) -> HggaSolver {
+    HggaSolver {
+        config: HggaConfig {
+            population: 40,
+            max_generations: 120,
+            stall_generations: 25,
+            seed,
+            ..HggaConfig::default()
+        },
+    }
+}
+
+/// Verify a program's winning plan preserves semantics exactly.
+fn assert_fusion_preserves(program: &Program, seed: u64) -> f64 {
+    let gpu = GpuSpec::k20x();
+    let model = ProposedModel::default();
+    let result = pipeline::run(
+        program,
+        &gpu,
+        FpPrecision::Double,
+        &model,
+        &quick_solver(seed),
+    )
+    .expect("pipeline succeeds");
+
+    let mut reference = DeviceState::default_init(&result.relaxed);
+    run_reference(&result.relaxed, &mut reference);
+    let mut fused = DeviceState::default_init(&result.fused);
+    run_block_mode(&result.fused, &mut fused);
+    for a in 0..result.relaxed.arrays.len() {
+        let a = ArrayId(a as u32);
+        assert_eq!(
+            reference.max_abs_diff(&fused, a),
+            0.0,
+            "array {a} diverged in {}",
+            program.name
+        );
+    }
+    result.speedup()
+}
+
+#[test]
+fn motivating_example_end_to_end() {
+    let (program, _) = motivating::program([64, 16, 4]);
+    let speedup = assert_fusion_preserves(&program, 3);
+    assert!(speedup >= 1.0, "speedup {speedup}");
+}
+
+#[test]
+fn rk3_core_end_to_end() {
+    let program = scale_les::rk_core([96, 32, 4]);
+    let speedup = assert_fusion_preserves(&program, 3);
+    assert!(speedup > 1.0, "RK3 core must benefit from fusion ({speedup})");
+}
+
+#[test]
+fn suite_benchmark_end_to_end() {
+    let params = SuiteParams {
+        kernels: 20,
+        arrays: 40,
+        ..SuiteParams::default()
+    };
+    let program = TestSuite::generate_on_grid(&params, [96, 32, 4], (32, 4));
+    let speedup = assert_fusion_preserves(&program, 5);
+    assert!(speedup > 1.0, "suite benchmark speedup {speedup}");
+}
+
+#[test]
+fn homme_small_grid_end_to_end() {
+    let program = homme::full_on_grid([52, 26, 4]);
+    assert_fusion_preserves(&program, 7);
+}
+
+#[test]
+fn scale_les_small_grid_end_to_end() {
+    let program = scale_les::full_on_grid([96, 32, 2]);
+    assert_fusion_preserves(&program, 9);
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let program = scale_les::rk_core([96, 32, 4]);
+    let gpu = GpuSpec::k20x();
+    let model = ProposedModel::default();
+    let r1 = pipeline::run(&program, &gpu, FpPrecision::Double, &model, &quick_solver(11)).unwrap();
+    let r2 = pipeline::run(&program, &gpu, FpPrecision::Double, &model, &quick_solver(11)).unwrap();
+    assert_eq!(r1.plan, r2.plan);
+    assert_eq!(r1.fused, r2.fused);
+    assert_eq!(r1.speedup(), r2.speedup());
+}
+
+#[test]
+fn all_solvers_produce_valid_plans() {
+    let params = SuiteParams {
+        kernels: 10,
+        arrays: 20,
+        ..SuiteParams::default()
+    };
+    let program = TestSuite::generate(&params);
+    let gpu = GpuSpec::k20x();
+    let model = ProposedModel::default();
+    let (relaxed, ctx) = pipeline::prepare(&program, &gpu, FpPrecision::Double);
+
+    let solvers: Vec<Box<dyn Solver>> = vec![
+        Box::new(ExhaustiveSolver::default()),
+        Box::new(quick_solver(1)),
+        Box::new(GreedySolver),
+    ];
+    for solver in &solvers {
+        let out = solver.solve(&ctx, &model);
+        let specs = ctx
+            .validate(&out.plan)
+            .unwrap_or_else(|e| panic!("{} returned invalid plan: {e}", solver.name()));
+        apply_plan(&relaxed, &ctx.info, &ctx.exec, &out.plan, &specs)
+            .unwrap_or_else(|e| panic!("{} plan unrealizable: {e}", solver.name()));
+        assert!(out.objective.is_finite(), "{}", solver.name());
+    }
+}
+
+#[test]
+fn exhaustive_is_lower_bound_on_suite_instance() {
+    let params = SuiteParams {
+        kernels: 10,
+        arrays: 20,
+        ..SuiteParams::default()
+    };
+    let program = TestSuite::generate(&params);
+    let gpu = GpuSpec::k20x();
+    let model = ProposedModel::default();
+    let (_, ctx) = pipeline::prepare(&program, &gpu, FpPrecision::Double);
+    let exact = ExhaustiveSolver::default().solve(&ctx, &model);
+    let hgga = quick_solver(2).solve(&ctx, &model);
+    let greedy = GreedySolver.solve(&ctx, &model);
+    assert!(exact.objective <= hgga.objective + 1e-15);
+    assert!(exact.objective <= greedy.objective + 1e-15);
+}
+
+#[test]
+fn fusion_works_on_maxwell_in_single_precision() {
+    let gpu = GpuSpec::gtx750ti();
+    let model = ProposedModel::default();
+    let params = SuiteParams {
+        kernels: 16,
+        arrays: 32,
+        ..SuiteParams::default()
+    };
+    let program = TestSuite::generate_on_grid(&params, [96, 32, 4], (32, 4));
+    let result = pipeline::run(
+        &program,
+        &gpu,
+        FpPrecision::Single,
+        &model,
+        &quick_solver(13),
+    )
+    .unwrap();
+    assert!(result.speedup() > 1.0);
+}
+
+#[test]
+fn cloverleaf_timestep_end_to_end() {
+    let program = kfuse_workloads::cloverleaf::timestep([96, 32, 2]);
+    let speedup = assert_fusion_preserves(&program, 3);
+    assert!(speedup > 1.0, "CloverLeaf timestep speedup {speedup}");
+}
+
+#[test]
+fn repeated_rk3_schedule_fuses_across_iterations() {
+    use kfuse_core::repeat::{expand_schedule, repeat_whole_program};
+    let template = kfuse_workloads::scale_les::rk_core([96, 32, 2]);
+    let sched = repeat_whole_program(&template, 2, false);
+    let program = expand_schedule(&template, &sched);
+    assert_eq!(program.kernels.len(), 36);
+    let speedup = assert_fusion_preserves(&program, 5);
+    assert!(speedup > 1.0);
+}

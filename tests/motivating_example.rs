@@ -1,0 +1,118 @@
+//! Integration tests for the Fig. 3 motivating example: the exact structure
+//! of the X and Y fusions, model ordering, and coherence-hazard detection.
+
+use kernel_fusion::prelude::*;
+use kfuse_core::fuse::apply_plan;
+use kfuse_core::spec::GroupSpec;
+use kfuse_ir::{StagingMedium};
+use kfuse_workloads::motivating;
+
+#[test]
+fn fig3_fusion_reduces_both_calls_and_traffic() {
+    let gpu = GpuSpec::k20x();
+    let (program, _) = motivating::program([256, 64, 8]);
+    let (relaxed, ctx) = pipeline::prepare(&program, &gpu, FpPrecision::Double);
+    let plan = motivating::fig3_plan();
+    let specs = ctx.validate(&plan).unwrap();
+    let fused = apply_plan(&relaxed, &ctx.info, &ctx.exec, &plan, &specs).unwrap();
+    assert_eq!(fused.kernels.len(), 2);
+
+    let orig = kfuse_sim::simulate_program(&gpu, &relaxed, FpPrecision::Double);
+    let new = kfuse_sim::simulate_program(&gpu, &fused, FpPrecision::Double);
+    assert!(
+        new.total_bytes(8) < orig.total_bytes(8),
+        "fusion must reduce GMEM traffic"
+    );
+}
+
+#[test]
+fn kernel_x_uses_halo_smem_and_barrier() {
+    let (program, arrays) = motivating::program([256, 64, 8]);
+    let gpu = GpuSpec::k20x();
+    let (relaxed, ctx) = pipeline::prepare(&program, &gpu, FpPrecision::Double);
+    let plan = motivating::fig3_plan();
+    let specs = ctx.validate(&plan).unwrap();
+    let fused = apply_plan(&relaxed, &ctx.info, &ctx.exec, &plan, &specs).unwrap();
+
+    let x = fused
+        .kernels
+        .iter()
+        .find(|k| k.sources().contains(&KernelId(0)))
+        .expect("kernel X exists");
+    // A is staged in SMEM with at least one halo layer (as in Listing 6).
+    let st = x
+        .staging
+        .iter()
+        .find(|s| s.array == arrays.a)
+        .expect("A staged in X");
+    assert_eq!(st.medium, StagingMedium::Smem);
+    assert!(st.halo >= 1);
+    // Kern_B's segment waits on a barrier.
+    assert!(x.segments.iter().skip(1).any(|s| s.barrier_before));
+}
+
+#[test]
+fn kernel_y_stages_t_q_v_like_listing7() {
+    let (program, arrays) = motivating::program([256, 64, 8]);
+    let gpu = GpuSpec::k20x();
+    let (_, ctx) = pipeline::prepare(&program, &gpu, FpPrecision::Double);
+    let spec = GroupSpec::synthesize(&ctx.info, &[KernelId(2), KernelId(3), KernelId(4)]);
+    for a in [arrays.t, arrays.q, arrays.v] {
+        let p = spec.pivot(a).expect("pivot staged");
+        assert!(p.smem, "Listing 7 stages s_T, s_Q, s_V in SMEM");
+        assert!(!p.produced, "T, Q, V are clean inputs");
+    }
+    assert!(!spec.complex, "Y is a simple fusion (no barrier)");
+}
+
+#[test]
+fn model_ordering_matches_paper_structure() {
+    // Roofline ≤ simple ≈ proposed ≤ original-sum relationships on Y.
+    let (program, _) = motivating::program([1280, 32, 32]);
+    let gpu = GpuSpec::k20x();
+    let (_, ctx) = pipeline::prepare(&program, &gpu, FpPrecision::Double);
+    let group = [KernelId(2), KernelId(3), KernelId(4)];
+    let spec = GroupSpec::synthesize(&ctx.info, &group);
+
+    let roof = RooflineModel.project(&ctx.info, &spec);
+    let simple = SimpleModel.project(&ctx.info, &spec);
+    let proposed = ProposedModel::default().project(&ctx.info, &spec);
+    let original = ctx.info.original_sum(&group);
+
+    assert!(roof <= simple * 1.05, "roofline is the most optimistic");
+    assert!(roof <= proposed, "proposed accounts for more overheads");
+    assert!(proposed < original * 1.2, "projection within sane range");
+}
+
+#[test]
+fn suppressed_halo_breaks_coherence_observably() {
+    // Take the valid fused program, strip Kernel X's halo, and verify the
+    // block-mode interpreter detects the §II-D2 hazard.
+    let (program, arrays) = motivating::program([64, 16, 4]);
+    let gpu = GpuSpec::k20x();
+    let (relaxed, ctx) = pipeline::prepare(&program, &gpu, FpPrecision::Double);
+    let plan = motivating::fig3_plan();
+    let specs = ctx.validate(&plan).unwrap();
+    let mut fused = apply_plan(&relaxed, &ctx.info, &ctx.exec, &plan, &specs).unwrap();
+
+    let mut reference = DeviceState::default_init(&relaxed);
+    run_reference(&relaxed, &mut reference);
+
+    // Healthy fusion matches.
+    let mut ok_state = DeviceState::default_init(&fused);
+    run_block_mode(&fused, &mut ok_state);
+    assert_eq!(reference.max_abs_diff(&ok_state, arrays.mx), 0.0);
+
+    // Sabotage: drop the halo layers on A inside Kernel X.
+    for k in &mut fused.kernels {
+        for st in &mut k.staging {
+            if st.array == arrays.a {
+                st.halo = 0;
+            }
+        }
+    }
+    let mut bad_state = DeviceState::default_init(&fused);
+    run_block_mode(&fused, &mut bad_state);
+    let diff = reference.max_abs_diff(&bad_state, arrays.mx);
+    assert!(diff > 0.0, "halo suppression must corrupt boundary threads");
+}

@@ -1,0 +1,77 @@
+//! JSON round-trip tests for the public data types (the CLI's program
+//! exchange format).
+
+use kernel_fusion::prelude::*;
+use kfuse_core::metadata::ProgramInfo;
+use kfuse_workloads::{motivating, scale_les, SuiteParams, TestSuite};
+
+#[test]
+fn program_roundtrips_through_json() {
+    let p = scale_les::rk_core([96, 32, 4]);
+    let json = serde_json::to_string(&p).unwrap();
+    let back: Program = serde_json::from_str(&json).unwrap();
+    assert_eq!(p, back);
+    assert!(back.validate().is_ok());
+}
+
+#[test]
+fn fused_program_roundtrips_with_staging_and_syncs() {
+    let (p, _) = motivating::program([96, 32, 4]);
+    let gpu = GpuSpec::k20x();
+    let model = ProposedModel::default();
+    let r = pipeline::run(&p, &gpu, FpPrecision::Double, &model, &HggaSolver::with_seed(3))
+        .unwrap();
+    let json = serde_json::to_string(&r.fused).unwrap();
+    let back: Program = serde_json::from_str(&json).unwrap();
+    assert_eq!(r.fused, back);
+}
+
+#[test]
+fn plan_roundtrips() {
+    let plan = FusionPlan::new(vec![
+        vec![KernelId(0), KernelId(2)],
+        vec![KernelId(1)],
+    ]);
+    let json = serde_json::to_string(&plan).unwrap();
+    let back: FusionPlan = serde_json::from_str(&json).unwrap();
+    assert_eq!(plan, back);
+}
+
+#[test]
+fn program_info_serializes() {
+    let p = TestSuite::generate_on_grid(
+        &SuiteParams {
+            kernels: 10,
+            arrays: 20,
+            ..SuiteParams::default()
+        },
+        [96, 32, 4],
+        (32, 4),
+    );
+    let info = ProgramInfo::extract(&p, &GpuSpec::k20x(), FpPrecision::Double);
+    let json = serde_json::to_string(&info).unwrap();
+    let back: ProgramInfo = serde_json::from_str(&json).unwrap();
+    assert_eq!(info.kernels.len(), back.kernels.len());
+    assert_eq!(info.epochs, back.epochs);
+}
+
+#[test]
+fn legacy_program_json_without_host_syncs_loads() {
+    // host_syncs carries #[serde(default)]: programs serialized before the
+    // field existed must still parse.
+    let p = scale_les::rk_core([96, 32, 4]);
+    let mut v: serde_json::Value = serde_json::to_value(&p).unwrap();
+    v.as_object_mut().unwrap().remove("host_syncs");
+    let back: Program = serde_json::from_value(v).unwrap();
+    assert!(back.host_syncs.is_empty());
+    assert!(back.validate().is_ok());
+}
+
+#[test]
+fn gpu_spec_roundtrips() {
+    for gpu in [GpuSpec::k20x(), GpuSpec::k40(), GpuSpec::gtx750ti()] {
+        let json = serde_json::to_string(&gpu).unwrap();
+        let back: GpuSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(gpu, back);
+    }
+}

@@ -1,0 +1,64 @@
+//! Cross-validation of the two timing models: the closed-form wave
+//! simulator (used for all "measured" numbers) against the event-driven
+//! processor-sharing simulator, on the real workload models. Agreement
+//! bounds the error introduced by the wave abstraction.
+
+use kernel_fusion::prelude::*;
+use kfuse_sim::simulate_program_events;
+use kfuse_workloads::{cloverleaf, homme, scale_les};
+
+fn cross_validate(p: &Program, tolerance: f64) {
+    let gpu = GpuSpec::k20x();
+    let wave = simulate_program(&gpu, p, FpPrecision::Double);
+    let events = simulate_program_events(&gpu, p, FpPrecision::Double);
+    assert_eq!(wave.kernels.len(), events.len());
+    for (w, e) in wave.kernels.iter().zip(&events) {
+        assert!(w.time_s.is_finite() && e.time_s.is_finite(), "{}", w.name);
+        let rel = (w.time_s - e.time_s).abs() / w.time_s.max(e.time_s);
+        assert!(
+            rel <= tolerance,
+            "{}: wave {:.3e}s vs events {:.3e}s ({:.0}% apart)",
+            w.name,
+            w.time_s,
+            e.time_s,
+            rel * 100.0
+        );
+    }
+    let wave_total = wave.total_s;
+    let event_total: f64 = events.iter().map(|e| e.time_s).sum();
+    let rel = (wave_total - event_total).abs() / wave_total;
+    assert!(rel <= tolerance, "program totals {:.0}% apart", rel * 100.0);
+}
+
+#[test]
+fn rk3_core_models_agree() {
+    cross_validate(&scale_les::rk_core([1280, 32, 32]), 0.35);
+}
+
+#[test]
+fn cloverleaf_models_agree() {
+    cross_validate(&cloverleaf::timestep([960, 960, 1]), 0.35);
+}
+
+#[test]
+fn homme_models_agree() {
+    cross_validate(&homme::full(), 0.35);
+}
+
+#[test]
+fn fused_scale_les_models_agree() {
+    let gpu = GpuSpec::k20x();
+    let program = scale_les::full_on_grid([640, 32, 16]);
+    let model = ProposedModel::default();
+    let solver = HggaSolver {
+        config: HggaConfig {
+            population: 40,
+            max_generations: 100,
+            stall_generations: 20,
+            seed: 5,
+            ..HggaConfig::default()
+        },
+    };
+    let r = pipeline::run(&program, &gpu, FpPrecision::Double, &model, &solver).unwrap();
+    cross_validate(&r.fused, 0.4);
+}
