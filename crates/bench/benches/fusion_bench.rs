@@ -21,15 +21,7 @@ fn bench_fusion(c: &mut Criterion) {
         b.iter(|| condensation_order(black_box(&out.plan), &ctx.exec))
     });
     g.bench_function("apply_plan_142", |b| {
-        b.iter(|| {
-            apply_plan(
-                black_box(&relaxed),
-                &ctx.info,
-                &ctx.exec,
-                &out.plan,
-                &specs,
-            )
-        })
+        b.iter(|| apply_plan(black_box(&relaxed), &ctx.info, &ctx.exec, &out.plan, &specs))
     });
     g.bench_function("validate_plan_142", |b| {
         b.iter(|| ctx.validate(black_box(&out.plan)))

@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks backing the `search_scaling` study:
+//! evaluator hit-path latency (sharded vs. pre-rework memo) and HGGA
+//! wall-clock versus island count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kfuse_core::model::ProposedModel;
+use kfuse_core::pipeline::{prepare, Solver};
+use kfuse_core::plan::FusionPlan;
+use kfuse_gpu::GpuSpec;
+use kfuse_ir::KernelId;
+use kfuse_search::eval::legacy::LegacyEvaluator;
+use kfuse_search::{Evaluator, HggaConfig, HggaSolver};
+use kfuse_workloads::synth::{generate, SynthConfig};
+
+fn synth(kernels: usize) -> kfuse_ir::Program {
+    generate(&SynthConfig {
+        name: format!("scale_{kernels}"),
+        kernels,
+        arrays: kernels * 2,
+        data_copies: 2,
+        sharing_set: 3,
+        thread_load: 4,
+        kinship: 3,
+        grid: [64, 16, 2],
+        block: (32, 4),
+        dep_prob: 0.5,
+        reads_per_kernel: 2,
+        pointwise_prob: 0.3,
+        sync_interval: None,
+        seed: 0xBEEF + kernels as u64,
+    })
+}
+
+/// A plan pairing each kernel with its index-successor when feasible —
+/// deterministic, plenty of multi-member groups for the memo to chew on.
+fn paired_plan(ev: &Evaluator<'_>, n: usize) -> FusionPlan {
+    let mut groups: Vec<Vec<KernelId>> = Vec::new();
+    let mut i = 0;
+    while i < n {
+        if i + 1 < n {
+            let pair = vec![KernelId(i as u32), KernelId(i as u32 + 1)];
+            if ev.feasible(&pair) {
+                groups.push(pair);
+                i += 2;
+                continue;
+            }
+        }
+        groups.push(vec![KernelId(i as u32)]);
+        i += 1;
+    }
+    FusionPlan::new(groups)
+}
+
+fn evaluator_hit_path(c: &mut Criterion) {
+    let gpu = GpuSpec::k20x();
+    let model = ProposedModel::default();
+    let mut g = c.benchmark_group("evaluator_hit_path");
+    g.sample_size(20);
+    for kernels in [20usize, 60] {
+        let program = synth(kernels);
+        let (_, ctx) = prepare(&program, &gpu, gpu.default_precision());
+        let sharded = Evaluator::new(&ctx, &model);
+        let legacy = LegacyEvaluator::new(&ctx, &model);
+        let plan = paired_plan(&sharded, kernels);
+        sharded.plan(&plan);
+        legacy.plan(&plan);
+        g.bench_with_input(BenchmarkId::new("sharded", kernels), &plan, |b, p| {
+            b.iter(|| sharded.plan(p))
+        });
+        g.bench_with_input(BenchmarkId::new("legacy", kernels), &plan, |b, p| {
+            b.iter(|| legacy.plan(p))
+        });
+    }
+    g.finish();
+}
+
+fn hgga_islands(c: &mut Criterion) {
+    let gpu = GpuSpec::k20x();
+    let model = ProposedModel::default();
+    let program = synth(20);
+    let (_, ctx) = prepare(&program, &gpu, gpu.default_precision());
+    let mut g = c.benchmark_group("hgga_islands");
+    g.sample_size(10);
+    for islands in [1usize, 2, 4] {
+        let solver = HggaSolver {
+            config: HggaConfig {
+                population: 32,
+                max_generations: 15,
+                stall_generations: 15,
+                islands,
+                migration_interval: 5,
+                seed: 0xC0FFEE,
+                ..HggaConfig::default()
+            },
+        };
+        g.bench_with_input(BenchmarkId::new("islands", islands), &solver, |b, s| {
+            b.iter(|| s.solve(&ctx, &model))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, evaluator_hit_path, hgga_islands);
+criterion_main!(benches);

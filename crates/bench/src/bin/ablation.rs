@@ -40,13 +40,34 @@ fn hgga(seed: u64, local_search: bool) -> HggaSolver {
     }
 }
 
-fn run(app: &'static str, program: &Program, gpu: &GpuSpec, variant: &'static str,
-       solver: &dyn Solver, rows: &mut Vec<Row>) {
-    run_opts(app, program, gpu, variant, solver, pipeline::PipelineOptions::default(), rows);
+fn run(
+    app: &'static str,
+    program: &Program,
+    gpu: &GpuSpec,
+    variant: &'static str,
+    solver: &dyn Solver,
+    rows: &mut Vec<Row>,
+) {
+    run_opts(
+        app,
+        program,
+        gpu,
+        variant,
+        solver,
+        pipeline::PipelineOptions::default(),
+        rows,
+    );
 }
 
-fn run_opts(app: &'static str, program: &Program, gpu: &GpuSpec, variant: &'static str,
-       solver: &dyn Solver, opts: pipeline::PipelineOptions, rows: &mut Vec<Row>) {
+fn run_opts(
+    app: &'static str,
+    program: &Program,
+    gpu: &GpuSpec,
+    variant: &'static str,
+    solver: &dyn Solver,
+    opts: pipeline::PipelineOptions,
+    rows: &mut Vec<Row>,
+) {
     let model = ProposedModel::default();
     match pipeline::run_with(program, gpu, FpPrecision::Double, &model, solver, opts) {
         Ok(r) => {
@@ -78,26 +99,51 @@ fn main() {
     let mut gpu_ro = GpuSpec::k20x();
     gpu_ro.use_readonly_cache = true;
 
-    for (app, program) in [
-        ("SCALE-LES", scale_les::full()),
-        ("HOMME", homme::full()),
-    ] {
+    for (app, program) in [("SCALE-LES", scale_les::full()), ("HOMME", homme::full())] {
         // Baseline.
         run(app, &program, &gpu, "baseline", &hgga(17, true), &mut rows);
 
         // No hybrid local search.
-        run(app, &program, &gpu, "no local search", &hgga(17, false), &mut rows);
+        run(
+            app,
+            &program,
+            &gpu,
+            "no local search",
+            &hgga(17, false),
+            &mut rows,
+        );
 
         // Greedy solver.
-        run(app, &program, &gpu, "greedy solver", &GreedySolver, &mut rows);
+        run(
+            app,
+            &program,
+            &gpu,
+            "greedy solver",
+            &GreedySolver,
+            &mut rows,
+        );
 
         // Read-only cache relaxation.
-        run(app, &program, &gpu_ro, "+readonly cache", &hgga(17, true), &mut rows);
+        run(
+            app,
+            &program,
+            &gpu_ro,
+            "+readonly cache",
+            &hgga(17, true),
+            &mut rows,
+        );
 
         // Hypothetical fully device-resident port: drop host syncs.
         let mut resident = program.clone();
         resident.host_syncs.clear();
-        run(app, &resident, &gpu, "no host syncs", &hgga(17, true), &mut rows);
+        run(
+            app,
+            &resident,
+            &gpu,
+            "no host syncs",
+            &hgga(17, true),
+            &mut rows,
+        );
 
         // No expandable-array relaxation: original precedences kept.
         run_opts(

@@ -50,10 +50,7 @@ fn main() {
         )
         .expect("tuning succeeds");
         println!();
-        println!(
-            "{name}: best tile {}x{}",
-            r.best_block.0, r.best_block.1
-        );
+        println!("{name}: best tile {}x{}", r.best_block.0, r.best_block.1);
         println!(
             "{:>8} {:>12} {:>12} {:>9} {:>5}",
             "tile", "orig (us)", "fused (us)", "speedup", "new"

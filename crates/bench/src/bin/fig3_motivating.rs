@@ -74,14 +74,37 @@ fn main() {
     println!("Fig. 3 motivating example on {}, grid 1280x32x32", gpu.name);
     kfuse_bench::rule(66);
     println!("Kernel Y = fuse(C, D, E)            ours (us)    paper (us)");
-    println!("  original sum  (C+D+E)            {:>9}    {:>9}", us(original_sum_y), 519);
-    println!("  measured Y                       {:>9}    {:>9}", us(measured_y), 554);
-    println!("  Roofline projection              {:>9}    {:>9}", us(proj["roofline"]), 336);
-    println!("  simple-model projection          {:>9}    {:>9}", us(proj["simple"]), 410);
-    println!("  proposed-model projection        {:>9}    {:>9}", us(proj["proposed"]), 564);
+    println!(
+        "  original sum  (C+D+E)            {:>9}    {:>9}",
+        us(original_sum_y),
+        519
+    );
+    println!(
+        "  measured Y                       {:>9}    {:>9}",
+        us(measured_y),
+        554
+    );
+    println!(
+        "  Roofline projection              {:>9}    {:>9}",
+        us(proj["roofline"]),
+        336
+    );
+    println!(
+        "  simple-model projection          {:>9}    {:>9}",
+        us(proj["simple"]),
+        410
+    );
+    println!(
+        "  proposed-model projection        {:>9}    {:>9}",
+        us(proj["proposed"]),
+        564
+    );
     kfuse_bench::rule(66);
     println!("Kernel X = fuse(A, B)  [complex fusion, 1 halo layer]");
-    println!("  original sum  (A+B)              {:>9}", us(original_sum_x));
+    println!(
+        "  original sum  (A+B)              {:>9}",
+        us(original_sum_x)
+    );
     println!("  measured X                       {:>9}", us(measured_x));
     kfuse_bench::rule(66);
     let verdict = |t: f64, s: f64| if t < s { "profitable" } else { "UNPROFITABLE" };

@@ -123,7 +123,9 @@ fn ablation(name: &str, program: &kfuse_ir::Program, rows: &mut Vec<AblationRow>
     let (relaxed, ctx) = context(program, &gpu);
     for model in kfuse_bench::all_models() {
         let out = hgga(17).solve(&ctx, model.as_ref());
-        let Ok(specs) = ctx.validate(&out.plan) else { continue };
+        let Ok(specs) = ctx.validate(&out.plan) else {
+            continue;
+        };
         let Ok(fused) = apply_plan(&relaxed, &ctx.info, &ctx.exec, &out.plan, &specs) else {
             continue;
         };

@@ -57,8 +57,7 @@ fn main() {
                 .iter()
                 .max_by(|a, b| a.speedup().total_cmp(&b.speedup()))
                 .unwrap();
-            let mean_speedup =
-                runs.iter().map(|r| r.speedup()).sum::<f64>() / runs.len() as f64;
+            let mean_speedup = runs.iter().map(|r| r.speedup()).sum::<f64>() / runs.len() as f64;
             let complex = r.specs.iter().filter(|s| s.complex).count();
             println!(
                 "{:<10} {:<26} {:>7} {:>6} {:>7.3}x {:>6} {:>5} {:>8}",

@@ -83,7 +83,10 @@ fn main() {
     collect(&k20x, "HOMME", homme::full(), false, &mut rows);
 
     println!("§VI-F: Fusion Efficiency of new kernels (paper: 87–96%)");
-    println!("{:<10} {:<10} {:>8} {:>8} {:>8} {:>8}", "GPU", "workload", "n", "min FE", "mean FE", "max FE");
+    println!(
+        "{:<10} {:<10} {:>8} {:>8} {:>8} {:>8}",
+        "GPU", "workload", "n", "min FE", "mean FE", "max FE"
+    );
     kfuse_bench::rule(58);
     let mut groups: Vec<(String, String)> = rows
         .iter()

@@ -1,0 +1,244 @@
+//! Search-layer scaling study: evaluator throughput and island-model
+//! wall-clock on synthetic workloads of 20/40/60 kernels.
+//!
+//! Two questions, answered side by side:
+//!
+//! 1. **Evaluator throughput** — plan evaluations per second of the
+//!    sharded, allocation-lean memo versus the retained pre-rework
+//!    evaluator (single global `RwLock<HashMap>` with an allocating key
+//!    per lookup), hammered from 1/2/4/8 threads over a fixed pool of
+//!    candidate plans. This isolates the memo hit path, which dominates
+//!    HGGA runtime once the population converges.
+//! 2. **Island scaling** — HGGA wall-clock and solution quality at
+//!    1/2/4/8 islands with everything else fixed.
+//!
+//! Results go to `results/search_scaling.json`.
+
+use kfuse_bench::write_json;
+use kfuse_core::model::ProposedModel;
+use kfuse_core::pipeline::prepare;
+use kfuse_core::pipeline::Solver;
+use kfuse_core::plan::{FusionPlan, PlanContext};
+use kfuse_gpu::GpuSpec;
+use kfuse_ir::KernelId;
+use kfuse_search::eval::legacy::LegacyEvaluator;
+use kfuse_search::{Evaluator, HggaConfig, HggaSolver};
+use kfuse_workloads::synth::{generate, SynthConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const ISLAND_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const KERNEL_COUNTS: [usize; 3] = [20, 40, 60];
+const PLAN_POOL: usize = 48;
+
+#[derive(Serialize)]
+struct EvaluatorPoint {
+    threads: usize,
+    legacy_evals_per_sec: f64,
+    sharded_evals_per_sec: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct SolverPoint {
+    islands: usize,
+    wall_s: f64,
+    objective: f64,
+    generations: u32,
+    evaluations: u64,
+}
+
+#[derive(Serialize)]
+struct WorkloadReport {
+    kernels: usize,
+    evaluator: Vec<EvaluatorPoint>,
+    solver: Vec<SolverPoint>,
+}
+
+#[derive(Serialize)]
+struct Report {
+    workloads: Vec<WorkloadReport>,
+}
+
+fn synth(kernels: usize) -> kfuse_ir::Program {
+    generate(&SynthConfig {
+        name: format!("scale_{kernels}"),
+        kernels,
+        arrays: kernels * 2,
+        data_copies: 2,
+        sharing_set: 3,
+        thread_load: 4,
+        kinship: 3,
+        grid: [64, 16, 2],
+        block: (32, 4),
+        dep_prob: 0.5,
+        reads_per_kernel: 2,
+        pointwise_prob: 0.3,
+        sync_interval: None,
+        seed: 0xBEEF + kernels as u64,
+    })
+}
+
+/// Deterministic pool of candidate plans built by random constructive
+/// merging over the sharing graph — the same distribution the HGGA's
+/// initializer draws from, so the memo sees realistic reuse.
+fn plan_pool(ctx: &PlanContext, ev: &Evaluator<'_>, rng: &mut SmallRng) -> Vec<FusionPlan> {
+    let n = ctx.n_kernels();
+    (0..PLAN_POOL)
+        .map(|_| {
+            let mut group_of: Vec<usize> = (0..n).collect();
+            let mut groups: Vec<Vec<KernelId>> = (0..n).map(|i| vec![KernelId(i as u32)]).collect();
+            for _ in 0..n {
+                let k = rng.gen_range(0..n);
+                let neigh = ctx.share.neighbors(KernelId(k as u32));
+                if neigh.is_empty() {
+                    continue;
+                }
+                let m = neigh[rng.gen_range(0..neigh.len())] as usize;
+                let (ga, gb) = (group_of[k], group_of[m]);
+                if ga == gb || groups[ga].is_empty() || groups[gb].is_empty() {
+                    continue;
+                }
+                let mut merged = groups[ga].clone();
+                merged.extend_from_slice(&groups[gb]);
+                if ev.feasible(&merged) {
+                    for &kid in &groups[gb] {
+                        group_of[kid.index()] = ga;
+                    }
+                    groups[ga] = merged;
+                    groups[gb].clear();
+                }
+            }
+            FusionPlan::new(groups.into_iter().filter(|g| !g.is_empty()).collect())
+        })
+        .collect()
+}
+
+/// Hammer `eval` over `plans` from `threads` OS threads; returns plan
+/// evaluations per second. The memo is pre-warmed by the caller, so this
+/// measures the steady-state hit path.
+fn throughput<F>(threads: usize, iters: usize, plans: &[FusionPlan], eval: F) -> f64
+where
+    F: Fn(&FusionPlan) -> f64 + Sync,
+{
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                for _ in 0..iters {
+                    for p in plans {
+                        std::hint::black_box(eval(p));
+                    }
+                }
+            });
+        }
+    });
+    let total = (threads * iters * plans.len()) as f64;
+    total / t.elapsed().as_secs_f64()
+}
+
+/// Pick an iteration count so each measurement takes roughly half a
+/// second at single-thread speed.
+fn calibrate<F: Fn(&FusionPlan) -> f64>(plans: &[FusionPlan], eval: F) -> usize {
+    let t = Instant::now();
+    for p in plans {
+        std::hint::black_box(eval(p));
+    }
+    let pass = t.elapsed().as_secs_f64().max(1e-6);
+    ((0.5 / pass).ceil() as usize).clamp(2, 2000)
+}
+
+fn main() {
+    let gpu = GpuSpec::k20x();
+    let model = ProposedModel::default();
+    let mut report = Report {
+        workloads: Vec::new(),
+    };
+
+    for &kernels in &KERNEL_COUNTS {
+        let program = synth(kernels);
+        let (_, ctx) = prepare(&program, &gpu, gpu.default_precision());
+        let sharded = Evaluator::new(&ctx, &model);
+        let legacy = LegacyEvaluator::new(&ctx, &model);
+        let mut rng = SmallRng::seed_from_u64(0xD15C0);
+        let plans = plan_pool(&ctx, &sharded, &mut rng);
+
+        // Warm both memos so every measured evaluation is a hit.
+        for p in &plans {
+            sharded.plan(p);
+            legacy.plan(p);
+        }
+        let iters = calibrate(&plans, |p| sharded.plan(p));
+
+        println!(
+            "== {kernels} kernels ({} candidate plans, {iters} iters) ==",
+            plans.len()
+        );
+        let mut evaluator = Vec::new();
+        for &threads in &THREAD_COUNTS {
+            let new_rate = throughput(threads, iters, &plans, |p| sharded.plan(p));
+            let old_rate = throughput(threads, iters, &plans, |p| legacy.plan(p));
+            let speedup = new_rate / old_rate;
+            println!(
+                "  evaluator  t={threads}: sharded {:>12.0} evals/s   legacy {:>12.0} evals/s   ({speedup:.2}x)",
+                new_rate, old_rate
+            );
+            evaluator.push(EvaluatorPoint {
+                threads,
+                legacy_evals_per_sec: old_rate,
+                sharded_evals_per_sec: new_rate,
+                speedup,
+            });
+        }
+
+        let mut solver = Vec::new();
+        for &islands in &ISLAND_COUNTS {
+            let s = HggaSolver {
+                config: HggaConfig {
+                    population: 64,
+                    max_generations: 60,
+                    stall_generations: 20,
+                    islands,
+                    migration_interval: 5,
+                    seed: 0xC0FFEE,
+                    ..HggaConfig::default()
+                },
+            };
+            let t = Instant::now();
+            let out = s.solve(&ctx, &model);
+            let wall = t.elapsed().as_secs_f64();
+            println!(
+                "  hgga   islands={islands}: {:.3} s   objective {:.6e}   {} gens   {} evals",
+                wall, out.objective, out.stats.generations, out.stats.evaluations
+            );
+            solver.push(SolverPoint {
+                islands,
+                wall_s: wall,
+                objective: out.objective,
+                generations: out.stats.generations,
+                evaluations: out.stats.evaluations,
+            });
+        }
+
+        report.workloads.push(WorkloadReport {
+            kernels,
+            evaluator,
+            solver,
+        });
+    }
+
+    write_json("search_scaling", &report);
+
+    // Headline number for the changelog: 60-kernel workload at 8 threads.
+    if let Some(w) = report.workloads.iter().find(|w| w.kernels == 60) {
+        if let Some(p) = w.evaluator.iter().find(|p| p.threads == 8) {
+            println!(
+                "\nheadline: 60 kernels @ 8 threads — sharded {:.0} evals/s vs legacy {:.0} evals/s ({:.2}x)",
+                p.sharded_evals_per_sec, p.legacy_evals_per_sec, p.speedup
+            );
+        }
+    }
+}

@@ -35,12 +35,7 @@ fn main() {
         let pct = 100.0 * red.fraction();
         println!(
             "{:<12} {:>8} {:>7} {:>13} {:>15.1}% {:>9.0}%",
-            row.application,
-            row.kernels,
-            row.arrays,
-            sharing_sets,
-            pct,
-            row.paper_reducible_pct
+            row.application, row.kernels, row.arrays, sharing_sets, pct, row.paper_reducible_pct
         );
         rows.push(Row {
             application: row.application,

@@ -39,14 +39,7 @@ fn main() {
     let gpu = GpuSpec::k20x();
     let model = ProposedModel::default();
     let apps: [(&str, kfuse_ir::Program, u32, u32, f64, f64); 2] = [
-        (
-            "SCALE-LES",
-            scale_les::full(),
-            2000,
-            2000,
-            5.4e6,
-            9.51,
-        ),
+        ("SCALE-LES", scale_les::full(), 2000, 2000, 5.4e6, 9.51),
         ("HOMME", homme::full(), 1000, 1000, 2.7e6, 6.11),
     ];
 

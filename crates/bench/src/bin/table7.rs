@@ -34,7 +34,12 @@ fn main() {
             1.35,
             1.32,
         ),
-        ("HOMME", homme::full as fn() -> kfuse_ir::Program, 1.20, 1.18),
+        (
+            "HOMME",
+            homme::full as fn() -> kfuse_ir::Program,
+            1.20,
+            1.18,
+        ),
     ] {
         for (gpu, paper) in [(GpuSpec::k40(), paper_k40), (GpuSpec::k20x(), paper_k20x)] {
             let program = build();

@@ -59,7 +59,9 @@ fn main() {
     let spread = rows
         .iter()
         .map(|r| r.speedup)
-        .fold((f64::INFINITY, 0.0f64), |(lo, hi), s| (lo.min(s), hi.max(s)));
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), s| {
+            (lo.min(s), hi.max(s))
+        });
     println!(
         "speedup range across scales: {:.3}x – {:.3}x (invariance confirms the\n\
          paper's claim that the single-node gain carries over under weak scaling)",

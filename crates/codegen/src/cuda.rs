@@ -210,9 +210,20 @@ fn offset_index(base: &str, d: i8, extent: &str) -> String {
 fn emit_header(p: &Program, opts: &CodegenOptions) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "// Generated by kfuse-codegen — program `{}`", p.name);
-    let _ = writeln!(s, "// Grid {}x{}x{}, block {}x{}, {} precision",
-        p.grid.nx, p.grid.ny, p.grid.nz, p.launch.block_x, p.launch.block_y,
-        if opts.double_precision { "double" } else { "single" });
+    let _ = writeln!(
+        s,
+        "// Grid {}x{}x{}, block {}x{}, {} precision",
+        p.grid.nx,
+        p.grid.ny,
+        p.grid.nz,
+        p.launch.block_x,
+        p.launch.block_y,
+        if opts.double_precision {
+            "double"
+        } else {
+            "single"
+        }
+    );
     let _ = writeln!(s);
     let _ = writeln!(s, "#define NX {}", p.grid.nx);
     let _ = writeln!(s, "#define NY {}", p.grid.ny);
@@ -258,7 +269,12 @@ pub fn emit_kernel(p: &Program, k: &Kernel, opts: &CodegenOptions) -> String {
             params.push(format!("const {ty}* {name}"));
         }
     }
-    let _ = writeln!(s, "// {} segment(s), {} barrier(s)", k.segments.len(), k.barrier_count());
+    let _ = writeln!(
+        s,
+        "// {} segment(s), {} barrier(s)",
+        k.segments.len(),
+        k.barrier_count()
+    );
     let _ = writeln!(
         s,
         "__global__ void {}({}) {{",
@@ -278,10 +294,7 @@ pub fn emit_kernel(p: &Program, k: &Kernel, opts: &CodegenOptions) -> String {
         match st.medium {
             StagingMedium::Smem => {
                 let h = st.halo;
-                let _ = writeln!(
-                    s,
-                    "  __shared__ {ty} s_{name}[BY + 2*{h}][BX + 2*{h} + 1];"
-                );
+                let _ = writeln!(s, "  __shared__ {ty} s_{name}[BY + 2*{h}][BX + 2*{h} + 1];");
             }
             StagingMedium::Register => {
                 let _ = writeln!(s, "  {ty} r_{name} = ({ty})0;");
@@ -335,7 +348,11 @@ pub fn emit_kernel(p: &Program, k: &Kernel, opts: &CodegenOptions) -> String {
         // Segment provenance: source ids refer to the pre-fusion program,
         // which is not in scope here; emit the id (the fused kernel's name
         // lists the member names).
-        let _ = writeln!(s, "    // ---- segment from original kernel {} ----", seg.source);
+        let _ = writeln!(
+            s,
+            "    // ---- segment from original kernel {} ----",
+            seg.source
+        );
         for stmt in &seg.statements {
             let tname = em.aname(stmt.target);
             let tst = em.staged(stmt.target);
@@ -347,11 +364,11 @@ pub fn emit_kernel(p: &Program, k: &Kernel, opts: &CodegenOptions) -> String {
             match tst {
                 Some(st) if st.medium == StagingMedium::Smem => {
                     let h = st.halo;
+                    let _ = writeln!(s, "      s_{tname}[ty + {h}][tx + {h}] = {v};");
                     let _ = writeln!(
                         s,
-                        "      s_{tname}[ty + {h}][tx + {h}] = {v};"
+                        "      if (i < NX && j < NY) {tname}[IDX3(i, j, k)] = {v};"
                     );
-                    let _ = writeln!(s, "      if (i < NX && j < NY) {tname}[IDX3(i, j, k)] = {v};");
                     if st.halo > 0 {
                         // Specialized warps recompute the halo ring
                         // (generalized Listing 6).
@@ -393,10 +410,16 @@ pub fn emit_kernel(p: &Program, k: &Kernel, opts: &CodegenOptions) -> String {
                 Some(_) => {
                     // Register staging.
                     let _ = writeln!(s, "      r_{tname} = {v};");
-                    let _ = writeln!(s, "      if (i < NX && j < NY) {tname}[IDX3(i, j, k)] = {v};");
+                    let _ = writeln!(
+                        s,
+                        "      if (i < NX && j < NY) {tname}[IDX3(i, j, k)] = {v};"
+                    );
                 }
                 None => {
-                    let _ = writeln!(s, "      if (i < NX && j < NY) {tname}[IDX3(i, j, k)] = {v};");
+                    let _ = writeln!(
+                        s,
+                        "      if (i < NX && j < NY) {tname}[IDX3(i, j, k)] = {v};"
+                    );
                 }
             }
             let _ = writeln!(s, "    }}");
@@ -449,7 +472,9 @@ mod tests {
         let a = pb.array("A");
         let b = pb.array("B");
         let c = pb.array("C");
-        pb.kernel("scale").write(b, Expr::at(a) * Expr::lit(2.0)).build();
+        pb.kernel("scale")
+            .write(b, Expr::at(a) * Expr::lit(2.0))
+            .build();
         pb.kernel("diff")
             .write(c, ld(b, 1, 0) - ld(b, -1, 0))
             .build();

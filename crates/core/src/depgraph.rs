@@ -139,7 +139,9 @@ mod tests {
         // k1: W = B + Q             (reads Q generation 1)
         pb.kernel("k1").write(w, Expr::at(b) + Expr::at(q)).build();
         // k2: Q = A - 1             (second write of Q)
-        pb.kernel("k2").write(q, Expr::at(a) - Expr::lit(1.0)).build();
+        pb.kernel("k2")
+            .write(q, Expr::at(a) - Expr::lit(1.0))
+            .build();
         // k3: W = Q                 (reads Q generation 2) — W double write
         pb.kernel("k3")
             .write(w, Expr::load(q, Offset::new(-1, 0, 0)))

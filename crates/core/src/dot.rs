@@ -29,15 +29,11 @@ pub fn dependency_dot(p: &Program, dep: &DependencyGraph) -> String {
     let _ = writeln!(s, "  rankdir=TB;");
     let _ = writeln!(s, "  node [fontname=\"Helvetica\"];");
     for k in &p.kernels {
-        let _ = writeln!(
-            s,
-            "  k{} [label=\"{}\", shape=circle];",
-            k.id.0, k.name
-        );
+        let _ = writeln!(s, "  k{} [label=\"{}\", shape=circle];", k.id.0, k.name);
     }
     for a in &p.arrays {
-        let touched = !dep.readers[a.id.index()].is_empty()
-            || !dep.writers[a.id.index()].is_empty();
+        let touched =
+            !dep.readers[a.id.index()].is_empty() || !dep.writers[a.id.index()].is_empty();
         if !touched {
             continue;
         }

@@ -217,7 +217,9 @@ mod tests {
         let c = pb.array("C");
         pb.kernel("k0").write(c, Expr::at(b)).build(); // reads B
         pb.kernel("k1").write(b, Expr::at(a)).build(); // writes B: WAR k0→k1
-        pb.kernel("k2").write(b, Expr::at(a) + Expr::lit(1.0)).build(); // WAW k1→k2
+        pb.kernel("k2")
+            .write(b, Expr::at(a) + Expr::lit(1.0))
+            .build(); // WAW k1→k2
         let g = ExecOrderGraph::build(&pb.build());
         assert!(g.reaches(KernelId(0), KernelId(1)), "WAR edge");
         assert!(g.reaches(KernelId(1), KernelId(2)), "WAW edge");
@@ -267,7 +269,9 @@ mod tests {
         let o2 = pb.array("O2");
         pb.kernel("K8").write(q, Expr::at(a)).build();
         pb.kernel("K10").write(o1, Expr::at(q)).build();
-        pb.kernel("K12").write(q, Expr::at(a) + Expr::lit(1.0)).build();
+        pb.kernel("K12")
+            .write(q, Expr::at(a) + Expr::lit(1.0))
+            .build();
         pb.kernel("K14").write(o2, Expr::at(q)).build();
         let p = pb.build();
 

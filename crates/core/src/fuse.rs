@@ -18,7 +18,8 @@ use crate::metadata::ProgramInfo;
 use crate::plan::FusionPlan;
 use crate::spec::GroupSpec;
 use kfuse_ir::{Kernel, KernelId, Program, Staging, StagingMedium};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Why a plan could not be applied.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,7 +35,10 @@ impl std::fmt::Display for FuseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FuseError::OrderCycle(a, b) => {
-                write!(f, "groups {a} and {b} are mutually ordered (condensation cycle)")
+                write!(
+                    f,
+                    "groups {a} and {b} are mutually ordered (condensation cycle)"
+                )
             }
             FuseError::UnknownKernel(k) => write!(f, "plan references unknown kernel {k}"),
         }
@@ -43,77 +47,134 @@ impl std::fmt::Display for FuseError {
 
 impl std::error::Error for FuseError {}
 
+/// Reusable buffers for [`condensation_order_with`].
+///
+/// The HGGA evaluates the condensation of thousands of candidate plans per
+/// second; rebuilding the kernel→group map and the Kahn queue from scratch
+/// each time made the check allocation-bound. A scratch kept per thread (or
+/// per solver) amortizes every buffer across calls: after warm-up the check
+/// performs no heap allocation at all on cycle-free plans whose group count
+/// does not grow.
+#[derive(Debug, Default)]
+pub struct CondensationScratch {
+    /// Dense kernel index → group index map (`u32::MAX` = unassigned).
+    group_of: Vec<u32>,
+    /// Per-group successor lists (inner vectors keep their capacity).
+    succ: Vec<Vec<u32>>,
+    /// Per-group in-degree.
+    indeg: Vec<u32>,
+    /// Kahn ready-queue, keyed by the group's first kernel id.
+    ready: BinaryHeap<Reverse<(KernelId, u32)>>,
+    /// Output order (group indices).
+    order: Vec<usize>,
+}
+
+impl CondensationScratch {
+    /// Fresh scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Topologically order the plan's groups over the condensed exec-order
 /// DAG. Returns group indices, or the cycle that makes the plan invalid.
+///
+/// Allocating convenience wrapper over [`condensation_order_with`]; hot
+/// paths should hold a [`CondensationScratch`] and call that directly.
 pub fn condensation_order(
     plan: &FusionPlan,
     exec: &ExecOrderGraph,
 ) -> Result<Vec<usize>, FuseError> {
+    let mut scratch = CondensationScratch::new();
+    condensation_order_with(plan, exec, &mut scratch)?;
+    Ok(std::mem::take(&mut scratch.order))
+}
+
+/// [`condensation_order`] against caller-owned scratch buffers. The
+/// returned slice borrows `scratch.order` and is valid until the next call.
+pub fn condensation_order_with<'s>(
+    plan: &FusionPlan,
+    exec: &ExecOrderGraph,
+    scratch: &'s mut CondensationScratch,
+) -> Result<&'s [usize], FuseError> {
+    const UNASSIGNED: u32 = u32::MAX;
     let n_groups = plan.groups.len();
-    let mut group_of: HashMap<KernelId, usize> = HashMap::new();
+    let n_kernels = exec.len();
+
+    scratch.group_of.clear();
+    scratch.group_of.resize(n_kernels, UNASSIGNED);
     for (gi, g) in plan.groups.iter().enumerate() {
         for &k in g {
-            if k.index() >= exec.len() {
+            if k.index() >= n_kernels {
                 return Err(FuseError::UnknownKernel(k));
             }
-            group_of.insert(k, gi);
+            scratch.group_of[k.index()] = gi as u32;
         }
     }
 
     // Edges between groups from direct kernel edges.
-    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n_groups];
-    let mut indeg = vec![0usize; n_groups];
+    scratch.succ.truncate(n_groups);
+    for s in &mut scratch.succ {
+        s.clear();
+    }
+    scratch.succ.resize_with(n_groups, Vec::new);
+    scratch.indeg.clear();
+    scratch.indeg.resize(n_groups, 0);
     for (gi, g) in plan.groups.iter().enumerate() {
         for &k in g {
             for &s in &exec.succs[k.index()] {
-                let gj = group_of[&s];
-                if gj != gi {
-                    succ[gi].push(gj);
+                let gj = scratch.group_of[s.index()];
+                debug_assert_ne!(gj, UNASSIGNED, "plan does not cover kernel {s}");
+                if gj != gi as u32 {
+                    scratch.succ[gi].push(gj);
                 }
             }
         }
     }
-    for s in &mut succ {
+    for s in &mut scratch.succ {
         s.sort_unstable();
         s.dedup();
     }
-    for s in &succ {
-        for &gj in s {
-            indeg[gj] += 1;
+    for gi in 0..n_groups {
+        for i in 0..scratch.succ[gi].len() {
+            let gj = scratch.succ[gi][i];
+            scratch.indeg[gj as usize] += 1;
         }
     }
 
     // Kahn with a min-heap keyed by the group's first kernel id, so the
     // output order is deterministic and close to host invocation order.
-    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<(KernelId, usize)>> = indeg
-        .iter()
-        .enumerate()
-        .filter(|&(_, &d)| d == 0)
-        .map(|(gi, _)| std::cmp::Reverse((plan.groups[gi][0], gi)))
-        .collect();
-    let mut order = Vec::with_capacity(n_groups);
-    while let Some(std::cmp::Reverse((_, gi))) = ready.pop() {
-        order.push(gi);
-        for &gj in &succ[gi] {
-            indeg[gj] -= 1;
-            if indeg[gj] == 0 {
-                ready.push(std::cmp::Reverse((plan.groups[gj][0], gj)));
+    scratch.ready.clear();
+    for (gi, &d) in scratch.indeg.iter().enumerate() {
+        if d == 0 {
+            scratch.ready.push(Reverse((plan.groups[gi][0], gi as u32)));
+        }
+    }
+    scratch.order.clear();
+    scratch.order.reserve(n_groups);
+    while let Some(Reverse((_, gi))) = scratch.ready.pop() {
+        scratch.order.push(gi as usize);
+        for i in 0..scratch.succ[gi as usize].len() {
+            let gj = scratch.succ[gi as usize][i] as usize;
+            scratch.indeg[gj] -= 1;
+            if scratch.indeg[gj] == 0 {
+                scratch.ready.push(Reverse((plan.groups[gj][0], gj as u32)));
             }
         }
     }
-    if order.len() != n_groups {
+    if scratch.order.len() != n_groups {
         // Report two groups stuck in the cycle for the diagnostic.
-        let stuck: Vec<usize> = indeg
+        let mut stuck = scratch
+            .indeg
             .iter()
             .enumerate()
             .filter(|&(_, &d)| d > 0)
-            .map(|(gi, _)| gi)
-            .collect();
-        let a = stuck.first().copied().unwrap_or(0);
-        let b = stuck.get(1).copied().unwrap_or(a);
+            .map(|(gi, _)| gi);
+        let a = stuck.next().unwrap_or(0);
+        let b = stuck.next().unwrap_or(a);
         return Err(FuseError::OrderCycle(a, b));
     }
-    Ok(order)
+    Ok(&scratch.order)
 }
 
 /// Apply `plan` to `p`, producing the fused program.
@@ -254,7 +315,9 @@ mod tests {
         let c = pb.array("C");
         let d = pb.array("D");
         let e = pb.array("E");
-        pb.kernel("k0").write(b, Expr::at(a) + Expr::lit(1.0)).build();
+        pb.kernel("k0")
+            .write(b, Expr::at(a) + Expr::lit(1.0))
+            .build();
         pb.kernel("k1")
             .write(c, Expr::load(b, Offset::new(1, 0, 0)) * Expr::lit(2.0))
             .build();
@@ -290,10 +353,7 @@ mod tests {
         let fused = &f.kernels[0];
         assert!(fused.is_fused());
         assert_eq!(fused.segments.len(), 3);
-        assert_eq!(
-            fused.sources(),
-            vec![KernelId(0), KernelId(1), KernelId(2)]
-        );
+        assert_eq!(fused.sources(), vec![KernelId(0), KernelId(1), KernelId(2)]);
         // B is a produced pivot read at radius by k1 → SMEM with halo,
         // barrier before k1's segment.
         let st_b = fused
@@ -400,6 +460,57 @@ mod tests {
             let a = kfuse_ir::ArrayId(a as u32);
             assert_eq!(s_ref.max_abs_diff(&s_fused, a), 0.0);
         }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_allocating_path() {
+        let p = program();
+        let exec = ExecOrderGraph::build(&p);
+        let plans = [
+            FusionPlan::identity(4),
+            FusionPlan::new(vec![
+                vec![KernelId(0), KernelId(1), KernelId(2)],
+                vec![KernelId(3)],
+            ]),
+            FusionPlan::new(vec![
+                vec![KernelId(1), KernelId(2)],
+                vec![KernelId(0)],
+                vec![KernelId(3)],
+            ]),
+        ];
+        // One scratch across plans with different group counts.
+        let mut scratch = CondensationScratch::new();
+        for plan in &plans {
+            let with = condensation_order_with(plan, &exec, &mut scratch)
+                .expect("feasible plan orders")
+                .to_vec();
+            let alloc = condensation_order(plan, &exec).unwrap();
+            assert_eq!(with, alloc);
+        }
+        // Cycles are detected identically through the scratch path.
+        let mut pb = ProgramBuilder::new("cyc", [64, 32, 4]);
+        let x = pb.array("X");
+        let y = pb.array("Y");
+        let i0 = pb.array("I0");
+        let i1 = pb.array("I1");
+        let o0 = pb.array("O0");
+        let o1 = pb.array("O1");
+        pb.kernel("k0").write(x, Expr::at(i0)).build();
+        pb.kernel("k1").write(o0, Expr::at(x)).build();
+        pb.kernel("k2").write(y, Expr::at(i1)).build();
+        pb.kernel("k3").write(o1, Expr::at(y)).build();
+        let pc = pb.build();
+        let exec_c = ExecOrderGraph::build(&pc);
+        let cyc = FusionPlan::new(vec![
+            vec![KernelId(0), KernelId(3)],
+            vec![KernelId(1), KernelId(2)],
+        ]);
+        assert!(matches!(
+            condensation_order_with(&cyc, &exec_c, &mut scratch),
+            Err(FuseError::OrderCycle(..))
+        ));
+        // And the scratch recovers for a subsequent feasible plan.
+        assert!(condensation_order_with(&plans[1], &exec, &mut scratch).is_ok());
     }
 
     #[test]

@@ -138,7 +138,9 @@ mod tests {
             .write(w, Expr::at(v).min(Expr::lit(0.0)))
             .build();
         // Kern_D: P = f(Q)
-        pb.kernel("D").write(p_, Expr::at(q) / Expr::lit(2.0)).build();
+        pb.kernel("D")
+            .write(p_, Expr::at(q) / Expr::lit(2.0))
+            .build();
         // Kern_E: U = f(T, Q, V)
         pb.kernel("E")
             .write(u, Expr::at(t) + Expr::at(q) * Expr::at(v))

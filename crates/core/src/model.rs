@@ -72,9 +72,8 @@ pub fn projected_fused_bytes(info: &ProgramInfo, spec: &GroupSpec) -> u64 {
                 // One fetch of tile(+halo); approximate with the smallest
                 // member fetch plus the halo ring.
                 let base = loads.iter().copied().min().unwrap_or(0);
-                let ring = info.halo_area(u32::from(p.halo))
-                    * u64::from(info.blocks)
-                    * u64::from(info.nz);
+                let ring =
+                    info.halo_area(u32::from(p.halo)) * u64::from(info.blocks) * u64::from(info.nz);
                 elems += base + ring;
             }
             None => elems += loads.iter().sum::<u64>(),
@@ -253,8 +252,8 @@ impl ProposedModel {
 
         // Eq. 8: B_Sh = T_B · Blocks_SMX / ((1 + c·H_TH) · |ShrLst|).
         let n_shr = spec.pivots.iter().filter(|p| p.smem).count().max(1) as f64;
-        let b_sh = f64::from(spec.active_threads) * f64::from(blocks_smx)
-            / ((1.0 + c_h_th) * n_shr);
+        let b_sh =
+            f64::from(spec.active_threads) * f64::from(blocks_smx) / ((1.0 + c_h_th) * n_shr);
 
         // §IV-B: B_eff = B_Sh · SMX / (Thr · B), B capped at the resident
         // wave (blocks beyond one wave do not dilute blocking efficiency).
@@ -271,20 +270,16 @@ impl ProposedModel {
         // barrier and launch overheads. All inputs are metadata-derived.
         // Residency is the occupancy cap clamped by the actual grid (small
         // problems cannot fill the device).
-        let warps_per_block =
-            (f64::from(info.threads) / f64::from(gpu.warp_size)).ceil();
-        let resident_blocks = f64::from(blocks_smx)
-            .min((f64::from(info.blocks) / f64::from(gpu.smx_count)).ceil());
+        let warps_per_block = (f64::from(info.threads) / f64::from(gpu.warp_size)).ceil();
+        let resident_blocks =
+            f64::from(blocks_smx).min((f64::from(info.blocks) / f64::from(gpu.smx_count)).ceil());
         let hide = gpu.latency_hiding_factor(resident_blocks * warps_per_block);
         let t_mem = bytes as f64 / (gpu.gmem_bw_gbps * 1e9 * hide.max(1e-6));
         let t_cmp = spec.flops as f64 / (gpu.peak_gflops * 1e9 * hide.max(0.05));
         let t_smem = projected_smem_bytes_moved(info, spec) as f64 / (gpu.smem_bw_gbps * 1e9);
         let waves = (f64::from(info.blocks) / resident).ceil().max(1.0);
-        let t_barrier = f64::from(spec.barrier_count())
-            * f64::from(info.nz)
-            * gpu.barrier_ns
-            * waves
-            * 1e-9;
+        let t_barrier =
+            f64::from(spec.barrier_count()) * f64::from(info.nz) * gpu.barrier_ns * waves * 1e-9;
         let t_launch = gpu.launch_overhead_us * 1e-6;
         let t_pro = t_mem.max(t_cmp).max(t_smem) + t_barrier + t_launch;
 

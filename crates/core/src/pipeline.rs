@@ -22,6 +22,18 @@ use kfuse_ir::Program;
 use kfuse_sim::{simulate_program, ProgramTiming};
 use std::time::Duration;
 
+/// Per-island statistics for island-model solvers (empty for serial or
+/// non-evolutionary solvers).
+#[derive(Debug, Clone, Default)]
+pub struct IslandStats {
+    /// Generations this island executed.
+    pub generations: u32,
+    /// Island-local generation at which its best individual appeared.
+    pub best_generation: u32,
+    /// Individuals received from the ring predecessor.
+    pub migrations_received: u32,
+}
+
 /// Statistics reported by a solver run (Table VI columns).
 #[derive(Debug, Clone, Default)]
 pub struct SolveStats {
@@ -35,6 +47,8 @@ pub struct SolveStats {
     pub time_to_best: Duration,
     /// Generation at which the best solution was first reached.
     pub best_generation: u32,
+    /// Per-island breakdown when the solver ran in island mode.
+    pub islands: Vec<IslandStats>,
 }
 
 /// Outcome of a solver run.
@@ -161,7 +175,14 @@ pub fn run(
     model: &dyn PerfModel,
     solver: &dyn Solver,
 ) -> Result<PipelineResult, PipelineError> {
-    run_with(program, gpu, precision, model, solver, PipelineOptions::default())
+    run_with(
+        program,
+        gpu,
+        precision,
+        model,
+        solver,
+        PipelineOptions::default(),
+    )
 }
 
 /// [`run`] with explicit [`PipelineOptions`].
@@ -175,7 +196,9 @@ pub fn run_with(
 ) -> Result<PipelineResult, PipelineError> {
     let (relaxed, ctx) = prepare_with(program, gpu, precision, opts);
     let outcome = solver.solve(&ctx, model);
-    let specs = ctx.validate(&outcome.plan).map_err(PipelineError::InvalidPlan)?;
+    let specs = ctx
+        .validate(&outcome.plan)
+        .map_err(PipelineError::InvalidPlan)?;
     let fused = apply_plan(&relaxed, &ctx.info, &ctx.exec, &outcome.plan, &specs)
         .map_err(PipelineError::Fuse)?;
 
@@ -244,9 +267,15 @@ mod tests {
         let mut pb = ProgramBuilder::new("p", [256, 128, 16]);
         let a = pb.array("A");
         let [b, c, d] = pb.arrays(["B", "C", "D"]);
-        pb.kernel("k0").write(b, Expr::at(a) + Expr::lit(1.0)).build();
-        pb.kernel("k1").write(c, Expr::at(a) * Expr::lit(2.0)).build();
-        pb.kernel("k2").write(d, Expr::at(c) - Expr::lit(1.0)).build();
+        pb.kernel("k0")
+            .write(b, Expr::at(a) + Expr::lit(1.0))
+            .build();
+        pb.kernel("k1")
+            .write(c, Expr::at(a) * Expr::lit(2.0))
+            .build();
+        pb.kernel("k2")
+            .write(d, Expr::at(c) - Expr::lit(1.0))
+            .build();
         pb.build()
     }
 

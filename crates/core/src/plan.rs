@@ -49,7 +49,11 @@ impl FusionPlan {
 
     /// Number of kernels fused into groups of ≥2 members.
     pub fn fused_kernel_count(&self) -> usize {
-        self.groups.iter().filter(|g| g.len() >= 2).map(Vec::len).sum()
+        self.groups
+            .iter()
+            .filter(|g| g.len() >= 2)
+            .map(Vec::len)
+            .sum()
     }
 
     /// Number of multi-member groups (new kernels).
@@ -131,7 +135,10 @@ impl fmt::Display for PlanError {
                 write!(f, "plan is not a partition (kernel {kernel})")
             }
             PlanError::PathClosure { group, violator } => {
-                write!(f, "group {group} violates path closure: {violator} is sandwiched")
+                write!(
+                    f,
+                    "group {group} violates path closure: {violator} is sandwiched"
+                )
             }
             PlanError::Kinship { group } => write!(f, "group {group} violates kinship"),
             PlanError::SyncSplit { group } => {
@@ -140,13 +147,24 @@ impl fmt::Display for PlanError {
             PlanError::StreamSplit { group } => {
                 write!(f, "group {group} spans CUDA streams")
             }
-            PlanError::SmemOverflow { group, bytes, capacity } => {
-                write!(f, "group {group} needs {bytes} B SMEM > capacity {capacity} B")
+            PlanError::SmemOverflow {
+                group,
+                bytes,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "group {group} needs {bytes} B SMEM > capacity {capacity} B"
+                )
             }
             PlanError::RegOverflow { group, regs } => {
                 write!(f, "group {group} needs {regs} registers/thread > limit")
             }
-            PlanError::Unprofitable { group, projected, original_sum } => write!(
+            PlanError::Unprofitable {
+                group,
+                projected,
+                original_sum,
+            } => write!(
                 f,
                 "group {group} projected {projected:.3e}s ≥ original sum {original_sum:.3e}s"
             ),
@@ -181,7 +199,11 @@ impl PlanContext {
     /// Check the *structural* constraints (1.3, 1.5, 1.6, 1.7) for a
     /// single group and synthesize its spec. `group_idx` is only used for
     /// error reporting.
-    pub fn check_group(&self, group: &[KernelId], group_idx: usize) -> Result<GroupSpec, PlanError> {
+    pub fn check_group(
+        &self,
+        group: &[KernelId],
+        group_idx: usize,
+    ) -> Result<GroupSpec, PlanError> {
         if group.len() >= 2 {
             // Host synchronization points split the program into epochs no
             // fusion may span.
@@ -325,11 +347,15 @@ mod tests {
         let d = pb.array("D");
         let e = pb.array("E");
         let x = pb.array("X");
-        pb.kernel("k0").write(b, Expr::at(a) + Expr::lit(1.0)).build();
+        pb.kernel("k0")
+            .write(b, Expr::at(a) + Expr::lit(1.0))
+            .build();
         pb.kernel("k1")
             .write(c, Expr::load(b, Offset::new(1, 0, 0)))
             .build();
-        pb.kernel("k2").write(x, Expr::at(e) * Expr::lit(2.0)).build();
+        pb.kernel("k2")
+            .write(x, Expr::at(e) * Expr::lit(2.0))
+            .build();
         pb.kernel("k3").write(d, Expr::at(c)).build();
         pb.build()
     }
@@ -356,10 +382,7 @@ mod tests {
     fn partition_violations_detected() {
         let ctx = context();
         // k3 missing.
-        let plan = FusionPlan::new(vec![
-            vec![KernelId(0), KernelId(1)],
-            vec![KernelId(2)],
-        ]);
+        let plan = FusionPlan::new(vec![vec![KernelId(0), KernelId(1)], vec![KernelId(2)]]);
         assert!(matches!(
             ctx.validate(&plan),
             Err(PlanError::NotPartition { .. })
@@ -408,7 +431,10 @@ mod tests {
             vec![KernelId(1)],
             vec![KernelId(3)],
         ]);
-        assert!(matches!(ctx.validate(&plan), Err(PlanError::Kinship { .. })));
+        assert!(matches!(
+            ctx.validate(&plan),
+            Err(PlanError::Kinship { .. })
+        ));
     }
 
     #[test]

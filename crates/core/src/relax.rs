@@ -137,9 +137,13 @@ mod tests {
         let qflx = pb.array("QFLX");
         let out1 = pb.array("OUT1");
         let out2 = pb.array("OUT2");
-        pb.kernel("K8").write(qflx, Expr::at(a) + Expr::lit(1.0)).build();
+        pb.kernel("K8")
+            .write(qflx, Expr::at(a) + Expr::lit(1.0))
+            .build();
         pb.kernel("K10").write(out1, Expr::at(qflx)).build();
-        pb.kernel("K12").write(qflx, Expr::at(a) * Expr::lit(2.0)).build();
+        pb.kernel("K12")
+            .write(qflx, Expr::at(a) * Expr::lit(2.0))
+            .build();
         pb.kernel("K14").write(out2, Expr::at(qflx)).build();
         pb.build()
     }
@@ -187,7 +191,9 @@ mod tests {
         let a = pb.array("A");
         let b = pb.array("B");
         pb.kernel("k0").write(b, Expr::at(a)).build();
-        pb.kernel("k1").write(b, Expr::at(b) + Expr::lit(1.0)).build();
+        pb.kernel("k1")
+            .write(b, Expr::at(b) + Expr::lit(1.0))
+            .build();
         // B is written twice but k1 also reads it: still expandable by
         // class; accumulation reads previous generation.
         let p = pb.build();

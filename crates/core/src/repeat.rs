@@ -22,7 +22,11 @@ pub enum ScheduleItem {
 
 /// A convenience constructor: repeat the template's full kernel sequence
 /// `times` times, separated by host syncs when `sync_between` is set.
-pub fn repeat_whole_program(template: &Program, times: usize, sync_between: bool) -> Vec<ScheduleItem> {
+pub fn repeat_whole_program(
+    template: &Program,
+    times: usize,
+    sync_between: bool,
+) -> Vec<ScheduleItem> {
     let mut sched = Vec::new();
     for rep in 0..times {
         if rep > 0 && sync_between {
@@ -116,8 +120,7 @@ mod tests {
         assert_eq!(p.kernels[5].name, "copyback@2");
         assert!(p.validate().is_ok());
         // Sources are unique per invocation.
-        let mut sources: Vec<KernelId> =
-            p.kernels.iter().flat_map(|k| k.sources()).collect();
+        let mut sources: Vec<KernelId> = p.kernels.iter().flat_map(|k| k.sources()).collect();
         sources.sort_unstable();
         sources.dedup();
         assert_eq!(sources.len(), 6);
@@ -162,11 +165,17 @@ mod tests {
         let (_, ctx) = crate::pipeline::prepare(&p, &gpu, kfuse_gpu::FpPrecision::Double);
         // advance@1 may fuse with copyback (iteration boundary crossing):
         // after relaxation of A/B generations the chain is fusible.
-        let plan = FusionPlan::new(vec![
-            vec![KernelId(0), KernelId(1), KernelId(2), KernelId(3)],
-        ]);
+        let plan = FusionPlan::new(vec![vec![
+            KernelId(0),
+            KernelId(1),
+            KernelId(2),
+            KernelId(3),
+        ]]);
         let specs = ctx.validate(&plan);
-        assert!(specs.is_ok(), "cross-iteration fusion must be legal: {specs:?}");
+        assert!(
+            specs.is_ok(),
+            "cross-iteration fusion must be legal: {specs:?}"
+        );
         let model = ProposedModel::default();
         assert!(ctx.objective(&plan, &model).is_finite());
     }

@@ -126,10 +126,7 @@ impl GroupSpec {
             .iter()
             .map(|&a| {
                 let e = &agg[&a];
-                let p = e
-                    .writers
-                    .iter()
-                    .any(|&w| e.readers.iter().any(|&r| r >= w));
+                let p = e.writers.iter().any(|&w| e.readers.iter().any(|&r| r >= w));
                 (a, p)
             })
             .collect();
@@ -268,8 +265,7 @@ impl GroupSpec {
         for p in &pivots {
             staging_regs += 1; // fetch or value register
             if p.smem && p.produced && p.halo > 0 {
-                staging_regs +=
-                    (info.halo_area(u32::from(p.halo))).div_ceil(threads64) as u32;
+                staging_regs += (info.halo_area(u32::from(p.halo))).div_ceil(threads64) as u32;
             }
         }
         let base_regs = metas.iter().map(|m| m.regs_per_thread).max().unwrap_or(0);
@@ -345,8 +341,12 @@ mod tests {
         let b = pb.array("B");
         let c = pb.array("C");
         let d = pb.array("D");
-        pb.kernel("k0").write(b, Expr::at(a) + Expr::lit(1.0)).build();
-        pb.kernel("k1").write(c, Expr::at(b) * Expr::lit(2.0)).build();
+        pb.kernel("k0")
+            .write(b, Expr::at(a) + Expr::lit(1.0))
+            .build();
+        pb.kernel("k1")
+            .write(c, Expr::at(b) * Expr::lit(2.0))
+            .build();
         pb.kernel("k2")
             .write(
                 d,
@@ -399,7 +399,9 @@ mod tests {
         let b = pb.array("B");
         let c = pb.array("C");
         let d = pb.array("D");
-        pb.kernel("k0").write(b, Expr::at(a) * Expr::lit(2.0)).build();
+        pb.kernel("k0")
+            .write(b, Expr::at(a) * Expr::lit(2.0))
+            .build();
         pb.kernel("k1")
             .write(c, Expr::load(b, Offset::new(1, 0, 0)))
             .build();

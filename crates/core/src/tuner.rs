@@ -139,8 +139,12 @@ mod tests {
         let a = pb.array("A");
         let b = pb.array("B");
         let c = pb.array("C");
-        pb.kernel("k0").write(b, Expr::at(a) + Expr::lit(1.0)).build();
-        pb.kernel("k1").write(c, Expr::at(a) * Expr::lit(2.0)).build();
+        pb.kernel("k0")
+            .write(b, Expr::at(a) + Expr::lit(1.0))
+            .build();
+        pb.kernel("k1")
+            .write(c, Expr::at(a) * Expr::lit(2.0))
+            .build();
         pb.build()
     }
 

@@ -73,10 +73,7 @@ pub fn occupancy(
     let thread_limit = gpu.max_threads_per_smx / threads;
     let slot_limit = gpu.max_blocks_per_smx;
 
-    let blocks = reg_limit
-        .min(smem_limit)
-        .min(thread_limit)
-        .min(slot_limit);
+    let blocks = reg_limit.min(smem_limit).min(thread_limit).min(slot_limit);
 
     let limiter = if blocks == 0 {
         Limiter::Infeasible

@@ -123,8 +123,7 @@ pub fn kernel_traffic(p: &Program, k: &Kernel) -> KernelTraffic {
     let sites_per_block_level = tile_area(p, 0);
     let mut per_array: BTreeMap<ArrayId, ArrayTraffic> = BTreeMap::new();
 
-    let staging: BTreeMap<ArrayId, &Staging> =
-        k.staging.iter().map(|s| (s.array, s)).collect();
+    let staging: BTreeMap<ArrayId, &Staging> = k.staging.iter().map(|s| (s.array, s)).collect();
 
     // Loads.
     for (array, offsets) in k.reads() {
@@ -181,8 +180,7 @@ pub fn kernel_traffic(p: &Program, k: &Kernel) -> KernelTraffic {
                         .map(|s| halo_fill(k, s) == HaloFill::Computed)
                         .unwrap_or(false);
                     if !on_chip {
-                        per_array.entry(input).or_default().load_elems +=
-                            blocks * extra_area * nz;
+                        per_array.entry(input).or_default().load_elems += blocks * extra_area * nz;
                     }
                 }
             }
@@ -211,8 +209,7 @@ pub fn kernel_flops(p: &Program, k: &Kernel) -> u64 {
     let nz = u64::from(p.grid.nz);
     let base = k.flops() * blocks * tile_area(p, 0) * nz;
 
-    let staging: BTreeMap<ArrayId, &Staging> =
-        k.staging.iter().map(|s| (s.array, s)).collect();
+    let staging: BTreeMap<ArrayId, &Staging> = k.staging.iter().map(|s| (s.array, s)).collect();
 
     let mut halo_flops = 0u64;
     for st in &k.staging {
@@ -263,7 +260,9 @@ mod tests {
         pb.kernel("k0")
             .write(b, Expr::at(a) + Expr::load(a, Offset::new(-1, 0, 0)))
             .build();
-        pb.kernel("k1").write(c, Expr::at(b) * Expr::lit(2.0)).build();
+        pb.kernel("k1")
+            .write(c, Expr::at(b) * Expr::lit(2.0))
+            .build();
         (pb.build(), a, b, c)
     }
 
@@ -313,10 +312,13 @@ mod tests {
         // Fused kernel: seg0 writes B from A, seg1 reads B (staged).
         let (mut p, _a, b, c) = base();
         let seg0 = p.kernels[0].segments[0].clone();
-        let mut seg1 = Segment::new(KernelId(1), vec![Statement {
-            target: c,
-            expr: Expr::at(b) * Expr::lit(2.0),
-        }]);
+        let mut seg1 = Segment::new(
+            KernelId(1),
+            vec![Statement {
+                target: c,
+                expr: Expr::at(b) * Expr::lit(2.0),
+            }],
+        );
         seg1.barrier_before = true;
         let fused = Kernel {
             id: KernelId(0),
@@ -341,10 +343,13 @@ mod tests {
         // seg0: B = A + A[-1,0]; seg1: C = B[1,0] * 2 → B staged halo 1.
         let (mut p, a, b, c) = base();
         let seg0 = p.kernels[0].segments[0].clone();
-        let mut seg1 = Segment::new(KernelId(1), vec![Statement {
-            target: c,
-            expr: Expr::load(b, Offset::new(1, 0, 0)) * Expr::lit(2.0),
-        }]);
+        let mut seg1 = Segment::new(
+            KernelId(1),
+            vec![Statement {
+                target: c,
+                expr: Expr::load(b, Offset::new(1, 0, 0)) * Expr::lit(2.0),
+            }],
+        );
         seg1.barrier_before = true;
         let fused = Kernel {
             id: KernelId(0),

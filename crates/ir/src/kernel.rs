@@ -145,7 +145,8 @@ impl Kernel {
     pub fn reads(&self) -> BTreeMap<ArrayId, Vec<Offset>> {
         let mut m: BTreeMap<ArrayId, Vec<Offset>> = BTreeMap::new();
         for st in self.statements() {
-            st.expr.for_each_load(&mut |a, o| m.entry(a).or_default().push(o));
+            st.expr
+                .for_each_load(&mut |a, o| m.entry(a).or_default().push(o));
         }
         for offs in m.values_mut() {
             offs.sort_unstable();

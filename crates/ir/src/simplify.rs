@@ -142,7 +142,10 @@ mod tests {
         let x = pb.array("X");
         let y = pb.array("Y");
         pb.kernel("k")
-            .write(y, (Expr::at(x) + Expr::lit(0.0)) * (Expr::lit(2.0) * Expr::lit(3.0)))
+            .write(
+                y,
+                (Expr::at(x) + Expr::lit(0.0)) * (Expr::lit(2.0) * Expr::lit(3.0)),
+            )
             .build();
         let mut p = pb.build();
         let before = p.kernels[0].flops();

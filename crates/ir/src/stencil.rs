@@ -19,7 +19,11 @@ pub struct Offset {
 
 impl Offset {
     /// The thread's own site.
-    pub const ZERO: Offset = Offset { di: 0, dj: 0, dk: 0 };
+    pub const ZERO: Offset = Offset {
+        di: 0,
+        dj: 0,
+        dk: 0,
+    };
 
     /// Construct an offset.
     pub const fn new(di: i8, dj: i8, dk: i8) -> Self {

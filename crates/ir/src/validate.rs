@@ -1,10 +1,6 @@
 //! Structural validation of programs.
 
-use crate::{
-    array::ArrayId,
-    kernel::KernelId,
-    program::Program,
-};
+use crate::{array::ArrayId, kernel::KernelId, program::Program};
 use std::fmt;
 
 /// A violated structural invariant.

@@ -6,18 +6,45 @@
 //! groups constantly (good groups survive crossover by design), so the
 //! effective cost per *plan* evaluation collapses to a few hash lookups.
 //!
+//! The memo is engineered for the island-model solver, where many threads
+//! hammer it concurrently:
+//!
+//! * **Sharding.** Groups hash to one of [`SHARD_COUNT`] independent
+//!   `RwLock<HashMap>` shards by an order-insensitive 64-bit fingerprint,
+//!   so writers on one shard never stall readers on another.
+//! * **Allocation-free hit path.** The probe key is the group sorted into
+//!   a stack buffer (heap fallback only beyond [`STACK_KEY`] members); a
+//!   hit performs zero heap allocation. Entries are compared by their full
+//!   sorted member list, so fingerprint collisions are correctness-neutral.
+//! * **Singleton bypass.** Per-kernel baseline costs are precomputed into
+//!   a dense array at construction; singleton groups never touch the memo
+//!   or its locks at all.
+//!
 //! Active-constraint pruning (§III-C) falls out of
 //! [`kfuse_core::plan::PlanContext::check_group`]: capacity checks run only
 //! for groups that actually stage pivots, and the first violated constraint
-//! short-circuits the rest.
+//! short-circuits the rest. Plan evaluation likewise short-circuits: the
+//! first infeasible group aborts before any condensation (acyclicity) work
+//! is done, and the condensation check itself runs against thread-local
+//! reusable scratch ([`kfuse_core::fuse::CondensationScratch`]).
 
-use kfuse_core::fuse::condensation_order;
+use kfuse_core::fuse::{condensation_order_with, CondensationScratch};
 use kfuse_core::model::PerfModel;
 use kfuse_core::plan::{FusionPlan, PlanContext};
 use kfuse_ir::KernelId;
 use parking_lot::RwLock;
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of memo shards. A power of two so the shard index is a mask of
+/// the fingerprint; 16 keeps contention negligible for the island counts
+/// that make sense on one host while wasting little memory on small runs.
+const SHARD_COUNT: usize = 16;
+
+/// Largest group whose probe key is sorted on the stack.
+const STACK_KEY: usize = 32;
 
 /// Result of evaluating one group.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,82 +61,127 @@ impl GroupEval {
     }
 }
 
+/// Identity hasher for the shard maps: the group fingerprint is already
+/// splitmix64-mixed, so re-hashing it through SipHash would only burn
+/// cycles on the hit path.
+#[derive(Default)]
+struct FingerprintHasher(u64);
+
+impl Hasher for FingerprintHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("shard keys are hashed via write_u64 only");
+    }
+}
+
+/// One memo shard: fingerprint → entries with that fingerprint. The inner
+/// list handles fingerprint collisions exactly (compared by sorted member
+/// list); in practice it holds a single entry.
+type Shard = HashMap<u64, Vec<(Box<[KernelId]>, GroupEval)>, BuildHasherDefault<FingerprintHasher>>;
+
+thread_local! {
+    static CONDENSATION_SCRATCH: RefCell<CondensationScratch> =
+        RefCell::new(CondensationScratch::new());
+}
+
 /// Shared, thread-safe objective evaluator.
 pub struct Evaluator<'a> {
     /// Planning context (metadata + graphs).
     pub ctx: &'a PlanContext,
     /// The projection model used as objective (Eq. 1).
     pub model: &'a dyn PerfModel,
-    memo: RwLock<HashMap<Vec<KernelId>, GroupEval>>,
+    shards: Vec<RwLock<Shard>>,
+    /// Dense per-kernel baseline: `baseline[k]` is the singleton eval of
+    /// kernel `k`, precomputed so singleton groups bypass the memo.
+    baseline: Vec<GroupEval>,
     evaluations: AtomicU64,
+    condensation_checks: AtomicU64,
 }
 
 impl<'a> Evaluator<'a> {
     /// Create an evaluator over `ctx` and `model`.
     pub fn new(ctx: &'a PlanContext, model: &'a dyn PerfModel) -> Self {
+        let baseline = (0..ctx.n_kernels())
+            .map(|i| compute_group(ctx, model, &[KernelId(i as u32)]))
+            .collect();
         Evaluator {
             ctx,
             model,
-            memo: RwLock::new(HashMap::new()),
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(Shard::default()))
+                .collect(),
+            baseline,
             evaluations: AtomicU64::new(0),
+            condensation_checks: AtomicU64::new(0),
         }
     }
 
-    /// Number of *distinct* objective evaluations performed (memo misses).
+    /// Number of *distinct* multi-member objective evaluations performed
+    /// (memo misses). Singleton baselines are precomputed at construction
+    /// and not counted.
     pub fn evaluations(&self) -> u64 {
         self.evaluations.load(Ordering::Relaxed)
     }
 
-    /// Evaluate one group (memoized). `group` need not be sorted.
-    pub fn group(&self, group: &[KernelId]) -> GroupEval {
-        let mut key = group.to_vec();
-        key.sort_unstable();
-        if let Some(hit) = self.memo.read().get(&key) {
-            return *hit;
-        }
-        let eval = self.compute(&key);
-        self.memo.write().insert(key, eval);
-        eval
+    /// Number of plan-level condensation (acyclicity) checks performed.
+    /// Plans rejected on an infeasible group never reach this check.
+    pub fn condensation_checks(&self) -> u64 {
+        self.condensation_checks.load(Ordering::Relaxed)
     }
 
-    fn compute(&self, group: &[KernelId]) -> GroupEval {
-        self.evaluations.fetch_add(1, Ordering::Relaxed);
-        let spec = match self.ctx.check_group(group, 0) {
-            Ok(s) => s,
-            Err(_) => {
-                return GroupEval {
-                    time_s: f64::INFINITY,
+    /// Evaluate one group (memoized). `group` need not be sorted.
+    pub fn group(&self, group: &[KernelId]) -> GroupEval {
+        if let [k] = group {
+            return self.baseline[k.index()];
+        }
+        with_sorted_key(group, |key| {
+            let fp = fingerprint(key);
+            let shard = &self.shards[(fp & (SHARD_COUNT as u64 - 1)) as usize];
+            if let Some(bucket) = shard.read().get(&fp) {
+                if let Some((_, hit)) = bucket.iter().find(|(k, _)| &**k == key) {
+                    return *hit;
                 }
             }
-        };
-        let t = self.model.project(&self.ctx.info, &spec);
-        if group.len() >= 2 {
-            // Constraint 1.1: profitability.
-            let original = self.ctx.info.original_sum(group);
-            if t >= original || t.is_nan() {
-                return GroupEval {
-                    time_s: f64::INFINITY,
-                };
+            self.evaluations.fetch_add(1, Ordering::Relaxed);
+            let eval = compute_group(self.ctx, self.model, key);
+            let mut w = shard.write();
+            let bucket = w.entry(fp).or_default();
+            // A racing thread may have inserted while we computed.
+            if let Some((_, hit)) = bucket.iter().find(|(k, _)| &**k == key) {
+                return *hit;
             }
-        }
-        GroupEval { time_s: t }
+            bucket.push((key.to_vec().into_boxed_slice(), eval));
+            eval
+        })
     }
 
     /// Evaluate a whole plan: sum of group times, or infinity if any group
-    /// is infeasible or the plan's condensation has a cycle.
+    /// is infeasible or the plan's condensation has a cycle. Returns on the
+    /// first infeasible group without touching the condensation machinery.
     pub fn plan(&self, plan: &FusionPlan) -> f64 {
         let mut total = 0.0;
+        let mut any_multi = false;
         for g in &plan.groups {
             let e = self.group(g);
             if !e.feasible() {
                 return f64::INFINITY;
             }
+            any_multi |= g.len() >= 2;
             total += e.time_s;
         }
-        if plan.groups.iter().any(|g| g.len() >= 2)
-            && condensation_order(plan, &self.ctx.exec).is_err()
-        {
-            return f64::INFINITY;
+        if any_multi {
+            self.condensation_checks.fetch_add(1, Ordering::Relaxed);
+            let acyclic = CONDENSATION_SCRATCH.with(|s| {
+                condensation_order_with(plan, &self.ctx.exec, &mut s.borrow_mut()).is_ok()
+            });
+            if !acyclic {
+                return f64::INFINITY;
+            }
         }
         total
     }
@@ -117,6 +189,136 @@ impl<'a> Evaluator<'a> {
     /// True if `group` satisfies every constraint.
     pub fn feasible(&self, group: &[KernelId]) -> bool {
         self.group(group).feasible()
+    }
+}
+
+/// Run `f` on `group` sorted into canonical order, without allocating for
+/// groups up to [`STACK_KEY`] members.
+fn with_sorted_key<R>(group: &[KernelId], f: impl FnOnce(&[KernelId]) -> R) -> R {
+    if group.len() <= STACK_KEY {
+        let mut buf = [KernelId(0); STACK_KEY];
+        let key = &mut buf[..group.len()];
+        key.copy_from_slice(group);
+        key.sort_unstable();
+        f(key)
+    } else {
+        let mut key = group.to_vec();
+        key.sort_unstable();
+        f(&key)
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Order-insensitive 64-bit group fingerprint: each member id is expanded
+/// through splitmix64 and the results combined with a commutative sum, so
+/// any permutation of the same members produces the same fingerprint.
+/// Collisions are tolerated (entries are verified member-by-member).
+fn fingerprint(group: &[KernelId]) -> u64 {
+    let mut acc = (group.len() as u64).wrapping_mul(0xa076_1d64_78bd_642f);
+    for &k in group {
+        acc = acc.wrapping_add(splitmix64(k.0 as u64));
+    }
+    acc
+}
+
+/// The raw (unmemoized) group objective.
+fn compute_group(ctx: &PlanContext, model: &dyn PerfModel, group: &[KernelId]) -> GroupEval {
+    let spec = match ctx.check_group(group, 0) {
+        Ok(s) => s,
+        Err(_) => {
+            return GroupEval {
+                time_s: f64::INFINITY,
+            }
+        }
+    };
+    let t = model.project(&ctx.info, &spec);
+    if group.len() >= 2 {
+        // Constraint 1.1: profitability.
+        let original = ctx.info.original_sum(group);
+        if t >= original || t.is_nan() {
+            return GroupEval {
+                time_s: f64::INFINITY,
+            };
+        }
+    }
+    GroupEval { time_s: t }
+}
+
+/// The pre-sharding evaluator, retained verbatim as the baseline for the
+/// `search_scaling` experiment (evaluations/sec before vs. after the memo
+/// overhaul). Not used by any solver.
+pub mod legacy {
+    use super::{GroupEval, PerfModel};
+    use kfuse_core::fuse::condensation_order;
+    use kfuse_core::plan::{FusionPlan, PlanContext};
+    use kfuse_ir::KernelId;
+    use parking_lot::RwLock;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Single global `RwLock<HashMap>` memo with an allocating key per
+    /// lookup — the evaluator as it stood before the sharded rework.
+    pub struct LegacyEvaluator<'a> {
+        /// Planning context (metadata + graphs).
+        pub ctx: &'a PlanContext,
+        /// The projection model used as objective (Eq. 1).
+        pub model: &'a dyn PerfModel,
+        memo: RwLock<HashMap<Vec<KernelId>, GroupEval>>,
+        evaluations: AtomicU64,
+    }
+
+    impl<'a> LegacyEvaluator<'a> {
+        /// Create an evaluator over `ctx` and `model`.
+        pub fn new(ctx: &'a PlanContext, model: &'a dyn PerfModel) -> Self {
+            LegacyEvaluator {
+                ctx,
+                model,
+                memo: RwLock::new(HashMap::new()),
+                evaluations: AtomicU64::new(0),
+            }
+        }
+
+        /// Number of distinct objective evaluations performed.
+        pub fn evaluations(&self) -> u64 {
+            self.evaluations.load(Ordering::Relaxed)
+        }
+
+        /// Evaluate one group (memoized).
+        pub fn group(&self, group: &[KernelId]) -> GroupEval {
+            let mut key = group.to_vec();
+            key.sort_unstable();
+            if let Some(hit) = self.memo.read().get(&key) {
+                return *hit;
+            }
+            self.evaluations.fetch_add(1, Ordering::Relaxed);
+            let eval = super::compute_group(self.ctx, self.model, &key);
+            self.memo.write().insert(key, eval);
+            eval
+        }
+
+        /// Evaluate a whole plan.
+        pub fn plan(&self, plan: &FusionPlan) -> f64 {
+            let mut total = 0.0;
+            for g in &plan.groups {
+                let e = self.group(g);
+                if !e.feasible() {
+                    return f64::INFINITY;
+                }
+                total += e.time_s;
+            }
+            if plan.groups.iter().any(|g| g.len() >= 2)
+                && condensation_order(plan, &self.ctx.exec).is_err()
+            {
+                return f64::INFINITY;
+            }
+            total
+        }
     }
 }
 
@@ -133,9 +335,33 @@ mod tests {
         let mut pb = ProgramBuilder::new("p", [256, 128, 8]);
         let a = pb.array("A");
         let [b, c, d] = pb.arrays(["B", "C", "D"]);
-        pb.kernel("k0").write(b, Expr::at(a) + Expr::lit(1.0)).build();
-        pb.kernel("k1").write(c, Expr::at(a) * Expr::lit(2.0)).build();
+        pb.kernel("k0")
+            .write(b, Expr::at(a) + Expr::lit(1.0))
+            .build();
+        pb.kernel("k1")
+            .write(c, Expr::at(a) * Expr::lit(2.0))
+            .build();
         pb.kernel("k2").write(d, Expr::at(b) + Expr::at(c)).build();
+        let p = pb.build();
+        prepare(&p, &GpuSpec::k20x(), FpPrecision::Double).1
+    }
+
+    /// `ctx()` plus a fourth kernel sharing no data with k0 (kinship 0).
+    fn ctx_with_stranger() -> PlanContext {
+        let mut pb = ProgramBuilder::new("p", [256, 128, 8]);
+        let a = pb.array("A");
+        let [b, c, d] = pb.arrays(["B", "C", "D"]);
+        let [x, y] = pb.arrays(["X", "Y"]);
+        pb.kernel("k0")
+            .write(b, Expr::at(a) + Expr::lit(1.0))
+            .build();
+        pb.kernel("k1")
+            .write(c, Expr::at(a) * Expr::lit(2.0))
+            .build();
+        pb.kernel("k2").write(d, Expr::at(b) + Expr::at(c)).build();
+        pb.kernel("k3")
+            .write(y, Expr::at(x) * Expr::lit(0.5))
+            .build();
         let p = pb.build();
         prepare(&p, &GpuSpec::k20x(), FpPrecision::Double).1
     }
@@ -150,6 +376,19 @@ mod tests {
         let e2 = ev.group(&[KernelId(1), KernelId(0)]); // order-insensitive
         assert_eq!(e1, e2);
         assert_eq!(ev.evaluations(), 1);
+    }
+
+    #[test]
+    fn singletons_bypass_the_memo() {
+        let ctx = ctx();
+        let model = ProposedModel::default();
+        let ev = Evaluator::new(&ctx, &model);
+        for k in 0..3 {
+            let e = ev.group(&[KernelId(k)]);
+            assert!(e.feasible());
+        }
+        // Baseline lookups are not memo misses.
+        assert_eq!(ev.evaluations(), 0);
     }
 
     #[test]
@@ -168,12 +407,108 @@ mod tests {
         let ctx = ctx();
         let model = ProposedModel::default();
         let ev = Evaluator::new(&ctx, &model);
-        let fused = FusionPlan::new(vec![
-            vec![KernelId(0), KernelId(1), KernelId(2)],
-        ]);
+        let fused = FusionPlan::new(vec![vec![KernelId(0), KernelId(1), KernelId(2)]]);
         let t_f = ev.plan(&fused);
         let t_i = ev.plan(&FusionPlan::identity(3));
         assert!(t_f.is_finite());
         assert!(t_f < t_i);
+    }
+
+    #[test]
+    fn infeasible_plan_short_circuits_before_condensation() {
+        let ctx = ctx_with_stranger();
+        let model = ProposedModel::default();
+        let ev = Evaluator::new(&ctx, &model);
+        // {k0, k3} share no arrays → kinship violation → infeasible group.
+        let bad = FusionPlan::new(vec![
+            vec![KernelId(0), KernelId(3)],
+            vec![KernelId(1)],
+            vec![KernelId(2)],
+        ]);
+        assert!(ev.plan(&bad).is_infinite());
+        assert_eq!(
+            ev.condensation_checks(),
+            0,
+            "infeasible plan must not reach the condensation check"
+        );
+        // A feasible multi-member plan does run (exactly) one check.
+        let good = FusionPlan::new(vec![
+            vec![KernelId(0), KernelId(1), KernelId(2)],
+            vec![KernelId(3)],
+        ]);
+        assert!(ev.plan(&good).is_finite());
+        assert_eq!(ev.condensation_checks(), 1);
+    }
+
+    #[test]
+    fn matches_legacy_evaluator() {
+        let ctx = ctx_with_stranger();
+        let model = ProposedModel::default();
+        let ev = Evaluator::new(&ctx, &model);
+        let old = legacy::LegacyEvaluator::new(&ctx, &model);
+        let plans = [
+            FusionPlan::identity(4),
+            FusionPlan::new(vec![
+                vec![KernelId(0), KernelId(1), KernelId(2)],
+                vec![KernelId(3)],
+            ]),
+            FusionPlan::new(vec![
+                vec![KernelId(2), KernelId(1)],
+                vec![KernelId(0)],
+                vec![KernelId(3)],
+            ]),
+            FusionPlan::new(vec![
+                vec![KernelId(0), KernelId(3)],
+                vec![KernelId(1)],
+                vec![KernelId(2)],
+            ]),
+        ];
+        for plan in &plans {
+            let a = ev.plan(plan);
+            let b = old.plan(plan);
+            assert!(
+                (a.is_infinite() && b.is_infinite()) || a == b,
+                "sharded {a} vs legacy {b} for {plan:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_order_insensitive_and_length_aware() {
+        let a = [KernelId(3), KernelId(7), KernelId(11)];
+        let b = [KernelId(11), KernelId(3), KernelId(7)];
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        // {3} vs {3,3} style degeneracies differ by the length term.
+        assert_ne!(
+            fingerprint(&[KernelId(3)]),
+            fingerprint(&[KernelId(3), KernelId(3)])
+        );
+    }
+
+    #[test]
+    fn large_groups_fall_back_to_heap_keys() {
+        // A 40-kernel chain exercises the > STACK_KEY probe path;
+        // feasibility of the mega-group is irrelevant to the memo logic.
+        let mut pb = ProgramBuilder::new("chain", [256, 128, 8]);
+        let mut prev = pb.array("A0");
+        let mut kernels = Vec::new();
+        for i in 0..40 {
+            let next = pb.array(format!("A{}", i + 1));
+            pb.kernel(format!("k{i}"))
+                .write(next, Expr::at(prev) + Expr::lit(1.0))
+                .build();
+            kernels.push(KernelId(i as u32));
+            prev = next;
+        }
+        let p = pb.build();
+        let ctx = prepare(&p, &GpuSpec::k20x(), FpPrecision::Double).1;
+        let model = ProposedModel::default();
+        let ev = Evaluator::new(&ctx, &model);
+        let e1 = ev.group(&kernels);
+        let mut rev = kernels.clone();
+        rev.reverse();
+        let e2 = ev.group(&rev);
+        assert_eq!(e1, e2);
+        assert_eq!(ev.evaluations(), 1);
     }
 }

@@ -61,6 +61,7 @@ impl Solver for ExhaustiveSolver {
                 elapsed: start.elapsed(),
                 time_to_best: start.elapsed(),
                 best_generation: 0,
+                islands: Vec::new(),
             },
         }
     }

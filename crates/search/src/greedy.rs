@@ -87,6 +87,7 @@ impl Solver for GreedySolver {
                 elapsed: start.elapsed(),
                 time_to_best: start.elapsed(),
                 best_generation: 0,
+                islands: Vec::new(),
             },
         }
     }
@@ -106,8 +107,12 @@ mod tests {
         let mut pb = ProgramBuilder::new("p", [256, 128, 8]);
         let a = pb.array("A");
         let [b, c] = pb.arrays(["B", "C"]);
-        pb.kernel("k0").write(b, Expr::at(a) + Expr::lit(1.0)).build();
-        pb.kernel("k1").write(c, Expr::at(a) * Expr::lit(2.0)).build();
+        pb.kernel("k0")
+            .write(b, Expr::at(a) + Expr::lit(1.0))
+            .build();
+        pb.kernel("k1")
+            .write(c, Expr::at(a) * Expr::lit(2.0))
+            .build();
         let (_, ctx) = prepare(&pb.build(), &GpuSpec::k20x(), FpPrecision::Double);
         let model = ProposedModel::default();
         let out = GreedySolver.solve(&ctx, &model);

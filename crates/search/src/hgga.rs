@@ -13,11 +13,23 @@
 //! The objective (Eq. 1) is the total projected runtime under any
 //! [`PerfModel`]; evaluation is memoized per group ([`Evaluator`]) and the
 //! population is evaluated in parallel with rayon.
+//!
+//! With [`HggaConfig::islands`] > 1 the solver switches to an
+//! **island model**: the population is split into that many independent
+//! sub-populations, each evolved concurrently with its own RNG stream
+//! (derived deterministically from [`HggaConfig::seed`]), and every
+//! [`HggaConfig::migration_interval`] generations each island sends clones
+//! of its [`HggaConfig::migration_size`] best individuals to its successor
+//! on a ring, replacing the receiver's worst. Islands share the sharded
+//! evaluation memo, so a group scored on one island is a cache hit on all
+//! others. The run remains deterministic for any island count; with
+//! `islands == 1` the solver executes the original single-population code
+//! path, reproducing its trajectory bit for bit.
 
 use crate::eval::Evaluator;
 use kfuse_core::fuse::condensation_order;
 use kfuse_core::model::PerfModel;
-use kfuse_core::pipeline::{SolveOutcome, SolveStats, Solver};
+use kfuse_core::pipeline::{IslandStats, SolveOutcome, SolveStats, Solver};
 use kfuse_core::plan::{FusionPlan, PlanContext};
 use kfuse_ir::KernelId;
 use rand::rngs::SmallRng;
@@ -49,6 +61,14 @@ pub struct HggaConfig {
     pub local_search_rate: f64,
     /// RNG seed (runs are deterministic given the seed).
     pub seed: u64,
+    /// Number of islands evolved concurrently. `1` (the default) runs the
+    /// original single-population algorithm bit for bit; larger values
+    /// split [`HggaConfig::population`] across that many sub-populations.
+    pub islands: usize,
+    /// Generations between ring migrations (island mode only).
+    pub migration_interval: u32,
+    /// Individuals each island sends to its ring successor per migration.
+    pub migration_size: usize,
 }
 
 impl Default for HggaConfig {
@@ -63,6 +83,9 @@ impl Default for HggaConfig {
             elitism: 2,
             local_search_rate: 0.3,
             seed: 0xC0FFEE,
+            islands: 1,
+            migration_interval: 10,
+            migration_size: 2,
         }
     }
 }
@@ -86,6 +109,7 @@ impl HggaSolver {
     }
 }
 
+#[derive(Clone)]
 struct Individual {
     plan: FusionPlan,
     cost: f64,
@@ -97,8 +121,18 @@ impl Solver for HggaSolver {
     }
 
     fn solve(&self, ctx: &PlanContext, model: &dyn PerfModel) -> SolveOutcome {
+        if self.config.islands <= 1 {
+            self.solve_single(ctx, model)
+        } else {
+            self.solve_islands(ctx, model)
+        }
+    }
+}
+
+impl HggaSolver {
+    /// The original single-population algorithm (`islands <= 1`).
+    fn solve_single(&self, ctx: &PlanContext, model: &dyn PerfModel) -> SolveOutcome {
         let cfg = &self.config;
-        let n = ctx.n_kernels();
         let ev = Evaluator::new(ctx, model);
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let start = Instant::now();
@@ -158,7 +192,6 @@ impl Solver for HggaSolver {
             }
         }
 
-        let _ = n;
         SolveOutcome {
             plan: best,
             objective: best_cost,
@@ -168,9 +201,217 @@ impl Solver for HggaSolver {
                 elapsed: start.elapsed(),
                 time_to_best,
                 best_generation: best_gen,
+                islands: Vec::new(),
             },
         }
     }
+
+    /// Island-model evolution (`islands >= 2`): concurrent sub-populations
+    /// with deterministic per-island RNG streams and ring migration.
+    fn solve_islands(&self, ctx: &PlanContext, model: &dyn PerfModel) -> SolveOutcome {
+        let cfg = &self.config;
+        let n_islands = cfg.islands;
+        let ev = Evaluator::new(ctx, model);
+        let start = Instant::now();
+        // Split the population budget; keep every island large enough for
+        // elitism plus actual selection pressure.
+        let pop_target = (cfg.population / n_islands).max(cfg.elitism + 2).max(4);
+        let interval = cfg.migration_interval.max(1);
+        let emigrants = cfg.migration_size.min(pop_target - 1);
+
+        let mut islands: Vec<Island> = (0..n_islands)
+            .map(|i| Island {
+                rng: SmallRng::seed_from_u64(island_seed(cfg.seed, i)),
+                pop: Vec::new(),
+                best: FusionPlan::identity(ctx.n_kernels()),
+                best_cost: f64::INFINITY,
+                best_gen: 0,
+                generations: 0,
+                migrations_received: 0,
+            })
+            .collect();
+
+        // Initial populations, built concurrently. Each island evaluates
+        // its own individuals serially — the islands themselves are the
+        // unit of parallelism — while sharing the sharded memo.
+        {
+            let ev = &ev;
+            rayon::scope(|s| {
+                for isl in islands.iter_mut() {
+                    s.spawn(move || {
+                        let plans: Vec<FusionPlan> = (0..pop_target)
+                            .map(|_| random_plan(ctx, ev, &mut isl.rng))
+                            .collect();
+                        isl.pop = evaluate_serial(ev, plans);
+                        isl.pop.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+                        isl.best = isl.pop[0].plan.clone();
+                        isl.best_cost = isl.pop[0].cost;
+                    });
+                }
+            });
+        }
+
+        let mut global_plan = islands[0].best.clone();
+        let mut global_cost = islands[0].best_cost;
+        let mut global_gen = 0u32;
+        let mut time_to_best = start.elapsed();
+        for isl in &islands[1..] {
+            if isl.best_cost < global_cost - 1e-15 {
+                global_cost = isl.best_cost;
+                global_plan = isl.best.clone();
+            }
+        }
+
+        let mut stall = 0u32;
+        let mut gens_done = 0u32;
+        while gens_done < cfg.max_generations {
+            let epoch = interval.min(cfg.max_generations - gens_done);
+            {
+                let ev = &ev;
+                rayon::scope(|s| {
+                    for isl in islands.iter_mut() {
+                        s.spawn(move || evolve_island(ctx, ev, cfg, pop_target, isl, epoch));
+                    }
+                });
+            }
+            gens_done += epoch;
+
+            // Fold island bests into the global best (island order fixed,
+            // strict improvement only — deterministic tie-breaking).
+            let mut improved = false;
+            for isl in &islands {
+                if isl.best_cost < global_cost - 1e-15 {
+                    global_cost = isl.best_cost;
+                    global_plan = isl.best.clone();
+                    global_gen = isl.best_gen;
+                    time_to_best = start.elapsed();
+                    improved = true;
+                }
+            }
+            if improved {
+                stall = 0;
+            } else {
+                stall += epoch;
+                if stall >= cfg.stall_generations {
+                    break;
+                }
+            }
+
+            // Ring migration: emigrant sets are drawn from pre-migration
+            // populations so the island order cannot leak into the result.
+            if emigrants > 0 && gens_done < cfg.max_generations {
+                let packets: Vec<Vec<Individual>> = islands
+                    .iter()
+                    .map(|isl| isl.pop.iter().take(emigrants).cloned().collect())
+                    .collect();
+                for (i, packet) in packets.into_iter().enumerate() {
+                    let isl = &mut islands[(i + 1) % n_islands];
+                    for migrant in packet {
+                        // Replace the current worst, keeping pop sorted.
+                        *isl.pop.last_mut().expect("island pop is non-empty") = migrant;
+                        isl.pop.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+                        isl.migrations_received += 1;
+                    }
+                }
+            }
+        }
+
+        let island_stats: Vec<IslandStats> = islands
+            .iter()
+            .map(|isl| IslandStats {
+                generations: isl.generations,
+                best_generation: isl.best_gen,
+                migrations_received: isl.migrations_received,
+            })
+            .collect();
+        SolveOutcome {
+            plan: global_plan,
+            objective: global_cost,
+            stats: SolveStats {
+                generations: islands.iter().map(|i| i.generations).max().unwrap_or(0),
+                evaluations: ev.evaluations(),
+                elapsed: start.elapsed(),
+                time_to_best,
+                best_generation: global_gen,
+                islands: island_stats,
+            },
+        }
+    }
+}
+
+/// One island's evolving state.
+struct Island {
+    rng: SmallRng,
+    pop: Vec<Individual>,
+    best: FusionPlan,
+    best_cost: f64,
+    best_gen: u32,
+    generations: u32,
+    migrations_received: u32,
+}
+
+/// Derive island `i`'s RNG seed from the run seed (splitmix64-style mix,
+/// so island streams are decorrelated but fully determined by the seed).
+fn island_seed(seed: u64, island: usize) -> u64 {
+    let mut z = seed ^ (island as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Run `gens` generations of one island. Identical loop body to the serial
+/// solver, but offspring are evaluated serially: concurrency lives at the
+/// island level, so results cannot depend on thread scheduling.
+fn evolve_island(
+    ctx: &PlanContext,
+    ev: &Evaluator<'_>,
+    cfg: &HggaConfig,
+    pop_target: usize,
+    isl: &mut Island,
+    gens: u32,
+) {
+    for _ in 0..gens {
+        isl.generations += 1;
+        let mut offspring: Vec<FusionPlan> = Vec::with_capacity(pop_target);
+        for e in isl.pop.iter().take(cfg.elitism) {
+            offspring.push(e.plan.clone());
+        }
+        while offspring.len() < pop_target {
+            let pa = tournament(&isl.pop, cfg.tournament, &mut isl.rng);
+            let pb = tournament(&isl.pop, cfg.tournament, &mut isl.rng);
+            let mut child = if isl.rng.gen_bool(cfg.crossover_rate) {
+                crossover(ctx, ev, &isl.pop[pa].plan, &isl.pop[pb].plan, &mut isl.rng)
+            } else {
+                isl.pop[pa.min(pb)].plan.clone()
+            };
+            if isl.rng.gen_bool(cfg.mutation_rate) {
+                child = mutate(ctx, ev, &child, &mut isl.rng);
+            }
+            if isl.rng.gen_bool(cfg.local_search_rate) {
+                child = local_search(ctx, ev, child, &mut isl.rng);
+            }
+            offspring.push(child);
+        }
+        let mut next = evaluate_serial(ev, offspring);
+        next.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+        isl.pop = next;
+
+        if isl.pop[0].cost < isl.best_cost - 1e-15 {
+            isl.best_cost = isl.pop[0].cost;
+            isl.best = isl.pop[0].plan.clone();
+            isl.best_gen = isl.generations;
+        }
+    }
+}
+
+fn evaluate_serial(ev: &Evaluator<'_>, plans: Vec<FusionPlan>) -> Vec<Individual> {
+    plans
+        .into_iter()
+        .map(|plan| {
+            let cost = ev.plan(&plan);
+            Individual { plan, cost }
+        })
+        .collect()
 }
 
 fn evaluate(ev: &Evaluator<'_>, plans: Vec<FusionPlan>) -> Vec<Individual> {
@@ -241,11 +482,10 @@ fn crossover(
         .choose_multiple(rng, count)
         .map(|g| (*g).clone())
         .collect();
-    // Donor groups may overlap each other (they don't, within one plan),
-    // but must not overlap: they come from one partition, so they are
-    // disjoint by construction.
-    let injected: std::collections::HashSet<KernelId> =
-        chosen.iter().flatten().copied().collect();
+    // Donor groups come from one partition, so they are disjoint by
+    // construction; only overlaps with the recipient's groups need
+    // resolving (evict the intersecting groups, re-seat their orphans).
+    let injected: std::collections::HashSet<KernelId> = chosen.iter().flatten().copied().collect();
 
     let mut child: Vec<Vec<KernelId>> = Vec::new();
     let mut orphans: Vec<KernelId> = Vec::new();
@@ -544,14 +784,20 @@ mod tests {
         let mut pb = ProgramBuilder::new("p", [256, 128, 8]);
         let a = pb.array("A");
         let [b, c, d, e, f, g] = pb.arrays(["B", "C", "D", "E", "F", "G"]);
-        pb.kernel("k0").write(b, Expr::at(a) + Expr::lit(1.0)).build();
+        pb.kernel("k0")
+            .write(b, Expr::at(a) + Expr::lit(1.0))
+            .build();
         pb.kernel("k1")
             .write(c, Expr::load(b, Offset::new(1, 0, 0)) * Expr::lit(2.0))
             .build();
-        pb.kernel("k2").write(d, Expr::at(a) - Expr::lit(3.0)).build();
+        pb.kernel("k2")
+            .write(d, Expr::at(a) - Expr::lit(3.0))
+            .build();
         pb.kernel("k3").write(e, Expr::at(d) + Expr::at(a)).build();
         pb.kernel("k4").write(f, Expr::at(c) + Expr::at(e)).build();
-        pb.kernel("k5").write(g, Expr::at(a) * Expr::lit(0.5)).build();
+        pb.kernel("k5")
+            .write(g, Expr::at(a) * Expr::lit(0.5))
+            .build();
         pb.build()
     }
 
@@ -630,5 +876,190 @@ mod tests {
                 "seed {seed} cycle"
             );
         }
+    }
+
+    /// Verbatim copy of the solver loop as it stood before the island
+    /// rework, kept only to pin the `islands == 1` trajectory.
+    fn solve_pre_island(
+        cfg: &HggaConfig,
+        ctx: &PlanContext,
+        model: &dyn kfuse_core::model::PerfModel,
+    ) -> SolveOutcome {
+        let ev = Evaluator::new(ctx, model);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let start = Instant::now();
+
+        let mut plans: Vec<FusionPlan> = (0..cfg.population)
+            .map(|_| random_plan(ctx, &ev, &mut rng))
+            .collect();
+        let mut pop: Vec<Individual> = evaluate(&ev, std::mem::take(&mut plans));
+        pop.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+
+        let mut best = pop[0].plan.clone();
+        let mut best_cost = pop[0].cost;
+        let mut best_gen = 0u32;
+        let mut time_to_best = start.elapsed();
+        let mut stall = 0u32;
+        let mut generations = 0u32;
+
+        for gen in 1..=cfg.max_generations {
+            generations = gen;
+            let mut offspring: Vec<FusionPlan> = Vec::with_capacity(cfg.population);
+            for e in pop.iter().take(cfg.elitism) {
+                offspring.push(e.plan.clone());
+            }
+            while offspring.len() < cfg.population {
+                let pa = tournament(&pop, cfg.tournament, &mut rng);
+                let pb = tournament(&pop, cfg.tournament, &mut rng);
+                let mut child = if rng.gen_bool(cfg.crossover_rate) {
+                    crossover(ctx, &ev, &pop[pa].plan, &pop[pb].plan, &mut rng)
+                } else {
+                    pop[pa.min(pb)].plan.clone()
+                };
+                if rng.gen_bool(cfg.mutation_rate) {
+                    child = mutate(ctx, &ev, &child, &mut rng);
+                }
+                if rng.gen_bool(cfg.local_search_rate) {
+                    child = local_search(ctx, &ev, child, &mut rng);
+                }
+                offspring.push(child);
+            }
+            let mut next = evaluate(&ev, offspring);
+            next.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+            pop = next;
+
+            if pop[0].cost < best_cost - 1e-15 {
+                best_cost = pop[0].cost;
+                best = pop[0].plan.clone();
+                best_gen = gen;
+                time_to_best = start.elapsed();
+                stall = 0;
+            } else {
+                stall += 1;
+                if stall >= cfg.stall_generations {
+                    break;
+                }
+            }
+        }
+
+        SolveOutcome {
+            plan: best,
+            objective: best_cost,
+            stats: SolveStats {
+                generations,
+                evaluations: ev.evaluations(),
+                elapsed: start.elapsed(),
+                time_to_best,
+                best_generation: best_gen,
+                islands: Vec::new(),
+            },
+        }
+    }
+
+    #[test]
+    fn single_island_reproduces_pre_island_solver_exactly() {
+        let (_, ctx) = prepare(&program(), &GpuSpec::k20x(), FpPrecision::Double);
+        let model = ProposedModel::default();
+        for seed in [7, 42, 1234] {
+            let cfg = quick_config(seed);
+            assert_eq!(cfg.islands, 1, "defaults must stay single-population");
+            let new = HggaSolver {
+                config: cfg.clone(),
+            }
+            .solve(&ctx, &model);
+            let old = solve_pre_island(&cfg, &ctx, &model);
+            assert_eq!(new.plan, old.plan, "seed {seed} plan diverged");
+            assert_eq!(new.objective, old.objective, "seed {seed} objective");
+            assert_eq!(
+                new.stats.generations, old.stats.generations,
+                "seed {seed} generations"
+            );
+            assert_eq!(
+                new.stats.best_generation, old.stats.best_generation,
+                "seed {seed} best generation"
+            );
+        }
+    }
+
+    #[test]
+    fn island_counts_yield_feasible_improving_plans() {
+        let (_, ctx) = prepare(&program(), &GpuSpec::k20x(), FpPrecision::Double);
+        let model = ProposedModel::default();
+        let ev = Evaluator::new(&ctx, &model);
+        let identity_cost = ev.plan(&FusionPlan::identity(6));
+        for islands in [2, 3, 4] {
+            let out = HggaSolver {
+                config: HggaConfig {
+                    islands,
+                    migration_interval: 5,
+                    ..quick_config(11)
+                },
+            }
+            .solve(&ctx, &model);
+            assert!(ctx.validate(&out.plan).is_ok(), "islands {islands}");
+            assert!(
+                out.objective <= identity_cost + 1e-12,
+                "islands {islands}: {} vs identity {identity_cost}",
+                out.objective
+            );
+            assert_eq!(out.stats.islands.len(), islands);
+            assert!(out.stats.islands.iter().all(|i| i.generations >= 1));
+        }
+    }
+
+    #[test]
+    fn island_mode_is_deterministic_per_seed() {
+        let (_, ctx) = prepare(&program(), &GpuSpec::k20x(), FpPrecision::Double);
+        let model = ProposedModel::default();
+        let config = HggaConfig {
+            islands: 3,
+            migration_interval: 4,
+            ..quick_config(99)
+        };
+        let s1 = HggaSolver {
+            config: config.clone(),
+        }
+        .solve(&ctx, &model);
+        let s2 = HggaSolver { config }.solve(&ctx, &model);
+        assert_eq!(s1.plan, s2.plan);
+        assert_eq!(s1.objective, s2.objective);
+        assert_eq!(s1.stats.generations, s2.stats.generations);
+        let m1: Vec<u32> = s1
+            .stats
+            .islands
+            .iter()
+            .map(|i| i.migrations_received)
+            .collect();
+        let m2: Vec<u32> = s2
+            .stats
+            .islands
+            .iter()
+            .map(|i| i.migrations_received)
+            .collect();
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn migration_spreads_individuals_around_the_ring() {
+        let (_, ctx) = prepare(&program(), &GpuSpec::k20x(), FpPrecision::Double);
+        let model = ProposedModel::default();
+        let out = HggaSolver {
+            config: HggaConfig {
+                islands: 3,
+                migration_interval: 2,
+                migration_size: 2,
+                max_generations: 20,
+                stall_generations: 20,
+                ..quick_config(5)
+            },
+        }
+        .solve(&ctx, &model);
+        // With stall >= max_generations the run executes all epochs, and
+        // every epoch except the last migrates.
+        assert!(
+            out.stats.islands.iter().any(|i| i.migrations_received > 0),
+            "no migrations recorded: {:?}",
+            out.stats.islands
+        );
     }
 }

@@ -63,10 +63,8 @@ pub fn simulate_kernel_events(
     let slots = occ.active_blocks_per_smx * gpu.smx_count;
     let warps_per_block = launch.warps_per_block(gpu.warp_size);
     let bytes_per_block = traffic.bytes(elem) as f64 / f64::from(total_blocks);
-    let barrier_s_per_block = f64::from(k.barrier_count())
-        * f64::from(p.grid.nz)
-        * gpu.barrier_ns
-        * 1e-9;
+    let barrier_s_per_block =
+        f64::from(k.barrier_count()) * f64::from(p.grid.nz) * gpu.barrier_ns * 1e-9;
 
     // Processor-sharing over bandwidth: remaining bytes per resident block.
     let mut remaining: Vec<f64> = Vec::with_capacity(slots as usize);
@@ -85,8 +83,8 @@ pub fn simulate_kernel_events(
         events += 1;
         let resident = remaining.len() as u32;
         // Warps in flight per SMX under the current residency.
-        let blocks_per_smx =
-            (f64::from(resident) / f64::from(gpu.smx_count)).min(f64::from(occ.active_blocks_per_smx));
+        let blocks_per_smx = (f64::from(resident) / f64::from(gpu.smx_count))
+            .min(f64::from(occ.active_blocks_per_smx));
         let active_warps = blocks_per_smx * f64::from(warps_per_block);
         let hide = gpu.latency_hiding_factor(active_warps).max(1e-6);
         let device_rate = gpu.gmem_bw_gbps * 1e9 * hide; // bytes/s total
@@ -119,8 +117,7 @@ pub fn simulate_kernel_events(
 
     // Barriers serialize within each block; with `slots` lanes they add
     // total_blocks/slots sequential barrier sections.
-    let barrier_total =
-        barrier_s_per_block * (f64::from(total_blocks) / f64::from(slots)).ceil();
+    let barrier_total = barrier_s_per_block * (f64::from(total_blocks) / f64::from(slots)).ceil();
     let time_s = now + barrier_total + gpu.launch_overhead_us * 1e-6;
 
     EventTiming {
@@ -155,7 +152,9 @@ mod tests {
         pb.kernel("k0")
             .write(b, Expr::at(a) + Expr::load(a, Offset::new(-1, 0, 0)))
             .build();
-        pb.kernel("k1").write(c, Expr::at(b) * Expr::lit(2.0)).build();
+        pb.kernel("k1")
+            .write(c, Expr::at(b) * Expr::lit(2.0))
+            .build();
         pb.build()
     }
 

@@ -53,10 +53,9 @@ fn eval_ref(state: &DeviceState, e: &Expr, i: i64, j: i64, k: i64) -> f64 {
             k + i64::from(offset.dk),
         ),
         Expr::Const(c) => *c,
-        Expr::Bin { op, lhs, rhs } => op.apply(
-            eval_ref(state, lhs, i, j, k),
-            eval_ref(state, rhs, i, j, k),
-        ),
+        Expr::Bin { op, lhs, rhs } => {
+            op.apply(eval_ref(state, lhs, i, j, k), eval_ref(state, rhs, i, j, k))
+        }
     }
 }
 
@@ -259,16 +258,7 @@ fn run_block(
             for kk in 0..nz as i64 {
                 for j in dj_lo..=dj_hi {
                     for i in di_lo..=di_hi {
-                        vals[n] = eval_block(
-                            snapshot,
-                            &own,
-                            &buffers,
-                            tile,
-                            &st.expr,
-                            i,
-                            j,
-                            kk,
-                        );
+                        vals[n] = eval_block(snapshot, &own, &buffers, tile, &st.expr, i, j, kk);
                         n += 1;
                     }
                 }
@@ -293,9 +283,7 @@ fn run_block(
                         if i >= ti_lo && i <= ti_hi && j >= tj_lo && j <= tj_hi {
                             let local = (kk as usize * h0 + (j - tj_lo) as usize) * w0
                                 + (i - ti_lo) as usize;
-                            own[st.target.index()]
-                                .as_mut()
-                                .expect("allocated above")[local] = v;
+                            own[st.target.index()].as_mut().expect("allocated above")[local] = v;
                         }
                     }
                 }
@@ -348,8 +336,8 @@ fn eval_block(
                 if let Some(vals) = &own[array.index()] {
                     let w0 = (ti_hi - ti_lo + 1) as usize;
                     let h0 = (tj_hi - tj_lo + 1) as usize;
-                    let local = (ck as usize * h0 + (cj64 - tj_lo) as usize) * w0
-                        + (ci64 - ti_lo) as usize;
+                    let local =
+                        (ck as usize * h0 + (cj64 - tj_lo) as usize) * w0 + (ci64 - ti_lo) as usize;
                     return vals[local];
                 }
             }
@@ -397,7 +385,9 @@ mod tests {
         let a = pb.array("A");
         let b = pb.array("B");
         let c = pb.array("C");
-        pb.kernel("k0").write(b, Expr::at(a) + Expr::lit(1.0)).build();
+        pb.kernel("k0")
+            .write(b, Expr::at(a) + Expr::lit(1.0))
+            .build();
         pb.kernel("k1")
             .write(
                 c,
@@ -457,7 +447,9 @@ mod tests {
         let a = pb.array("A");
         let b = pb.array("B");
         let c = pb.array("C");
-        pb.kernel("k0").write(b, Expr::at(a) + Expr::lit(1.0)).build();
+        pb.kernel("k0")
+            .write(b, Expr::at(a) + Expr::lit(1.0))
+            .build();
         pb.kernel("k1")
             .write(
                 c,
@@ -528,7 +520,9 @@ mod tests {
             let c = pb.array("C");
             let d = pb.array("D");
             if !fused {
-                pb.kernel("k0").write(b, Expr::at(a) * Expr::lit(2.0)).build();
+                pb.kernel("k0")
+                    .write(b, Expr::at(a) * Expr::lit(2.0))
+                    .build();
                 pb.kernel("k1")
                     .write(c, Expr::load(b, Offset::new(1, 0, 0)))
                     .build();
@@ -606,8 +600,12 @@ mod tests {
         let a = pb.array("A");
         let b = pb.array("B");
         let c = pb.array("C");
-        pb.kernel("k0").write(b, Expr::at(a) + Expr::lit(1.0)).build();
-        pb.kernel("k1").write(c, Expr::at(b) * Expr::lit(2.0)).build();
+        pb.kernel("k0")
+            .write(b, Expr::at(a) + Expr::lit(1.0))
+            .build();
+        pb.kernel("k1")
+            .write(c, Expr::at(b) * Expr::lit(2.0))
+            .build();
         let punfused = pb.build();
         let mut sref = DeviceState::default_init(&punfused);
         run_reference(&punfused, &mut sref);
@@ -638,7 +636,9 @@ mod tests {
         let a = pb.array("A");
         let b = pb.array("B");
         let c = pb.array("C");
-        pb.kernel("k0").write(b, Expr::at(a) * Expr::lit(2.0)).build();
+        pb.kernel("k0")
+            .write(b, Expr::at(a) * Expr::lit(2.0))
+            .build();
         pb.kernel("k1")
             .write(
                 c,

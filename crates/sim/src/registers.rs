@@ -8,7 +8,7 @@
 //! directives and halo bookkeeping — so that larger fusions exhibit the
 //! register pressure that makes some fusions unprofitable (§VI-D2).
 
-use kfuse_ir::analysis::{halo_fill, halo_area, HaloFill};
+use kfuse_ir::analysis::{halo_area, halo_fill, HaloFill};
 use kfuse_ir::{Kernel, Program, StagingMedium};
 
 /// Baseline registers every kernel needs: thread/block indices, loop
@@ -88,7 +88,9 @@ mod tests {
         pb.kernel("k0")
             .write(b, Expr::at(a) + Expr::load(a, Offset::new(-1, 0, 0)))
             .build();
-        pb.kernel("k1").write(c, Expr::at(b) * Expr::lit(2.0)).build();
+        pb.kernel("k1")
+            .write(c, Expr::at(b) * Expr::lit(2.0))
+            .build();
         (pb.build(), a, b, c)
     }
 

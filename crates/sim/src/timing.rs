@@ -85,7 +85,10 @@ pub struct ProgramTiming {
 impl ProgramTiming {
     /// Total GMEM bytes moved at `elem_bytes` per element.
     pub fn total_bytes(&self, elem_bytes: u64) -> u64 {
-        self.kernels.iter().map(|k| k.traffic.bytes(elem_bytes)).sum()
+        self.kernels
+            .iter()
+            .map(|k| k.traffic.bytes(elem_bytes))
+            .sum()
     }
 }
 
@@ -213,16 +216,11 @@ pub fn simulate_kernel(gpu: &GpuSpec, p: &Program, k: &Kernel, prec: FpPrecision
     // paper's 4x26x101 HOMME configuration).
     let resident_blocks_per_smx = f64::from(occ.active_blocks_per_smx)
         .min((f64::from(blocks) / f64::from(gpu.smx_count)).ceil());
-    let active_warps =
-        resident_blocks_per_smx * f64::from(launch.warps_per_block(gpu.warp_size));
+    let active_warps = resident_blocks_per_smx * f64::from(launch.warps_per_block(gpu.warp_size));
     let hide = gpu.latency_hiding_factor(active_warps);
 
     // GMEM pipeline: demand traffic plus spill traffic.
-    let spill_bytes = u64::from(spilled)
-        * 8
-        * u64::from(blocks)
-        * u64::from(threads)
-        * 2; // store + reload
+    let spill_bytes = u64::from(spilled) * 8 * u64::from(blocks) * u64::from(threads) * 2; // store + reload
     let gmem_bytes =
         traffic.bytes(elem) as f64 + spill_bytes as f64 * spill_penalty(gpu.generation);
     let gmem_s = gmem_bytes / (gpu.gmem_bw_gbps * 1e9 * hide);
@@ -243,8 +241,7 @@ pub fn simulate_kernel(gpu: &GpuSpec, p: &Program, k: &Kernel, prec: FpPrecision
         })
         .max()
         .unwrap_or(1);
-    let smem_s =
-        smem_bytes_moved(p, k, elem) as f64 * conflict as f64 / (gpu.smem_bw_gbps * 1e9);
+    let smem_s = smem_bytes_moved(p, k, elem) as f64 * conflict as f64 / (gpu.smem_bw_gbps * 1e9);
 
     // Barriers serialize per wave of blocks.
     let waves = (f64::from(blocks)
@@ -329,7 +326,10 @@ mod tests {
             .write(b, Expr::at(a) + Expr::load(a, Offset::new(-1, 0, 0)))
             .build();
         pb.kernel("k1")
-            .write(c, Expr::at(a) * Expr::lit(0.5) + Expr::load(a, Offset::new(0, -1, 0)))
+            .write(
+                c,
+                Expr::at(a) * Expr::lit(0.5) + Expr::load(a, Offset::new(0, -1, 0)),
+            )
             .build();
         (pb.build(), a)
     }
@@ -446,9 +446,7 @@ mod tests {
         pf_heavy.kernels[0].staging[0].halo = 8;
         let t_light = simulate_kernel(&gpu, &pf, &pf.kernels[0], FpPrecision::Double);
         let t_heavy = simulate_kernel(&gpu, &pf_heavy, &pf_heavy.kernels[0], FpPrecision::Double);
-        assert!(
-            t_heavy.occupancy.active_blocks_per_smx < t_light.occupancy.active_blocks_per_smx
-        );
+        assert!(t_heavy.occupancy.active_blocks_per_smx < t_light.occupancy.active_blocks_per_smx);
         // Same demand traffic must take longer at lower concurrency
         // (modulo the traffic increase from the halo ring itself).
         assert!(t_heavy.gmem_s > t_light.gmem_s);
@@ -480,7 +478,7 @@ mod conflict_tests {
     #[test]
     fn padded_pitch_is_nearly_conflict_free() {
         let gpu = GpuSpec::k20x(); // 32 banks × 8 B, DP elems = 1 word
-        // Pitch 33 (32 + 1 padding): gcd(33 % 32, 32) = gcd(1,32) = 1.
+                                   // Pitch 33 (32 + 1 padding): gcd(33 % 32, 32) = gcd(1,32) = 1.
         assert_eq!(bank_conflict_ways(&gpu, 33, 8), 1);
         // Unpadded pitch 32: stride 0 → full serialization.
         assert_eq!(bank_conflict_ways(&gpu, 32, 8), 32);
@@ -498,7 +496,7 @@ mod conflict_tests {
     #[test]
     fn double_on_4byte_banks_doubles_stride() {
         let gpu = GpuSpec::gtx750ti(); // 4-byte banks, 8-byte elements
-        // words_per_elem = 2 → pitch 33 gives stride 66 % 32 = 2 → 2-way.
+                                       // words_per_elem = 2 → pitch 33 gives stride 66 % 32 = 2 → 2-way.
         assert_eq!(bank_conflict_ways(&gpu, 33, 8), 2);
     }
 }
@@ -515,9 +513,13 @@ mod stream_tests {
         let b = pb.array("B");
         let c = pb.array("C");
         let d = pb.array("D");
-        pb.kernel("s0_k").write(b, Expr::at(a) + Expr::lit(1.0)).build();
+        pb.kernel("s0_k")
+            .write(b, Expr::at(a) + Expr::lit(1.0))
+            .build();
         pb.stream(1);
-        pb.kernel("s1_k").write(d, Expr::at(c) * Expr::lit(2.0)).build();
+        pb.kernel("s1_k")
+            .write(d, Expr::at(c) * Expr::lit(2.0))
+            .build();
         pb.build()
     }
 

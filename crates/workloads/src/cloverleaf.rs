@@ -40,10 +40,7 @@ pub fn timestep(grid: [u32; 3]) -> Program {
 
     // ideal_gas: equation of state from density/energy.
     pb.kernel("ideal_gas")
-        .write(
-            pressure,
-            at(density0) * at(energy0) * Expr::lit(0.4),
-        )
+        .write(pressure, at(density0) * at(energy0) * Expr::lit(0.4))
         .write(
             soundspeed,
             (at(pressure) / at(density0)) * Expr::lit(1.4) + Expr::lit(1e-8),
@@ -56,8 +53,7 @@ pub fn timestep(grid: [u32; 3]) -> Program {
             viscosity,
             ((ld(xvel0, 1, 0) - at(xvel0)) + (ld(yvel0, 0, 1) - at(yvel0)))
                 * at(density0)
-                * Expr::lit(2.0)
-                .max(Expr::lit(0.0)),
+                * Expr::lit(2.0).max(Expr::lit(0.0)),
         )
         .build();
 
@@ -71,7 +67,10 @@ pub fn timestep(grid: [u32; 3]) -> Program {
 
     // PdV: volume-change update of density and energy (predictor).
     pb.kernel("PdV")
-        .write(work, (at(pressure) + at(viscosity)) * at(volume) * Expr::lit(0.5))
+        .write(
+            work,
+            (at(pressure) + at(viscosity)) * at(volume) * Expr::lit(0.5),
+        )
         .write(density1, at(density0) + at(work) * Expr::lit(1e-3))
         .write(energy1, at(energy0) - at(work) * Expr::lit(1e-3))
         .build();
@@ -110,20 +109,14 @@ pub fn timestep(grid: [u32; 3]) -> Program {
 
     // advec_cell x/y: donor-cell advection of density/energy.
     pb.kernel("advec_cell_x")
-        .write(
-            mass_flux_x,
-            at(vol_flux_x) * ld(density1, -1, 0),
-        )
+        .write(mass_flux_x, at(vol_flux_x) * ld(density1, -1, 0))
         .write(
             density1,
             at(density1) + (at(mass_flux_x) - ld(mass_flux_x, 1, 0)) / at(volume),
         )
         .build();
     pb.kernel("advec_cell_y")
-        .write(
-            mass_flux_y,
-            at(vol_flux_y) * ld(density1, 0, -1),
-        )
+        .write(mass_flux_y, at(vol_flux_y) * ld(density1, 0, -1))
         .write(
             density1,
             at(density1) + (at(mass_flux_y) - ld(mass_flux_y, 0, 1)) / at(volume),
@@ -209,5 +202,4 @@ mod tests {
             kfuse_core::depgraph::TouchClass::ExpandableReadWrite
         );
     }
-
 }

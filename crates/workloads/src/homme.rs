@@ -55,9 +55,6 @@ mod tests {
     #[test]
     fn problem_size_is_papers() {
         let p = full();
-        assert_eq!(
-            [p.grid.nx, p.grid.ny, p.grid.nz],
-            PROBLEM_SIZE
-        );
+        assert_eq!([p.grid.nx, p.grid.ny, p.grid.nz], PROBLEM_SIZE);
     }
 }

@@ -144,7 +144,11 @@ pub fn program(grid: [u32; 3]) -> (Program, Arrays) {
         let mut staging = Vec::new();
         for &arr in reads.keys() {
             if k.thread_load(arr) > 1 {
-                let halo = if writes.contains(&arr) { k.read_radius(arr) } else { 0 };
+                let halo = if writes.contains(&arr) {
+                    k.read_radius(arr)
+                } else {
+                    0
+                };
                 staging.push(Staging {
                     array: arr,
                     halo,

@@ -51,18 +51,30 @@ pub fn rk_core(grid: [u32; 3]) -> Program {
 
     // K_1..K_3: velocity diagnostics VEL = MOM / avg(DENS).
     pb.kernel("K1_velx")
-        .write(velx, at(momx) / ((at(dens) + ld(dens, 1, 0, 0)) * Expr::lit(0.5)))
+        .write(
+            velx,
+            at(momx) / ((at(dens) + ld(dens, 1, 0, 0)) * Expr::lit(0.5)),
+        )
         .build();
     pb.kernel("K2_vely")
-        .write(vely, at(momy) / ((at(dens) + ld(dens, 0, 1, 0)) * Expr::lit(0.5)))
+        .write(
+            vely,
+            at(momy) / ((at(dens) + ld(dens, 0, 1, 0)) * Expr::lit(0.5)),
+        )
         .build();
     pb.kernel("K3_velz")
-        .write(velz, at(momz) / ((at(dens) + ld(dens, 0, 0, 1)) * Expr::lit(0.5)))
+        .write(
+            velz,
+            at(momz) / ((at(dens) + ld(dens, 0, 0, 1)) * Expr::lit(0.5)),
+        )
         .build();
 
     // K_4: pressure diagnostic.
     pb.kernel("K4_pres")
-        .write(pres, at(rhot) * at(rcdz) * Expr::lit(0.4) + at(dens) * Expr::lit(287.0))
+        .write(
+            pres,
+            at(rhot) * at(rcdz) * Expr::lit(0.4) + at(dens) * Expr::lit(287.0),
+        )
         .build();
 
     // K_5..K_7: momentum tendencies (flux divergence, radius-1 stencils).
@@ -95,8 +107,7 @@ pub fn rk_core(grid: [u32; 3]) -> Program {
     pb.kernel("K8_qflx")
         .write(
             qflx,
-            (ld(qtrc, 1, 0, 0) - at(qtrc)) * at(velx)
-                + (ld(qtrc, 0, 1, 0) - at(qtrc)) * at(vely),
+            (ld(qtrc, 1, 0, 0) - at(qtrc)) * at(velx) + (ld(qtrc, 0, 1, 0) - at(qtrc)) * at(vely),
         )
         .build();
 
@@ -188,7 +199,11 @@ pub(crate) fn optimize_originals(p: &mut Program) {
         let mut staging = Vec::new();
         for &a in reads.keys() {
             if k.thread_load(a) > 1 {
-                let halo = if writes.contains(&a) { k.read_radius(a) } else { 0 };
+                let halo = if writes.contains(&a) {
+                    k.read_radius(a)
+                } else {
+                    0
+                };
                 staging.push(Staging {
                     array: a,
                     halo,

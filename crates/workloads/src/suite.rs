@@ -89,7 +89,11 @@ impl SuiteParams {
     pub fn name(&self) -> String {
         format!(
             "clover_k{}_a{}_c{}_s{}_t{}_d{}",
-            self.kernels, self.arrays, self.data_copies, self.sharing_set, self.thread_load,
+            self.kernels,
+            self.arrays,
+            self.data_copies,
+            self.sharing_set,
+            self.thread_load,
             self.kinship
         )
     }
@@ -110,11 +114,7 @@ impl TestSuite {
     }
 
     /// Generate on a custom grid (small grids for functional tests).
-    pub fn generate_on_grid(
-        params: &SuiteParams,
-        grid: [u32; 3],
-        block: (u32, u32),
-    ) -> Program {
+    pub fn generate_on_grid(params: &SuiteParams, grid: [u32; 3], block: (u32, u32)) -> Program {
         let cfg = SynthConfig {
             name: params.name(),
             kernels: params.kernels,

@@ -132,7 +132,7 @@ pub fn generate(cfg: &SynthConfig) -> Program {
     let mut hub_budget: Vec<usize> = hubs.iter().map(|_| cfg.sharing_set).collect();
     // Arrays with values produced by some earlier kernel, newest last.
     let mut produced: Vec<(usize, ArrayId)> = Vec::new(); // (kernel idx, array)
-    // Writers per array (to bound expandable multiplicity).
+                                                          // Writers per array (to bound expandable multiplicity).
     let mut writers: Vec<usize> = vec![0; cfg.arrays];
     let mut copies_made = 0usize;
 
@@ -330,7 +330,9 @@ fn fresh_target(
     if let Some(&a) = pick(&unwritten_out, rng) {
         return a;
     }
-    *pick(outs, rng).or_else(|| pick(flow, rng)).expect("array pools non-empty")
+    *pick(outs, rng)
+        .or_else(|| pick(flow, rng))
+        .expect("array pools non-empty")
 }
 
 #[cfg(test)]
@@ -437,7 +439,7 @@ mod tests {
         assert_eq!(footprint(8).len(), 8);
         assert_eq!(footprint(13).len(), 13);
         assert_eq!(footprint(99).len(), 13); // clamped
-        // Footprints are distinct positions → thread load == size.
+                                             // Footprints are distinct positions → thread load == size.
         let f = footprint(12);
         let mut pairs: Vec<_> = f.iter().map(|o| (o.di, o.dj)).collect();
         pairs.sort_unstable();

@@ -52,5 +52,8 @@ fn main() {
         );
     }
     println!();
-    println!("exact optimum: {:.1} us (exhaustive search is the ground truth)", best * 1e6);
+    println!(
+        "exact optimum: {:.1} us (exhaustive search is the ground truth)",
+        best * 1e6
+    );
 }

@@ -46,7 +46,11 @@ fn main() {
     let result = pipeline::run(&program, &gpu, FpPrecision::Double, &model, &solver)
         .expect("pipeline succeeds");
 
-    println!("program: {} kernels → {} calls", program.kernels.len(), result.fused.kernels.len());
+    println!(
+        "program: {} kernels → {} calls",
+        program.kernels.len(),
+        result.fused.kernels.len()
+    );
     for (gi, group) in result.plan.groups.iter().enumerate() {
         let names: Vec<&str> = group
             .iter()
@@ -58,7 +62,11 @@ fn main() {
             names, spec.complex, spec.smem_bytes
         );
     }
-    println!("simulated speedup on {}: {:.3}x", gpu.name, result.speedup());
+    println!(
+        "simulated speedup on {}: {:.3}x",
+        gpu.name,
+        result.speedup()
+    );
 
     // Numerical verification: the fused program (executed block-wise with
     // the explicit SMEM model) must match the original reference run
@@ -76,5 +84,8 @@ fn main() {
             program.array(a).name
         );
     }
-    println!("numerical check: fused == reference for all {} arrays ✓", program.arrays.len());
+    println!(
+        "numerical check: fused == reference for all {} arrays ✓",
+        program.arrays.len()
+    );
 }

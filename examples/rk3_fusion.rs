@@ -14,7 +14,11 @@ use kfuse_workloads::scale_les;
 fn main() {
     let grid = [128, 32, 8];
     let program = scale_les::rk_core(grid);
-    println!("RK3 core: {} kernels, {} arrays", program.kernels.len(), program.arrays.len());
+    println!(
+        "RK3 core: {} kernels, {} arrays",
+        program.kernels.len(),
+        program.arrays.len()
+    );
 
     // The QFLX pattern of §II-B1c: written by K_8 and K_12, read in between.
     let dep = DependencyGraph::build(&program);
@@ -30,10 +34,16 @@ fn main() {
     let exec_before = ExecOrderGraph::build(&program);
     let k10 = KernelId(9);
     let k12 = KernelId(11);
-    assert!(exec_before.reaches(k10, k12), "WAR precedence before relaxation");
+    assert!(
+        exec_before.reaches(k10, k12),
+        "WAR precedence before relaxation"
+    );
 
     let relaxation = kfuse_core::relax::relax_expandable(&program);
-    println!("relaxation added {} redundant copies", relaxation.copies_added);
+    println!(
+        "relaxation added {} redundant copies",
+        relaxation.copies_added
+    );
     let exec_after = ExecOrderGraph::build(&relaxation.program);
     assert!(
         exec_after.independent(k10, k12),
@@ -78,8 +88,10 @@ fn main() {
     );
     for (gi, g) in result.plan.groups.iter().enumerate() {
         if g.len() >= 2 {
-            let names: Vec<&str> =
-                g.iter().map(|&k| result.relaxed.kernel(k).name.as_str()).collect();
+            let names: Vec<&str> = g
+                .iter()
+                .map(|&k| result.relaxed.kernel(k).name.as_str())
+                .collect();
             println!("  new kernel {gi}: {names:?}");
         }
     }

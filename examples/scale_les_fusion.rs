@@ -24,7 +24,11 @@ fn main() {
     // expandable arrays away, that is its whole point).
     let dep = DependencyGraph::build(&program);
     let classes = |c: TouchClass| dep.classes.iter().filter(|&&x| x == c).count();
-    println!("SCALE-LES: {} kernels, {} arrays", program.kernels.len(), program.arrays.len());
+    println!(
+        "SCALE-LES: {} kernels, {} arrays",
+        program.kernels.len(),
+        program.arrays.len()
+    );
     println!(
         "  touch classes: {} read-only, {} read-write, {} expandable, {} write-only",
         classes(TouchClass::ReadOnly),
@@ -38,7 +42,10 @@ fn main() {
         relaxed.arrays.len() - program.arrays.len()
     );
     let red = reducible_traffic(&ctx);
-    println!("  reducible GMEM traffic bound: {:.1}% (paper: 41%)", 100.0 * red.fraction());
+    println!(
+        "  reducible GMEM traffic bound: {:.1}% (paper: 41%)",
+        100.0 * red.fraction()
+    );
 
     // --- Search + fusion ---------------------------------------------------
     let solver = HggaSolver::with_seed(17);
@@ -63,8 +70,14 @@ fn main() {
     let (small_relaxed, small_ctx) = pipeline::prepare(&small, &gpu, FpPrecision::Double);
     let out = solver.solve(&small_ctx, &model);
     let specs = small_ctx.validate(&out.plan).expect("plan valid");
-    let fused = apply_plan(&small_relaxed, &small_ctx.info, &small_ctx.exec, &out.plan, &specs)
-        .expect("fusion applies");
+    let fused = apply_plan(
+        &small_relaxed,
+        &small_ctx.info,
+        &small_ctx.exec,
+        &out.plan,
+        &specs,
+    )
+    .expect("fusion applies");
 
     let mut reference = DeviceState::default_init(&small_relaxed);
     run_reference(&small_relaxed, &mut reference);

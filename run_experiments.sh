@@ -1,11 +1,19 @@
 #!/usr/bin/env bash
 # Regenerate every table and figure of the paper. Results are printed and
 # written as JSON under results/ (see EXPERIMENTS.md for the index).
+# Pass --skip-checks to bypass the formatting/lint gate.
 set -euo pipefail
+
+if [[ "${1:-}" != "--skip-checks" ]]; then
+  echo "== cargo fmt --check"
+  cargo fmt --check
+  echo "== cargo clippy --workspace -- -D warnings"
+  cargo clippy --workspace -- -D warnings
+fi
 
 cargo build --release -p kfuse-bench
 
-bins=(table1 fig3_motivating table5 fig5a fig5b table6 fig6 fig7_8 fig9 table7 smem_whatif fusion_efficiency ablation blocksize_study weak_scaling)
+bins=(table1 fig3_motivating table5 fig5a fig5b table6 fig6 fig7_8 fig9 table7 smem_whatif fusion_efficiency ablation blocksize_study weak_scaling search_scaling)
 for b in "${bins[@]}"; do
   echo
   echo "================================================================"

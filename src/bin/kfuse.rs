@@ -24,7 +24,7 @@ fn usage() -> ExitCode {
          kfuse example <quickstart|rk3|fig3|scale-les|homme|suite>\n  \
          kfuse analyze  <program.json> [--gpu k20x|k40|gtx750ti] [--dot-deps FILE] [--dot-exec FILE]\n  \
          kfuse simulate <program.json> [--gpu ...]\n  \
-         kfuse fuse     <program.json> [--gpu ...] [--seed N] [--emit-cuda FILE] [--plan-out FILE]\n  \
+         kfuse fuse     <program.json> [--gpu ...] [--seed N] [--islands N] [--emit-cuda FILE] [--plan-out FILE]\n  \
          kfuse codegen  <program.json> [--single]"
     );
     ExitCode::from(2)
@@ -54,7 +54,9 @@ fn load_program(path: &str) -> Result<Program, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first() else { return usage() };
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
     let rest = &args[1..];
     let result = match cmd.as_str() {
         "example" => cmd_example(rest),
@@ -83,8 +85,12 @@ fn cmd_example(args: &[String]) -> Result<(), String> {
             let a = pb.array("A");
             let b = pb.array("B");
             let c = pb.array("C");
-            pb.kernel("k0").write(b, Expr::at(a) + Expr::lit(1.0)).build();
-            pb.kernel("k1").write(c, Expr::at(a) * Expr::lit(2.0)).build();
+            pb.kernel("k0")
+                .write(b, Expr::at(a) + Expr::lit(1.0))
+                .build();
+            pb.kernel("k1")
+                .write(c, Expr::at(a) * Expr::lit(2.0))
+                .build();
             pb.build()
         }
         "rk3" => kfuse_workloads::scale_les::rk_core([1280, 32, 32]),
@@ -108,9 +114,19 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     println!("program `{}`", p.name);
     println!(
         "  grid {}x{}x{}, block {}x{} ({} blocks)",
-        p.grid.nx, p.grid.ny, p.grid.nz, p.launch.block_x, p.launch.block_y, p.blocks()
+        p.grid.nx,
+        p.grid.ny,
+        p.grid.nz,
+        p.launch.block_x,
+        p.launch.block_y,
+        p.blocks()
     );
-    println!("  {} kernels, {} arrays, {} host syncs", p.kernels.len(), p.arrays.len(), p.host_syncs.len());
+    println!(
+        "  {} kernels, {} arrays, {} host syncs",
+        p.kernels.len(),
+        p.arrays.len(),
+        p.host_syncs.len()
+    );
 
     let dep = DependencyGraph::build(&p);
     let count = |c: TouchClass| dep.classes.iter().filter(|&&x| x == c).count();
@@ -130,7 +146,11 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         println!("  wrote dependency graph to {out}");
     }
     if let Some(out) = flag_value(args, "--dot-exec") {
-        let dot = kfuse_core::dot::exec_order_dot(&p, &kfuse_core::exec_order::ExecOrderGraph::build(&p), None);
+        let dot = kfuse_core::dot::exec_order_dot(
+            &p,
+            &kfuse_core::exec_order::ExecOrderGraph::build(&p),
+            None,
+        );
         std::fs::write(&out, dot).map_err(|e| e.to_string())?;
         println!("  wrote order-of-execution graph to {out}");
     }
@@ -152,12 +172,19 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let p = load_program(path)?;
     let gpu = parse_gpu(args);
     let t = simulate_program(&gpu, &p, gpu.default_precision());
-    println!("{:<40} {:>10} {:>10} {:>9} {:>7}", "kernel", "time (us)", "gmem (us)", "occupancy", "regs");
+    println!(
+        "{:<40} {:>10} {:>10} {:>9} {:>7}",
+        "kernel", "time (us)", "gmem (us)", "occupancy", "regs"
+    );
     println!("{}", "-".repeat(82));
     for k in &t.kernels {
         println!(
             "{:<40} {:>10.2} {:>10.2} {:>8.0}% {:>7}",
-            if k.name.len() > 38 { &k.name[..38] } else { &k.name },
+            if k.name.len() > 38 {
+                &k.name[..38]
+            } else {
+                &k.name
+            },
             k.time_s * 1e6,
             k.gmem_s * 1e6,
             k.occupancy.occupancy * 100.0,
@@ -178,9 +205,13 @@ fn cmd_fuse(args: &[String]) -> Result<(), String> {
     let seed = flag_value(args, "--seed")
         .and_then(|s| s.parse().ok())
         .unwrap_or(17u64);
+    let islands = flag_value(args, "--islands")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1usize);
 
     let model = ProposedModel::default();
-    let solver = HggaSolver::with_seed(seed);
+    let mut solver = HggaSolver::with_seed(seed);
+    solver.config.islands = islands;
     let r = pipeline::run(&p, &gpu, gpu.default_precision(), &model, &solver)
         .map_err(|e| e.to_string())?;
 
@@ -195,7 +226,10 @@ fn cmd_fuse(args: &[String]) -> Result<(), String> {
         if g.len() < 2 {
             continue;
         }
-        let names: Vec<&str> = g.iter().map(|&k| r.relaxed.kernel(k).name.as_str()).collect();
+        let names: Vec<&str> = g
+            .iter()
+            .map(|&k| r.relaxed.kernel(k).name.as_str())
+            .collect();
         let spec = &r.specs[gi];
         println!(
             "  {} <- {:?}{}",
@@ -215,6 +249,14 @@ fn cmd_fuse(args: &[String]) -> Result<(), String> {
         "search: {} generations, {} evaluations, {:?}",
         r.stats.generations, r.stats.evaluations, r.stats.elapsed
     );
+    if !r.stats.islands.is_empty() {
+        for (i, isl) in r.stats.islands.iter().enumerate() {
+            println!(
+                "  island {i}: {} generations, best at gen {}, {} migrants received",
+                isl.generations, isl.best_generation, isl.migrations_received
+            );
+        }
+    }
 
     if let Some(out) = flag_value(args, "--plan-out") {
         let json = serde_json::to_string_pretty(&r.plan).map_err(|e| e.to_string())?;

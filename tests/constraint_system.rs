@@ -12,19 +12,31 @@ fn program_with_structure() -> Program {
     let mut pb = ProgramBuilder::new("structured", [96, 32, 4]);
     let [a, b, c, d] = pb.arrays(["A", "B", "C", "D"]);
     let [x, y, z] = pb.arrays(["X", "Y", "Z"]);
-    pb.kernel("k0").write(b, Expr::at(a) + Expr::lit(1.0)).build();
+    pb.kernel("k0")
+        .write(b, Expr::at(a) + Expr::lit(1.0))
+        .build();
     pb.kernel("k1")
         .write(c, Expr::load(b, Offset::new(1, 0, 0)))
         .build();
-    pb.kernel("k2").write(d, Expr::at(c) * Expr::lit(2.0)).build();
+    pb.kernel("k2")
+        .write(d, Expr::at(c) * Expr::lit(2.0))
+        .build();
     pb.host_sync();
-    pb.kernel("k3").write(y, Expr::at(x) + Expr::lit(3.0)).build();
-    pb.kernel("k4").write(z, Expr::at(x) - Expr::lit(1.0)).build();
+    pb.kernel("k3")
+        .write(y, Expr::at(x) + Expr::lit(3.0))
+        .build();
+    pb.kernel("k4")
+        .write(z, Expr::at(x) - Expr::lit(1.0))
+        .build();
     pb.build()
 }
 
 fn ctx() -> (Program, PlanContext) {
-    pipeline::prepare(&program_with_structure(), &GpuSpec::k20x(), FpPrecision::Double)
+    pipeline::prepare(
+        &program_with_structure(),
+        &GpuSpec::k20x(),
+        FpPrecision::Double,
+    )
 }
 
 #[test]
@@ -93,17 +105,21 @@ fn smem_overflow_is_reported_with_sizes() {
     // 8 shared pivots × (34×34)×8B ≈ 72 KiB > 48 KiB.
     let plan = FusionPlan::new(vec![(0..8).map(|i| KernelId(i as u32)).collect()]);
     match ctx.validate(&plan) {
-        Err(PlanError::SmemOverflow { bytes, capacity, .. }) => {
+        Err(PlanError::SmemOverflow {
+            bytes, capacity, ..
+        }) => {
             assert!(bytes > capacity);
             assert_eq!(capacity, 48 * 1024);
         }
         other => panic!("expected SMEM overflow, got {other:?}"),
     }
     // The same group fits the hypothetical 128 KiB device.
-    let (_, ctx128) =
-        pipeline::prepare(&p, &GpuSpec::hypothetical_smem(128), FpPrecision::Double);
+    let (_, ctx128) = pipeline::prepare(&p, &GpuSpec::hypothetical_smem(128), FpPrecision::Double);
     let plan = FusionPlan::new(vec![(0..8).map(|i| KernelId(i as u32)).collect()]);
-    assert!(ctx128.validate(&plan).is_ok(), "128 KiB device accepts the group");
+    assert!(
+        ctx128.validate(&plan).is_ok(),
+        "128 KiB device accepts the group"
+    );
 }
 
 #[test]
@@ -197,9 +213,13 @@ fn stream_split_blocks_cross_stream_fusion() {
     let mut pb = ProgramBuilder::new("streams", [96, 32, 4]);
     let a = pb.array("A");
     let [b, c] = pb.arrays(["B", "C"]);
-    pb.kernel("s0").write(b, Expr::at(a) + Expr::lit(1.0)).build();
+    pb.kernel("s0")
+        .write(b, Expr::at(a) + Expr::lit(1.0))
+        .build();
     pb.stream(1);
-    pb.kernel("s1").write(c, Expr::at(a) * Expr::lit(2.0)).build();
+    pb.kernel("s1")
+        .write(c, Expr::at(a) * Expr::lit(2.0))
+        .build();
     let p = pb.build();
     assert_eq!(p.streams, vec![0, 1]);
 
@@ -213,5 +233,7 @@ fn stream_split_blocks_cross_stream_fusion() {
     let mut p2 = p.clone();
     p2.streams = vec![0, 0];
     let (_, ctx2) = pipeline::prepare(&p2, &GpuSpec::k20x(), FpPrecision::Double);
-    assert!(ctx2.validate(&FusionPlan::new(vec![vec![KernelId(0), KernelId(1)]])).is_ok());
+    assert!(ctx2
+        .validate(&FusionPlan::new(vec![vec![KernelId(0), KernelId(1)]]))
+        .is_ok());
 }

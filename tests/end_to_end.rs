@@ -57,7 +57,10 @@ fn motivating_example_end_to_end() {
 fn rk3_core_end_to_end() {
     let program = scale_les::rk_core([96, 32, 4]);
     let speedup = assert_fusion_preserves(&program, 3);
-    assert!(speedup > 1.0, "RK3 core must benefit from fusion ({speedup})");
+    assert!(
+        speedup > 1.0,
+        "RK3 core must benefit from fusion ({speedup})"
+    );
 }
 
 #[test]
@@ -89,8 +92,22 @@ fn pipeline_is_deterministic() {
     let program = scale_les::rk_core([96, 32, 4]);
     let gpu = GpuSpec::k20x();
     let model = ProposedModel::default();
-    let r1 = pipeline::run(&program, &gpu, FpPrecision::Double, &model, &quick_solver(11)).unwrap();
-    let r2 = pipeline::run(&program, &gpu, FpPrecision::Double, &model, &quick_solver(11)).unwrap();
+    let r1 = pipeline::run(
+        &program,
+        &gpu,
+        FpPrecision::Double,
+        &model,
+        &quick_solver(11),
+    )
+    .unwrap();
+    let r2 = pipeline::run(
+        &program,
+        &gpu,
+        FpPrecision::Double,
+        &model,
+        &quick_solver(11),
+    )
+    .unwrap();
     assert_eq!(r1.plan, r2.plan);
     assert_eq!(r1.fused, r2.fused);
     assert_eq!(r1.speedup(), r2.speedup());

@@ -4,7 +4,7 @@
 use kernel_fusion::prelude::*;
 use kfuse_core::fuse::apply_plan;
 use kfuse_core::spec::GroupSpec;
-use kfuse_ir::{StagingMedium};
+use kfuse_ir::StagingMedium;
 use kfuse_workloads::motivating;
 
 #[test]

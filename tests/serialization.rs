@@ -19,8 +19,14 @@ fn fused_program_roundtrips_with_staging_and_syncs() {
     let (p, _) = motivating::program([96, 32, 4]);
     let gpu = GpuSpec::k20x();
     let model = ProposedModel::default();
-    let r = pipeline::run(&p, &gpu, FpPrecision::Double, &model, &HggaSolver::with_seed(3))
-        .unwrap();
+    let r = pipeline::run(
+        &p,
+        &gpu,
+        FpPrecision::Double,
+        &model,
+        &HggaSolver::with_seed(3),
+    )
+    .unwrap();
     let json = serde_json::to_string(&r.fused).unwrap();
     let back: Program = serde_json::from_str(&json).unwrap();
     assert_eq!(r.fused, back);
@@ -28,10 +34,7 @@ fn fused_program_roundtrips_with_staging_and_syncs() {
 
 #[test]
 fn plan_roundtrips() {
-    let plan = FusionPlan::new(vec![
-        vec![KernelId(0), KernelId(2)],
-        vec![KernelId(1)],
-    ]);
+    let plan = FusionPlan::new(vec![vec![KernelId(0), KernelId(2)], vec![KernelId(1)]]);
     let json = serde_json::to_string(&plan).unwrap();
     let back: FusionPlan = serde_json::from_str(&json).unwrap();
     assert_eq!(plan, back);

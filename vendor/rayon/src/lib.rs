@@ -1,0 +1,340 @@
+//! Offline stand-in for the `rayon` crate (see `vendor/README.md`).
+//!
+//! Implements the subset this workspace uses with plain `std::thread`
+//! scoped fork/join instead of a work-stealing pool:
+//!
+//! - `vec.into_par_iter().map(f).collect()` / `slice.par_iter().map(f)`
+//!   — eager, order-preserving, contiguous-chunk parallel map;
+//! - [`scope`] with `Scope::spawn` — jobs collected during the scope
+//!   closure, then run to completion on scoped threads (all jobs joined
+//!   before `scope` returns). Unlike upstream rayon, `spawn` takes a
+//!   plain `FnOnce()` (no re-entrant `&Scope` argument) and jobs start
+//!   only after the scope closure finishes building the job list;
+//! - [`ThreadPoolBuilder`]`::num_threads(n).build()` +
+//!   `ThreadPool::install` — bounds the worker count for closures run
+//!   under `install` (a process-global override, which is all the
+//!   benches need);
+//! - [`current_num_threads`] — override, else `RAYON_NUM_THREADS`, else
+//!   `std::thread::available_parallelism()`.
+//!
+//! Parallel results are position-stable, so anything deterministic under
+//! upstream rayon's `collect` stays deterministic here.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-global worker-count override (0 = none). Set by
+/// [`ThreadPool::install`] for the duration of the installed closure.
+static OVERRIDE_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    let o = OVERRIDE_THREADS.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Order-preserving parallel map over an owned vector: contiguous chunks,
+/// one scoped thread per chunk.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let len = items.len();
+    let threads = current_num_threads().min(len.max(1));
+    if threads <= 1 || len <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Split into `threads` contiguous chunks (sizes differ by ≤ 1).
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let base = len / threads;
+    let extra = len % threads;
+    let mut it = items.into_iter();
+    for i in 0..threads {
+        let take = base + usize::from(i < extra);
+        chunks.push(it.by_ref().take(take).collect());
+    }
+
+    let f = &f;
+    let mut out: Vec<R> = Vec::with_capacity(len);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("rayon stand-in worker panicked"));
+        }
+    });
+    out
+}
+
+/// An eager "parallel iterator": combinators apply in parallel
+/// immediately; terminal ops just hand the buffer over.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map (runs eagerly, preserves order).
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter {
+            items: par_map_vec(self.items, f),
+        }
+    }
+
+    /// Parallel for-each (runs eagerly).
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        par_map_vec(self.items, f);
+    }
+
+    /// Collect the (already computed) results.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sum the (already computed) results.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+}
+
+/// Conversion into an owned parallel iterator (`rayon` naming).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Build the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// `.par_iter()` on borrowed collections (`rayon` naming).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type.
+    type Item: Send + 'a;
+    /// Build a parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `rayon::prelude::*`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Fork/join scope: jobs spawned during the closure run on scoped threads
+/// and are all joined before [`scope`] returns.
+pub struct Scope<'env> {
+    jobs: std::sync::Mutex<Vec<Box<dyn FnOnce() + Send + 'env>>>,
+}
+
+impl<'env> Scope<'env> {
+    /// Queue `f` to run on a worker thread once the scope closure returns.
+    pub fn spawn<F: FnOnce() + Send + 'env>(&self, f: F) {
+        self.jobs
+            .lock()
+            .expect("rayon stand-in scope poisoned")
+            .push(Box::new(f));
+    }
+}
+
+/// Run `op`, then execute every job it spawned in parallel (bounded by
+/// [`current_num_threads`]); returns after all jobs complete.
+pub fn scope<'env, R>(op: impl FnOnce(&Scope<'env>) -> R) -> R {
+    let sc = Scope {
+        jobs: std::sync::Mutex::new(Vec::new()),
+    };
+    let result = op(&sc);
+    let jobs = sc.jobs.into_inner().expect("rayon stand-in scope poisoned");
+    if jobs.is_empty() {
+        return result;
+    }
+    let threads = current_num_threads().min(jobs.len());
+    if threads <= 1 {
+        for j in jobs {
+            j();
+        }
+        return result;
+    }
+    // Contiguous round-robin batches so job count may exceed threads.
+    let mut batches: Vec<Vec<Box<dyn FnOnce() + Send + 'env>>> =
+        (0..threads).map(|_| Vec::new()).collect();
+    for (i, j) in jobs.into_iter().enumerate() {
+        batches[i % threads].push(j);
+    }
+    std::thread::scope(|s| {
+        for batch in batches {
+            s.spawn(move || {
+                for j in batch {
+                    j();
+                }
+            });
+        }
+    });
+    result
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (infallible here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// New builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bound the worker count (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: match self.num_threads {
+                Some(n) if n > 0 => n,
+                _ => current_num_threads(),
+            },
+        })
+    }
+}
+
+/// A "pool": in this stand-in, a worker-count bound applied for the
+/// duration of [`ThreadPool::install`].
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's worker count as the process-global bound.
+    ///
+    /// The override is global, not thread-local: concurrent `install`s
+    /// from different threads would race. The benches (its only callers
+    /// here) run installs sequentially.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = OVERRIDE_THREADS.swap(self.num_threads, Ordering::SeqCst);
+        let r = f();
+        OVERRIDE_THREADS.store(prev, Ordering::SeqCst);
+        r
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_on_slice() {
+        let v: Vec<u64> = (0..100).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out[0], 1);
+        assert_eq!(out[99], 100);
+    }
+
+    #[test]
+    fn scope_joins_all_jobs() {
+        let counter = AtomicU64::new(0);
+        scope(|s| {
+            for _ in 0..32 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn scope_allows_disjoint_mut_borrows() {
+        let mut slots = vec![0u64; 8];
+        scope(|s| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                s.spawn(move || *slot = i as u64 + 1);
+            }
+        });
+        assert_eq!(slots, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn install_bounds_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let n = pool.install(current_num_threads);
+        assert_eq!(n, 2);
+    }
+}

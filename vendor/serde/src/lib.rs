@@ -1,0 +1,465 @@
+//! Offline stand-in for the `serde` crate (see `vendor/README.md`).
+//!
+//! Real serde is format-agnostic via the `Serializer` / `Deserializer`
+//! visitor machinery; the only format this workspace uses is JSON, so
+//! this stand-in collapses the data model to one tree type, [`Value`]:
+//!
+//! - [`Serialize`] turns a value into a [`Value`];
+//! - [`Deserialize`] rebuilds a value from a [`Value`];
+//! - `vendor/serde_json` adds the JSON text layer on top and re-exports
+//!   [`Value`] / [`Map`] / [`Number`].
+//!
+//! The derive macros (from `vendor/serde_derive`) generate impls with the
+//! same JSON shapes upstream serde produces: structs → objects, newtype
+//! structs → their inner value, unit enum variants → strings, data-carrying
+//! variants → single-key objects (externally tagged), maps with integer
+//! keys → objects with stringified keys, and `#[serde(default)]` fields
+//! tolerate missing keys.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+
+pub use value::{Map, Number, Value};
+
+/// Serialization / deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Build an error from anything displayable.
+    pub fn msg(m: impl std::fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert `self` into the JSON data model.
+pub trait Serialize {
+    /// Serialize into a [`Value`] tree.
+    fn serialize_value(&self) -> Result<Value, Error>;
+}
+
+/// Rebuild `Self` from the JSON data model.
+pub trait Deserialize: Sized {
+    /// Deserialize from a [`Value`] tree (consumed).
+    fn deserialize_value(v: Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Result<Value, Error> {
+                Ok(Value::Number(Number::from_u64(*self as u64)))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: Value) -> Result<Self, Error> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| Error::msg(format!("expected unsigned integer, got {v:?}")))?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error::msg(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Result<Value, Error> {
+                Ok(Value::Number(Number::from_i64(*self as i64)))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: Value) -> Result<Self, Error> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| Error::msg(format!("expected integer, got {v:?}")))?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error::msg(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        // Like serde_json: non-finite floats have no JSON representation
+        // and serialize as null.
+        Ok(if self.is_finite() {
+            Value::Number(Number::from_f64(*self))
+        } else {
+            Value::Null
+        })
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::Number(n) => Ok(n.as_f64()),
+            Value::Null => Ok(f64::NAN),
+            other => Err(Error::msg(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        (*self as f64).serialize_value()
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: Value) -> Result<Self, Error> {
+        Ok(f64::deserialize_value(v)? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        Ok(Value::Bool(*self))
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(b),
+            other => Err(Error::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        Ok(Value::String(self.clone()))
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s),
+            other => Err(Error::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        Ok(Value::String(self.to_owned()))
+    }
+}
+
+/// `&'static str` deserialization leaks the string; it exists only so
+/// `#[derive(Deserialize)]` compiles on report-row types that are in
+/// practice only ever serialized.
+impl Deserialize for &'static str {
+    fn deserialize_value(v: Value) -> Result<Self, Error> {
+        Ok(Box::leak(String::deserialize_value(v)?.into_boxed_str()))
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        Ok(Value::String(self.to_string()))
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(v: Value) -> Result<Self, Error> {
+        let s = String::deserialize_value(v)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::msg(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls.
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        self.as_slice().serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        Ok(Value::Array(
+            self.iter()
+                .map(Serialize::serialize_value)
+                .collect::<Result<_, _>>()?,
+        ))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.into_iter().map(T::deserialize_value).collect(),
+            other => Err(Error::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        self.as_slice().serialize_value()
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(v: Value) -> Result<Self, Error> {
+        let items = Vec::<T>::deserialize_value(v)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::msg(format!("expected array of length {N}, got {n}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        match self {
+            Some(t) => t.serialize_value(),
+            None => Ok(Value::Null),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: Value) -> Result<Self, Error> {
+        Ok(Box::new(T::deserialize_value(v)?))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        Ok(Value::Array(vec![
+            self.0.serialize_value()?,
+            self.1.serialize_value()?,
+        ]))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                let mut it = items.into_iter();
+                Ok((
+                    A::deserialize_value(it.next().expect("len checked"))?,
+                    B::deserialize_value(it.next().expect("len checked"))?,
+                ))
+            }
+            other => Err(Error::msg(format!(
+                "expected 2-element array, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Serialize a map key: JSON object keys are strings, so numbers and
+/// strings are stringified (matching `serde_json`'s integer-key support).
+fn key_to_string<K: Serialize>(k: &K) -> Result<String, Error> {
+    match k.serialize_value()? {
+        Value::String(s) => Ok(s),
+        Value::Number(n) => Ok(n.to_json_string()),
+        other => Err(Error::msg(format!("unsupported map key {other:?}"))),
+    }
+}
+
+/// Parse a map key back: numeric-looking keys become numbers first.
+fn key_from_string<K: Deserialize>(s: String) -> Result<K, Error> {
+    if let Ok(u) = s.parse::<u64>() {
+        if let Ok(k) = K::deserialize_value(Value::Number(Number::from_u64(u))) {
+            return Ok(k);
+        }
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        if let Ok(k) = K::deserialize_value(Value::Number(Number::from_i64(i))) {
+            return Ok(k);
+        }
+    }
+    K::deserialize_value(Value::String(s))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(key_to_string(k)?, v.serialize_value()?);
+        }
+        Ok(Value::Object(m))
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn deserialize_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => m
+                .into_iter()
+                .map(|(k, v)| Ok((key_from_string::<K>(k)?, V::deserialize_value(v)?)))
+                .collect(),
+            other => Err(Error::msg(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        // Sort keys for deterministic output (HashMap order is random).
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| Ok((key_to_string(k)?, v.serialize_value()?)))
+            .collect::<Result<_, Error>>()?;
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut m = Map::new();
+        for (k, v) in entries {
+            m.insert(k, v);
+        }
+        Ok(Value::Object(m))
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize
+    for std::collections::HashMap<K, V>
+{
+    fn deserialize_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => m
+                .into_iter()
+                .map(|(k, v)| Ok((key_from_string::<K>(k)?, V::deserialize_value(v)?)))
+                .collect(),
+            other => Err(Error::msg(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        Ok(self.clone())
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: Value) -> Result<Self, Error> {
+        Ok(v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Support functions used by the derive-generated code.
+// ---------------------------------------------------------------------------
+
+/// Derive-macro runtime support; not part of the public serde API.
+pub mod __private {
+    use super::{Deserialize, Error, Map, Value};
+
+    /// Take and deserialize required field `name` from `m`.
+    pub fn from_field<T: Deserialize>(m: &mut Map, name: &str) -> Result<T, Error> {
+        let v = m
+            .remove(name)
+            .ok_or_else(|| Error::msg(format!("missing field `{name}`")))?;
+        T::deserialize_value(v).map_err(|e| Error::msg(format!("field `{name}`: {e}")))
+    }
+
+    /// Take and deserialize field `name`, falling back to `Default` when
+    /// the key is absent (`#[serde(default)]`).
+    pub fn from_field_or_default<T: Deserialize + Default>(
+        m: &mut Map,
+        name: &str,
+    ) -> Result<T, Error> {
+        match m.remove(name) {
+            Some(v) => {
+                T::deserialize_value(v).map_err(|e| Error::msg(format!("field `{name}`: {e}")))
+            }
+            None => Ok(T::default()),
+        }
+    }
+
+    /// Expect `v` to be an object and hand back its map.
+    pub fn expect_object(v: Value, what: &str) -> Result<Map, Error> {
+        match v {
+            Value::Object(m) => Ok(m),
+            other => Err(Error::msg(format!(
+                "expected object for {what}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Expect `v` to be an array of exactly `n` elements.
+    pub fn expect_tuple(v: Value, n: usize, what: &str) -> Result<Vec<Value>, Error> {
+        match v {
+            Value::Array(items) if items.len() == n => Ok(items),
+            other => Err(Error::msg(format!(
+                "expected {n}-element array for {what}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Externally-tagged enum payload: `{ "Variant": inner }`.
+    pub fn variant_object(name: &str, inner: Value) -> Value {
+        let mut m = Map::new();
+        m.insert(name.to_owned(), inner);
+        Value::Object(m)
+    }
+
+    /// Split a single-key object into `(variant_name, payload)`.
+    pub fn take_variant(v: Value, what: &str) -> Result<(String, Value), Error> {
+        match v {
+            Value::String(s) => Ok((s, Value::Null)),
+            Value::Object(m) if m.len() == 1 => {
+                Ok(m.into_iter().next().expect("len checked above"))
+            }
+            other => Err(Error::msg(format!(
+                "expected variant string or single-key object for {what}, got {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,550 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Generates impls of the vendored serde's `Serialize` / `Deserialize`
+//! traits (a `Value`-tree data model, not upstream's visitor machinery).
+//! Parsing is hand-rolled over `proc_macro::TokenStream` — `syn`/`quote`
+//! are unavailable offline. Supported item shapes (everything this
+//! workspace derives on):
+//!
+//! - structs with named fields, honoring `#[serde(default)]`;
+//! - tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays);
+//! - enums with unit, newtype, tuple, and struct variants (externally
+//!   tagged, like upstream serde's default).
+//!
+//! Generic parameters and other `#[serde(...)]` attributes are rejected
+//! with a compile error rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// The parsed derive input.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip one attribute (`# [ ... ]`) if present; returns whether the
+/// attribute was `#[serde(...)]` containing exactly `default`.
+/// Errors (as `Err(msg)`) on unsupported serde attributes.
+fn skip_attr(tokens: &[TokenTree], pos: &mut usize) -> Result<Option<bool>, String> {
+    if let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() == '#' {
+            let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) else {
+                return Err("expected [...] after #".into());
+            };
+            *pos += 2;
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(id)) = inner.first() {
+                if id.to_string() == "serde" {
+                    let Some(TokenTree::Group(args)) = inner.get(1) else {
+                        return Err("expected serde(...) arguments".into());
+                    };
+                    let mut has_default = false;
+                    for t in args.stream() {
+                        match &t {
+                            TokenTree::Ident(i) if i.to_string() == "default" => {
+                                has_default = true;
+                            }
+                            TokenTree::Punct(p) if p.as_char() == ',' => {}
+                            other => {
+                                return Err(format!(
+                                    "unsupported serde attribute content `{other}` \
+                                     (vendored serde_derive supports only #[serde(default)])"
+                                ));
+                            }
+                        }
+                    }
+                    return Ok(Some(has_default));
+                }
+            }
+            return Ok(Some(false));
+        }
+    }
+    Ok(None)
+}
+
+/// Skip all attributes; returns true if any was `#[serde(default)]`.
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> Result<bool, String> {
+    let mut has_default = false;
+    while let Some(flag) = skip_attr(tokens, pos)? {
+        has_default |= flag;
+    }
+    Ok(has_default)
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(super)`, `pub(in ...)`.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Consume tokens of a type (or expression) until a depth-0 comma,
+/// tracking `<`/`>` nesting. Leaves `pos` on the comma (or at end).
+fn skip_until_top_level_comma(tokens: &[TokenTree], pos: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Parse `name: Type` fields from the token list of a brace group.
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let has_default = skip_attrs(tokens, &mut pos)?;
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(tokens, &mut pos);
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+            return Err(format!(
+                "expected field name, got `{:?}`",
+                tokens.get(pos).map(|t| t.to_string())
+            ));
+        };
+        let name = name.to_string();
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, got `{:?}`",
+                    other.map(|t| t.to_string())
+                ))
+            }
+        }
+        skip_until_top_level_comma(tokens, &mut pos);
+        pos += 1; // over the comma (or past end)
+        fields.push(Field { name, has_default });
+    }
+    Ok(fields)
+}
+
+/// Count the fields of a tuple struct / tuple variant from the token list
+/// of a paren group.
+fn count_tuple_fields(tokens: &[TokenTree]) -> Result<usize, String> {
+    let mut arity = 0usize;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs(tokens, &mut pos)?;
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        arity += 1;
+        skip_until_top_level_comma(tokens, &mut pos);
+        pos += 1;
+    }
+    Ok(arity)
+}
+
+/// Parse the variants of an enum from the token list of its brace group.
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs(tokens, &mut pos)?;
+        if pos >= tokens.len() {
+            break;
+        }
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+            return Err(format!(
+                "expected variant name, got `{:?}`",
+                tokens.get(pos).map(|t| t.to_string())
+            ));
+        };
+        let name = name.to_string();
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                pos += 1;
+                VariantKind::Tuple(count_tuple_fields(&inner)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                pos += 1;
+                VariantKind::Struct(parse_named_fields(&inner)?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip any discriminant (`= expr`) up to the next depth-0 comma.
+        skip_until_top_level_comma(tokens, &mut pos);
+        pos += 1;
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+/// Parse the whole derive input item.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs(&tokens, &mut pos)?;
+    skip_visibility(&tokens, &mut pos);
+
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "expected `struct` or `enum`, got `{:?}`",
+                other.map(|t| t.to_string())
+            ))
+        }
+    };
+    pos += 1;
+    let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+        return Err("expected item name".into());
+    };
+    let name = name.to_string();
+    pos += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(&inner)?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(&inner)?,
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!(
+                "unsupported struct body `{:?}`",
+                other.map(|t| t.to_string())
+            )),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Item::Enum {
+                    name,
+                    variants: parse_variants(&inner)?,
+                })
+            }
+            _ => Err("expected enum body".into()),
+        },
+        other => Err(format!("cannot derive on `{other}` items")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (string-built, then parsed into a TokenStream).
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                body.push_str(&format!(
+                    "m.insert({n:?}.to_owned(), ::serde::Serialize::serialize_value(&self.{n})?);\n",
+                    n = f.name
+                ));
+            }
+            body.push_str("::core::result::Result::Ok(::serde::Value::Object(m))");
+            out.push_str(&impl_serialize(name, &body));
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            out.push_str(&impl_serialize(
+                name,
+                "::serde::Serialize::serialize_value(&self.0)",
+            ));
+        }
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})?"))
+                .collect();
+            out.push_str(&impl_serialize(
+                name,
+                &format!(
+                    "::core::result::Result::Ok(::serde::Value::Array(vec![{}]))",
+                    items.join(", ")
+                ),
+            ));
+        }
+        Item::UnitStruct { name } => {
+            out.push_str(&impl_serialize(
+                name,
+                "::core::result::Result::Ok(::serde::Value::Null)",
+            ));
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::core::result::Result::Ok(\
+                         ::serde::Value::String({vn:?}.to_owned())),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::core::result::Result::Ok(\
+                         ::serde::__private::variant_object({vn:?}, \
+                         ::serde::Serialize::serialize_value(__f0)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let sers: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_value({b})?"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::core::result::Result::Ok(\
+                             ::serde::__private::variant_object({vn:?}, \
+                             ::serde::Value::Array(vec![{}]))),\n",
+                            binds.join(", "),
+                            sers.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from("let mut m = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "m.insert({n:?}.to_owned(), \
+                                 ::serde::Serialize::serialize_value({n})?);\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ {inner} \
+                             ::core::result::Result::Ok(\
+                             ::serde::__private::variant_object({vn:?}, \
+                             ::serde::Value::Object(m))) }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str(&impl_serialize(name, &format!("match self {{\n{arms}}}")));
+        }
+    }
+    out
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::core::result::Result<::serde::Value, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                let helper = if f.has_default {
+                    "from_field_or_default"
+                } else {
+                    "from_field"
+                };
+                inits.push_str(&format!(
+                    "{n}: ::serde::__private::{helper}(&mut m, {n:?})?,\n",
+                    n = f.name
+                ));
+            }
+            impl_deserialize(
+                name,
+                &format!(
+                    "let mut m = ::serde::__private::expect_object(v, {name:?})?;\n\
+                     ::core::result::Result::Ok({name} {{\n{inits}}})"
+                ),
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => impl_deserialize(
+            name,
+            &format!(
+                "::core::result::Result::Ok({name}(\
+                 ::serde::Deserialize::deserialize_value(v)?))"
+            ),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let gets: Vec<String> = (0..*arity)
+                .map(|_| {
+                    "::serde::Deserialize::deserialize_value(\
+                     __it.next().expect(\"length checked\"))?"
+                        .to_owned()
+                })
+                .collect();
+            impl_deserialize(
+                name,
+                &format!(
+                    "let mut __it = ::serde::__private::expect_tuple(v, {arity}, {name:?})?\
+                     .into_iter();\n\
+                     ::core::result::Result::Ok({name}({}))",
+                    gets.join(", ")
+                ),
+            )
+        }
+        Item::UnitStruct { name } => impl_deserialize(
+            name,
+            &format!("let _ = v; ::core::result::Result::Ok({name})"),
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{vn:?} => ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{vn:?} => ::core::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::deserialize_value(__payload)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let gets: Vec<String> = (0..*n)
+                            .map(|_| {
+                                "::serde::Deserialize::deserialize_value(\
+                                 __it.next().expect(\"length checked\"))?"
+                                    .to_owned()
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{vn:?} => {{ let mut __it = ::serde::__private::expect_tuple(\
+                             __payload, {n}, \"{name}::{vn}\")?.into_iter();\n\
+                             ::core::result::Result::Ok({name}::{vn}({})) }}\n",
+                            gets.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            let helper = if f.has_default {
+                                "from_field_or_default"
+                            } else {
+                                "from_field"
+                            };
+                            inits.push_str(&format!(
+                                "{n}: ::serde::__private::{helper}(&mut m, {n:?})?,\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{vn:?} => {{ let mut m = ::serde::__private::expect_object(\
+                             __payload, \"{name}::{vn}\")?;\n\
+                             ::core::result::Result::Ok({name}::{vn} {{\n{inits}}}) }}\n"
+                        ));
+                    }
+                }
+            }
+            impl_deserialize(
+                name,
+                &format!(
+                    "let (__tag, __payload) = ::serde::__private::take_variant(v, {name:?})?;\n\
+                     let _ = &__payload;\n\
+                     match __tag.as_str() {{\n{arms}\
+                     other => ::core::result::Result::Err(::serde::Error::msg(\
+                     format!(\"unknown variant `{{other}}` for {name}\"))),\n}}"
+                ),
+            )
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(v: ::serde::Value) -> \
+         ::core::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
+
+/// Derive the vendored serde's `Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive codegen error: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derive the vendored serde's `Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive codegen error: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}
