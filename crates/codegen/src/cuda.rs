@@ -339,11 +339,15 @@ pub fn emit_kernel(p: &Program, k: &Kernel, opts: &CodegenOptions) -> String {
         let _ = writeln!(s, "    __syncthreads();");
     }
 
-    // Segments.
+    // Segments. `dirty` tracks SMEM tiles stored since the last barrier:
+    // a later statement reading one of them at a neighbor offset (other
+    // threads' cells) needs a __syncthreads() even inside one segment.
     let mut val_id = 0usize;
+    let mut dirty: Vec<ArrayId> = Vec::new();
     for seg in &k.segments {
         if seg.barrier_before {
             let _ = writeln!(s, "    __syncthreads();");
+            dirty.clear();
         }
         // Segment provenance: source ids refer to the pre-fusion program,
         // which is not in scope here; emit the id (the fused kernel's name
@@ -354,6 +358,16 @@ pub fn emit_kernel(p: &Program, k: &Kernel, opts: &CodegenOptions) -> String {
             seg.source
         );
         for stmt in &seg.statements {
+            let mut needs_barrier = false;
+            stmt.expr.for_each_load(&mut |a, off| {
+                if off.dk == 0 && (off.di != 0 || off.dj != 0) && dirty.contains(&a) {
+                    needs_barrier = true;
+                }
+            });
+            if needs_barrier {
+                let _ = writeln!(s, "    __syncthreads();");
+                dirty.clear();
+            }
             let tname = em.aname(stmt.target);
             let tst = em.staged(stmt.target);
             let v = format!("v{val_id}_{tname}");
@@ -405,6 +419,9 @@ pub fn emit_kernel(p: &Program, k: &Kernel, opts: &CodegenOptions) -> String {
                         );
                         let _ = writeln!(s, "        s_{tname}[hly][hlx] = {halo_rhs};");
                         let _ = writeln!(s, "      }}");
+                    }
+                    if !dirty.contains(&stmt.target) {
+                        dirty.push(stmt.target);
                     }
                 }
                 Some(_) => {

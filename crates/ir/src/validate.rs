@@ -43,6 +43,15 @@ pub enum ValidationError {
         /// The staged but untouched array.
         array: ArrayId,
     },
+    /// A kernel stages an array through the read-only cache (`__ldg`) but
+    /// its own body writes that array: the cache is incoherent with device
+    /// memory writes, so the touch class and the staging medium disagree.
+    ReadOnlyStagedWrite {
+        /// Offending kernel.
+        kernel: KernelId,
+        /// The written array staged as read-only.
+        array: ArrayId,
+    },
     /// The block tile exceeds the grid extent (threads with no site).
     TileLargerThanGrid,
     /// `streams` is non-empty but does not cover every kernel.
@@ -69,6 +78,12 @@ impl fmt::Display for ValidationError {
             }
             ValidationError::UselessStaging { kernel, array } => {
                 write!(f, "kernel {kernel} stages array {array} it never touches")
+            }
+            ValidationError::ReadOnlyStagedWrite { kernel, array } => {
+                write!(
+                    f,
+                    "kernel {kernel} stages array {array} through the read-only cache but writes it"
+                )
             }
             ValidationError::TileLargerThanGrid => {
                 write!(f, "block tile exceeds grid extent")
@@ -134,9 +149,18 @@ pub fn validate(p: &Program) -> Result<(), ValidationError> {
             }
         }
         let touched = k.touched();
+        let written = k.writes();
         for st in &k.staging {
             if !touched.contains(&st.array) {
                 return Err(ValidationError::UselessStaging {
+                    kernel: k.id,
+                    array: st.array,
+                });
+            }
+            if st.medium == crate::kernel::StagingMedium::ReadOnlyCache
+                && written.contains(&st.array)
+            {
+                return Err(ValidationError::ReadOnlyStagedWrite {
                     kernel: k.id,
                     array: st.array,
                 });
@@ -223,6 +247,85 @@ mod tests {
             p.validate(),
             Err(ValidationError::UselessStaging { .. })
         ));
+    }
+
+    /// Per-touch-class staging rules: a kernel reading A and writing B
+    /// (read-only / write-only), plus one updating C in place (read-write).
+    fn touch_class_program() -> Program {
+        let mut pb = ProgramBuilder::new("tc", [32, 16, 4]);
+        let a = pb.array("A");
+        let b = pb.array("B");
+        let c = pb.array("C");
+        pb.kernel("k")
+            .write(b, Expr::at(a))
+            .write(c, Expr::at(c) + Expr::at(a))
+            .build();
+        pb.build()
+    }
+
+    fn stage(p: &mut Program, array: ArrayId, medium: StagingMedium) {
+        p.kernels[0].staging.push(Staging {
+            array,
+            halo: 0,
+            medium,
+        });
+    }
+
+    #[test]
+    fn read_only_array_may_use_the_read_only_cache() {
+        let mut p = touch_class_program();
+        stage(&mut p, ArrayId(0), StagingMedium::ReadOnlyCache);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn write_only_array_rejects_the_read_only_cache() {
+        let mut p = touch_class_program();
+        stage(&mut p, ArrayId(1), StagingMedium::ReadOnlyCache);
+        assert!(matches!(
+            p.validate(),
+            Err(ValidationError::ReadOnlyStagedWrite {
+                kernel: KernelId(0),
+                array: ArrayId(1),
+            })
+        ));
+    }
+
+    #[test]
+    fn read_write_array_rejects_the_read_only_cache() {
+        let mut p = touch_class_program();
+        stage(&mut p, ArrayId(2), StagingMedium::ReadOnlyCache);
+        assert!(matches!(
+            p.validate(),
+            Err(ValidationError::ReadOnlyStagedWrite {
+                array: ArrayId(2),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn written_arrays_accept_coherent_staging_media() {
+        // SMEM and registers are coherent with in-kernel writes: every
+        // touch class may use them.
+        for medium in [StagingMedium::Smem, StagingMedium::Register] {
+            for array in [ArrayId(0), ArrayId(1), ArrayId(2)] {
+                let mut p = touch_class_program();
+                stage(&mut p, array, medium);
+                assert!(p.validate().is_ok(), "{medium:?} on {array}");
+            }
+        }
+    }
+
+    #[test]
+    fn read_only_staged_write_message_renders() {
+        let e = ValidationError::ReadOnlyStagedWrite {
+            kernel: KernelId(2),
+            array: ArrayId(5),
+        };
+        assert!(e.to_string().contains("K2"));
+        assert!(e.to_string().contains("D5"));
+        assert!(e.to_string().contains("read-only cache"));
     }
 
     #[test]

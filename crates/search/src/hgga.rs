@@ -115,6 +115,30 @@ struct Individual {
     cost: f64,
 }
 
+/// Debug-build cross-check: every chromosome accepted as a new global best
+/// is re-validated by the independent `kfuse-verify` constraint checker,
+/// so an evaluator bug cannot silently promote an infeasible plan.
+/// Compiles to nothing in release builds — search speed is unaffected.
+#[cfg(debug_assertions)]
+fn debug_verify_best(ctx: &PlanContext, model: &dyn PerfModel, plan: &FusionPlan, cost: f64) {
+    // An infinite cost marks a legitimately infeasible placeholder (e.g.
+    // an identity plan whose singleton kernels already overflow SMEM);
+    // those are never *accepted*, only carried until something better wins.
+    if !cost.is_finite() {
+        return;
+    }
+    let report = kfuse_verify::check_plan(&ctx.info, plan, Some(model));
+    assert!(
+        report.is_clean(),
+        "HGGA accepted a plan the independent verifier rejects (cost {cost}):\n{}",
+        report.render_human()
+    );
+}
+
+#[cfg(not(debug_assertions))]
+#[inline(always)]
+fn debug_verify_best(_: &PlanContext, _: &dyn PerfModel, _: &FusionPlan, _: f64) {}
+
 impl Solver for HggaSolver {
     fn name(&self) -> &str {
         "hgga"
@@ -181,6 +205,7 @@ impl HggaSolver {
             if pop[0].cost < best_cost - 1e-15 {
                 best_cost = pop[0].cost;
                 best = pop[0].plan.clone();
+                debug_verify_best(ctx, model, &best, best_cost);
                 best_gen = gen;
                 time_to_best = start.elapsed();
                 stall = 0;
@@ -287,6 +312,9 @@ impl HggaSolver {
                     time_to_best = start.elapsed();
                     improved = true;
                 }
+            }
+            if improved {
+                debug_verify_best(ctx, model, &global_plan, global_cost);
             }
             if improved {
                 stall = 0;

@@ -1,0 +1,427 @@
+//! Lint pass over generated CUDA text (`codegen::cuda` output).
+//!
+//! This is a deliberately independent, line-oriented re-parse of the
+//! emitted source: it knows the emitter's idioms (shared-tile
+//! declarations, cooperative fills, segment markers, guarded stores) and
+//! re-checks the properties that matter on real hardware — bank-conflict
+//! padding, barrier placement, halo index bounds, bounds-guarded global
+//! stores — without consulting the IR the text was generated from.
+
+use crate::diag::{self, Diagnostic, Report, Span};
+
+/// An SMEM tile declaration parsed from `__shared__ T s_NAME[BY + 2*h][...]`.
+struct TileDecl {
+    name: String,
+    halo: i64,
+}
+
+/// Lint `src` (one or more emitted kernels) and report findings.
+pub fn lint(src: &str) -> Report {
+    let mut diags = Vec::new();
+
+    // Per-kernel state, reset at every `__global__` signature.
+    let mut tiles: Vec<TileDecl> = Vec::new();
+    // Tile name -> line of the last store not yet followed by a barrier.
+    let mut unsynced_store: Vec<(String, usize)> = Vec::new();
+    // Cooperative fill awaiting its barrier: (tile name, comment line).
+    let mut pending_fill: Option<(String, usize)> = None;
+
+    for (idx, line) in src.lines().enumerate() {
+        let ln = idx + 1;
+        let trimmed = line.trim_start();
+
+        if trimmed.starts_with("__global__ void ") {
+            tiles.clear();
+            unsynced_store.clear();
+            pending_fill = None;
+            continue;
+        }
+
+        if trimmed.contains("__syncthreads();") {
+            unsynced_store.clear();
+            pending_fill = None;
+            continue;
+        }
+
+        if trimmed.starts_with("// cooperative fill of s_") {
+            if let Some(name) = trimmed
+                .strip_prefix("// cooperative fill of s_")
+                .and_then(|r| r.split_whitespace().next())
+            {
+                pending_fill = Some((name.to_string(), ln));
+            }
+            continue;
+        }
+
+        if trimmed.starts_with("// ---- segment from original kernel") {
+            // KF0202: a cooperative fill must be barrier-separated from the
+            // first compute segment that may read the tile.
+            if let Some((name, fill_ln)) = pending_fill.take() {
+                diags.push(Diagnostic::error(
+                    diag::KF_LINT_FILL_NO_BARRIER,
+                    Span::line(fill_ln),
+                    format!(
+                        "cooperative fill of `s_{name}` is not followed by __syncthreads() \
+                         before the first segment"
+                    ),
+                    "insert __syncthreads() after the fill loop".to_string(),
+                ));
+            }
+            continue;
+        }
+
+        if trimmed.starts_with("//") || trimmed.starts_with('#') {
+            continue;
+        }
+
+        // KF0201 — shared tile without the Eq. 7 padding column.
+        if trimmed.contains("__shared__") {
+            if let Some(decl) = parse_tile_decl(trimmed) {
+                if !padded_inner_dim(trimmed) {
+                    diags.push(Diagnostic::warning(
+                        diag::KF_LINT_NO_PADDING,
+                        Span::line(ln),
+                        format!(
+                            "shared tile `s_{}` lacks the bank-conflict padding column \
+                             (`+ 1` on the fastest dimension)",
+                            decl.name
+                        ),
+                        "declare the inner dimension as BX + 2*h + 1".to_string(),
+                    ));
+                }
+                tiles.push(decl);
+            }
+            continue;
+        }
+
+        // Halo-ring recompute stores (`s_X[hly][hlx] = ...`).
+        if let Some(name) = halo_store_target(trimmed) {
+            unsynced_store.retain(|(n, _)| n != &name);
+            unsynced_store.push((name, ln));
+        }
+
+        // Interior tile accesses: `s_NAME[ty + C][tx + C]`.
+        for acc in tile_accesses(line) {
+            let halo = tiles
+                .iter()
+                .find(|t| t.name == acc.name)
+                .map(|t| t.halo)
+                .unwrap_or(0);
+            if acc.is_store {
+                unsynced_store.retain(|(n, _)| n != &acc.name);
+                unsynced_store.push((acc.name.clone(), ln));
+            } else {
+                // KF0203 — a neighbor read of a tile stored to earlier in
+                // this barrier interval sees another thread's cell.
+                let neighbor = acc.dy != halo || acc.dx != halo;
+                if neighbor {
+                    if let Some((_, store_ln)) = unsynced_store.iter().find(|(n, _)| n == &acc.name)
+                    {
+                        diags.push(Diagnostic::error(
+                            diag::KF_LINT_STORE_READ_NO_BARRIER,
+                            Span::line(ln),
+                            format!(
+                                "`s_{}` is read at a neighbor offset after the store on line \
+                                 {store_ln} with no __syncthreads() in between",
+                                acc.name
+                            ),
+                            "insert __syncthreads() before the consuming segment".to_string(),
+                        ));
+                    }
+                }
+            }
+            // KF0205 — constant index outside the declared halo region.
+            // Guarded (ternary fallback) accesses may step outside the
+            // tile on purpose; unguarded ones must stay inside.
+            if !acc.guarded && (acc.dy < 0 || acc.dy > 2 * halo || acc.dx < 0 || acc.dx > 2 * halo)
+            {
+                diags.push(Diagnostic::error(
+                    diag::KF_LINT_SMEM_OOB,
+                    Span::line(ln),
+                    format!(
+                        "`s_{}[ty + {}][tx + {}]` indexes outside the tile declared with \
+                         halo {halo} (valid constant offsets are 0..={})",
+                        acc.name,
+                        acc.dy,
+                        acc.dx,
+                        2 * halo
+                    ),
+                    "raise the staging halo or guard the access".to_string(),
+                ));
+            }
+        }
+
+        // KF0204 — every global-memory store must be bounds-guarded.
+        if let Some(eq) = find_assignment(trimmed) {
+            let lhs = &trimmed[..eq];
+            if lhs.contains("[IDX3(")
+                && !lhs.trim_start().starts_with("s_")
+                && !lhs.contains("if (")
+            {
+                diags.push(Diagnostic::error(
+                    diag::KF_LINT_UNGUARDED_STORE,
+                    Span::line(ln),
+                    "global-memory store is not bounds-guarded; out-of-grid threads would \
+                     write out of bounds"
+                        .to_string(),
+                    "guard the store with `if (i < NX && j < NY)`".to_string(),
+                ));
+            }
+        }
+    }
+
+    Report::new(diags)
+}
+
+/// Parse `__shared__ T s_NAME[BY + 2*h][...]` into a [`TileDecl`].
+fn parse_tile_decl(line: &str) -> Option<TileDecl> {
+    let after = line.split("s_").nth(1)?;
+    let name: String = after
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        return None;
+    }
+    let first_dim = after.split('[').nth(1)?.split(']').next()?;
+    let halo = first_dim
+        .split("2*")
+        .nth(1)
+        .and_then(parse_leading_int)
+        .unwrap_or(0);
+    Some(TileDecl { name, halo })
+}
+
+/// True when the *inner* (fastest) dimension carries the `+ 1` padding.
+fn padded_inner_dim(line: &str) -> bool {
+    let Some(inner) = line.split('[').nth(2).and_then(|r| r.split(']').next()) else {
+        return false;
+    };
+    inner.trim_end().ends_with("+ 1")
+}
+
+/// `s_X[hly][hlx] = ...` (specialized-warp halo recompute store target).
+fn halo_store_target(trimmed: &str) -> Option<String> {
+    let rest = trimmed.strip_prefix("s_")?;
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    let tail = &rest[name.len()..];
+    if tail.starts_with("[hly][hlx] =") || tail.starts_with("[ly][lx] =") {
+        Some(name)
+    } else {
+        None
+    }
+}
+
+/// One `s_NAME[ty + DY][tx + DX]` occurrence on a line.
+struct TileAccess {
+    name: String,
+    dy: i64,
+    dx: i64,
+    is_store: bool,
+    /// Part of a ternary in-tile guard (`... ? s_X[...] : GMEM`).
+    guarded: bool,
+}
+
+/// Extract every constant-offset interior tile access on `line`.
+fn tile_accesses(line: &str) -> Vec<TileAccess> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    let mut pos = 0usize;
+    while let Some(rel) = line[pos..].find("s_") {
+        let start = pos + rel;
+        pos = start + 2;
+        // Must not be the middle of a longer identifier.
+        if start > 0 && (bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_') {
+            continue;
+        }
+        let rest = &line[start + 2..];
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        let tail = &rest[name.len()..];
+        let Some((dy, after_y)) = bracket_offset(tail, "ty") else {
+            continue;
+        };
+        let Some((dx, after_x)) = bracket_offset(after_y, "tx") else {
+            continue;
+        };
+        let guarded = line[..start].trim_end().ends_with('?');
+        let is_store =
+            after_x.trim_start().starts_with('=') && !after_x.trim_start().starts_with("==");
+        out.push(TileAccess {
+            name,
+            dy,
+            dx,
+            is_store,
+            guarded,
+        });
+    }
+    out
+}
+
+/// Parse `[VAR + INT]` (or `[VAR]`, offset 0) at the head of `s`,
+/// returning the constant and the remainder after `]`.
+fn bracket_offset<'a>(s: &'a str, var: &str) -> Option<(i64, &'a str)> {
+    let inner = s.strip_prefix('[')?;
+    let close = inner.find(']')?;
+    let (body, rest) = (inner[..close].trim(), &inner[close + 1..]);
+    if body == var {
+        return Some((0, rest));
+    }
+    let off = body.strip_prefix(var)?.trim_start().strip_prefix('+')?;
+    Some((parse_leading_int(off.trim())?, rest))
+}
+
+/// Parse a leading (possibly negative) integer literal.
+fn parse_leading_int(s: &str) -> Option<i64> {
+    let s = s.trim_start();
+    let (neg, digits) = match s.strip_prefix('-') {
+        Some(r) => (true, r),
+        None => (false, s),
+    };
+    let len = digits.chars().take_while(|c| c.is_ascii_digit()).count();
+    if len == 0 {
+        return None;
+    }
+    let v: i64 = digits[..len].parse().ok()?;
+    Some(if neg { -v } else { v })
+}
+
+/// Byte offset of the top-level ` = ` assignment on a line, if any.
+fn find_assignment(trimmed: &str) -> Option<usize> {
+    let mut search = 0usize;
+    while let Some(rel) = trimmed[search..].find(" = ") {
+        let at = search + rel;
+        // Skip comparison-looking neighbors (>=, <=, ==, !=).
+        let before = trimmed.as_bytes().get(at.wrapping_sub(1));
+        if !matches!(before, Some(b'<' | b'>' | b'=' | b'!')) {
+            return Some(at + 1);
+        }
+        search = at + 3;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLEAN: &str = "\
+__global__ void f(double* B, const double* A) {
+  __shared__ double s_A[BY + 2*1][BX + 2*1 + 1];
+  for (int k = 0; k < NZ; ++k) {
+    // cooperative fill of s_A (halo 1)
+    for (int t = tid; t < (BX + 2*1) * (BY + 2*1); t += BX * BY) {
+      s_A[ly][lx] = A[IDX3(gi, gj, k)];
+    }
+    __syncthreads();
+    // ---- segment from original kernel K0 ----
+    {
+      const double v0_B = (s_A[ty + 0][tx + 1] + s_A[ty + 2][tx + 1]);
+      if (i < NX && j < NY) B[IDX3(i, j, k)] = v0_B;
+    }
+  }
+}
+";
+
+    #[test]
+    fn clean_kernel_has_no_findings() {
+        let r = lint(CLEAN);
+        assert!(r.is_empty(), "unexpected findings:\n{}", r.render_human());
+    }
+
+    #[test]
+    fn missing_padding_is_flagged() {
+        let src = CLEAN.replace("[BX + 2*1 + 1]", "[BX + 2*1]");
+        let r = lint(&src);
+        assert!(r.has_code(diag::KF_LINT_NO_PADDING));
+        assert!(r.is_clean(), "padding is a warning, not an error");
+    }
+
+    #[test]
+    fn fill_without_barrier_is_flagged() {
+        let src = CLEAN.replace("    __syncthreads();\n", "");
+        let r = lint(&src);
+        assert!(r.has_code(diag::KF_LINT_FILL_NO_BARRIER));
+    }
+
+    #[test]
+    fn store_then_neighbor_read_without_barrier_is_flagged() {
+        let src = "\
+__global__ void f(double* B, const double* A) {
+  __shared__ double s_B[BY + 2*1][BX + 2*1 + 1];
+  for (int k = 0; k < NZ; ++k) {
+    // ---- segment from original kernel K0 ----
+    {
+      const double v0_B = A[IDX3(i, j, k)];
+      s_B[ty + 1][tx + 1] = v0_B;
+      if (i < NX && j < NY) B[IDX3(i, j, k)] = v0_B;
+    }
+    // ---- segment from original kernel K1 ----
+    {
+      const double v1_C = s_B[ty + 1][tx + 2];
+      if (i < NX && j < NY) C[IDX3(i, j, k)] = v1_C;
+    }
+  }
+}
+";
+        let r = lint(src);
+        assert!(r.has_code(diag::KF_LINT_STORE_READ_NO_BARRIER));
+        // Inserting the barrier fixes it.
+        let fixed = src.replace(
+            "    // ---- segment from original kernel K1 ----",
+            "    __syncthreads();\n    // ---- segment from original kernel K1 ----",
+        );
+        assert!(lint(&fixed).is_empty());
+    }
+
+    #[test]
+    fn unguarded_global_store_is_flagged() {
+        let src = CLEAN.replace(
+            "if (i < NX && j < NY) B[IDX3(i, j, k)] = v0_B;",
+            "B[IDX3(i, j, k)] = v0_B;",
+        );
+        let r = lint(&src);
+        assert!(r.has_code(diag::KF_LINT_UNGUARDED_STORE));
+    }
+
+    #[test]
+    fn out_of_bounds_smem_offset_is_flagged() {
+        let src = CLEAN.replace("s_A[ty + 2][tx + 1]", "s_A[ty + 3][tx + 1]");
+        let r = lint(&src);
+        assert!(r.has_code(diag::KF_LINT_SMEM_OOB));
+    }
+
+    #[test]
+    fn guarded_fallback_access_is_not_flagged_oob() {
+        // Listing-7 idiom: boundary threads take the GMEM branch, so the
+        // SMEM index may exceed the tile.
+        let src = CLEAN.replace(
+            "(s_A[ty + 0][tx + 1] + s_A[ty + 2][tx + 1])",
+            "((tx + 2 >= -1 && tx + 2 < BX + 1 && ty + 0 >= -1 && ty + 0 < BY + 1) ? \
+             s_A[ty + 1][tx + 3] : A[IDX3(CLAMPI(i + (2), NX), CLAMPI(j, NY), CLAMPI(k, NZ))])",
+        );
+        let r = lint(&src);
+        assert!(r.is_empty(), "unexpected findings:\n{}", r.render_human());
+    }
+
+    #[test]
+    fn parser_helpers() {
+        assert_eq!(parse_leading_int("-3]"), Some(-3));
+        assert_eq!(parse_leading_int("12 + 1"), Some(12));
+        assert_eq!(parse_leading_int("x"), None);
+        assert_eq!(
+            bracket_offset("[ty + 2][tx + 1]", "ty"),
+            Some((2, "[tx + 1]"))
+        );
+        assert_eq!(bracket_offset("[ty][tx]", "ty"), Some((0, "[tx]")));
+        assert!(bracket_offset("[hly][hlx]", "ty").is_none());
+    }
+}

@@ -1,0 +1,296 @@
+//! IR-level hazard analysis of (fused) kernels (§II-D) and soundness of
+//! the expandable read-write relaxation (§II-B1c).
+//!
+//! The checks here mirror what `codegen::cuda` actually emits: a fused
+//! kernel runs its segments inside one `k` loop, SMEM tiles are shared
+//! across the block, register staging holds exactly the thread's own
+//! site, and vertical (`dk != 0`) offsets always read global memory. A
+//! hazard is therefore judged against the *medium* a value travels
+//! through, not just against segment order.
+
+use crate::diag::{self, Diagnostic, Report, Span};
+use kfuse_ir::{ArrayId, Kernel, Offset, Program, Staging, StagingMedium};
+use std::collections::BTreeSet;
+
+/// Check every kernel of `p` for intra-kernel data hazards, plus the
+/// program-level soundness of redundant copies added by the relaxation.
+pub fn check_program(p: &Program) -> Report {
+    let mut diags = Vec::new();
+    for k in &p.kernels {
+        check_kernel(p, k, &mut diags);
+    }
+    check_relaxation(p, &mut diags);
+    Report::new(diags)
+}
+
+/// Per-segment read set (deduplicated) and write set of a kernel.
+struct SegmentAccess {
+    reads: BTreeSet<(ArrayId, Offset)>,
+    writes: BTreeSet<ArrayId>,
+}
+
+fn segment_accesses(k: &Kernel) -> Vec<SegmentAccess> {
+    k.segments
+        .iter()
+        .map(|seg| {
+            let mut reads = BTreeSet::new();
+            let mut writes = BTreeSet::new();
+            for st in &seg.statements {
+                st.expr.for_each_load(&mut |a, o| {
+                    reads.insert((a, o));
+                });
+                writes.insert(st.target);
+            }
+            SegmentAccess { reads, writes }
+        })
+        .collect()
+}
+
+fn check_kernel(p: &Program, k: &Kernel, diags: &mut Vec<Diagnostic>) {
+    let staged = |a: ArrayId| -> Option<&Staging> { k.staging.iter().find(|s| s.array == a) };
+    let written = k.writes();
+
+    // KF0107 — the read-only cache is incoherent with writes from the same
+    // kernel; staging a written array through it is always wrong.
+    for st in &k.staging {
+        if st.medium == StagingMedium::ReadOnlyCache && written.contains(&st.array) {
+            diags.push(Diagnostic::error(
+                diag::KF_RO_CACHE_WRITTEN,
+                Span::kernel(k.id.0),
+                format!(
+                    "kernel {} stages `{}` through the read-only cache but also writes it",
+                    k.id,
+                    p.array(st.array).name
+                ),
+                "stage the array in SMEM or a register instead".to_string(),
+            ));
+        }
+    }
+
+    if k.segments.len() < 2 {
+        return;
+    }
+    let access = segment_accesses(k);
+    // A barrier anywhere in (i, j] orders segment i's writes before
+    // segment j's reads for every thread of the block.
+    let barrier_between =
+        |i: usize, j: usize| -> bool { (i + 1..=j).any(|m| k.segments[m].barrier_before) };
+    // Most recent segment before `j` writing `a`, if any.
+    let last_writer_before = |a: ArrayId, j: usize| -> Option<usize> {
+        (0..j).rev().find(|&i| access[i].writes.contains(&a))
+    };
+    // One diagnostic per (code, array, segment) — stencils read the same
+    // array at many offsets and we don't want one finding per offset.
+    let mut seen: BTreeSet<(&'static str, u32, usize)> = BTreeSet::new();
+    let mut emit = |diags: &mut Vec<Diagnostic>, d: Diagnostic, a: ArrayId, j: usize| {
+        if seen.insert((d.code, a.0, j)) {
+            diags.push(d);
+        }
+    };
+
+    for (j, acc) in access.iter().enumerate() {
+        // RAW family: reads of a value produced by an earlier segment.
+        for &(a, o) in &acc.reads {
+            let Some(i) = last_writer_before(a, j) else {
+                continue;
+            };
+            let r = u32::from(o.horizontal_radius());
+            let name = &p.array(a).name;
+            let (src_w, src_r) = (k.segments[i].source, k.segments[j].source);
+            match staged(a) {
+                None => {
+                    // Unstaged: neighbor sites only exist in the producing
+                    // thread (and other blocks' GMEM stores are unordered).
+                    if r > 0 {
+                        emit(
+                            diags,
+                            Diagnostic::error(
+                                diag::KF_UNSTAGED_PRODUCED_READ,
+                                Span::kernel(k.id.0),
+                                format!(
+                                    "segment {src_r} reads `{name}` at radius {r}, produced by \
+                                     segment {src_w}, without on-chip staging"
+                                ),
+                                format!("stage `{name}` in SMEM with halo >= {r}"),
+                            ),
+                            a,
+                            j,
+                        );
+                    }
+                }
+                Some(st) if st.medium == StagingMedium::Register => {
+                    // A register holds one site; neighbor reads fall back
+                    // to (racy) GMEM in the emitted code.
+                    if r > 0 {
+                        emit(
+                            diags,
+                            Diagnostic::error(
+                                diag::KF_INSUFFICIENT_HALO,
+                                Span::kernel(k.id.0),
+                                format!(
+                                    "segment {src_r} reads `{name}` at radius {r} but the array \
+                                     is staged in a per-thread register (one site)"
+                                ),
+                                format!("stage `{name}` in SMEM with halo >= {r}"),
+                            ),
+                            a,
+                            j,
+                        );
+                    }
+                }
+                Some(st) if st.medium == StagingMedium::Smem => {
+                    if o.dk != 0 && r > 0 {
+                        // Vertical offsets bypass the per-slice tile and
+                        // read GMEM, where other blocks' values race.
+                        emit(
+                            diags,
+                            Diagnostic::error(
+                                diag::KF_UNSTAGED_PRODUCED_READ,
+                                Span::kernel(k.id.0),
+                                format!(
+                                    "segment {src_r} reads produced `{name}` at a vertical \
+                                     offset ({}, {}, {}); per-slice SMEM tiles cannot serve it",
+                                    o.di, o.dj, o.dk
+                                ),
+                                "keep vertically-coupled kernels unfused".to_string(),
+                            ),
+                            a,
+                            j,
+                        );
+                    } else if r > u32::from(st.halo) {
+                        // Boundary threads take the GMEM fallback, which
+                        // races with the producing block for produced data.
+                        emit(
+                            diags,
+                            Diagnostic::error(
+                                diag::KF_INSUFFICIENT_HALO,
+                                Span::kernel(k.id.0),
+                                format!(
+                                    "segment {src_r} reads produced `{name}` at radius {r} but \
+                                     its SMEM tile is staged with halo {}",
+                                    st.halo
+                                ),
+                                format!("raise the staging halo of `{name}` to >= {r}"),
+                            ),
+                            a,
+                            j,
+                        );
+                    } else if r > 0 && !barrier_between(i, j) {
+                        emit(
+                            diags,
+                            Diagnostic::error(
+                                diag::KF_MISSING_BARRIER,
+                                Span::kernel(k.id.0),
+                                format!(
+                                    "segment {src_r} reads neighbor sites of `s_{name}` written \
+                                     by segment {src_w} with no __syncthreads() in between"
+                                ),
+                                format!("set barrier_before on the segment reading `{name}`"),
+                            ),
+                            a,
+                            j,
+                        );
+                    }
+                }
+                Some(_) => {} // ReadOnlyCache: covered by KF0107 above.
+            }
+        }
+
+        // WAR: overwriting an SMEM tile an earlier segment still reads.
+        for &a in &acc.writes {
+            if !matches!(staged(a), Some(st) if st.medium == StagingMedium::Smem) {
+                continue;
+            }
+            let reader = (0..j)
+                .rev()
+                .find(|&i| access[i].reads.iter().any(|&(ra, o)| ra == a && o.dk == 0));
+            if let Some(i) = reader {
+                if !barrier_between(i, j) {
+                    let name = &p.array(a).name;
+                    let (src_r, src_w) = (k.segments[i].source, k.segments[j].source);
+                    emit(
+                        diags,
+                        Diagnostic::warning(
+                            diag::KF_WAR_NO_BARRIER,
+                            Span::kernel(k.id.0),
+                            format!(
+                                "segment {src_w} overwrites `s_{name}` while segment {src_r} \
+                                 may still be reading it (no __syncthreads() in between)"
+                            ),
+                            format!("set barrier_before on the segment writing `{name}`"),
+                        ),
+                        a,
+                        j,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Soundness of redundant copies introduced by `relax_expandable`: every
+/// copy must carry exactly one write generation, and every read of it must
+/// come after (or within) its producer in invocation order.
+fn check_relaxation(p: &Program, diags: &mut Vec<Diagnostic>) {
+    for decl in &p.arrays {
+        let Some(orig) = decl.redundant_copy_of else {
+            continue;
+        };
+        let writers: Vec<_> = p
+            .kernels
+            .iter()
+            .filter(|k| k.writes().contains(&decl.id))
+            .map(|k| k.id)
+            .collect();
+        let readers: Vec<_> = p
+            .kernels
+            .iter()
+            .filter(|k| k.reads().contains_key(&decl.id))
+            .map(|k| k.id)
+            .collect();
+        let oname = &p.array(orig).name;
+        if writers.is_empty() {
+            if let Some(&r) = readers.first() {
+                diags.push(Diagnostic::error(
+                    diag::KF_COPY_NOT_DOMINATED,
+                    Span::kernel(r.0),
+                    format!(
+                        "redundant copy `{}` (of `{oname}`) is read by {r} but no kernel \
+                         writes it",
+                        decl.name
+                    ),
+                    "re-run the relaxation; a write generation went missing".to_string(),
+                ));
+            }
+            continue;
+        }
+        if writers.len() > 1 {
+            diags.push(Diagnostic::error(
+                diag::KF_COPY_LIVE_RANGE_OVERLAP,
+                Span::kernel(writers[1].0),
+                format!(
+                    "redundant copy `{}` (of `{oname}`) is written by {} kernels ({} and {}); \
+                     generations must not share a copy",
+                    decl.name,
+                    writers.len(),
+                    writers[0],
+                    writers[1]
+                ),
+                "give each write generation its own copy".to_string(),
+            ));
+        }
+        let w = writers[0];
+        for &r in readers.iter().filter(|&&r| r.0 < w.0) {
+            diags.push(Diagnostic::error(
+                diag::KF_COPY_NOT_DOMINATED,
+                Span::kernel(r.0),
+                format!(
+                    "redundant copy `{}` (of `{oname}`) is read by {r} before its producer \
+                     {w} runs",
+                    decl.name
+                ),
+                "bind the read to the previous generation instead".to_string(),
+            ));
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! `kfuse-verify` — independent static verification of fusion plans.
+//!
+//! The search crate *optimizes against* the constraint system of Fig. 4;
+//! this crate *re-derives* it from scratch so evaluator bugs cannot
+//! silently become "valid" plans. Three layers, each usable on its own:
+//!
+//! 1. [`constraints`] — the plan-level constraint system 1.1–1.7 (exact
+//!    cover, path closure, kinship, SMEM/register capacity with Eq. 7
+//!    padding, profitability) plus the §II-C restrictions (host syncs,
+//!    streams) and group-condensation acyclicity, all computed with the
+//!    verifier's own graph algorithms over extracted metadata.
+//! 2. [`hazards`] — RAW/WAR data hazards on the (fused) IR, staging-halo
+//!    sufficiency, read-only-cache coherence, and soundness of the
+//!    expandable read-write renaming from `relax.rs`.
+//! 3. [`cuda_lint`] — a line-oriented lint over generated CUDA text
+//!    (bank-conflict padding, barrier placement, halo index bounds,
+//!    bounds-guarded global stores).
+//!
+//! Every finding is a structured [`Diagnostic`] with a stable `KF####`
+//! code (see [`diag`] for the full table), a severity, a span, an
+//! explanation and a suggested fix, renderable as text or JSON.
+
+pub mod constraints;
+pub mod cuda_lint;
+pub mod diag;
+pub mod hazards;
+
+pub use constraints::{check_plan, PlanChecker};
+pub use cuda_lint::lint;
+pub use diag::{Diagnostic, Report, Severity, Span};
+pub use hazards::check_program;

@@ -1,0 +1,257 @@
+//! Hazard analysis on fused IR and the CUDA lint, exercised both on
+//! deliberately broken hand-built kernels and on real pipeline output
+//! (which must come out clean).
+
+use kfuse_codegen::{emit_program, CodegenOptions};
+use kfuse_core::pipeline;
+use kfuse_core::plan::FusionPlan;
+use kfuse_core::relax::relax_expandable;
+use kfuse_gpu::{FpPrecision, GpuSpec};
+use kfuse_ir::builder::ProgramBuilder;
+use kfuse_ir::kernel::{Segment, Staging, Statement};
+use kfuse_ir::stencil::Offset;
+use kfuse_ir::{ArrayId, Expr, Kernel, KernelId, Program, StagingMedium};
+use kfuse_verify::{check_program, diag, lint};
+
+fn ld(a: ArrayId, di: i8, dj: i8) -> Expr {
+    Expr::load(a, Offset::new(di, dj, 0))
+}
+
+/// B = A + 1 fused with C = B[+1] + B[-1]: a produced pivot read at
+/// radius 1. `staging`/`barrier` control the injected defect.
+fn fused_pair(staging: Option<Staging>, barrier: bool) -> Program {
+    let mut pb = ProgramBuilder::new("pair", [64, 32, 4]);
+    let a = pb.array("A");
+    let b = pb.array("B");
+    let c = pb.array("C");
+    pb.kernel("placeholder").write(b, Expr::at(a)).build();
+    let mut p = pb.build();
+    let seg0 = Segment::new(
+        KernelId(0),
+        vec![Statement {
+            target: b,
+            expr: Expr::at(a) + Expr::lit(1.0),
+        }],
+    );
+    let mut seg1 = Segment::new(
+        KernelId(1),
+        vec![Statement {
+            target: c,
+            expr: ld(b, 1, 0) + ld(b, -1, 0),
+        }],
+    );
+    seg1.barrier_before = barrier;
+    p.kernels = vec![Kernel {
+        id: KernelId(0),
+        name: "F[k0+k1]".into(),
+        segments: vec![seg0, seg1],
+        staging: staging.into_iter().collect(),
+    }];
+    p
+}
+
+fn smem(array: ArrayId, halo: u8) -> Staging {
+    Staging {
+        array,
+        halo,
+        medium: StagingMedium::Smem,
+    }
+}
+
+#[test]
+fn kf0101_missing_barrier_on_produced_tile() {
+    let p = fused_pair(Some(smem(ArrayId(1), 1)), false);
+    let r = check_program(&p);
+    assert!(r.has_code(diag::KF_MISSING_BARRIER), "{}", r.render_human());
+    // With the barrier the kernel is clean.
+    let p = fused_pair(Some(smem(ArrayId(1), 1)), true);
+    let r = check_program(&p);
+    assert!(r.is_empty(), "{}", r.render_human());
+}
+
+#[test]
+fn kf0102_unstaged_produced_neighbor_read() {
+    let p = fused_pair(None, true);
+    let r = check_program(&p);
+    assert!(
+        r.has_code(diag::KF_UNSTAGED_PRODUCED_READ),
+        "{}",
+        r.render_human()
+    );
+}
+
+#[test]
+fn kf0106_halo_smaller_than_read_radius() {
+    let p = fused_pair(Some(smem(ArrayId(1), 0)), true);
+    let r = check_program(&p);
+    assert!(
+        r.has_code(diag::KF_INSUFFICIENT_HALO),
+        "{}",
+        r.render_human()
+    );
+}
+
+#[test]
+fn kf0106_register_staging_cannot_serve_neighbor_reads() {
+    let p = fused_pair(
+        Some(Staging {
+            array: ArrayId(1),
+            halo: 0,
+            medium: StagingMedium::Register,
+        }),
+        true,
+    );
+    let r = check_program(&p);
+    assert!(
+        r.has_code(diag::KF_INSUFFICIENT_HALO),
+        "{}",
+        r.render_human()
+    );
+}
+
+#[test]
+fn kf0107_read_only_cache_on_written_array() {
+    let p = fused_pair(
+        Some(Staging {
+            array: ArrayId(1),
+            halo: 0,
+            medium: StagingMedium::ReadOnlyCache,
+        }),
+        true,
+    );
+    let r = check_program(&p);
+    assert!(
+        r.has_code(diag::KF_RO_CACHE_WRITTEN),
+        "{}",
+        r.render_human()
+    );
+}
+
+#[test]
+fn kf0103_war_overwrite_without_barrier_is_a_warning() {
+    // seg0 reads B (staged tile), seg1 overwrites B: WAR without barrier.
+    let mut pb = ProgramBuilder::new("war", [64, 32, 4]);
+    let a = pb.array("A");
+    let b = pb.array("B");
+    let c = pb.array("C");
+    pb.kernel("placeholder").write(c, Expr::at(b)).build();
+    let mut p = pb.build();
+    let seg0 = Segment::new(
+        KernelId(0),
+        vec![Statement {
+            target: c,
+            expr: ld(b, 1, 0),
+        }],
+    );
+    let seg1 = Segment::new(
+        KernelId(1),
+        vec![Statement {
+            target: b,
+            expr: Expr::at(a),
+        }],
+    );
+    p.kernels = vec![Kernel {
+        id: KernelId(0),
+        name: "F[r+w]".into(),
+        segments: vec![seg0, seg1],
+        staging: vec![smem(b, 1)],
+    }];
+    let r = check_program(&p);
+    assert!(r.has_code(diag::KF_WAR_NO_BARRIER));
+    assert!(r.is_clean(), "WAR without barrier is warning-severity");
+}
+
+/// The QFLX pattern (Fig. 1): K8 writes, K10 reads, K12 writes, K14 reads.
+fn qflx() -> Program {
+    let mut pb = ProgramBuilder::new("qflx", [32, 8, 2]);
+    let a = pb.array("A");
+    let q = pb.array("QFLX");
+    let o1 = pb.array("OUT1");
+    let o2 = pb.array("OUT2");
+    pb.kernel("K8")
+        .write(q, Expr::at(a) + Expr::lit(1.0))
+        .build();
+    pb.kernel("K10").write(o1, Expr::at(q)).build();
+    pb.kernel("K12")
+        .write(q, Expr::at(a) * Expr::lit(2.0))
+        .build();
+    pb.kernel("K14").write(o2, Expr::at(q)).build();
+    pb.build()
+}
+
+#[test]
+fn relaxation_output_is_sound() {
+    let r = relax_expandable(&qflx());
+    let report = check_program(&r.program);
+    assert!(report.is_empty(), "{}", report.render_human());
+}
+
+#[test]
+fn kf0104_copy_read_before_its_producer() {
+    let mut p = relax_expandable(&qflx()).program;
+    // Sabotage: make K8 write the *original* array again, orphaning the
+    // copy its reader K10 was redirected to.
+    let copy = ArrayId(4);
+    assert_eq!(p.array(copy).redundant_copy_of, Some(ArrayId(1)));
+    p.kernels[0].segments[0].statements[0].target = ArrayId(1);
+    let r = check_program(&p);
+    assert!(
+        r.has_code(diag::KF_COPY_NOT_DOMINATED),
+        "{}",
+        r.render_human()
+    );
+}
+
+#[test]
+fn kf0105_copy_written_by_two_generations() {
+    let mut p = relax_expandable(&qflx()).program;
+    let copy = ArrayId(4);
+    // Sabotage: point K12's write at the copy as well.
+    p.kernels[2].segments[0].statements[0].target = copy;
+    let r = check_program(&p);
+    assert!(
+        r.has_code(diag::KF_COPY_LIVE_RANGE_OVERLAP),
+        "{}",
+        r.render_human()
+    );
+}
+
+/// End-to-end: a real fused program (validated plan, `apply_plan`) must be
+/// hazard-free, and its emitted CUDA must lint clean.
+#[test]
+fn real_pipeline_output_is_hazard_free_and_lints_clean() {
+    let mut pb = ProgramBuilder::new("e2e", [64, 32, 4]);
+    let a = pb.array("A");
+    let b = pb.array("B");
+    let c = pb.array("C");
+    let d = pb.array("D");
+    pb.kernel("k0")
+        .write(b, Expr::at(a) + Expr::lit(1.0))
+        .build();
+    pb.kernel("k1")
+        .write(c, ld(b, 1, 0) * Expr::lit(2.0))
+        .build();
+    pb.kernel("k2").write(d, Expr::at(c) + Expr::at(b)).build();
+    let p = pb.build();
+    let (relaxed, ctx) = pipeline::prepare(&p, &GpuSpec::k20x(), FpPrecision::Double);
+    let plan = FusionPlan::new(vec![vec![KernelId(0), KernelId(1), KernelId(2)]]);
+    let specs = ctx.validate(&plan).expect("plan is feasible");
+    let fused =
+        kfuse_core::fuse::apply_plan(&relaxed, &ctx.info, &ctx.exec, &plan, &specs).unwrap();
+
+    let hz = check_program(&fused);
+    assert!(hz.is_clean(), "{}", hz.render_human());
+
+    let cuda = emit_program(&fused, &CodegenOptions::default());
+    let lr = lint(&cuda);
+    assert!(lr.is_clean(), "{}\n---\n{cuda}", lr.render_human());
+
+    // Sabotaged text is caught: strip every barrier from the emitted CUDA.
+    let broken = cuda.replace("    __syncthreads();\n", "");
+    assert_ne!(cuda, broken, "fused kernel has barriers to strip");
+    let lr = lint(&broken);
+    assert!(
+        !lr.is_clean(),
+        "stripping barriers must surface a lint error"
+    );
+}

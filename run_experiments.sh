@@ -7,11 +7,34 @@ set -euo pipefail
 if [[ "${1:-}" != "--skip-checks" ]]; then
   echo "== cargo fmt --check"
   cargo fmt --check
-  echo "== cargo clippy --workspace -- -D warnings"
-  cargo clippy --workspace -- -D warnings
+  echo "== cargo clippy --workspace --all-targets -- -D warnings"
+  cargo clippy --workspace --all-targets -- -D warnings
 fi
 
 cargo build --release -p kfuse-bench
+cargo build --release --bin kfuse
+
+echo
+echo "================================================================"
+echo "== verify: independent plan verifier + CUDA lint + differential"
+echo "================================================================"
+# Every built-in workload suite must pass the static verifier (identity
+# plan) and the CUDA lint of its generated code; the differential harness
+# then cross-checks the verifier against both plan evaluators on 500+
+# generated plans.
+verify_tmp=$(mktemp -d)
+trap 'rm -rf "$verify_tmp"' EXIT
+for ex in quickstart rk3 fig3 scale-les homme suite; do
+  ./target/release/kfuse example "$ex" > "$verify_tmp/$ex.json"
+  echo "-- kfuse verify $ex"
+  ./target/release/kfuse verify "$verify_tmp/$ex.json"
+  echo "-- kfuse lint $ex"
+  ./target/release/kfuse lint "$verify_tmp/$ex.json"
+done
+echo "-- kfuse lint rk3 (fused, seed 3)"
+./target/release/kfuse lint "$verify_tmp/rk3.json" --fuse --seed 3
+echo "-- differential harness (verifier vs both evaluators)"
+cargo test --release -q --test differential
 
 bins=(table1 fig3_motivating table5 fig5a fig5b table6 fig6 fig7_8 fig9 table7 smem_whatif fusion_efficiency ablation blocksize_study weak_scaling search_scaling)
 for b in "${bins[@]}"; do

@@ -10,6 +10,8 @@
 //! kfuse fuse rk3.json --emit-cuda out.cu
 //! kfuse simulate rk3.json             # per-kernel timing table
 //! kfuse codegen rk3.json > rk3.cu     # CUDA C for the program as-is
+//! kfuse verify rk3.json --plan p.json # independent plan + hazard check
+//! kfuse lint rk3.json --fuse          # lint the generated CUDA text
 //! ```
 
 use kernel_fusion::prelude::*;
@@ -25,7 +27,9 @@ fn usage() -> ExitCode {
          kfuse analyze  <program.json> [--gpu k20x|k40|gtx750ti] [--dot-deps FILE] [--dot-exec FILE]\n  \
          kfuse simulate <program.json> [--gpu ...]\n  \
          kfuse fuse     <program.json> [--gpu ...] [--seed N] [--islands N] [--emit-cuda FILE] [--plan-out FILE]\n  \
-         kfuse codegen  <program.json> [--single]"
+         kfuse codegen  <program.json> [--single]\n  \
+         kfuse verify   <program.json> [--gpu ...] [--plan FILE] [--json]\n  \
+         kfuse lint     <program.json|kernels.cu> [--gpu ...] [--fuse] [--seed N] [--json]"
     );
     ExitCode::from(2)
 }
@@ -64,6 +68,8 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(rest),
         "fuse" => cmd_fuse(rest),
         "codegen" => cmd_codegen(rest),
+        "verify" => cmd_verify(rest),
+        "lint" => cmd_lint(rest),
         _ => return usage(),
     };
     match result {
@@ -273,6 +279,83 @@ fn cmd_fuse(args: &[String]) -> Result<(), String> {
     let specs = r.ctx.validate(&r.plan).map_err(|e| e.to_string())?;
     apply_plan(&r.relaxed, &r.ctx.info, &r.ctx.exec, &r.plan, &specs).map_err(|e| e.to_string())?;
     Ok(())
+}
+
+/// Print a verifier report and turn errors into a nonzero exit.
+fn finish_report(report: kernel_fusion::verify::Report, json: bool) -> Result<(), String> {
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} verification error(s) found",
+            report.error_count()
+        ))
+    }
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first() else {
+        return Err("program path required".into());
+    };
+    let p = load_program(path)?;
+    let gpu = parse_gpu(args);
+    let json = args.iter().any(|a| a == "--json");
+    let (relaxed, ctx) = pipeline::prepare(&p, &gpu, gpu.default_precision());
+
+    let plan = match flag_value(args, "--plan") {
+        Some(f) => {
+            let text = std::fs::read_to_string(&f).map_err(|e| format!("cannot read {f}: {e}"))?;
+            serde_json::from_str::<FusionPlan>(&text)
+                .map_err(|e| format!("cannot parse {f}: {e}"))?
+        }
+        None => FusionPlan::identity(relaxed.kernels.len()),
+    };
+
+    let model = ProposedModel::default();
+    let mut report = kernel_fusion::verify::check_plan(&ctx.info, &plan, Some(&model));
+    // Hazard-check the relaxed IR, and — when the plan is feasible — the
+    // fused program it produces.
+    report.extend(kernel_fusion::verify::check_program(&relaxed));
+    if report.is_clean() {
+        if let Ok(specs) = ctx.validate(&plan) {
+            let fused = apply_plan(&relaxed, &ctx.info, &ctx.exec, &plan, &specs)
+                .map_err(|e| e.to_string())?;
+            report.extend(kernel_fusion::verify::check_program(&fused));
+        }
+    }
+    finish_report(report, json)
+}
+
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first() else {
+        return Err("program or .cu path required".into());
+    };
+    let json = args.iter().any(|a| a == "--json");
+    let cuda = if path.ends_with(".cu") {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+    } else {
+        let p = load_program(path)?;
+        let opts = kfuse_codegen::CodegenOptions::default();
+        if args.iter().any(|a| a == "--fuse") {
+            let gpu = parse_gpu(args);
+            let seed = flag_value(args, "--seed")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(17u64);
+            let model = ProposedModel::default();
+            let solver = HggaSolver::with_seed(seed);
+            let r = pipeline::run(&p, &gpu, gpu.default_precision(), &model, &solver)
+                .map_err(|e| e.to_string())?;
+            kfuse_codegen::emit_program(&r.fused, &opts)
+        } else {
+            kfuse_codegen::emit_program(&p, &opts)
+        }
+    };
+    finish_report(kernel_fusion::verify::lint(&cuda), json)
 }
 
 fn cmd_codegen(args: &[String]) -> Result<(), String> {

@@ -17,6 +17,7 @@
 //! | [`sim`] | functional interpreter + timing simulator |
 //! | [`core`] | graphs, constraints, fusion transform, projection models |
 //! | [`search`] | HGGA, exhaustive and greedy solvers |
+//! | [`verify`] | independent plan verifier, hazard analyzer, CUDA lint |
 //! | [`workloads`] | Fig. 3 example, CloverLeaf suite, SCALE-LES, HOMME |
 //!
 //! ## Quickstart
@@ -46,6 +47,7 @@ pub use kfuse_gpu as gpu;
 pub use kfuse_ir as ir;
 pub use kfuse_search as search;
 pub use kfuse_sim as sim;
+pub use kfuse_verify as verify;
 pub use kfuse_workloads as workloads;
 
 pub use kfuse_core::pipeline;

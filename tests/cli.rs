@@ -114,3 +114,85 @@ fn invalid_json_reports_error() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot parse"));
 }
+
+#[test]
+fn verify_accepts_identity_and_rejects_bad_cover() {
+    let path = tmp("quick_verify.json");
+    let dump = kfuse(&["example", "quickstart"]);
+    std::fs::write(&path, &dump.stdout).unwrap();
+
+    let out = kfuse(&["verify", path.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("0 error(s)"));
+
+    // A plan that covers kernel 0 twice must fail with the KF0004 code.
+    let plan = tmp("bad_cover.json");
+    std::fs::write(&plan, r#"{"groups":[[0],[0,1]]}"#).unwrap();
+    let out = kfuse(&[
+        "verify",
+        path.to_str().unwrap(),
+        "--plan",
+        plan.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("KF0004"));
+}
+
+#[test]
+fn verify_json_output_is_machine_readable() {
+    let path = tmp("quick_verify_json.json");
+    let dump = kfuse(&["example", "quickstart"]);
+    std::fs::write(&path, &dump.stdout).unwrap();
+    let plan = tmp("missing_kernel.json");
+    std::fs::write(&plan, r#"{"groups":[[0]]}"#).unwrap();
+
+    let out = kfuse(&[
+        "verify",
+        path.to_str().unwrap(),
+        "--plan",
+        plan.to_str().unwrap(),
+        "--json",
+    ]);
+    assert!(!out.status.success());
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON report");
+    let arr = v.as_array().expect("array of diagnostics");
+    assert!(arr.iter().any(|d| d["code"].as_str() == Some("KF0002")));
+}
+
+#[test]
+fn lint_fused_rk3_is_clean() {
+    let path = tmp("rk3_lint.json");
+    let dump = kfuse(&["example", "rk3"]);
+    std::fs::write(&path, &dump.stdout).unwrap();
+
+    let out = kfuse(&["lint", path.to_str().unwrap(), "--fuse", "--seed", "3"]);
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn lint_flags_broken_cuda_file() {
+    let src = tmp("rk3_broken.cu");
+    let path = tmp("rk3_lint_src.json");
+    let dump = kfuse(&["example", "rk3"]);
+    std::fs::write(&path, &dump.stdout).unwrap();
+    let cg = kfuse(&["codegen", path.to_str().unwrap()]);
+    assert!(cg.status.success());
+    // Strip the bank-conflict padding from every shared tile declaration.
+    let cuda = String::from_utf8_lossy(&cg.stdout).replace(" + 1];", "];");
+    std::fs::write(&src, cuda).unwrap();
+
+    let out = kfuse(&["lint", src.to_str().unwrap()]);
+    // Padding lints are warnings, so the exit stays zero but the report
+    // must name KF0201.
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("KF0201"));
+}

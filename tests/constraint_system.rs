@@ -237,3 +237,92 @@ fn stream_split_blocks_cross_stream_fusion() {
         .validate(&FusionPlan::new(vec![vec![KernelId(0), KernelId(1)]]))
         .is_ok());
 }
+
+// ---------------------------------------------------------------------------
+// Pinned plans: one known-feasible and one known-infeasible plan per
+// workload, each cross-checked against the independent verifier with the
+// exact KF code it must report.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pinned_structured_feasible_plan_stays_feasible() {
+    let (_, ctx) = ctx();
+    let model = ProposedModel::default();
+    // k3+k4 share X in the same epoch: profitable fusion (pinned).
+    let plan = FusionPlan::new(vec![
+        vec![KernelId(0)],
+        vec![KernelId(1)],
+        vec![KernelId(2)],
+        vec![KernelId(3), KernelId(4)],
+    ]);
+    assert!(ctx.validate(&plan).is_ok());
+    let report = kfuse_verify::check_plan(&ctx.info, &plan, Some(&model));
+    assert!(report.is_clean(), "{}", report.render_human());
+}
+
+#[test]
+fn pinned_structured_infeasible_plan_stays_infeasible() {
+    let (_, ctx) = ctx();
+    let model = ProposedModel::default();
+    // k0+k2 sandwich k1 on the condensed DAG: path-closure violation.
+    let plan = FusionPlan::new(vec![
+        vec![KernelId(0), KernelId(2)],
+        vec![KernelId(1)],
+        vec![KernelId(3)],
+        vec![KernelId(4)],
+    ]);
+    assert!(matches!(
+        ctx.validate(&plan),
+        Err(PlanError::PathClosure { .. })
+    ));
+    let report = kfuse_verify::check_plan(&ctx.info, &plan, Some(&model));
+    assert!(report.has_code(kfuse_verify::diag::KF_PATH_CLOSURE));
+}
+
+#[test]
+fn pinned_rk3_feasible_plan_stays_feasible() {
+    let p = scale_les::rk_core([1280, 32, 32]);
+    let (_, ctx) = pipeline::prepare(&p, &GpuSpec::k20x(), FpPrecision::Double);
+    let model = ProposedModel::default();
+    // HGGA output (seed 3) on the K20X, pinned 2026-08: six groups.
+    let groups: Vec<Vec<KernelId>> = vec![
+        vec![0, 1, 7, 11],
+        vec![2, 3, 6, 8, 10, 17],
+        vec![4, 5, 12],
+        vec![9, 13],
+        vec![14, 15],
+        vec![16],
+    ]
+    .into_iter()
+    .map(|g| g.into_iter().map(KernelId).collect())
+    .collect();
+    let plan = FusionPlan::new(groups);
+    assert!(ctx.validate(&plan).is_ok());
+    let report = kfuse_verify::check_plan(&ctx.info, &plan, Some(&model));
+    assert!(report.is_clean(), "{}", report.render_human());
+    assert!(kfuse_search::Evaluator::new(&ctx, &model)
+        .plan(&plan)
+        .is_finite());
+}
+
+#[test]
+fn pinned_rk3_infeasible_plan_stays_infeasible() {
+    let p = scale_les::rk_core([1280, 32, 32]);
+    let (_, ctx) = pipeline::prepare(&p, &GpuSpec::k20x(), FpPrecision::Double);
+    let model = ProposedModel::default();
+    // K2+K4 is structurally legal but projects *slower* than unfused:
+    // the profitability constraint (1.1) must reject it. Pinned.
+    let mut groups = vec![vec![KernelId(2), KernelId(4)]];
+    groups.extend(
+        (0..18)
+            .filter(|&k| k != 2 && k != 4)
+            .map(|k| vec![KernelId(k)]),
+    );
+    let plan = FusionPlan::new(groups);
+    assert!(ctx.validate(&plan).is_ok(), "structure itself is fine");
+    let report = kfuse_verify::check_plan(&ctx.info, &plan, Some(&model));
+    assert!(report.has_code(kfuse_verify::diag::KF_UNPROFITABLE));
+    assert!(kfuse_search::Evaluator::new(&ctx, &model)
+        .plan(&plan)
+        .is_infinite());
+}

@@ -117,6 +117,39 @@ proptest! {
         prop_assert!(out.objective <= identity + 1e-12);
     }
 
+    /// Every plan `hgga::solve` returns — for any island count — passes
+    /// the independent `kfuse-verify` constraint checker with zero
+    /// error diagnostics (satellite of the verifier PR).
+    #[test]
+    fn hgga_plans_pass_independent_verifier(
+        seed in 0u64..150,
+        kernels in 4usize..12,
+        islands in 1usize..4,
+    ) {
+        let p = generate(&small_config(seed, kernels, kernels * 2, 0.5));
+        let gpu = GpuSpec::k20x();
+        let model = ProposedModel::default();
+        let (_, ctx) = pipeline::prepare(&p, &gpu, FpPrecision::Double);
+        let solver = HggaSolver {
+            config: HggaConfig {
+                population: 20,
+                max_generations: 40,
+                stall_generations: 12,
+                seed,
+                islands,
+                ..HggaConfig::default()
+            },
+        };
+        let out = solver.solve(&ctx, &model);
+        let report = kfuse_verify::check_plan(&ctx.info, &out.plan, Some(&model));
+        prop_assert!(
+            report.is_clean(),
+            "HGGA ({} islands) returned a plan the verifier rejects:\n{}",
+            islands,
+            report.render_human()
+        );
+    }
+
     /// Traffic accounting conserves stores: fusion never eliminates a
     /// write to device memory.
     #[test]
