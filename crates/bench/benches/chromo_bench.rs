@@ -1,0 +1,145 @@
+//! Flat-chromosome operator throughput vs. the pinned Vec-of-Vecs
+//! reference operators, plus the incremental neighbor-move rescoring path
+//! against a from-scratch `FusionPlan::new` + `Evaluator::plan` round trip
+//! (the delta-evaluation story of the search-scaling study).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kfuse_core::model::ProposedModel;
+use kfuse_core::pipeline::prepare;
+use kfuse_core::plan::FusionPlan;
+use kfuse_gpu::{FpPrecision, GpuSpec};
+use kfuse_ir::KernelId;
+use kfuse_search::chromo::{Chromosome, OpScratch};
+use kfuse_search::{hgga, reference, Evaluator};
+use kfuse_workloads::synth::{generate, SynthConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const POOL: usize = 16;
+
+fn move_in_vecs(groups: &mut Vec<Vec<KernelId>>, k: KernelId, to: usize) {
+    let src = groups
+        .iter()
+        .position(|g| g.contains(&k))
+        .expect("kernel is in some group");
+    if src == to {
+        return;
+    }
+    let vi = groups[src].iter().position(|&x| x == k).unwrap();
+    groups[src].remove(vi);
+    groups[to].push(k);
+    if groups[src].is_empty() {
+        groups.remove(src);
+    }
+}
+
+fn bench_chromo(c: &mut Criterion) {
+    let model = ProposedModel::default();
+    for kernels in [20usize, 60] {
+        let cfg = SynthConfig {
+            kernels,
+            seed: 0xBEEF + kernels as u64,
+            ..SynthConfig::default()
+        };
+        let program = generate(&cfg);
+        let (_, ctx) = prepare(&program, &GpuSpec::k20x(), FpPrecision::Double);
+        let ev = Evaluator::new(&ctx, &model);
+        let mut scratch = OpScratch::new();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let chromos: Vec<Chromosome> = (0..POOL)
+            .map(|_| hgga::random_chromosome(&ev, &mut rng, &mut scratch))
+            .collect();
+        let plans: Vec<FusionPlan> = chromos.iter().map(|ch| ch.to_plan()).collect();
+
+        let mut g = c.benchmark_group(format!("chromo/{kernels}k"));
+
+        g.bench_function("crossover_flat", |b| {
+            let mut rng = SmallRng::seed_from_u64(11);
+            let mut i = 0usize;
+            b.iter(|| {
+                let a = &chromos[i % POOL];
+                let d = &chromos[(i + 7) % POOL];
+                i += 1;
+                black_box(hgga::crossover(&ev, a, d, &mut rng, &mut scratch))
+            })
+        });
+        g.bench_function("crossover_reference", |b| {
+            let mut rng = SmallRng::seed_from_u64(11);
+            let mut i = 0usize;
+            b.iter(|| {
+                let a = &plans[i % POOL];
+                let d = &plans[(i + 7) % POOL];
+                i += 1;
+                black_box(reference::crossover(&ctx, &ev, a, d, &mut rng))
+            })
+        });
+
+        g.bench_function("mutate_flat", |b| {
+            let mut rng = SmallRng::seed_from_u64(13);
+            let mut i = 0usize;
+            b.iter(|| {
+                let ch = chromos[i % POOL].clone();
+                i += 1;
+                black_box(hgga::mutate(&ev, ch, &mut rng, &mut scratch))
+            })
+        });
+        g.bench_function("mutate_reference", |b| {
+            let mut rng = SmallRng::seed_from_u64(13);
+            let mut i = 0usize;
+            b.iter(|| {
+                let p = &plans[i % POOL];
+                i += 1;
+                black_box(reference::mutate(&ctx, &ev, p, &mut rng))
+            })
+        });
+
+        g.bench_function("local_search_flat", |b| {
+            let mut rng = SmallRng::seed_from_u64(17);
+            let mut i = 0usize;
+            b.iter(|| {
+                let ch = chromos[i % POOL].clone();
+                i += 1;
+                black_box(hgga::local_search(&ev, ch, &mut rng, &mut scratch))
+            })
+        });
+        g.bench_function("local_search_reference", |b| {
+            let mut rng = SmallRng::seed_from_u64(17);
+            let mut i = 0usize;
+            b.iter(|| {
+                let p = plans[i % POOL].clone();
+                i += 1;
+                black_box(reference::local_search(&ctx, &ev, p, &mut rng))
+            })
+        });
+
+        // Incremental condensation + delta cost on a raw neighbor move vs.
+        // rebuilding the plan and scoring it from scratch.
+        g.bench_function("move_rescore_delta", |b| {
+            let mut rng = SmallRng::seed_from_u64(23);
+            let mut ch = chromos[0].clone();
+            b.iter(|| {
+                let k = KernelId(rng.gen_range(0..kernels) as u32);
+                let to = rng.gen_range(0..ch.group_count());
+                ch.move_kernel(k, to);
+                black_box(ch.rescore(&ev, &mut scratch))
+            })
+        });
+        g.bench_function("move_rescore_full", |b| {
+            let mut rng = SmallRng::seed_from_u64(23);
+            let mut groups = plans[0].groups.clone();
+            b.iter(|| {
+                let k = KernelId(rng.gen_range(0..kernels) as u32);
+                let to = rng.gen_range(0..groups.len());
+                move_in_vecs(&mut groups, k, to);
+                let plan = FusionPlan::new(groups.clone());
+                black_box(ev.plan(&plan))
+            })
+        });
+
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_chromo);
+criterion_main!(benches);

@@ -9,10 +9,26 @@
 //!    per lookup), hammered from 1/2/4/8 threads over a fixed pool of
 //!    candidate plans. This isolates the memo hit path, which dominates
 //!    HGGA runtime once the population converges.
-//! 2. **Island scaling** — HGGA wall-clock and solution quality at
+//! 2. **Neighbor-move scoring** — the cost of evaluating a one-kernel
+//!    move from a current plan: the pre-refactor path (clone the groups,
+//!    rebuild a `FusionPlan`, re-evaluate from scratch) on both the legacy
+//!    and sharded evaluators, against the delta path
+//!    (`Chromosome::move_kernel` + incremental `rescore`). This is the
+//!    inner-loop currency of mutation and local search.
+//! 3. **Island scaling** — HGGA wall-clock and solution quality at
 //!    1/2/4/8 islands with everything else fixed.
+//! 4. **Solver variants** — whole-search throughput (individuals scored
+//!    per second) of the flat delta-evaluated chromosome solver against
+//!    the retained Vec-of-Vecs reference loop, with memo hit rates and
+//!    condensation-check counts per variant. Both trajectories are
+//!    bit-identical (see the pinning tests), so any wall-clock delta is
+//!    pure representation overhead.
 //!
-//! Results go to `results/search_scaling.json`.
+//! Results go to `results/search_scaling.json`; the machine-readable
+//! headline for the regression gate goes to `BENCH_search.json` in the
+//! working directory (the repo root when driven by `run_experiments.sh`).
+//! `--check-against <file>` compares the fresh flat-solver evals/s against
+//! a committed baseline and exits non-zero on a >20% regression.
 
 use kfuse_bench::write_json;
 use kfuse_core::model::ProposedModel;
@@ -52,15 +68,99 @@ struct SolverPoint {
 }
 
 #[derive(Serialize)]
+struct NeighborPoint {
+    threads: usize,
+    full_legacy_per_sec: f64,
+    full_sharded_per_sec: f64,
+    delta_per_sec: f64,
+    speedup_vs_legacy: f64,
+    speedup_vs_sharded: f64,
+}
+
+#[derive(Serialize)]
+struct VariantPoint {
+    variant: String,
+    islands: usize,
+    wall_s: f64,
+    objective: f64,
+    /// Individuals scored (population plus every generation's offspring).
+    individuals: u64,
+    /// Individuals scored per second — the GA's throughput currency.
+    evals_per_sec: f64,
+    /// Distinct multi-member objective evaluations (memo misses).
+    evaluations: u64,
+    /// Multi-member memo probes issued.
+    probes: u64,
+    /// Fraction of probes served from the memo.
+    cache_hit_rate: f64,
+    /// Plan/chromosome-level acyclicity checks performed.
+    condensation_checks: u64,
+}
+
+#[derive(Serialize)]
 struct WorkloadReport {
     kernels: usize,
     evaluator: Vec<EvaluatorPoint>,
+    neighbor: Vec<NeighborPoint>,
     solver: Vec<SolverPoint>,
+    variants: Vec<VariantPoint>,
 }
 
 #[derive(Serialize)]
 struct Report {
     workloads: Vec<WorkloadReport>,
+}
+
+/// Machine-readable headline committed at the repo root and consumed by
+/// the `--check-against` regression gate.
+#[derive(Serialize)]
+struct BenchFile {
+    benchmark: String,
+    population: usize,
+    max_generations: u32,
+    neighbor: Vec<BenchNeighbor>,
+    variants: Vec<BenchVariant>,
+    headline: Headline,
+}
+
+#[derive(Serialize)]
+struct BenchNeighbor {
+    kernels: usize,
+    threads: usize,
+    full_legacy_per_sec: f64,
+    full_sharded_per_sec: f64,
+    delta_per_sec: f64,
+    speedup_vs_legacy: f64,
+}
+
+#[derive(Serialize)]
+struct BenchVariant {
+    kernels: usize,
+    variant: String,
+    islands: usize,
+    evals_per_sec: f64,
+    cache_hit_rate: f64,
+    condensation_checks: u64,
+}
+
+#[derive(Serialize)]
+struct Headline {
+    kernels: usize,
+    threads: usize,
+    /// Delta neighbor-move scoring rate (the tentpole metric).
+    delta_evals_per_sec: f64,
+    /// Pre-refactor neighbor scoring rate (legacy evaluator, full rebuild).
+    full_legacy_evals_per_sec: f64,
+    speedup: f64,
+    solver: SolverHeadline,
+}
+
+#[derive(Serialize)]
+struct SolverHeadline {
+    islands: usize,
+    reference_evals_per_sec: f64,
+    flat_evals_per_sec: f64,
+    speedup: f64,
 }
 
 fn synth(kernels: usize) -> kfuse_ir::Program {
@@ -140,6 +240,116 @@ where
     total / t.elapsed().as_secs_f64()
 }
 
+/// One sharing-graph-guided neighbor move: relocate `k` into the group of
+/// one of its sharing neighbors (the move class mutation and local search
+/// draw from).
+fn apply_neighbor_move(groups: &mut Vec<Vec<KernelId>>, k: KernelId, m: KernelId) {
+    let si = groups
+        .iter()
+        .position(|g| g.contains(&k))
+        .expect("kernel is in some group");
+    let gi = groups
+        .iter()
+        .position(|g| g.contains(&m))
+        .expect("neighbor is in some group");
+    if si == gi {
+        return;
+    }
+    let vi = groups[si].iter().position(|&x| x == k).unwrap();
+    groups[si].remove(vi);
+    groups[gi].push(k);
+    if groups[si].is_empty() {
+        groups.remove(si);
+    }
+}
+
+/// Score one-kernel-move neighbors the pre-refactor way: mutate a
+/// Vec-of-Vecs state, clone it, rebuild a `FusionPlan`, re-evaluate from
+/// scratch. Returns neighbor evaluations per second.
+fn neighbor_full<F>(
+    threads: usize,
+    iters: usize,
+    plans: &[FusionPlan],
+    ctx: &PlanContext,
+    eval: F,
+) -> f64
+where
+    F: Fn(&FusionPlan) -> f64 + Sync,
+{
+    let n = ctx.n_kernels();
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let eval = &eval;
+            s.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0xF00D + tid as u64);
+                let mut states: Vec<Vec<Vec<KernelId>>> =
+                    plans.iter().map(|p| p.groups.clone()).collect();
+                for _ in 0..iters {
+                    for st in states.iter_mut() {
+                        let k = rng.gen_range(0..n);
+                        let neigh = ctx.share.neighbors(KernelId(k as u32));
+                        if !neigh.is_empty() {
+                            let m = neigh[rng.gen_range(0..neigh.len())] as usize;
+                            apply_neighbor_move(st, KernelId(k as u32), KernelId(m as u32));
+                        }
+                        let plan = FusionPlan::new(st.clone());
+                        std::hint::black_box(eval(&plan));
+                    }
+                }
+            });
+        }
+    });
+    (threads * iters * plans.len()) as f64 / t.elapsed().as_secs_f64()
+}
+
+/// The same neighbor walk through the flat chromosome: `move_kernel`
+/// marks the two touched groups dirty, `rescore` re-resolves only those
+/// and re-checks the condensation incrementally.
+fn neighbor_delta(
+    threads: usize,
+    iters: usize,
+    plans: &[FusionPlan],
+    ctx: &PlanContext,
+    ev: &Evaluator<'_>,
+) -> f64 {
+    let n = ctx.n_kernels();
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            s.spawn(move || {
+                let mut scratch = kfuse_search::chromo::OpScratch::new();
+                let mut rng = SmallRng::seed_from_u64(0xF00D + tid as u64);
+                let mut states: Vec<kfuse_search::chromo::Chromosome> = plans
+                    .iter()
+                    .map(|p| {
+                        let mut ch = kfuse_search::chromo::Chromosome::from_plan(p, ev);
+                        ch.rescore(ev, &mut scratch);
+                        ch
+                    })
+                    .collect();
+                for _ in 0..iters {
+                    for ch in states.iter_mut() {
+                        let k = rng.gen_range(0..n);
+                        let k = KernelId(k as u32);
+                        let neigh = ctx.share.neighbors(k);
+                        if !neigh.is_empty() {
+                            let m = neigh[rng.gen_range(0..neigh.len())] as usize;
+                            let m = KernelId(m as u32);
+                            if ch.slot_of(k) != ch.slot_of(m) {
+                                let to = ch.position_of_slot(ch.slot_of(m));
+                                ch.move_kernel(k, to);
+                            }
+                        }
+                        std::hint::black_box(ch.rescore(ev, &mut scratch));
+                    }
+                }
+            });
+        }
+    });
+    (threads * iters * plans.len()) as f64 / t.elapsed().as_secs_f64()
+}
+
 /// Pick an iteration count so each measurement takes roughly half a
 /// second at single-thread speed.
 fn calibrate<F: Fn(&FusionPlan) -> f64>(plans: &[FusionPlan], eval: F) -> usize {
@@ -151,7 +361,71 @@ fn calibrate<F: Fn(&FusionPlan) -> f64>(plans: &[FusionPlan], eval: F) -> usize 
     ((0.5 / pass).ceil() as usize).clamp(2, 2000)
 }
 
+/// Shared hyper-parameters for the variant comparison: identical seeds and
+/// budgets so the flat and reference loops walk the same trajectory.
+fn study_config(islands: usize) -> HggaConfig {
+    HggaConfig {
+        population: 64,
+        max_generations: 60,
+        stall_generations: 20,
+        islands,
+        migration_interval: 5,
+        seed: 0xC0FFEE,
+        ..HggaConfig::default()
+    }
+}
+
+/// Individuals scored over a whole run: the initial population plus one
+/// population of offspring per generation (per island in island mode).
+fn individuals_scored(cfg: &HggaConfig, stats: &kfuse_core::pipeline::SolveStats) -> u64 {
+    if stats.islands.is_empty() {
+        cfg.population as u64 * (1 + stats.generations as u64)
+    } else {
+        let pop_t = (cfg.population / cfg.islands).max(cfg.elitism + 2).max(4) as u64;
+        stats
+            .islands
+            .iter()
+            .map(|i| pop_t * (1 + i.generations as u64))
+            .sum()
+    }
+}
+
+fn variant_point(
+    variant: &str,
+    cfg: &HggaConfig,
+    out: &kfuse_core::pipeline::SolveOutcome,
+    wall: f64,
+) -> VariantPoint {
+    let individuals = individuals_scored(cfg, &out.stats);
+    VariantPoint {
+        variant: variant.to_string(),
+        islands: cfg.islands,
+        wall_s: wall,
+        objective: out.objective,
+        individuals,
+        evals_per_sec: individuals as f64 / wall,
+        evaluations: out.stats.evaluations,
+        probes: out.stats.probes,
+        cache_hit_rate: out.stats.cache_hit_rate,
+        condensation_checks: out.stats.condensation_checks,
+    }
+}
+
 fn main() {
+    let check_against: Option<String> = {
+        let mut args = std::env::args().skip(1);
+        let mut path = None;
+        while let Some(a) = args.next() {
+            if a == "--check-against" {
+                path = args.next();
+                if path.is_none() {
+                    eprintln!("--check-against requires a file argument");
+                    std::process::exit(2);
+                }
+            }
+        }
+        path
+    };
     let gpu = GpuSpec::k20x();
     let model = ProposedModel::default();
     let mut report = Report {
@@ -194,6 +468,32 @@ fn main() {
             });
         }
 
+        // Neighbor-move scoring: calibrate on the sharded full path, then
+        // hammer all three variants with the same walk policy.
+        let mut neighbor = Vec::new();
+        let probe_rate = neighbor_full(1, 1, &plans, &ctx, |p| sharded.plan(p));
+        let iters_n = ((0.5 * probe_rate / plans.len() as f64).ceil() as usize).clamp(2, 2000);
+        for &threads in &THREAD_COUNTS {
+            let full_legacy = neighbor_full(threads, iters_n, &plans, &ctx, |p| legacy.plan(p));
+            let full_sharded = neighbor_full(threads, iters_n, &plans, &ctx, |p| sharded.plan(p));
+            let delta = neighbor_delta(threads, iters_n, &plans, &ctx, &sharded);
+            println!(
+                "  neighbor   t={threads}: delta {:>12.0} evals/s   full(sharded) {:>12.0}   full(legacy) {:>12.0}   ({:.2}x vs legacy)",
+                delta,
+                full_sharded,
+                full_legacy,
+                delta / full_legacy
+            );
+            neighbor.push(NeighborPoint {
+                threads,
+                full_legacy_per_sec: full_legacy,
+                full_sharded_per_sec: full_sharded,
+                delta_per_sec: delta,
+                speedup_vs_legacy: delta / full_legacy,
+                speedup_vs_sharded: delta / full_sharded,
+            });
+        }
+
         let mut solver = Vec::new();
         for &islands in &ISLAND_COUNTS {
             let s = HggaSolver {
@@ -223,10 +523,43 @@ fn main() {
             });
         }
 
+        // Solver variants: the reference Vec-of-Vecs loop against the flat
+        // delta-evaluated solver at 1 and 8 islands, same seed and budget.
+        let mut variants = Vec::new();
+        {
+            let cfg = study_config(1);
+            let t = Instant::now();
+            let out = kfuse_search::reference::solve(&cfg, &ctx, &model);
+            variants.push(variant_point(
+                "reference",
+                &cfg,
+                &out,
+                t.elapsed().as_secs_f64(),
+            ));
+        }
+        for islands in [1usize, 8] {
+            let cfg = study_config(islands);
+            let s = HggaSolver {
+                config: cfg.clone(),
+            };
+            let t = Instant::now();
+            let out = s.solve(&ctx, &model);
+            variants.push(variant_point("flat", &cfg, &out, t.elapsed().as_secs_f64()));
+        }
+        for v in &variants {
+            println!(
+                "  variant {:>9} islands={}: {:>9.0} evals/s   {:.3} s   objective {:.6e}   {} cond checks   hit rate {:.3}",
+                v.variant, v.islands, v.evals_per_sec, v.wall_s, v.objective,
+                v.condensation_checks, v.cache_hit_rate
+            );
+        }
+
         report.workloads.push(WorkloadReport {
             kernels,
             evaluator,
+            neighbor,
             solver,
+            variants,
         });
     }
 
@@ -239,6 +572,140 @@ fn main() {
                 "\nheadline: 60 kernels @ 8 threads — sharded {:.0} evals/s vs legacy {:.0} evals/s ({:.2}x)",
                 p.sharded_evals_per_sec, p.legacy_evals_per_sec, p.speedup
             );
+        }
+    }
+
+    // Machine-readable benchmark file + regression gate (ISSUE 3).
+    let bench_neighbor: Vec<BenchNeighbor> = report
+        .workloads
+        .iter()
+        .flat_map(|w| {
+            w.neighbor.iter().map(|p| BenchNeighbor {
+                kernels: w.kernels,
+                threads: p.threads,
+                full_legacy_per_sec: p.full_legacy_per_sec,
+                full_sharded_per_sec: p.full_sharded_per_sec,
+                delta_per_sec: p.delta_per_sec,
+                speedup_vs_legacy: p.speedup_vs_legacy,
+            })
+        })
+        .collect();
+    let bench_variants: Vec<BenchVariant> = report
+        .workloads
+        .iter()
+        .flat_map(|w| {
+            w.variants.iter().map(|v| BenchVariant {
+                kernels: w.kernels,
+                variant: v.variant.clone(),
+                islands: v.islands,
+                evals_per_sec: v.evals_per_sec,
+                cache_hit_rate: v.cache_hit_rate,
+                condensation_checks: v.condensation_checks,
+            })
+        })
+        .collect();
+    let head_n = bench_neighbor
+        .iter()
+        .find(|p| p.kernels == 60 && p.threads == 8);
+    let head_ref = bench_variants
+        .iter()
+        .find(|v| v.kernels == 60 && v.variant == "reference");
+    let head_flat = bench_variants
+        .iter()
+        .find(|v| v.kernels == 60 && v.variant == "flat" && v.islands == 8);
+    let (Some(head_n), Some(head_ref), Some(head_flat)) = (head_n, head_ref, head_flat) else {
+        eprintln!("missing 60-kernel headline measurements");
+        std::process::exit(2);
+    };
+    let bench = BenchFile {
+        benchmark: "search_scaling".into(),
+        population: 64,
+        max_generations: 60,
+        headline: Headline {
+            kernels: 60,
+            threads: 8,
+            delta_evals_per_sec: head_n.delta_per_sec,
+            full_legacy_evals_per_sec: head_n.full_legacy_per_sec,
+            speedup: head_n.speedup_vs_legacy,
+            solver: SolverHeadline {
+                islands: 8,
+                reference_evals_per_sec: head_ref.evals_per_sec,
+                flat_evals_per_sec: head_flat.evals_per_sec,
+                speedup: head_flat.evals_per_sec / head_ref.evals_per_sec,
+            },
+        },
+        neighbor: bench_neighbor,
+        variants: bench_variants,
+    };
+    println!(
+        "\nheadline: 60 kernels @ 8 threads — delta {:.0} evals/s vs full rebuild {:.0} evals/s ({:.2}x)",
+        bench.headline.delta_evals_per_sec,
+        bench.headline.full_legacy_evals_per_sec,
+        bench.headline.speedup
+    );
+    println!(
+        "solver:   60 kernels — flat x8 {:.0} evals/s vs reference {:.0} evals/s ({:.2}x)",
+        bench.headline.solver.flat_evals_per_sec,
+        bench.headline.solver.reference_evals_per_sec,
+        bench.headline.solver.speedup
+    );
+    // Load the committed baseline BEFORE overwriting it with this run.
+    let committed: Option<(String, serde_json::Value)> = check_against.map(|path| {
+        match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str(&s).map_err(|e| e.to_string()))
+        {
+            Ok(v) => (path, v),
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    });
+
+    match serde_json::to_string_pretty(&bench) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write("BENCH_search.json", s) {
+                eprintln!("warning: could not write BENCH_search.json: {e}");
+            } else {
+                eprintln!("wrote BENCH_search.json");
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize BENCH_search.json: {e}"),
+    }
+
+    if let Some((path, committed)) = committed {
+        let mut failed = false;
+        for (what, baseline, fresh) in [
+            (
+                "delta neighbor scoring",
+                committed["headline"]["delta_evals_per_sec"].as_f64(),
+                bench.headline.delta_evals_per_sec,
+            ),
+            (
+                "flat solver",
+                committed["headline"]["solver"]["flat_evals_per_sec"].as_f64(),
+                bench.headline.solver.flat_evals_per_sec,
+            ),
+        ] {
+            let Some(baseline) = baseline.filter(|b| *b > 0.0) else {
+                eprintln!("baseline {path} has no usable {what} rate; skipping");
+                continue;
+            };
+            if fresh < 0.8 * baseline {
+                eprintln!(
+                    "REGRESSION: {what} {fresh:.0} evals/s is more than 20% below the \
+                     committed baseline {baseline:.0} evals/s ({path})"
+                );
+                failed = true;
+            } else {
+                println!(
+                    "regression gate: {what} {fresh:.0} evals/s vs baseline {baseline:.0} — ok"
+                );
+            }
+        }
+        if failed {
+            std::process::exit(1);
         }
     }
 }

@@ -136,6 +136,44 @@ impl ExecOrderGraph {
         self.reach[a.index()].contains(b.index())
     }
 
+    /// Direct successors of `k` (kernels with a hazard edge `k → v`).
+    pub fn succs_of(&self, k: KernelId) -> &[KernelId] {
+        &self.succs[k.index()]
+    }
+
+    /// Direct predecessors of `k` (kernels with a hazard edge `u → k`).
+    pub fn preds_of(&self, k: KernelId) -> &[KernelId] {
+        &self.preds[k.index()]
+    }
+
+    /// Summarize the inter-group edges leaving one group: collect into
+    /// `out` the distinct groups (per the `group_of` map) that the direct
+    /// successors of `members` fall into, excluding the group `own`
+    /// itself, sorted ascending. This is the per-group building block of
+    /// the plan-condensation DAG; the plan evaluator's incremental
+    /// condensation cache rebuilds exactly these summaries for dirty
+    /// groups only.
+    pub fn group_succs_into(
+        &self,
+        members: &[KernelId],
+        group_of: &[u32],
+        own: u32,
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
+        for &k in members {
+            for &s in &self.succs[k.index()] {
+                let g = group_of[s.index()];
+                debug_assert_ne!(g, u32::MAX, "group map does not cover kernel {s}");
+                if g != own {
+                    out.push(g);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+
     /// Reachability set of `a` (everything ordered after it).
     pub fn reach_set(&self, a: KernelId) -> &BitSet {
         &self.reach[a.index()]

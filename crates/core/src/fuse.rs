@@ -121,19 +121,7 @@ pub fn condensation_order_with<'s>(
     scratch.indeg.clear();
     scratch.indeg.resize(n_groups, 0);
     for (gi, g) in plan.groups.iter().enumerate() {
-        for &k in g {
-            for &s in &exec.succs[k.index()] {
-                let gj = scratch.group_of[s.index()];
-                debug_assert_ne!(gj, UNASSIGNED, "plan does not cover kernel {s}");
-                if gj != gi as u32 {
-                    scratch.succ[gi].push(gj);
-                }
-            }
-        }
-    }
-    for s in &mut scratch.succ {
-        s.sort_unstable();
-        s.dedup();
+        exec.group_succs_into(g, &scratch.group_of, gi as u32, &mut scratch.succ[gi]);
     }
     for gi in 0..n_groups {
         for i in 0..scratch.succ[gi].len() {

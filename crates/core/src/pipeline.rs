@@ -47,6 +47,12 @@ pub struct SolveStats {
     pub time_to_best: Duration,
     /// Generation at which the best solution was first reached.
     pub best_generation: u32,
+    /// Memo probes issued by the evaluator (multi-member group lookups).
+    pub probes: u64,
+    /// Fraction of probes answered from the memo without re-evaluation.
+    pub cache_hit_rate: f64,
+    /// Plan-level condensation acyclicity checks performed.
+    pub condensation_checks: u64,
     /// Per-island breakdown when the solver ran in island mode.
     pub islands: Vec<IslandStats>,
 }

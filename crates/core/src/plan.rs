@@ -47,6 +47,19 @@ impl FusionPlan {
         FusionPlan { groups }
     }
 
+    /// Build from groups already in normalized form: members sorted within
+    /// each group, groups sorted by first member. Skips the re-sort of
+    /// [`FusionPlan::new`] — the chromosome→plan conversion on the HGGA hot
+    /// path maintains this invariant structurally.
+    pub fn from_sorted_groups(groups: Vec<Vec<KernelId>>) -> Self {
+        debug_assert!(
+            groups.iter().all(|g| g.windows(2).all(|w| w[0] < w[1]))
+                && groups.windows(2).all(|w| w[0].first() < w[1].first()),
+            "groups must be normalized (sorted members, groups by first member)"
+        );
+        FusionPlan { groups }
+    }
+
     /// Number of kernels fused into groups of ≥2 members.
     pub fn fused_kernel_count(&self) -> usize {
         self.groups

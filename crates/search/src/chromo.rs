@@ -1,0 +1,1050 @@
+//! Flat, group-encoded chromosome: the native currency of the HGGA inner
+//! loop.
+//!
+//! A [`Chromosome`] stores every kernel id in one contiguous arena; groups
+//! are `(start, len)` slots over that arena, each carrying a cached
+//! [`GroupEval`] so genetic operators never re-probe groups they did not
+//! touch. Operators mark the slots whose membership changed (`dirty`) and
+//! the kernels that moved between slots (`moved`); the incremental
+//! condensation cache rebuilds only the inter-group successor summaries
+//! incident to those marks before the cycle test, instead of re-deriving
+//! the whole condensation DAG per candidate plan.
+//!
+//! Invariants the HGGA relies on (see DESIGN.md §10):
+//!
+//! * `group_of[k]` always names the live slot holding kernel `k` — it is
+//!   updated eagerly by every mutator, so edge summaries built from it are
+//!   current even while `dirty`/`moved` marks are pending.
+//! * `order` lists live slot ids in the transient Vec-of-Vecs order the
+//!   legacy operators would have produced; [`Chromosome::finalize`] sorts
+//!   it into normalized plan order, which makes repair bit-for-bit
+//!   compatible with the reference solver.
+//! * A slot's `eval` is trusted only when `eval_known`; operators that
+//!   probed a candidate group pass the probe result along so finalize
+//!   resolves the remaining unknowns with at most one memo lookup each.
+//! * `cost` is NaN between mutations; only [`Chromosome::finalize`] and
+//!   [`Chromosome::rescore`] produce a comparable objective, and both sum
+//!   group times in normalized order so the f64 result is bitwise equal to
+//!   [`Evaluator::plan`] on the converted [`FusionPlan`].
+
+use crate::eval::{Evaluator, GroupEval};
+use kfuse_core::exec_order::ExecOrderGraph;
+use kfuse_core::plan::FusionPlan;
+use kfuse_ir::KernelId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+const NO_SLOT: u32 = u32::MAX;
+
+/// One group: a region of the member arena plus cached evaluation state
+/// and a region of the flat edge arena (successor slot ids).
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    start: u32,
+    len: u32,
+    estart: u32,
+    elen: u32,
+    eval: GroupEval,
+    eval_known: bool,
+    alive: bool,
+}
+
+/// Flat grouping chromosome with per-group cached evaluations and an
+/// incrementally maintained inter-group edge summary.
+#[derive(Clone, Debug)]
+pub struct Chromosome {
+    /// Member arena; live slots own disjoint regions (dead regions linger
+    /// until [`Chromosome::finalize`] repacks).
+    arena: Vec<KernelId>,
+    slots: Vec<Slot>,
+    /// Live slot ids in transient group order.
+    order: Vec<u32>,
+    /// Kernel index → live slot id; eagerly maintained.
+    group_of: Vec<u32>,
+    /// Flat successor-slot-id lists, indexed by each slot's `(estart, elen)`.
+    edges: Vec<u32>,
+    /// True when `edges` reflects the current membership except for the
+    /// pending `dirty`/`moved` marks; false forces a full rebuild.
+    cond_valid: bool,
+    /// Slots whose own membership changed since the last edge refresh.
+    dirty: Vec<u32>,
+    /// Kernels whose slot assignment changed since the last edge refresh.
+    moved: Vec<KernelId>,
+    cost: f64,
+    /// True when every live region is sorted and `order` is sorted by
+    /// first member — i.e. the groups are in [`FusionPlan`] normal form.
+    normalized: bool,
+    n_kernels: usize,
+}
+
+/// Reusable buffers for chromosome maintenance and the genetic operators.
+/// One per worker (island) — never shared across threads.
+#[derive(Default)]
+pub struct OpScratch {
+    // Chromosome internals.
+    succ_buf: Vec<u32>,
+    stale: Vec<u32>,
+    indeg: Vec<u32>,
+    heap: BinaryHeap<Reverse<(KernelId, u32)>>,
+    perm: Vec<u32>,
+    arena2: Vec<KernelId>,
+    slots2: Vec<Slot>,
+    edges2: Vec<u32>,
+    // Operator buffers (owned here so operators allocate nothing steady-state).
+    pub(crate) probe: Vec<KernelId>,
+    pub(crate) probe2: Vec<KernelId>,
+    pub(crate) orphans: Vec<KernelId>,
+    pub(crate) split_a: Vec<KernelId>,
+    pub(crate) split_b: Vec<KernelId>,
+    pub(crate) best_a: Vec<KernelId>,
+    pub(crate) best_b: Vec<KernelId>,
+    pub(crate) idxs: Vec<usize>,
+    pub(crate) multi: Vec<usize>,
+    pub(crate) injected: Vec<bool>,
+    pub(crate) donors: Vec<u32>,
+    pub(crate) chosen: Vec<u32>,
+}
+
+impl OpScratch {
+    /// Fresh scratch; buffers grow to steady-state sizes on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Chromosome {
+    /// The identity chromosome: one singleton slot per kernel, evaluations
+    /// filled from the evaluator's dense singleton baseline.
+    pub fn identity(ev: &Evaluator) -> Self {
+        let n = ev.ctx.n_kernels();
+        let arena: Vec<KernelId> = (0..n).map(|k| KernelId(k as u32)).collect();
+        let slots = (0..n)
+            .map(|k| Slot {
+                start: k as u32,
+                len: 1,
+                estart: 0,
+                elen: 0,
+                eval: ev.singleton(KernelId(k as u32)),
+                eval_known: true,
+                alive: true,
+            })
+            .collect();
+        Chromosome {
+            arena,
+            slots,
+            order: (0..n as u32).collect(),
+            group_of: (0..n as u32).collect(),
+            edges: Vec::new(),
+            cond_valid: false,
+            dirty: Vec::new(),
+            moved: Vec::new(),
+            cost: f64::NAN,
+            normalized: true,
+            n_kernels: n,
+        }
+    }
+
+    /// Import a (normalized) [`FusionPlan`]. Singleton evaluations come from
+    /// the dense baseline; multi-member groups stay unresolved until
+    /// [`Chromosome::finalize`] or [`Chromosome::rescore`].
+    pub fn from_plan(plan: &FusionPlan, ev: &Evaluator) -> Self {
+        let n = ev.ctx.n_kernels();
+        let mut arena = Vec::with_capacity(n);
+        let mut slots = Vec::with_capacity(plan.groups.len());
+        let mut group_of = vec![NO_SLOT; n];
+        for g in &plan.groups {
+            let sid = slots.len() as u32;
+            let start = arena.len() as u32;
+            arena.extend_from_slice(g);
+            for &k in g {
+                group_of[k.index()] = sid;
+            }
+            let (eval, eval_known) = if let [k] = g.as_slice() {
+                (ev.singleton(*k), true)
+            } else {
+                (GroupEval { time_s: f64::NAN }, false)
+            };
+            slots.push(Slot {
+                start,
+                len: g.len() as u32,
+                estart: 0,
+                elen: 0,
+                eval,
+                eval_known,
+                alive: true,
+            });
+        }
+        Chromosome {
+            arena,
+            order: (0..slots.len() as u32).collect(),
+            slots,
+            group_of,
+            edges: Vec::new(),
+            cond_valid: false,
+            dirty: Vec::new(),
+            moved: Vec::new(),
+            cost: f64::NAN,
+            normalized: true,
+            n_kernels: n,
+        }
+    }
+
+    /// The finalized objective. NaN if the chromosome has been mutated
+    /// since the last [`Chromosome::finalize`] / [`Chromosome::rescore`].
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Number of live groups.
+    pub fn group_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Total kernels covered.
+    pub fn n_kernels(&self) -> usize {
+        self.n_kernels
+    }
+
+    /// Members of the group at transient position `pos`.
+    pub fn members_at(&self, pos: usize) -> &[KernelId] {
+        self.slot_members(self.order[pos])
+    }
+
+    /// Slot id at transient position `pos`.
+    pub fn slot_id_at(&self, pos: usize) -> u32 {
+        self.order[pos]
+    }
+
+    /// Members of slot `sid`.
+    pub fn slot_members(&self, sid: u32) -> &[KernelId] {
+        let s = &self.slots[sid as usize];
+        &self.arena[s.start as usize..(s.start + s.len) as usize]
+    }
+
+    /// Cached evaluation of slot `sid`, if resolved.
+    pub fn slot_eval(&self, sid: u32) -> Option<GroupEval> {
+        let s = &self.slots[sid as usize];
+        s.eval_known.then_some(s.eval)
+    }
+
+    /// Cached evaluation of the group at position `pos`, if resolved.
+    pub fn eval_at(&self, pos: usize) -> Option<GroupEval> {
+        self.slot_eval(self.order[pos])
+    }
+
+    /// Slot currently holding kernel `k`.
+    pub fn slot_of(&self, k: KernelId) -> u32 {
+        self.group_of[k.index()]
+    }
+
+    /// Transient position of slot `sid` (linear scan; operators use this
+    /// only off the per-sample hot path).
+    pub fn position_of_slot(&self, sid: u32) -> usize {
+        self.order
+            .iter()
+            .position(|&s| s == sid)
+            .expect("slot not in order")
+    }
+
+    /// Convert to the boundary [`FusionPlan`] type.
+    pub fn to_plan(&self) -> FusionPlan {
+        let groups: Vec<Vec<KernelId>> = self
+            .order
+            .iter()
+            .map(|&sid| self.slot_members(sid).to_vec())
+            .collect();
+        if self.normalized {
+            FusionPlan::from_sorted_groups(groups)
+        } else {
+            FusionPlan::new(groups)
+        }
+    }
+
+    fn mark_dirty(&mut self, sid: u32) {
+        self.dirty.push(sid);
+    }
+
+    fn touch(&mut self) {
+        self.cost = f64::NAN;
+        self.normalized = false;
+    }
+
+    /// Append a new group at the end of the transient order. Pass the eval
+    /// when the operator already probed the members. Returns the slot id.
+    pub fn push_group(&mut self, members: &[KernelId], eval: Option<GroupEval>) -> u32 {
+        debug_assert!(!members.is_empty());
+        let sid = self.slots.len() as u32;
+        let start = self.arena.len() as u32;
+        self.arena.extend_from_slice(members);
+        for &k in members {
+            self.group_of[k.index()] = sid;
+            self.moved.push(k);
+        }
+        self.slots.push(Slot {
+            start,
+            len: members.len() as u32,
+            estart: 0,
+            elen: 0,
+            eval: eval.unwrap_or(GroupEval { time_s: f64::NAN }),
+            eval_known: eval.is_some(),
+            alive: true,
+        });
+        self.order.push(sid);
+        self.mark_dirty(sid);
+        self.touch();
+        sid
+    }
+
+    /// Append kernel `k` to the group at position `pos`, with the probed
+    /// evaluation of the grown group. The region relocates to the arena
+    /// tail so it can grow in place later.
+    pub fn push_member(&mut self, pos: usize, k: KernelId, eval: GroupEval) {
+        let sid = self.order[pos];
+        let s = self.slots[sid as usize];
+        let at_tail = (s.start + s.len) as usize == self.arena.len();
+        if !at_tail {
+            let new_start = self.arena.len() as u32;
+            let range = s.start as usize..(s.start + s.len) as usize;
+            self.arena.extend_from_within(range);
+            self.slots[sid as usize].start = new_start;
+        }
+        self.arena.push(k);
+        let s = &mut self.slots[sid as usize];
+        s.len += 1;
+        s.eval = eval;
+        s.eval_known = true;
+        self.group_of[k.index()] = sid;
+        self.moved.push(k);
+        self.mark_dirty(sid);
+        self.touch();
+    }
+
+    /// Remove the member at index `vi` of the group at position `pos`. The
+    /// caller must have re-homed the kernel *first* (its `group_of` entry
+    /// already points elsewhere). If members remain, `eval` must carry the
+    /// probed evaluation of the shrunk group; an emptied slot dies.
+    pub fn remove_member(&mut self, pos: usize, vi: usize, eval: Option<GroupEval>) {
+        let sid = self.order[pos];
+        let s = self.slots[sid as usize];
+        debug_assert!(vi < s.len as usize);
+        let base = s.start as usize;
+        self.arena
+            .copy_within(base + vi + 1..base + s.len as usize, base + vi);
+        let s = &mut self.slots[sid as usize];
+        s.len -= 1;
+        if s.len == 0 {
+            s.alive = false;
+            self.order.remove(pos);
+        } else {
+            let e = eval.expect("shrunk group needs its probed eval");
+            s.eval = e;
+            s.eval_known = true;
+            self.mark_dirty(sid);
+        }
+        self.touch();
+    }
+
+    /// Merge the groups at positions `i` and `j` into a *new* slot appended
+    /// at the end of the transient order (members of `i` then `j`),
+    /// mirroring the legacy `remove(hi); remove(lo); push(merged)` shape.
+    pub fn merge_append(&mut self, i: usize, j: usize, eval: GroupEval) {
+        debug_assert_ne!(i, j);
+        let (si, sj) = (self.order[i], self.order[j]);
+        let start = self.arena.len() as u32;
+        let sid = self.slots.len() as u32;
+        for src in [si, sj] {
+            let s = self.slots[src as usize];
+            let range = s.start as usize..(s.start + s.len) as usize;
+            self.arena.extend_from_within(range);
+            self.slots[src as usize].alive = false;
+        }
+        let len = self.arena.len() as u32 - start;
+        for idx in start as usize..self.arena.len() {
+            let k = self.arena[idx];
+            self.group_of[k.index()] = sid;
+            self.moved.push(k);
+        }
+        self.slots.push(Slot {
+            start,
+            len,
+            estart: 0,
+            elen: 0,
+            eval,
+            eval_known: true,
+            alive: true,
+        });
+        let (lo, hi) = (i.min(j), i.max(j));
+        self.order.remove(hi);
+        self.order.remove(lo);
+        self.order.push(sid);
+        self.mark_dirty(sid);
+        self.touch();
+    }
+
+    /// Merge the group at position `j` into the one at position `i`, which
+    /// keeps its slot id and transient position (`extend` semantics).
+    pub fn merge_into(&mut self, i: usize, j: usize, eval: GroupEval) {
+        debug_assert_ne!(i, j);
+        let (si, sj) = (self.order[i], self.order[j]);
+        let s = self.slots[si as usize];
+        let at_tail = (s.start + s.len) as usize == self.arena.len();
+        if !at_tail {
+            let new_start = self.arena.len() as u32;
+            let range = s.start as usize..(s.start + s.len) as usize;
+            self.arena.extend_from_within(range);
+            self.slots[si as usize].start = new_start;
+        }
+        let d = self.slots[sj as usize];
+        let range = d.start as usize..(d.start + d.len) as usize;
+        self.arena.extend_from_within(range.clone());
+        for idx in range {
+            let k = self.arena[idx];
+            self.group_of[k.index()] = si;
+            self.moved.push(k);
+        }
+        let s = &mut self.slots[si as usize];
+        s.len += d.len;
+        s.eval = eval;
+        s.eval_known = true;
+        self.slots[sj as usize].alive = false;
+        self.order.remove(j);
+        self.mark_dirty(si);
+        self.touch();
+    }
+
+    /// Replace the membership of the group at position `pos` with a subset
+    /// of its current members (bipartition keep-side). The dropped members
+    /// must be re-homed by the caller via [`Chromosome::push_group`].
+    pub fn replace_members(&mut self, pos: usize, members: &[KernelId], eval: Option<GroupEval>) {
+        let sid = self.order[pos];
+        let s = self.slots[sid as usize];
+        debug_assert!(!members.is_empty() && members.len() <= s.len as usize);
+        let base = s.start as usize;
+        self.arena[base..base + members.len()].copy_from_slice(members);
+        let s = &mut self.slots[sid as usize];
+        s.len = members.len() as u32;
+        match eval {
+            Some(e) => {
+                s.eval = e;
+                s.eval_known = true;
+            }
+            None => s.eval_known = false,
+        }
+        for &k in members {
+            self.group_of[k.index()] = sid;
+        }
+        self.mark_dirty(sid);
+        self.touch();
+    }
+
+    /// Mark the group at position `pos` dead without disturbing positions;
+    /// pair with [`Chromosome::compact_order`] once all evictions are done
+    /// (crossover removes several groups while iterating).
+    pub fn kill_group(&mut self, pos: usize) {
+        let sid = self.order[pos];
+        self.slots[sid as usize].alive = false;
+        self.touch();
+    }
+
+    /// Drop dead entries from the transient order, preserving relative
+    /// order of the survivors.
+    pub fn compact_order(&mut self) {
+        let slots = &self.slots;
+        self.order.retain(|&sid| slots[sid as usize].alive);
+    }
+
+    /// Remove the group at position `pos`, appending its members to
+    /// `orphans` (mutate's eliminate case).
+    pub fn remove_group_at(&mut self, pos: usize, orphans: &mut Vec<KernelId>) {
+        let sid = self.order[pos];
+        orphans.extend_from_slice(self.slot_members(sid));
+        self.slots[sid as usize].alive = false;
+        self.order.remove(pos);
+        self.touch();
+    }
+
+    /// Unconditionally move kernel `k` into the group at position `to_pos`,
+    /// invalidating both touched evaluations. This is the raw structural
+    /// edit the delta-scoring benchmark drives; solver operators use the
+    /// probed-eval mutators instead.
+    pub fn move_kernel(&mut self, k: KernelId, to_pos: usize) {
+        let from_sid = self.group_of[k.index()];
+        let to_sid = self.order[to_pos];
+        if from_sid == to_sid {
+            return;
+        }
+        // Append to the target first so the source removal sees the new home.
+        let s = self.slots[to_sid as usize];
+        let at_tail = (s.start + s.len) as usize == self.arena.len();
+        if !at_tail {
+            let new_start = self.arena.len() as u32;
+            let range = s.start as usize..(s.start + s.len) as usize;
+            self.arena.extend_from_within(range);
+            self.slots[to_sid as usize].start = new_start;
+        }
+        self.arena.push(k);
+        let s = &mut self.slots[to_sid as usize];
+        s.len += 1;
+        s.eval_known = false;
+        self.group_of[k.index()] = to_sid;
+        self.moved.push(k);
+        self.mark_dirty(to_sid);
+
+        let from = self.slots[from_sid as usize];
+        let base = from.start as usize;
+        let vi = self.arena[base..base + from.len as usize]
+            .iter()
+            .position(|&m| m == k)
+            .expect("kernel not in its recorded slot");
+        self.arena
+            .copy_within(base + vi + 1..base + from.len as usize, base + vi);
+        let from = &mut self.slots[from_sid as usize];
+        from.len -= 1;
+        if from.len == 0 {
+            from.alive = false;
+            let pos = self.position_of_slot(from_sid);
+            self.order.remove(pos);
+        } else {
+            from.eval_known = false;
+            self.mark_dirty(from_sid);
+        }
+        self.touch();
+    }
+
+    /// Split slot `sid` into singletons appended at the arena/order tails.
+    fn split_slot(&mut self, sid: u32, ev: &Evaluator) {
+        let s = self.slots[sid as usize];
+        self.slots[sid as usize].alive = false;
+        for idx in s.start as usize..(s.start + s.len) as usize {
+            let k = self.arena[idx];
+            let new_sid = self.slots.len() as u32;
+            let start = self.arena.len() as u32;
+            self.arena.push(k);
+            self.slots.push(Slot {
+                start,
+                len: 1,
+                estart: 0,
+                elen: 0,
+                eval: ev.singleton(k),
+                eval_known: true,
+                alive: true,
+            });
+            self.group_of[k.index()] = new_sid;
+            self.order.push(new_sid);
+            self.moved.push(k);
+            self.dirty.push(new_sid);
+        }
+    }
+
+    /// Rebuild the successor-slot summary of `sid`, appending at the edge
+    /// arena tail.
+    fn rebuild_slot_edges(&mut self, sid: u32, exec: &ExecOrderGraph, scratch: &mut OpScratch) {
+        let s = self.slots[sid as usize];
+        let members = &self.arena[s.start as usize..(s.start + s.len) as usize];
+        exec.group_succs_into(members, &self.group_of, sid, &mut scratch.succ_buf);
+        let estart = self.edges.len() as u32;
+        self.edges.extend_from_slice(&scratch.succ_buf);
+        let s = &mut self.slots[sid as usize];
+        s.estart = estart;
+        s.elen = scratch.succ_buf.len() as u32;
+    }
+
+    /// Bring the edge summaries up to date. Incremental when possible: only
+    /// slots whose membership changed, plus slots with an exec-order edge
+    /// into a moved kernel, are rebuilt. A non-stale slot's successor list
+    /// cannot have changed — it could only change if some successor kernel
+    /// of its members moved, and then the slot is a predecessor-slot of a
+    /// moved kernel and is in the stale set.
+    fn refresh_edges(&mut self, exec: &ExecOrderGraph, scratch: &mut OpScratch) {
+        if !self.cond_valid {
+            self.edges.clear();
+            let mut order = std::mem::take(&mut self.order);
+            for &sid in &order {
+                self.rebuild_slot_edges(sid, exec, scratch);
+            }
+            std::mem::swap(&mut self.order, &mut order);
+            self.cond_valid = true;
+            self.dirty.clear();
+            self.moved.clear();
+            return;
+        }
+        let mut stale = std::mem::take(&mut scratch.stale);
+        stale.clear();
+        for &sid in &self.dirty {
+            if self.slots[sid as usize].alive {
+                stale.push(sid);
+            }
+        }
+        for &k in &self.moved {
+            for &p in exec.preds_of(k) {
+                let sid = self.group_of[p.index()];
+                debug_assert!(self.slots[sid as usize].alive);
+                stale.push(sid);
+            }
+        }
+        stale.sort_unstable();
+        stale.dedup();
+        for &sid in &stale {
+            self.rebuild_slot_edges(sid, exec, scratch);
+        }
+        scratch.stale = stale;
+        self.dirty.clear();
+        self.moved.clear();
+    }
+
+    /// Kahn's algorithm over the cached edge summary, keyed exactly like
+    /// [`kfuse_core::fuse::condensation_order_with`] (min first-kernel
+    /// first). Requires normalized regions so `arena[start]` is each
+    /// group's minimum member. Leaves `scratch.indeg` populated so the
+    /// caller can find the first stuck group. Returns true if acyclic.
+    fn kahn(&self, scratch: &mut OpScratch) -> bool {
+        debug_assert!(self.normalized);
+        scratch.indeg.clear();
+        scratch.indeg.resize(self.slots.len(), 0);
+        for &sid in &self.order {
+            let s = &self.slots[sid as usize];
+            for &g in &self.edges[s.estart as usize..(s.estart + s.elen) as usize] {
+                scratch.indeg[g as usize] += 1;
+            }
+        }
+        scratch.heap.clear();
+        for &sid in &self.order {
+            if scratch.indeg[sid as usize] == 0 {
+                let s = &self.slots[sid as usize];
+                scratch
+                    .heap
+                    .push(Reverse((self.arena[s.start as usize], sid)));
+            }
+        }
+        let mut done = 0usize;
+        while let Some(Reverse((_, sid))) = scratch.heap.pop() {
+            done += 1;
+            let s = &self.slots[sid as usize];
+            for &g in &self.edges[s.estart as usize..(s.estart + s.elen) as usize] {
+                let d = &mut scratch.indeg[g as usize];
+                *d -= 1;
+                if *d == 0 {
+                    let t = &self.slots[g as usize];
+                    self.heap_push(scratch, self.arena[t.start as usize], g);
+                }
+            }
+        }
+        done == self.order.len()
+    }
+
+    fn heap_push(&self, scratch: &mut OpScratch, key: KernelId, sid: u32) {
+        scratch.heap.push(Reverse((key, sid)));
+    }
+
+    /// Sort members within each live region and the order by first member.
+    fn normalize(&mut self) {
+        if self.normalized {
+            return;
+        }
+        let arena = &mut self.arena;
+        for &sid in &self.order {
+            let s = &self.slots[sid as usize];
+            arena[s.start as usize..(s.start + s.len) as usize].sort_unstable();
+        }
+        let slots = &self.slots;
+        let arena = &self.arena;
+        self.order
+            .sort_unstable_by_key(|&sid| arena[slots[sid as usize].start as usize]);
+        self.normalized = true;
+    }
+
+    /// Compact arena, slots and edges so live data is contiguous and slot
+    /// ids equal transient positions. Keeps the edge cache valid (ids are
+    /// remapped), so the next mutation round stays incremental.
+    fn repack(&mut self, scratch: &mut OpScratch) {
+        scratch.perm.clear();
+        scratch.perm.resize(self.slots.len(), NO_SLOT);
+        for (new, &sid) in self.order.iter().enumerate() {
+            scratch.perm[sid as usize] = new as u32;
+        }
+        scratch.arena2.clear();
+        scratch.slots2.clear();
+        scratch.edges2.clear();
+        for &sid in &self.order {
+            let s = self.slots[sid as usize];
+            let start = scratch.arena2.len() as u32;
+            scratch
+                .arena2
+                .extend_from_slice(&self.arena[s.start as usize..(s.start + s.len) as usize]);
+            let estart = scratch.edges2.len() as u32;
+            for &g in &self.edges[s.estart as usize..(s.estart + s.elen) as usize] {
+                let ng = scratch.perm[g as usize];
+                debug_assert_ne!(ng, NO_SLOT, "edge to a dead slot survived refresh");
+                scratch.edges2.push(ng);
+            }
+            scratch.slots2.push(Slot {
+                start,
+                len: s.len,
+                estart,
+                elen: s.elen,
+                eval: s.eval,
+                eval_known: s.eval_known,
+                alive: true,
+            });
+        }
+        std::mem::swap(&mut self.arena, &mut scratch.arena2);
+        std::mem::swap(&mut self.slots, &mut scratch.slots2);
+        std::mem::swap(&mut self.edges, &mut scratch.edges2);
+        self.order.clear();
+        self.order.extend(0..self.slots.len() as u32);
+        for (sid, s) in self.slots.iter().enumerate() {
+            for &k in &self.arena[s.start as usize..(s.start + s.len) as usize] {
+                self.group_of[k.index()] = sid as u32;
+            }
+        }
+    }
+
+    /// Amortized self-maintenance for long runs of raw structural edits
+    /// that never reach a [`Chromosome::finalize`] (neighbor-move scoring
+    /// loops): once relocated regions have grown the arena past twice the
+    /// kernel count, rewrite the live member regions — and their cached
+    /// edge lists — contiguously. Slot ids are untouched, so the
+    /// incremental edge cache, `group_of`, and caller-held positions all
+    /// stay valid.
+    fn compact_storage(&mut self, scratch: &mut OpScratch) {
+        if self.arena.len() <= 2 * self.n_kernels {
+            return;
+        }
+        scratch.arena2.clear();
+        scratch.edges2.clear();
+        let order = std::mem::take(&mut self.order);
+        for &sid in &order {
+            let s = &mut self.slots[sid as usize];
+            let start = scratch.arena2.len() as u32;
+            scratch
+                .arena2
+                .extend_from_slice(&self.arena[s.start as usize..(s.start + s.len) as usize]);
+            s.start = start;
+            let estart = scratch.edges2.len() as u32;
+            scratch
+                .edges2
+                .extend_from_slice(&self.edges[s.estart as usize..(s.estart + s.elen) as usize]);
+            s.estart = estart;
+        }
+        self.order = order;
+        std::mem::swap(&mut self.arena, &mut scratch.arena2);
+        std::mem::swap(&mut self.edges, &mut scratch.edges2);
+    }
+
+    /// Normalize, repair to feasibility (split infeasible multi-member
+    /// groups into singletons, then split condensation-cycle victims until
+    /// acyclic — bit-for-bit the legacy `repair`), repack, and compute the
+    /// objective. After this the chromosome is in plan normal form and
+    /// [`Chromosome::cost`] equals `ev.plan(&self.to_plan())`.
+    pub fn finalize(&mut self, ev: &Evaluator, scratch: &mut OpScratch) {
+        self.normalize();
+
+        // Phase 1: singletons pass unchecked (exactly like legacy repair);
+        // multi-member groups must be feasible or dissolve.
+        let initial = self.order.len();
+        let mut killed = false;
+        for pos in 0..initial {
+            let sid = self.order[pos];
+            let s = self.slots[sid as usize];
+            if s.len == 1 {
+                if !s.eval_known {
+                    let k = self.arena[s.start as usize];
+                    let slot = &mut self.slots[sid as usize];
+                    slot.eval = ev.singleton(k);
+                    slot.eval_known = true;
+                }
+                continue;
+            }
+            let eval = if s.eval_known {
+                s.eval
+            } else {
+                let members = &self.arena[s.start as usize..(s.start + s.len) as usize];
+                let e = ev.group(members);
+                let slot = &mut self.slots[sid as usize];
+                slot.eval = e;
+                slot.eval_known = true;
+                e
+            };
+            if !eval.feasible() {
+                self.split_slot(sid, ev);
+                killed = true;
+            }
+        }
+        if killed {
+            self.compact_order();
+            self.normalized = false;
+            self.normalize_order_only();
+        }
+
+        // Phase 2: split the first stuck group (minimal first member) until
+        // the condensation is acyclic — the legacy victim choice.
+        loop {
+            self.refresh_edges(&ev.ctx.exec, scratch);
+            ev.count_condensation();
+            if self.kahn(scratch) {
+                break;
+            }
+            let victim = *self
+                .order
+                .iter()
+                .find(|&&sid| scratch.indeg[sid as usize] > 0)
+                .expect("cycle without a stuck group");
+            self.split_slot(victim, ev);
+            self.compact_order();
+            self.normalized = false;
+            self.normalize_order_only();
+        }
+
+        self.repack(scratch);
+
+        // Objective: ordered sum in plan order, infinity on the first
+        // infeasible group — bitwise identical to `Evaluator::plan`.
+        let mut total = 0.0;
+        for &sid in &self.order {
+            let s = &self.slots[sid as usize];
+            debug_assert!(s.eval_known);
+            if !s.eval.feasible() {
+                total = f64::INFINITY;
+                break;
+            }
+            total += s.eval.time_s;
+        }
+        self.cost = total;
+    }
+
+    /// Re-sort only the order (regions already member-sorted; splits append
+    /// sorted singletons, so per-region order is intact).
+    fn normalize_order_only(&mut self) {
+        let slots = &self.slots;
+        let arena = &self.arena;
+        self.order
+            .sort_unstable_by_key(|&sid| arena[slots[sid as usize].start as usize]);
+        self.normalized = true;
+    }
+
+    /// Score the chromosome *as is* — no repair. Semantics match
+    /// [`Evaluator::plan`] on the converted plan: resolve group evals in
+    /// normalized order with an infinity short-circuit, then run the
+    /// (incremental) condensation cycle test only if every group is
+    /// feasible and at least one is fused. This is the delta-scoring entry
+    /// point the benchmarks and the differential test drive.
+    pub fn rescore(&mut self, ev: &Evaluator, scratch: &mut OpScratch) -> f64 {
+        self.compact_storage(scratch);
+        self.normalize();
+        let mut total = 0.0;
+        let mut any_multi = false;
+        let mut feasible = true;
+        for pos in 0..self.order.len() {
+            let sid = self.order[pos];
+            let s = self.slots[sid as usize];
+            let eval = if s.eval_known {
+                s.eval
+            } else {
+                let e = if s.len == 1 {
+                    ev.singleton(self.arena[s.start as usize])
+                } else {
+                    ev.group(&self.arena[s.start as usize..(s.start + s.len) as usize])
+                };
+                let slot = &mut self.slots[sid as usize];
+                slot.eval = e;
+                slot.eval_known = true;
+                e
+            };
+            if !eval.feasible() {
+                feasible = false;
+                break;
+            }
+            any_multi |= s.len >= 2;
+            total += eval.time_s;
+        }
+        if !feasible {
+            self.cost = f64::INFINITY;
+            return self.cost;
+        }
+        if any_multi {
+            self.refresh_edges(&ev.ctx.exec, scratch);
+            ev.count_condensation();
+            if !self.kahn(scratch) {
+                self.cost = f64::INFINITY;
+                return self.cost;
+            }
+        }
+        self.cost = total;
+        total
+    }
+
+    /// Internal consistency check used by debug assertions and tests.
+    #[cfg(any(test, debug_assertions))]
+    pub fn check_invariants(&self) {
+        let mut seen = vec![false; self.n_kernels];
+        for &sid in &self.order {
+            let s = &self.slots[sid as usize];
+            assert!(s.alive, "dead slot {sid} in order");
+            assert!(s.len >= 1);
+            for &k in self.slot_members(sid) {
+                assert!(!seen[k.index()], "kernel {k} in two groups");
+                seen[k.index()] = true;
+                assert_eq!(self.group_of[k.index()], sid, "stale group_of for {k}");
+            }
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "chromosome does not cover all kernels"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Evaluator;
+    use kfuse_core::pipeline::prepare;
+    use kfuse_core::plan::PlanContext;
+    use kfuse_gpu::{FpPrecision, GpuSpec};
+    use kfuse_ir::builder::ProgramBuilder;
+    use kfuse_ir::Expr;
+
+    fn context() -> PlanContext {
+        // Chain k0→k1→k2 plus a cross-linked pair; rich enough to exercise
+        // merges, cycles and infeasibility under arbitrary grouping.
+        let mut pb = ProgramBuilder::new("p", [64, 4, 1]);
+        let a = pb.array("A");
+        let b = pb.array("B");
+        let c = pb.array("C");
+        let d = pb.array("D");
+        let e = pb.array("E");
+        let x = pb.array("X");
+        let y = pb.array("Y");
+        pb.kernel("k0").write(b, Expr::at(a)).build();
+        pb.kernel("k1").write(c, Expr::at(b)).build();
+        pb.kernel("k2").write(d, Expr::at(c)).build();
+        pb.kernel("k3").write(y, Expr::at(x)).build();
+        pb.kernel("k4").write(e, Expr::at(y) + Expr::at(a)).build();
+        pb.kernel("k5").write(x, Expr::at(d) + Expr::at(e)).build();
+        let p = pb.build();
+        let (_, ctx) = prepare(&p, &GpuSpec::k20x(), FpPrecision::Double);
+        ctx
+    }
+
+    fn k(i: u32) -> KernelId {
+        KernelId(i)
+    }
+
+    #[test]
+    fn identity_roundtrip_matches_evaluator() {
+        let ctx = context();
+        let model = kfuse_core::model::ProposedModel::default();
+        let ev = Evaluator::new(&ctx, &model);
+        let mut scratch = OpScratch::new();
+        let mut ch = Chromosome::identity(&ev);
+        ch.check_invariants();
+        ch.finalize(&ev, &mut scratch);
+        let plan = ch.to_plan();
+        assert_eq!(plan, FusionPlan::identity(ctx.n_kernels()));
+        assert_eq!(ch.cost(), ev.plan(&plan));
+    }
+
+    #[test]
+    fn from_plan_finalize_matches_full_eval() {
+        let ctx = context();
+        let model = kfuse_core::model::ProposedModel::default();
+        let ev = Evaluator::new(&ctx, &model);
+        let mut scratch = OpScratch::new();
+        let plan = FusionPlan::new(vec![
+            vec![k(0), k(1)],
+            vec![k(2)],
+            vec![k(3), k(4)],
+            vec![k(5)],
+        ]);
+        let mut ch = Chromosome::from_plan(&plan, &ev);
+        ch.finalize(&ev, &mut scratch);
+        ch.check_invariants();
+        let out = ch.to_plan();
+        // finalize repairs; the repaired plan must score exactly its cost.
+        assert_eq!(ch.cost(), ev.plan(&out));
+        assert!(ch.cost().is_finite());
+    }
+
+    #[test]
+    fn mutator_sequence_tracks_full_eval() {
+        let ctx = context();
+        let model = kfuse_core::model::ProposedModel::default();
+        let ev = Evaluator::new(&ctx, &model);
+        let mut scratch = OpScratch::new();
+        let mut ch = Chromosome::identity(&ev);
+        ch.finalize(&ev, &mut scratch);
+
+        // Merge k0,k1 via merge_into (positions = slot ids after repack).
+        let merged = [k(0), k(1)];
+        let e01 = ev.group(&merged);
+        if e01.feasible() {
+            ch.merge_into(0, 1, e01);
+            ch.finalize(&ev, &mut scratch);
+            ch.check_invariants();
+            assert_eq!(ch.cost(), ev.plan(&ch.to_plan()));
+        }
+
+        // Structural move + rescore against from-scratch plan eval.
+        let mut raw = ch.clone();
+        let to = raw.group_count() - 1;
+        raw.move_kernel(k(2), to);
+        raw.check_invariants();
+        let delta = raw.rescore(&ev, &mut scratch);
+        assert_eq!(delta, ev.plan(&raw.to_plan()));
+    }
+
+    #[test]
+    fn rescore_flags_cycles_like_plan_eval() {
+        let ctx = context();
+        let model = kfuse_core::model::ProposedModel::default();
+        let ev = Evaluator::new(&ctx, &model);
+        let mut scratch = OpScratch::new();
+        // {k0,k2} sandwiches k1 — path closure fails, so the group is
+        // infeasible; rescore must agree with ev.plan either way.
+        let plan = FusionPlan::new(vec![
+            vec![k(0), k(2)],
+            vec![k(1)],
+            vec![k(3)],
+            vec![k(4)],
+            vec![k(5)],
+        ]);
+        let mut ch = Chromosome::from_plan(&plan, &ev);
+        let got = ch.rescore(&ev, &mut scratch);
+        assert_eq!(got, ev.plan(&plan));
+    }
+
+    #[test]
+    fn incremental_edges_match_full_rebuild() {
+        let ctx = context();
+        let model = kfuse_core::model::ProposedModel::default();
+        let ev = Evaluator::new(&ctx, &model);
+        let mut scratch = OpScratch::new();
+        let mut ch = Chromosome::identity(&ev);
+        ch.finalize(&ev, &mut scratch);
+
+        // Structural edits, incrementally refreshed.
+        let to = ch.group_count() - 1;
+        ch.move_kernel(k(0), to);
+        ch.normalize();
+        ch.refresh_edges(&ctx.exec, &mut scratch);
+        let incr_ok = ch.kahn(&mut scratch);
+
+        // Same membership, edges rebuilt from scratch.
+        let mut full = ch.clone();
+        full.cond_valid = false;
+        full.refresh_edges(&ctx.exec, &mut scratch);
+        let full_ok = full.kahn(&mut scratch);
+
+        assert_eq!(incr_ok, full_ok);
+        let snap = |c: &Chromosome| -> Vec<Vec<u32>> {
+            c.order
+                .iter()
+                .map(|&sid| {
+                    let s = &c.slots[sid as usize];
+                    c.edges[s.estart as usize..(s.estart + s.elen) as usize].to_vec()
+                })
+                .collect()
+        };
+        assert_eq!(snap(&ch), snap(&full));
+    }
+}

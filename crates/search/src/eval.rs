@@ -100,6 +100,7 @@ pub struct Evaluator<'a> {
     /// kernel `k`, precomputed so singleton groups bypass the memo.
     baseline: Vec<GroupEval>,
     evaluations: AtomicU64,
+    probes: AtomicU64,
     condensation_checks: AtomicU64,
 }
 
@@ -117,6 +118,7 @@ impl<'a> Evaluator<'a> {
                 .collect(),
             baseline,
             evaluations: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
             condensation_checks: AtomicU64::new(0),
         }
     }
@@ -128,10 +130,41 @@ impl<'a> Evaluator<'a> {
         self.evaluations.load(Ordering::Relaxed)
     }
 
+    /// Number of multi-member memo probes (hits + misses). Singleton
+    /// lookups resolve through the dense baseline and are not counted.
+    pub fn probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of multi-member memo probes served from the memo,
+    /// `(probes - misses) / probes`; 0 when nothing has been probed yet.
+    pub fn hit_rate(&self) -> f64 {
+        let probes = self.probes();
+        if probes == 0 {
+            return 0.0;
+        }
+        (probes - self.evaluations()) as f64 / probes as f64
+    }
+
     /// Number of plan-level condensation (acyclicity) checks performed.
     /// Plans rejected on an infeasible group never reach this check.
     pub fn condensation_checks(&self) -> u64 {
         self.condensation_checks.load(Ordering::Relaxed)
+    }
+
+    /// Record an acyclicity check performed outside [`Evaluator::plan`] —
+    /// the chromosome's incremental Kahn pass and the reference repair's
+    /// from-scratch condensation both report through this so the
+    /// per-variant counts in the scaling study are comparable.
+    pub(crate) fn count_condensation(&self) {
+        self.condensation_checks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The precomputed singleton eval of kernel `k` — the delta path's
+    /// repair step resolves lone orphans through this without touching the
+    /// memo or re-sorting a one-element key.
+    pub fn singleton(&self, k: KernelId) -> GroupEval {
+        self.baseline[k.index()]
     }
 
     /// Evaluate one group (memoized). `group` need not be sorted.
@@ -139,6 +172,7 @@ impl<'a> Evaluator<'a> {
         if let [k] = group {
             return self.baseline[k.index()];
         }
+        self.probes.fetch_add(1, Ordering::Relaxed);
         with_sorted_key(group, |key| {
             let fp = fingerprint(key);
             let shard = &self.shards[(fp & (SHARD_COUNT as u64 - 1)) as usize];

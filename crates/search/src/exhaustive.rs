@@ -61,6 +61,9 @@ impl Solver for ExhaustiveSolver {
                 elapsed: start.elapsed(),
                 time_to_best: start.elapsed(),
                 best_generation: 0,
+                probes: ev.probes(),
+                cache_hit_rate: ev.hit_rate(),
+                condensation_checks: ev.condensation_checks(),
                 islands: Vec::new(),
             },
         }

@@ -9,7 +9,7 @@
 //! non-global baseline the HGGA is compared against.
 
 use crate::eval::Evaluator;
-use kfuse_core::fuse::condensation_order;
+use kfuse_core::fuse::{condensation_order_with, CondensationScratch};
 use kfuse_core::model::PerfModel;
 use kfuse_core::pipeline::{SolveOutcome, SolveStats, Solver};
 use kfuse_core::plan::{FusionPlan, PlanContext};
@@ -31,6 +31,13 @@ impl Solver for GreedySolver {
         let n = ctx.n_kernels();
         let mut groups: Vec<Vec<KernelId>> = (0..n).map(|i| vec![KernelId(i as u32)]).collect();
 
+        // Steady-state buffers: the probe pair-merge, the candidate plan's
+        // group storage (inner Vec capacity reclaimed after each check via
+        // `plan.groups`), and the condensation work arrays.
+        let mut merged: Vec<KernelId> = Vec::new();
+        let mut cand_pool: Vec<Vec<KernelId>> = Vec::new();
+        let mut cscratch = CondensationScratch::new();
+
         loop {
             let mut best: Option<(usize, usize, f64)> = None;
             for i in 0..groups.len() {
@@ -40,7 +47,8 @@ impl Solver for GreedySolver {
                         continue;
                     }
                     let cur = ev.group(&groups[i]).time_s + ev.group(&groups[j]).time_s;
-                    let mut merged = groups[i].clone();
+                    merged.clear();
+                    merged.extend_from_slice(&groups[i]);
                     merged.extend_from_slice(&groups[j]);
                     let t = ev.group(&merged).time_s;
                     if !t.is_finite() {
@@ -48,22 +56,31 @@ impl Solver for GreedySolver {
                     }
                     let gain = cur - t;
                     if gain > 0.0 && best.is_none_or(|(_, _, g)| gain > g) {
-                        // Verify the merged plan remains realizable.
-                        let mut cand = groups.clone();
-                        let mg = {
-                            let mut m = cand[i].clone();
-                            m.extend_from_slice(&cand[j]);
-                            m
-                        };
-                        cand.remove(j);
-                        cand.remove(i);
-                        cand.push(mg);
-                        let plan = FusionPlan::new(cand);
+                        // Verify the merged plan remains realizable. The
+                        // candidate's group vectors are drawn from a pool so
+                        // repeated checks allocate nothing once warm.
+                        while cand_pool.len() < groups.len() - 1 {
+                            cand_pool.push(Vec::new());
+                        }
+                        cand_pool.truncate(groups.len() - 1);
+                        let mut w = 0;
+                        for (gi, g) in groups.iter().enumerate() {
+                            if gi == i || gi == j {
+                                continue;
+                            }
+                            cand_pool[w].clear();
+                            cand_pool[w].extend_from_slice(g);
+                            w += 1;
+                        }
+                        cand_pool[w].clear();
+                        cand_pool[w].extend_from_slice(&merged);
+                        let plan = FusionPlan::new(std::mem::take(&mut cand_pool));
                         if ev.plan(&plan).is_finite()
-                            && condensation_order(&plan, &ctx.exec).is_ok()
+                            && condensation_order_with(&plan, &ctx.exec, &mut cscratch).is_ok()
                         {
                             best = Some((i, j, gain));
                         }
+                        cand_pool = plan.groups;
                     }
                 }
             }
@@ -87,6 +104,9 @@ impl Solver for GreedySolver {
                 elapsed: start.elapsed(),
                 time_to_best: start.elapsed(),
                 best_generation: 0,
+                probes: ev.probes(),
+                cache_hit_rate: ev.hit_rate(),
+                condensation_checks: ev.condensation_checks(),
                 islands: Vec::new(),
             },
         }

@@ -10,9 +10,20 @@
 //! condensation acyclicity) before it enters the population, so infeasible
 //! solutions never "pollute the search population".
 //!
-//! The objective (Eq. 1) is the total projected runtime under any
-//! [`PerfModel`]; evaluation is memoized per group ([`Evaluator`]) and the
-//! population is evaluated in parallel with rayon.
+//! The inner loop runs on the flat [`Chromosome`] representation
+//! ([`crate::chromo`]): one contiguous member arena, per-group cached
+//! [`GroupEval`]s and an incrementally maintained condensation-edge cache.
+//! Operators apply their edits in place, carry the evaluations of the
+//! groups they probed, and [`Chromosome::finalize`] repairs + rescores only
+//! what changed — no per-offspring `Vec<Vec<KernelId>>` clones, no
+//! from-scratch plan sums. The trajectory is pinned bit for bit against
+//! the pre-rework operators kept in [`crate::reference`]: every RNG draw,
+//! probe decision and transient group order below deliberately mirrors
+//! that module.
+//!
+//! [`FusionPlan`] stays the boundary type: solver output, verifier input
+//! and island migration all convert at the edges via
+//! [`Chromosome::to_plan`].
 //!
 //! With [`HggaConfig::islands`] > 1 the solver switches to an
 //! **island model**: the population is split into that many independent
@@ -23,11 +34,11 @@
 //! on a ring, replacing the receiver's worst. Islands share the sharded
 //! evaluation memo, so a group scored on one island is a cache hit on all
 //! others. The run remains deterministic for any island count; with
-//! `islands == 1` the solver executes the original single-population code
-//! path, reproducing its trajectory bit for bit.
+//! `islands == 1` the solver reproduces the reference trajectory bit for
+//! bit.
 
-use crate::eval::Evaluator;
-use kfuse_core::fuse::condensation_order;
+use crate::chromo::{Chromosome, OpScratch};
+use crate::eval::{Evaluator, GroupEval};
 use kfuse_core::model::PerfModel;
 use kfuse_core::pipeline::{IslandStats, SolveOutcome, SolveStats, Solver};
 use kfuse_core::plan::{FusionPlan, PlanContext};
@@ -35,7 +46,6 @@ use kfuse_ir::KernelId;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
 use std::time::Instant;
 
 /// HGGA hyper-parameters. Defaults follow Table VI (population 100) with
@@ -109,10 +119,16 @@ impl HggaSolver {
     }
 }
 
+/// A finalized chromosome; its cost is the cached incremental objective.
 #[derive(Clone)]
 struct Individual {
-    plan: FusionPlan,
-    cost: f64,
+    chromo: Chromosome,
+}
+
+impl Individual {
+    fn cost(&self) -> f64 {
+        self.chromo.cost()
+    }
 }
 
 /// Debug-build cross-check: every chromosome accepted as a new global best
@@ -139,6 +155,23 @@ fn debug_verify_best(ctx: &PlanContext, model: &dyn PerfModel, plan: &FusionPlan
 #[inline(always)]
 fn debug_verify_best(_: &PlanContext, _: &dyn PerfModel, _: &FusionPlan, _: f64) {}
 
+/// Debug-build cross-check of the delta objective: a sealed offspring's
+/// incrementally maintained cost must equal a from-scratch
+/// [`Evaluator::plan`] on the converted plan, bit for bit.
+#[cfg(debug_assertions)]
+fn debug_check_sealed(ev: &Evaluator<'_>, ch: &Chromosome) {
+    let full = ev.plan(&ch.to_plan());
+    assert!(
+        full.total_cmp(&ch.cost()).is_eq(),
+        "delta cost {} diverged from full evaluation {full}",
+        ch.cost()
+    );
+}
+
+#[cfg(not(debug_assertions))]
+#[inline(always)]
+fn debug_check_sealed(_: &Evaluator<'_>, _: &Chromosome) {}
+
 impl Solver for HggaSolver {
     fn name(&self) -> &str {
         "hgga"
@@ -154,22 +187,24 @@ impl Solver for HggaSolver {
 }
 
 impl HggaSolver {
-    /// The original single-population algorithm (`islands <= 1`).
+    /// The single-population algorithm (`islands <= 1`).
     fn solve_single(&self, ctx: &PlanContext, model: &dyn PerfModel) -> SolveOutcome {
         let cfg = &self.config;
         let ev = Evaluator::new(ctx, model);
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut scratch = OpScratch::new();
         let start = Instant::now();
 
         // Initial population: randomized constructive merges.
-        let mut plans: Vec<FusionPlan> = (0..cfg.population)
-            .map(|_| random_plan(ctx, &ev, &mut rng))
+        let mut pop: Vec<Individual> = (0..cfg.population)
+            .map(|_| Individual {
+                chromo: random_chromosome(&ev, &mut rng, &mut scratch),
+            })
             .collect();
-        let mut pop: Vec<Individual> = evaluate(&ev, std::mem::take(&mut plans));
-        pop.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+        pop.sort_by(|a, b| a.cost().total_cmp(&b.cost()));
 
-        let mut best = pop[0].plan.clone();
-        let mut best_cost = pop[0].cost;
+        let mut best = pop[0].chromo.to_plan();
+        let mut best_cost = pop[0].cost();
         let mut best_gen = 0u32;
         let mut time_to_best = start.elapsed();
         let mut stall = 0u32;
@@ -177,34 +212,11 @@ impl HggaSolver {
 
         for gen in 1..=cfg.max_generations {
             generations = gen;
-            let mut offspring: Vec<FusionPlan> = Vec::with_capacity(cfg.population);
-            // Elites survive unchanged.
-            for e in pop.iter().take(cfg.elitism) {
-                offspring.push(e.plan.clone());
-            }
-            while offspring.len() < cfg.population {
-                let pa = tournament(&pop, cfg.tournament, &mut rng);
-                let pb = tournament(&pop, cfg.tournament, &mut rng);
-                let mut child = if rng.gen_bool(cfg.crossover_rate) {
-                    crossover(ctx, &ev, &pop[pa].plan, &pop[pb].plan, &mut rng)
-                } else {
-                    pop[pa.min(pb)].plan.clone()
-                };
-                if rng.gen_bool(cfg.mutation_rate) {
-                    child = mutate(ctx, &ev, &child, &mut rng);
-                }
-                if rng.gen_bool(cfg.local_search_rate) {
-                    child = local_search(ctx, &ev, child, &mut rng);
-                }
-                offspring.push(child);
-            }
-            let mut next = evaluate(&ev, offspring);
-            next.sort_by(|a, b| a.cost.total_cmp(&b.cost));
-            pop = next;
+            step_generation(&ev, cfg, cfg.population, &mut pop, &mut rng, &mut scratch);
 
-            if pop[0].cost < best_cost - 1e-15 {
-                best_cost = pop[0].cost;
-                best = pop[0].plan.clone();
+            if pop[0].cost() < best_cost - 1e-15 {
+                best_cost = pop[0].cost();
+                best = pop[0].chromo.to_plan();
                 debug_verify_best(ctx, model, &best, best_cost);
                 best_gen = gen;
                 time_to_best = start.elapsed();
@@ -226,6 +238,9 @@ impl HggaSolver {
                 elapsed: start.elapsed(),
                 time_to_best,
                 best_generation: best_gen,
+                probes: ev.probes(),
+                cache_hit_rate: ev.hit_rate(),
+                condensation_checks: ev.condensation_checks(),
                 islands: Vec::new(),
             },
         }
@@ -247,6 +262,7 @@ impl HggaSolver {
         let mut islands: Vec<Island> = (0..n_islands)
             .map(|i| Island {
                 rng: SmallRng::seed_from_u64(island_seed(cfg.seed, i)),
+                scratch: OpScratch::new(),
                 pop: Vec::new(),
                 best: FusionPlan::identity(ctx.n_kernels()),
                 best_cost: f64::INFINITY,
@@ -256,21 +272,22 @@ impl HggaSolver {
             })
             .collect();
 
-        // Initial populations, built concurrently. Each island evaluates
-        // its own individuals serially — the islands themselves are the
-        // unit of parallelism — while sharing the sharded memo.
+        // Initial populations, built concurrently. Each island breeds and
+        // scores its own individuals — the islands themselves are the unit
+        // of parallelism — while sharing the sharded memo.
         {
             let ev = &ev;
             rayon::scope(|s| {
                 for isl in islands.iter_mut() {
                     s.spawn(move || {
-                        let plans: Vec<FusionPlan> = (0..pop_target)
-                            .map(|_| random_plan(ctx, ev, &mut isl.rng))
+                        isl.pop = (0..pop_target)
+                            .map(|_| Individual {
+                                chromo: random_chromosome(ev, &mut isl.rng, &mut isl.scratch),
+                            })
                             .collect();
-                        isl.pop = evaluate_serial(ev, plans);
-                        isl.pop.sort_by(|a, b| a.cost.total_cmp(&b.cost));
-                        isl.best = isl.pop[0].plan.clone();
-                        isl.best_cost = isl.pop[0].cost;
+                        isl.pop.sort_by(|a, b| a.cost().total_cmp(&b.cost()));
+                        isl.best = isl.pop[0].chromo.to_plan();
+                        isl.best_cost = isl.pop[0].cost();
                     });
                 }
             });
@@ -295,7 +312,7 @@ impl HggaSolver {
                 let ev = &ev;
                 rayon::scope(|s| {
                     for isl in islands.iter_mut() {
-                        s.spawn(move || evolve_island(ctx, ev, cfg, pop_target, isl, epoch));
+                        s.spawn(move || evolve_island(ev, cfg, pop_target, isl, epoch));
                     }
                 });
             }
@@ -337,7 +354,7 @@ impl HggaSolver {
                     for migrant in packet {
                         // Replace the current worst, keeping pop sorted.
                         *isl.pop.last_mut().expect("island pop is non-empty") = migrant;
-                        isl.pop.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+                        isl.pop.sort_by(|a, b| a.cost().total_cmp(&b.cost()));
                         isl.migrations_received += 1;
                     }
                 }
@@ -361,6 +378,9 @@ impl HggaSolver {
                 elapsed: start.elapsed(),
                 time_to_best,
                 best_generation: global_gen,
+                probes: ev.probes(),
+                cache_hit_rate: ev.hit_rate(),
+                condensation_checks: ev.condensation_checks(),
                 islands: island_stats,
             },
         }
@@ -370,6 +390,7 @@ impl HggaSolver {
 /// One island's evolving state.
 struct Island {
     rng: SmallRng,
+    scratch: OpScratch,
     pop: Vec<Individual>,
     best: FusionPlan,
     best_cost: f64,
@@ -387,11 +408,9 @@ fn island_seed(seed: u64, island: usize) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Run `gens` generations of one island. Identical loop body to the serial
-/// solver, but offspring are evaluated serially: concurrency lives at the
-/// island level, so results cannot depend on thread scheduling.
+/// Run `gens` generations of one island. Same generation step as the
+/// single-population solver — the breeding/scoring path exists once.
 fn evolve_island(
-    ctx: &PlanContext,
     ev: &Evaluator<'_>,
     cfg: &HggaConfig,
     pop_target: usize,
@@ -400,70 +419,77 @@ fn evolve_island(
 ) {
     for _ in 0..gens {
         isl.generations += 1;
-        let mut offspring: Vec<FusionPlan> = Vec::with_capacity(pop_target);
-        for e in isl.pop.iter().take(cfg.elitism) {
-            offspring.push(e.plan.clone());
-        }
-        while offspring.len() < pop_target {
-            let pa = tournament(&isl.pop, cfg.tournament, &mut isl.rng);
-            let pb = tournament(&isl.pop, cfg.tournament, &mut isl.rng);
-            let mut child = if isl.rng.gen_bool(cfg.crossover_rate) {
-                crossover(ctx, ev, &isl.pop[pa].plan, &isl.pop[pb].plan, &mut isl.rng)
-            } else {
-                isl.pop[pa.min(pb)].plan.clone()
-            };
-            if isl.rng.gen_bool(cfg.mutation_rate) {
-                child = mutate(ctx, ev, &child, &mut isl.rng);
-            }
-            if isl.rng.gen_bool(cfg.local_search_rate) {
-                child = local_search(ctx, ev, child, &mut isl.rng);
-            }
-            offspring.push(child);
-        }
-        let mut next = evaluate_serial(ev, offspring);
-        next.sort_by(|a, b| a.cost.total_cmp(&b.cost));
-        isl.pop = next;
-
-        if isl.pop[0].cost < isl.best_cost - 1e-15 {
-            isl.best_cost = isl.pop[0].cost;
-            isl.best = isl.pop[0].plan.clone();
+        step_generation(
+            ev,
+            cfg,
+            pop_target,
+            &mut isl.pop,
+            &mut isl.rng,
+            &mut isl.scratch,
+        );
+        if isl.pop[0].cost() < isl.best_cost - 1e-15 {
+            isl.best_cost = isl.pop[0].cost();
+            isl.best = isl.pop[0].chromo.to_plan();
             isl.best_gen = isl.generations;
         }
     }
 }
 
-fn evaluate_serial(ev: &Evaluator<'_>, plans: Vec<FusionPlan>) -> Vec<Individual> {
-    plans
-        .into_iter()
-        .map(|plan| {
-            let cost = ev.plan(&plan);
-            Individual { plan, cost }
-        })
-        .collect()
-}
-
-fn evaluate(ev: &Evaluator<'_>, plans: Vec<FusionPlan>) -> Vec<Individual> {
-    plans
-        .into_par_iter()
-        .map(|plan| {
-            let cost = ev.plan(&plan);
-            Individual { plan, cost }
-        })
-        .collect()
+/// Breed one generation: elites survive, the rest come from tournament
+/// selection → crossover → mutation → local search. Offspring arrive
+/// already sealed (finalized + scored incrementally), so this single
+/// helper replaces the old separate parallel/serial `evaluate` paths.
+fn step_generation(
+    ev: &Evaluator<'_>,
+    cfg: &HggaConfig,
+    pop_target: usize,
+    pop: &mut Vec<Individual>,
+    rng: &mut SmallRng,
+    scratch: &mut OpScratch,
+) {
+    let mut offspring: Vec<Individual> = Vec::with_capacity(pop_target);
+    // Elites survive unchanged.
+    for e in pop.iter().take(cfg.elitism) {
+        offspring.push(e.clone());
+    }
+    while offspring.len() < pop_target {
+        let pa = tournament(pop, cfg.tournament, rng);
+        let pb = tournament(pop, cfg.tournament, rng);
+        let mut child = if rng.gen_bool(cfg.crossover_rate) {
+            crossover(ev, &pop[pa].chromo, &pop[pb].chromo, rng, scratch)
+        } else {
+            pop[pa.min(pb)].chromo.clone()
+        };
+        if rng.gen_bool(cfg.mutation_rate) {
+            child = mutate(ev, child, rng, scratch);
+        }
+        if rng.gen_bool(cfg.local_search_rate) {
+            child = local_search(ev, child, rng, scratch);
+        }
+        debug_check_sealed(ev, &child);
+        offspring.push(Individual { chromo: child });
+    }
+    offspring.sort_by(|a, b| a.cost().total_cmp(&b.cost()));
+    *pop = offspring;
 }
 
 fn tournament(pop: &[Individual], k: usize, rng: &mut SmallRng) -> usize {
     (0..k.max(1))
         .map(|_| rng.gen_range(0..pop.len()))
-        .min_by(|&a, &b| pop[a].cost.total_cmp(&pop[b].cost))
+        .min_by(|&a, &b| pop[a].cost().total_cmp(&pop[b].cost()))
         .unwrap()
 }
 
-/// Build a random feasible plan by constructive merging from the identity.
-fn random_plan(ctx: &PlanContext, ev: &Evaluator<'_>, rng: &mut SmallRng) -> FusionPlan {
+/// Build a random feasible chromosome by constructive merging from the
+/// identity (same merge trajectory as `reference::random_plan`).
+pub fn random_chromosome(
+    ev: &Evaluator<'_>,
+    rng: &mut SmallRng,
+    scratch: &mut OpScratch,
+) -> Chromosome {
+    let ctx = ev.ctx;
     let n = ctx.n_kernels();
-    let mut group_of: Vec<usize> = (0..n).collect();
-    let mut groups: Vec<Vec<KernelId>> = (0..n).map(|i| vec![KernelId(i as u32)]).collect();
+    let mut ch = Chromosome::identity(ev);
 
     let attempts = 2 * n;
     for _ in 0..attempts {
@@ -473,326 +499,364 @@ fn random_plan(ctx: &PlanContext, ev: &Evaluator<'_>, rng: &mut SmallRng) -> Fus
             continue;
         }
         let m = neigh[rng.gen_range(0..neigh.len())] as usize;
-        let (ga, gb) = (group_of[k], group_of[m]);
-        if ga == gb || groups[ga].is_empty() || groups[gb].is_empty() {
+        let (ga, gb) = (
+            ch.slot_of(KernelId(k as u32)),
+            ch.slot_of(KernelId(m as u32)),
+        );
+        if ga == gb {
             continue;
         }
-        let mut merged = groups[ga].clone();
-        merged.extend_from_slice(&groups[gb]);
-        if ev.feasible(&merged) {
-            for &kid in &groups[gb] {
-                group_of[kid.index()] = ga;
-            }
-            groups[ga] = merged;
-            groups[gb].clear();
+        scratch.probe.clear();
+        scratch.probe.extend_from_slice(ch.slot_members(ga));
+        scratch.probe.extend_from_slice(ch.slot_members(gb));
+        let e = ev.group(&scratch.probe);
+        if e.feasible() {
+            let (i, j) = (ch.position_of_slot(ga), ch.position_of_slot(gb));
+            ch.merge_into(i, j, e);
         }
     }
-    let plan = FusionPlan::new(groups.into_iter().filter(|g| !g.is_empty()).collect());
-    repair(ctx, ev, plan, rng)
+    ch.finalize(ev, scratch);
+    ch
 }
 
 /// Falkenauer group crossover: inject a selection of B's groups into A,
 /// evict intersecting groups, first-fit the orphans, repair.
-fn crossover(
-    ctx: &PlanContext,
+pub fn crossover(
     ev: &Evaluator<'_>,
-    a: &FusionPlan,
-    b: &FusionPlan,
+    a: &Chromosome,
+    b: &Chromosome,
     rng: &mut SmallRng,
-) -> FusionPlan {
-    let donors: Vec<&Vec<KernelId>> = b.groups.iter().filter(|g| g.len() >= 2).collect();
-    if donors.is_empty() {
+    scratch: &mut OpScratch,
+) -> Chromosome {
+    // Donor groups: B's multi-member slots, in normalized plan order.
+    scratch.donors.clear();
+    for pos in 0..b.group_count() {
+        if b.members_at(pos).len() >= 2 {
+            scratch.donors.push(b.slot_id_at(pos));
+        }
+    }
+    if scratch.donors.is_empty() {
         return a.clone();
     }
-    // Inject 1..=ceil(half) random donor groups.
-    let count = rng.gen_range(1..=donors.len().div_ceil(2));
-    let mut chosen: Vec<Vec<KernelId>> = donors
-        .choose_multiple(rng, count)
-        .map(|g| (*g).clone())
-        .collect();
+    // Inject 1..=ceil(half) random donor groups (selection order matters:
+    // the injected groups land at the child's tail in this order).
+    let count = rng.gen_range(1..=scratch.donors.len().div_ceil(2));
+    let donors = std::mem::take(&mut scratch.donors);
+    scratch.chosen.clear();
+    scratch
+        .chosen
+        .extend(donors.choose_multiple(rng, count).copied());
+    scratch.donors = donors;
+
     // Donor groups come from one partition, so they are disjoint by
     // construction; only overlaps with the recipient's groups need
     // resolving (evict the intersecting groups, re-seat their orphans).
-    let injected: std::collections::HashSet<KernelId> = chosen.iter().flatten().copied().collect();
-
-    let mut child: Vec<Vec<KernelId>> = Vec::new();
-    let mut orphans: Vec<KernelId> = Vec::new();
-    for g in &a.groups {
-        if g.iter().any(|k| injected.contains(k)) {
-            orphans.extend(g.iter().filter(|k| !injected.contains(k)));
-        } else {
-            child.push(g.clone());
+    scratch.injected.clear();
+    scratch.injected.resize(a.n_kernels(), false);
+    for &sid in &scratch.chosen {
+        for &k in b.slot_members(sid) {
+            scratch.injected[k.index()] = true;
         }
     }
-    child.append(&mut chosen);
 
-    first_fit(ev, &mut child, orphans, rng);
-    repair(ctx, ev, FusionPlan::new(child), rng)
+    let mut child = a.clone();
+    scratch.orphans.clear();
+    let recipient_groups = child.group_count();
+    for pos in 0..recipient_groups {
+        let hit = child
+            .members_at(pos)
+            .iter()
+            .any(|k| scratch.injected[k.index()]);
+        if hit {
+            scratch.orphans.extend(
+                child
+                    .members_at(pos)
+                    .iter()
+                    .filter(|k| !scratch.injected[k.index()]),
+            );
+            child.kill_group(pos);
+        }
+    }
+    child.compact_order();
+    for &sid in &scratch.chosen {
+        let eval = b.slot_eval(sid).expect("finalized donor has a known eval");
+        child.push_group(b.slot_members(sid), Some(eval));
+    }
+
+    let mut orphans = std::mem::take(&mut scratch.orphans);
+    first_fit(ev, &mut child, &mut orphans, rng, scratch);
+    scratch.orphans = orphans;
+    child.finalize(ev, scratch);
+    child
 }
 
-/// Mutation: eliminate a group, merge two groups, or move one kernel.
-fn mutate(
-    ctx: &PlanContext,
+/// Mutation: bipartition, eliminate, merge, or move one kernel.
+pub fn mutate(
     ev: &Evaluator<'_>,
-    plan: &FusionPlan,
+    mut ch: Chromosome,
     rng: &mut SmallRng,
-) -> FusionPlan {
-    let mut groups = plan.groups.clone();
+    scratch: &mut OpScratch,
+) -> Chromosome {
     match rng.gen_range(0..4u8) {
         3 => {
             // Bipartition a random multi-member group: the only operator
             // that can escape a mega-group local optimum whose improvement
             // requires a coordinated split.
-            let multi: Vec<usize> = groups
-                .iter()
-                .enumerate()
-                .filter(|(_, g)| g.len() >= 3)
-                .map(|(i, _)| i)
-                .collect();
-            if let Some(&gi) = multi.as_slice().choose(rng) {
-                let members = groups[gi].clone();
-                let (mut a, mut b) = (Vec::new(), Vec::new());
-                for &m in &members {
+            scratch.multi.clear();
+            scratch
+                .multi
+                .extend((0..ch.group_count()).filter(|&p| ch.members_at(p).len() >= 3));
+            if let Some(&gi) = scratch.multi.as_slice().choose(rng) {
+                scratch.split_a.clear();
+                scratch.split_b.clear();
+                for &m in ch.members_at(gi) {
                     if rng.gen_bool(0.5) {
-                        a.push(m);
+                        scratch.split_a.push(m);
                     } else {
-                        b.push(m);
+                        scratch.split_b.push(m);
                     }
                 }
-                if !a.is_empty() && !b.is_empty() {
-                    groups[gi] = a;
-                    groups.push(b);
+                if !scratch.split_a.is_empty() && !scratch.split_b.is_empty() {
+                    // Halves were not probed (the legacy operator did not
+                    // either); finalize resolves them.
+                    ch.replace_members(gi, &scratch.split_a, None);
+                    ch.push_group(&scratch.split_b, None);
                 }
             }
         }
         0 => {
             // Eliminate a random multi-member group, scatter its members.
-            let multi: Vec<usize> = groups
-                .iter()
-                .enumerate()
-                .filter(|(_, g)| g.len() >= 2)
-                .map(|(i, _)| i)
-                .collect();
-            if let Some(&gi) = multi.as_slice().choose(rng) {
-                let orphans = groups.remove(gi);
-                first_fit(ev, &mut groups, orphans, rng);
+            scratch.multi.clear();
+            scratch
+                .multi
+                .extend((0..ch.group_count()).filter(|&p| ch.members_at(p).len() >= 2));
+            if let Some(&gi) = scratch.multi.as_slice().choose(rng) {
+                let mut orphans = std::mem::take(&mut scratch.orphans);
+                orphans.clear();
+                ch.remove_group_at(gi, &mut orphans);
+                first_fit(ev, &mut ch, &mut orphans, rng, scratch);
+                scratch.orphans = orphans;
             }
         }
         1 => {
             // Merge two random groups.
-            if groups.len() >= 2 {
-                let gi = rng.gen_range(0..groups.len());
-                let gj = rng.gen_range(0..groups.len());
+            if ch.group_count() >= 2 {
+                let gi = rng.gen_range(0..ch.group_count());
+                let gj = rng.gen_range(0..ch.group_count());
                 if gi != gj {
-                    let mut merged = groups[gi].clone();
-                    merged.extend_from_slice(&groups[gj]);
-                    if ev.feasible(&merged) {
-                        let (lo, hi) = (gi.min(gj), gi.max(gj));
-                        groups.remove(hi);
-                        groups.remove(lo);
-                        groups.push(merged);
+                    scratch.probe.clear();
+                    scratch.probe.extend_from_slice(ch.members_at(gi));
+                    scratch.probe.extend_from_slice(ch.members_at(gj));
+                    let e = ev.group(&scratch.probe);
+                    if e.feasible() {
+                        ch.merge_append(gi, gj, e);
                     }
                 }
             }
         }
         _ => {
-            // Move one kernel to another group.
-            let from: Vec<usize> = groups
-                .iter()
-                .enumerate()
-                .filter(|(_, g)| g.len() >= 2)
-                .map(|(i, _)| i)
-                .collect();
-            if let (Some(&gi), true) = (from.as_slice().choose(rng), groups.len() >= 2) {
-                let vi = rng.gen_range(0..groups[gi].len());
-                let k = groups[gi][vi];
-                let gj = rng.gen_range(0..groups.len());
+            // Move one kernel to another group. The `choose` happens before
+            // the population-size guard — tuple evaluation order is part of
+            // the pinned RNG stream.
+            scratch.multi.clear();
+            scratch
+                .multi
+                .extend((0..ch.group_count()).filter(|&p| ch.members_at(p).len() >= 2));
+            let pick = scratch.multi.as_slice().choose(rng).copied();
+            if let (Some(gi), true) = (pick, ch.group_count() >= 2) {
+                let vi = rng.gen_range(0..ch.members_at(gi).len());
+                let k = ch.members_at(gi)[vi];
+                let gj = rng.gen_range(0..ch.group_count());
                 if gj != gi {
-                    let mut target = groups[gj].clone();
-                    target.push(k);
-                    let mut source = groups[gi].clone();
-                    source.remove(vi);
-                    if ev.feasible(&target) && (source.is_empty() || ev.feasible(&source)) {
-                        groups[gj] = target;
-                        if source.is_empty() {
-                            groups.remove(gi);
-                        } else {
-                            groups[gi] = source;
-                        }
+                    scratch.probe.clear();
+                    scratch.probe.extend_from_slice(ch.members_at(gj));
+                    scratch.probe.push(k);
+                    let target = ev.group(&scratch.probe);
+                    let src_len = ch.members_at(gi).len() - 1;
+                    // Probe the shrunk source only if the target passed
+                    // (legacy short-circuit).
+                    let source = if target.feasible() && src_len > 0 {
+                        scratch.probe2.clear();
+                        let members = ch.members_at(gi);
+                        scratch.probe2.extend(
+                            members
+                                .iter()
+                                .enumerate()
+                                .filter(|&(x, _)| x != vi)
+                                .map(|(_, &m)| m),
+                        );
+                        Some(ev.group(&scratch.probe2))
+                    } else {
+                        None
+                    };
+                    let ok =
+                        target.feasible() && (src_len == 0 || source.is_some_and(|e| e.feasible()));
+                    if ok {
+                        ch.push_member(gj, k, target);
+                        ch.remove_member(gi, vi, source);
                     }
                 }
             }
         }
     }
-    repair(ctx, ev, FusionPlan::new(groups), rng)
+    ch.finalize(ev, scratch);
+    ch
+}
+
+/// One sampled local-search action with the evaluations it probed.
+enum Act {
+    Merge(usize, usize, GroupEval),
+    Move(usize, usize, usize, GroupEval, GroupEval),
 }
 
 /// Falkenauer's local-improvement step: greedy best-of-sample moves
 /// (pairwise merges and single-kernel transfers) applied while they reduce
 /// the summed group cost. Bounded per invocation so the GA stays the
-/// driver and the hill climber the polisher.
-fn local_search(
-    ctx: &PlanContext,
+/// driver and the hill climber the polisher. Group costs are read from the
+/// chromosome's cached evaluations — no per-pass cost re-collection — and
+/// the winning action is applied in place in the arena.
+pub fn local_search(
     ev: &Evaluator<'_>,
-    plan: FusionPlan,
+    mut ch: Chromosome,
     rng: &mut SmallRng,
-) -> FusionPlan {
-    let mut groups = plan.groups;
+    scratch: &mut OpScratch,
+) -> Chromosome {
+    let cost_at = |ch: &Chromosome, pos: usize| -> f64 {
+        ch.eval_at(pos)
+            .expect("local_search input is sealed")
+            .time_s
+    };
     for _pass in 0..4 {
-        let costs: Vec<f64> = groups.iter().map(|g| ev.group(g).time_s).collect();
+        let glen = ch.group_count();
         // Improving bipartitions first: sample random splits of larger
         // groups and take the best one found.
-        let mut best_split: Option<(f64, usize, Vec<KernelId>, Vec<KernelId>)> = None;
+        let mut best_split: Option<(f64, usize, GroupEval, GroupEval)> = None;
         for _ in 0..12 {
-            let gi = rng.gen_range(0..groups.len());
-            if groups[gi].len() < 3 {
+            let gi = rng.gen_range(0..glen);
+            if ch.members_at(gi).len() < 3 {
                 continue;
             }
-            let (mut a, mut b) = (Vec::new(), Vec::new());
-            for &m in &groups[gi] {
+            scratch.split_a.clear();
+            scratch.split_b.clear();
+            for &m in ch.members_at(gi) {
                 if rng.gen_bool(0.5) {
-                    a.push(m);
+                    scratch.split_a.push(m);
                 } else {
-                    b.push(m);
+                    scratch.split_b.push(m);
                 }
             }
-            if a.is_empty() || b.is_empty() {
+            if scratch.split_a.is_empty() || scratch.split_b.is_empty() {
                 continue;
             }
-            let (ta, tb) = (ev.group(&a).time_s, ev.group(&b).time_s);
-            if ta.is_finite() && tb.is_finite() {
-                let gain = costs[gi] - ta - tb;
+            let ea = ev.group(&scratch.split_a);
+            let eb = ev.group(&scratch.split_b);
+            if ea.time_s.is_finite() && eb.time_s.is_finite() {
+                let gain = cost_at(&ch, gi) - ea.time_s - eb.time_s;
                 if gain > 1e-15 && best_split.as_ref().is_none_or(|(g, ..)| gain > *g) {
-                    best_split = Some((gain, gi, a, b));
+                    best_split = Some((gain, gi, ea, eb));
+                    std::mem::swap(&mut scratch.best_a, &mut scratch.split_a);
+                    std::mem::swap(&mut scratch.best_b, &mut scratch.split_b);
                 }
             }
         }
-        if let Some((_, gi, a, b)) = best_split {
-            groups[gi] = a;
-            groups.push(b);
+        if let Some((_, gi, ea, eb)) = best_split {
+            ch.replace_members(gi, &scratch.best_a, Some(ea));
+            ch.push_group(&scratch.best_b, Some(eb));
             continue;
         }
 
-        let mut best: Option<(f64, usize, usize, Option<usize>)> = None; // (gain, i, j, moved idx)
-        let samples = 48.min(groups.len() * groups.len());
+        let mut best: Option<(f64, Act)> = None;
+        let samples = 48.min(glen * glen);
         for _ in 0..samples {
-            let i = rng.gen_range(0..groups.len());
-            let j = rng.gen_range(0..groups.len());
+            let i = rng.gen_range(0..glen);
+            let j = rng.gen_range(0..glen);
             if i == j {
                 continue;
             }
             if rng.gen_bool(0.5) {
                 // Merge i and j.
-                let mut merged = groups[i].clone();
-                merged.extend_from_slice(&groups[j]);
-                let t = ev.group(&merged).time_s;
-                if t.is_finite() {
-                    let gain = costs[i] + costs[j] - t;
-                    if gain > 1e-15 && best.is_none_or(|(g, ..)| gain > g) {
-                        best = Some((gain, i, j, None));
+                scratch.probe.clear();
+                scratch.probe.extend_from_slice(ch.members_at(i));
+                scratch.probe.extend_from_slice(ch.members_at(j));
+                let e = ev.group(&scratch.probe);
+                if e.time_s.is_finite() {
+                    let gain = cost_at(&ch, i) + cost_at(&ch, j) - e.time_s;
+                    if gain > 1e-15 && best.as_ref().is_none_or(|(g, _)| gain > *g) {
+                        best = Some((gain, Act::Merge(i, j, e)));
                     }
                 }
-            } else if groups[i].len() >= 2 {
-                // Move one kernel i→j.
-                let vi = rng.gen_range(0..groups[i].len());
-                let k = groups[i][vi];
-                let mut target = groups[j].clone();
-                target.push(k);
-                let mut source = groups[i].clone();
-                source.remove(vi);
-                let ts = if source.is_empty() {
-                    0.0
-                } else {
-                    ev.group(&source).time_s
-                };
-                let tt = ev.group(&target).time_s;
-                if ts.is_finite() && tt.is_finite() {
-                    let gain = costs[i] + costs[j] - ts - tt;
-                    if gain > 1e-15 && best.is_none_or(|(g, ..)| gain > g) {
-                        best = Some((gain, i, j, Some(vi)));
+            } else if ch.members_at(i).len() >= 2 {
+                // Move one kernel i→j. Probe order (source, then target)
+                // mirrors the reference operator.
+                let vi = rng.gen_range(0..ch.members_at(i).len());
+                let k = ch.members_at(i)[vi];
+                scratch.probe2.clear();
+                scratch.probe2.extend(
+                    ch.members_at(i)
+                        .iter()
+                        .enumerate()
+                        .filter(|&(x, _)| x != vi)
+                        .map(|(_, &m)| m),
+                );
+                let es = ev.group(&scratch.probe2);
+                scratch.probe.clear();
+                scratch.probe.extend_from_slice(ch.members_at(j));
+                scratch.probe.push(k);
+                let et = ev.group(&scratch.probe);
+                if es.time_s.is_finite() && et.time_s.is_finite() {
+                    let gain = cost_at(&ch, i) + cost_at(&ch, j) - es.time_s - et.time_s;
+                    if gain > 1e-15 && best.as_ref().is_none_or(|(g, _)| gain > *g) {
+                        best = Some((gain, Act::Move(i, j, vi, es, et)));
                     }
                 }
             }
         }
         match best {
-            Some((_, i, j, None)) => {
-                let gj = std::mem::take(&mut groups[j]);
-                groups[i].extend(gj);
-                groups.retain(|g| !g.is_empty());
+            Some((_, Act::Merge(i, j, e))) => {
+                ch.merge_into(i, j, e);
             }
-            Some((_, i, j, Some(vi))) => {
-                let k = groups[i].remove(vi);
-                groups[j].push(k);
-                groups.retain(|g| !g.is_empty());
+            Some((_, Act::Move(i, j, vi, es, et))) => {
+                let k = ch.members_at(i)[vi];
+                ch.push_member(j, k, et);
+                ch.remove_member(i, vi, Some(es));
             }
             None => break,
         }
     }
-    repair(ctx, ev, FusionPlan::new(groups), rng)
+    ch.finalize(ev, scratch);
+    ch
 }
 
 /// Insert orphans into existing feasible groups, else as singletons.
 fn first_fit(
     ev: &Evaluator<'_>,
-    groups: &mut Vec<Vec<KernelId>>,
-    mut orphans: Vec<KernelId>,
+    ch: &mut Chromosome,
+    orphans: &mut [KernelId],
     rng: &mut SmallRng,
+    scratch: &mut OpScratch,
 ) {
     orphans.shuffle(rng);
-    for k in orphans {
+    for &k in orphans.iter() {
         let mut placed = false;
         // Try a bounded random sample of hosts.
-        let mut idxs: Vec<usize> = (0..groups.len()).collect();
+        let mut idxs = std::mem::take(&mut scratch.idxs);
+        idxs.clear();
+        idxs.extend(0..ch.group_count());
         idxs.shuffle(rng);
         for &gi in idxs.iter().take(8) {
-            let mut cand = groups[gi].clone();
-            cand.push(k);
-            if ev.feasible(&cand) {
-                groups[gi] = cand;
+            scratch.probe.clear();
+            scratch.probe.extend_from_slice(ch.members_at(gi));
+            scratch.probe.push(k);
+            let e = ev.group(&scratch.probe);
+            if e.feasible() {
+                ch.push_member(gi, k, e);
                 placed = true;
                 break;
             }
         }
+        scratch.idxs = idxs;
         if !placed {
-            groups.push(vec![k]);
-        }
-    }
-}
-
-/// Repair to full feasibility: split infeasible groups into singletons and
-/// break condensation cycles.
-fn repair(
-    ctx: &PlanContext,
-    ev: &Evaluator<'_>,
-    plan: FusionPlan,
-    _rng: &mut SmallRng,
-) -> FusionPlan {
-    let mut groups: Vec<Vec<KernelId>> = Vec::with_capacity(plan.groups.len());
-    for g in plan.groups {
-        if g.len() == 1 || ev.feasible(&g) {
-            groups.push(g);
-        } else {
-            for k in g {
-                groups.push(vec![k]);
-            }
-        }
-    }
-    // Break condensation cycles by splitting one involved group at a time.
-    loop {
-        let candidate = FusionPlan::new(groups.clone());
-        match condensation_order(&candidate, &ctx.exec) {
-            Ok(_) => return candidate,
-            Err(kfuse_core::fuse::FuseError::OrderCycle(a, _)) => {
-                // Split the first stuck group.
-                let gi = a.min(candidate.groups.len() - 1);
-                let victim = candidate.groups[gi].clone();
-                groups = candidate.groups;
-                groups.remove(gi);
-                for k in victim {
-                    groups.push(vec![k]);
-                }
-            }
-            Err(_) => return FusionPlan::identity(ctx.n_kernels()),
+            ch.push_group(&[k], Some(ev.singleton(k)));
         }
     }
 }
@@ -800,6 +864,8 @@ fn repair(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference;
+    use kfuse_core::fuse::condensation_order;
     use kfuse_core::model::ProposedModel;
     use kfuse_core::pipeline::prepare;
     use kfuse_gpu::{FpPrecision, GpuSpec};
@@ -906,84 +972,6 @@ mod tests {
         }
     }
 
-    /// Verbatim copy of the solver loop as it stood before the island
-    /// rework, kept only to pin the `islands == 1` trajectory.
-    fn solve_pre_island(
-        cfg: &HggaConfig,
-        ctx: &PlanContext,
-        model: &dyn kfuse_core::model::PerfModel,
-    ) -> SolveOutcome {
-        let ev = Evaluator::new(ctx, model);
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
-        let start = Instant::now();
-
-        let mut plans: Vec<FusionPlan> = (0..cfg.population)
-            .map(|_| random_plan(ctx, &ev, &mut rng))
-            .collect();
-        let mut pop: Vec<Individual> = evaluate(&ev, std::mem::take(&mut plans));
-        pop.sort_by(|a, b| a.cost.total_cmp(&b.cost));
-
-        let mut best = pop[0].plan.clone();
-        let mut best_cost = pop[0].cost;
-        let mut best_gen = 0u32;
-        let mut time_to_best = start.elapsed();
-        let mut stall = 0u32;
-        let mut generations = 0u32;
-
-        for gen in 1..=cfg.max_generations {
-            generations = gen;
-            let mut offspring: Vec<FusionPlan> = Vec::with_capacity(cfg.population);
-            for e in pop.iter().take(cfg.elitism) {
-                offspring.push(e.plan.clone());
-            }
-            while offspring.len() < cfg.population {
-                let pa = tournament(&pop, cfg.tournament, &mut rng);
-                let pb = tournament(&pop, cfg.tournament, &mut rng);
-                let mut child = if rng.gen_bool(cfg.crossover_rate) {
-                    crossover(ctx, &ev, &pop[pa].plan, &pop[pb].plan, &mut rng)
-                } else {
-                    pop[pa.min(pb)].plan.clone()
-                };
-                if rng.gen_bool(cfg.mutation_rate) {
-                    child = mutate(ctx, &ev, &child, &mut rng);
-                }
-                if rng.gen_bool(cfg.local_search_rate) {
-                    child = local_search(ctx, &ev, child, &mut rng);
-                }
-                offspring.push(child);
-            }
-            let mut next = evaluate(&ev, offspring);
-            next.sort_by(|a, b| a.cost.total_cmp(&b.cost));
-            pop = next;
-
-            if pop[0].cost < best_cost - 1e-15 {
-                best_cost = pop[0].cost;
-                best = pop[0].plan.clone();
-                best_gen = gen;
-                time_to_best = start.elapsed();
-                stall = 0;
-            } else {
-                stall += 1;
-                if stall >= cfg.stall_generations {
-                    break;
-                }
-            }
-        }
-
-        SolveOutcome {
-            plan: best,
-            objective: best_cost,
-            stats: SolveStats {
-                generations,
-                evaluations: ev.evaluations(),
-                elapsed: start.elapsed(),
-                time_to_best,
-                best_generation: best_gen,
-                islands: Vec::new(),
-            },
-        }
-    }
-
     #[test]
     fn single_island_reproduces_pre_island_solver_exactly() {
         let (_, ctx) = prepare(&program(), &GpuSpec::k20x(), FpPrecision::Double);
@@ -995,13 +983,42 @@ mod tests {
                 config: cfg.clone(),
             }
             .solve(&ctx, &model);
-            let old = solve_pre_island(&cfg, &ctx, &model);
+            let old = reference::solve(&cfg, &ctx, &model);
             assert_eq!(new.plan, old.plan, "seed {seed} plan diverged");
             assert_eq!(new.objective, old.objective, "seed {seed} objective");
             assert_eq!(
                 new.stats.generations, old.stats.generations,
                 "seed {seed} generations"
             );
+            assert_eq!(
+                new.stats.best_generation, old.stats.best_generation,
+                "seed {seed} best generation"
+            );
+        }
+    }
+
+    #[test]
+    fn flat_solver_matches_reference_on_synthetic_workload() {
+        // Same pin as above, on a machine-generated 24-kernel program: the
+        // flat-chromosome path must retrace the reference trajectory on
+        // workloads with real dependency/cycle pressure, not just the
+        // 6-kernel toy.
+        let cfg = kfuse_workloads::synth::SynthConfig {
+            kernels: 24,
+            ..Default::default()
+        };
+        let p = kfuse_workloads::synth::generate(&cfg);
+        let (_, ctx) = prepare(&p, &GpuSpec::k20x(), FpPrecision::Double);
+        let model = ProposedModel::default();
+        for seed in [1, 9] {
+            let cfg = quick_config(seed);
+            let new = HggaSolver {
+                config: cfg.clone(),
+            }
+            .solve(&ctx, &model);
+            let old = reference::solve(&cfg, &ctx, &model);
+            assert_eq!(new.plan, old.plan, "seed {seed} plan diverged");
+            assert_eq!(new.objective, old.objective, "seed {seed} objective");
             assert_eq!(
                 new.stats.best_generation, old.stats.best_generation,
                 "seed {seed} best generation"

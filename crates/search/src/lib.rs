@@ -13,10 +13,12 @@
 //!   best profitable pairwise merge; stands in for the "polynomial-time
 //!   approximation" strawman of §III-A.
 
+pub mod chromo;
 pub mod eval;
 pub mod exhaustive;
 pub mod greedy;
 pub mod hgga;
+pub mod reference;
 
 pub use eval::Evaluator;
 pub use exhaustive::ExhaustiveSolver;

@@ -2,7 +2,15 @@
 # Regenerate every table and figure of the paper. Results are printed and
 # written as JSON under results/ (see EXPERIMENTS.md for the index).
 # Pass --skip-checks to bypass the formatting/lint gate.
+# Pass `bench` to run only the search-throughput smoke stage: it re-runs
+# the search scaling study and fails if evals/s regresses more than 20%
+# against the committed BENCH_search.json baseline.
 set -euo pipefail
+
+if [[ "${1:-}" == "bench" ]]; then
+  cargo build --release -p kfuse-bench
+  exec ./target/release/search_scaling --check-against BENCH_search.json
+fi
 
 if [[ "${1:-}" != "--skip-checks" ]]; then
   echo "== cargo fmt --check"
@@ -36,7 +44,7 @@ echo "-- kfuse lint rk3 (fused, seed 3)"
 echo "-- differential harness (verifier vs both evaluators)"
 cargo test --release -q --test differential
 
-bins=(table1 fig3_motivating table5 fig5a fig5b table6 fig6 fig7_8 fig9 table7 smem_whatif fusion_efficiency ablation blocksize_study weak_scaling search_scaling)
+bins=(table1 fig3_motivating table5 fig5a fig5b table6 fig6 fig7_8 fig9 table7 smem_whatif fusion_efficiency ablation blocksize_study weak_scaling)
 for b in "${bins[@]}"; do
   echo
   echo "================================================================"
@@ -44,3 +52,9 @@ for b in "${bins[@]}"; do
   echo "================================================================"
   ./target/release/"$b"
 done
+
+echo
+echo "================================================================"
+echo "== search_scaling (+ evals/s regression gate vs BENCH_search.json)"
+echo "================================================================"
+./target/release/search_scaling --check-against BENCH_search.json
