@@ -1,0 +1,109 @@
+//! Group-synthesis throughput: the allocation-free SoA sweep
+//! (`SynthTables::synthesize_into` + `project_view`) against the
+//! materializing legacy path (`GroupSpec::synthesize` + `project`), plus a
+//! cold-memo solver run where every probe is a miss — the end-to-end
+//! number the `search_scaling` miss-path gate pins.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kfuse_core::model::{PerfModel, ProposedModel};
+use kfuse_core::pipeline::prepare;
+use kfuse_core::pipeline::Solver;
+use kfuse_core::spec::GroupSpec;
+use kfuse_core::synth::SynthScratch;
+use kfuse_gpu::{FpPrecision, GpuSpec};
+use kfuse_ir::KernelId;
+use kfuse_search::{Evaluator, HggaConfig, HggaSolver};
+use kfuse_workloads::synth::{generate, SynthConfig};
+use std::hint::black_box;
+
+/// Distinct groups of 2..=8 members over `n` kernels, deterministic.
+fn group_pool(n: usize, count: usize) -> Vec<Vec<KernelId>> {
+    (0..count)
+        .map(|i| {
+            let len = 2 + (i % 7);
+            let start = (i * 11) % n;
+            let mut g: Vec<KernelId> = (0..len)
+                .map(|j| KernelId(((start + j * 5) % n) as u32))
+                .collect();
+            g.sort_unstable();
+            g.dedup();
+            g
+        })
+        .collect()
+}
+
+fn bench_synth(c: &mut Criterion) {
+    let model = ProposedModel::default();
+    for kernels in [20usize, 60] {
+        let cfg = SynthConfig {
+            kernels,
+            seed: 0xBEEF + kernels as u64,
+            ..SynthConfig::default()
+        };
+        let program = generate(&cfg);
+        let (_, ctx) = prepare(&program, &GpuSpec::k20x(), FpPrecision::Double);
+        let groups = group_pool(ctx.n_kernels(), 64);
+        let mut scratch = SynthScratch::new();
+
+        let mut g = c.benchmark_group(format!("synth/{kernels}k"));
+
+        g.bench_function("soa_view", |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let grp = &groups[i % groups.len()];
+                i += 1;
+                let view = ctx.synth.synthesize_into(&ctx.info, grp, &mut scratch);
+                black_box(model.project_view(&ctx.info, &view))
+            })
+        });
+        g.bench_function("legacy_spec", |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let grp = &groups[i % groups.len()];
+                i += 1;
+                let spec = GroupSpec::synthesize(&ctx.info, grp);
+                black_box(model.project(&ctx.info, &spec))
+            })
+        });
+        g.bench_function("uncached_eval", |b| {
+            let ev = Evaluator::new(&ctx, &model);
+            let mut i = 0usize;
+            b.iter(|| {
+                let grp = &groups[i % groups.len()];
+                i += 1;
+                black_box(ev.evaluate_uncached(grp, &mut scratch))
+            })
+        });
+        g.finish();
+    }
+
+    // Cold-memo solver run: a fresh evaluator every iteration, so the
+    // population's first generation pays the miss path for every group.
+    let cfg = SynthConfig {
+        kernels: 60,
+        seed: 0xBEEF + 60,
+        ..SynthConfig::default()
+    };
+    let program = generate(&cfg);
+    let (_, ctx) = prepare(&program, &GpuSpec::k20x(), FpPrecision::Double);
+    let mut g = c.benchmark_group("synth/cold_solver");
+    g.sample_size(10);
+    g.bench_function("hgga_60k", |b| {
+        b.iter(|| {
+            let solver = HggaSolver {
+                config: HggaConfig {
+                    population: 32,
+                    max_generations: 4,
+                    stall_generations: 4,
+                    seed: 0xC0FFEE,
+                    ..HggaConfig::default()
+                },
+            };
+            black_box(solver.solve(&ctx, &model))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_synth);
+criterion_main!(benches);

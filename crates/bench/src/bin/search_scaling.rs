@@ -97,11 +97,34 @@ struct VariantPoint {
     condensation_checks: u64,
 }
 
+/// Memo-miss path throughput: the allocation-free SoA synthesis +
+/// view projection unit against the materializing legacy unit
+/// (`check_group` → `project` → profitability), over the same group pool
+/// with the memo bypassed, plus the cold-memo solver run's miss
+/// accounting (every first-generation probe is a miss).
+#[derive(Serialize, Clone)]
+struct MissPoint {
+    kernels: usize,
+    /// Distinct multi-member groups in the measured pool.
+    groups: usize,
+    soa_evals_per_sec: f64,
+    legacy_evals_per_sec: f64,
+    speedup: f64,
+    /// Fraction of probes that missed over a cold-memo solver run.
+    cold_solver_miss_rate: f64,
+    /// Mean nanoseconds per memo miss over that run (synthesis +
+    /// projection + insert).
+    cold_solver_miss_ns_per_eval: f64,
+    /// Mean nanoseconds per miss spent inside synthesis proper.
+    cold_solver_synth_ns_per_eval: f64,
+}
+
 #[derive(Serialize)]
 struct WorkloadReport {
     kernels: usize,
     evaluator: Vec<EvaluatorPoint>,
     neighbor: Vec<NeighborPoint>,
+    miss_path: MissPoint,
     solver: Vec<SolverPoint>,
     variants: Vec<VariantPoint>,
 }
@@ -119,6 +142,7 @@ struct BenchFile {
     population: usize,
     max_generations: u32,
     neighbor: Vec<BenchNeighbor>,
+    miss_path: Vec<MissPoint>,
     variants: Vec<BenchVariant>,
     headline: Headline,
 }
@@ -153,6 +177,7 @@ struct Headline {
     full_legacy_evals_per_sec: f64,
     speedup: f64,
     solver: SolverHeadline,
+    miss: MissHeadline,
 }
 
 #[derive(Serialize)]
@@ -160,6 +185,14 @@ struct SolverHeadline {
     islands: usize,
     reference_evals_per_sec: f64,
     flat_evals_per_sec: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct MissHeadline {
+    kernels: usize,
+    soa_evals_per_sec: f64,
+    legacy_evals_per_sec: f64,
     speedup: f64,
 }
 
@@ -350,6 +383,93 @@ fn neighbor_delta(
     (threads * iters * plans.len()) as f64 / t.elapsed().as_secs_f64()
 }
 
+/// Measure the miss path on one workload: distinct multi-member groups
+/// from the plan pool, evaluated with the memo bypassed — the SoA unit
+/// (`evaluate_uncached`) against the materializing legacy unit — plus a
+/// cold-memo solver run for the real miss accounting.
+fn miss_path_point(
+    kernels: usize,
+    ctx: &PlanContext,
+    model: &ProposedModel,
+    ev: &Evaluator<'_>,
+    plans: &[FusionPlan],
+) -> MissPoint {
+    use kfuse_core::model::PerfModel;
+    let mut groups: Vec<Vec<KernelId>> = plans
+        .iter()
+        .flat_map(|p| p.groups.iter().filter(|g| g.len() >= 2).cloned())
+        .collect();
+    groups.sort();
+    groups.dedup();
+
+    // The legacy per-miss unit, exactly as the evaluator computed it
+    // before the SoA rework: materializing check_group, spec projection,
+    // profitability gate.
+    let legacy_unit = |g: &[KernelId]| -> f64 {
+        match ctx.check_group(g, 0) {
+            Ok(spec) => {
+                let t = model.project(&ctx.info, &spec);
+                if t >= ctx.info.original_sum(g) || t.is_nan() {
+                    f64::INFINITY
+                } else {
+                    t
+                }
+            }
+            Err(_) => f64::INFINITY,
+        }
+    };
+
+    let mut scratch = kfuse_core::synth::SynthScratch::new();
+    // Warm the scratch, then calibrate so each side runs ~0.5 s.
+    let t = Instant::now();
+    for g in &groups {
+        std::hint::black_box(ev.evaluate_uncached(g, &mut scratch));
+    }
+    let pass = t.elapsed().as_secs_f64().max(1e-6);
+    let iters = ((0.5 / pass).ceil() as usize).clamp(2, 100_000);
+
+    let t = Instant::now();
+    for _ in 0..iters {
+        for g in &groups {
+            std::hint::black_box(ev.evaluate_uncached(g, &mut scratch));
+        }
+    }
+    let soa_rate = (iters * groups.len()) as f64 / t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    for g in &groups {
+        std::hint::black_box(legacy_unit(g));
+    }
+    let pass_l = t.elapsed().as_secs_f64().max(1e-6);
+    let iters_l = ((0.5 / pass_l).ceil() as usize).clamp(2, 100_000);
+    let t = Instant::now();
+    for _ in 0..iters_l {
+        for g in &groups {
+            std::hint::black_box(legacy_unit(g));
+        }
+    }
+    let legacy_rate = (iters_l * groups.len()) as f64 / t.elapsed().as_secs_f64();
+
+    // Cold-memo solver run: a fresh evaluator inside the solver, so every
+    // first sighting of a group pays the miss path.
+    let out = HggaSolver {
+        config: study_config(1),
+    }
+    .solve(ctx, model);
+    let misses = out.stats.evaluations.max(1) as f64;
+
+    MissPoint {
+        kernels,
+        groups: groups.len(),
+        soa_evals_per_sec: soa_rate,
+        legacy_evals_per_sec: legacy_rate,
+        speedup: soa_rate / legacy_rate,
+        cold_solver_miss_rate: out.stats.miss_rate,
+        cold_solver_miss_ns_per_eval: out.stats.miss_ns as f64 / misses,
+        cold_solver_synth_ns_per_eval: out.stats.synth_ns as f64 / misses,
+    }
+}
+
 /// Pick an iteration count so each measurement takes roughly half a
 /// second at single-thread speed.
 fn calibrate<F: Fn(&FusionPlan) -> f64>(plans: &[FusionPlan], eval: F) -> usize {
@@ -494,6 +614,17 @@ fn main() {
             });
         }
 
+        let miss_path = miss_path_point(kernels, &ctx, &model, &sharded, &plans);
+        println!(
+            "  miss path : SoA {:>12.0} evals/s   legacy {:>12.0} evals/s   ({:.2}x)   cold miss rate {:.3}   {:.0} ns/miss ({:.0} ns synth)",
+            miss_path.soa_evals_per_sec,
+            miss_path.legacy_evals_per_sec,
+            miss_path.speedup,
+            miss_path.cold_solver_miss_rate,
+            miss_path.cold_solver_miss_ns_per_eval,
+            miss_path.cold_solver_synth_ns_per_eval,
+        );
+
         let mut solver = Vec::new();
         for &islands in &ISLAND_COUNTS {
             let s = HggaSolver {
@@ -558,6 +689,7 @@ fn main() {
             kernels,
             evaluator,
             neighbor,
+            miss_path,
             solver,
             variants,
         });
@@ -613,7 +745,15 @@ fn main() {
     let head_flat = bench_variants
         .iter()
         .find(|v| v.kernels == 60 && v.variant == "flat" && v.islands == 8);
-    let (Some(head_n), Some(head_ref), Some(head_flat)) = (head_n, head_ref, head_flat) else {
+    let bench_miss: Vec<MissPoint> = report
+        .workloads
+        .iter()
+        .map(|w| w.miss_path.clone())
+        .collect();
+    let head_miss = bench_miss.iter().find(|m| m.kernels == 60);
+    let (Some(head_n), Some(head_ref), Some(head_flat), Some(head_miss)) =
+        (head_n, head_ref, head_flat, head_miss)
+    else {
         eprintln!("missing 60-kernel headline measurements");
         std::process::exit(2);
     };
@@ -633,8 +773,15 @@ fn main() {
                 flat_evals_per_sec: head_flat.evals_per_sec,
                 speedup: head_flat.evals_per_sec / head_ref.evals_per_sec,
             },
+            miss: MissHeadline {
+                kernels: 60,
+                soa_evals_per_sec: head_miss.soa_evals_per_sec,
+                legacy_evals_per_sec: head_miss.legacy_evals_per_sec,
+                speedup: head_miss.speedup,
+            },
         },
         neighbor: bench_neighbor,
+        miss_path: bench_miss,
         variants: bench_variants,
     };
     println!(
@@ -648,6 +795,12 @@ fn main() {
         bench.headline.solver.flat_evals_per_sec,
         bench.headline.solver.reference_evals_per_sec,
         bench.headline.solver.speedup
+    );
+    println!(
+        "miss:     60 kernels — SoA {:.0} evals/s vs legacy synthesize {:.0} evals/s ({:.2}x)",
+        bench.headline.miss.soa_evals_per_sec,
+        bench.headline.miss.legacy_evals_per_sec,
+        bench.headline.miss.speedup
     );
     // Load the committed baseline BEFORE overwriting it with this run.
     let committed: Option<(String, serde_json::Value)> = check_against.map(|path| {
@@ -686,6 +839,11 @@ fn main() {
                 "flat solver",
                 committed["headline"]["solver"]["flat_evals_per_sec"].as_f64(),
                 bench.headline.solver.flat_evals_per_sec,
+            ),
+            (
+                "miss-path SoA evaluation",
+                committed["headline"]["miss"]["soa_evals_per_sec"].as_f64(),
+                bench.headline.miss.soa_evals_per_sec,
             ),
         ] {
             let Some(baseline) = baseline.filter(|b| *b > 0.0) else {

@@ -38,6 +38,16 @@ pub struct DependencyGraph {
     pub kernel_writes: Vec<Vec<ArrayId>>,
     /// Touch class per array.
     pub classes: Vec<TouchClass>,
+    /// CSR row offsets into [`Self::share_flat`], one row per array (+1
+    /// sentinel). Sharing sets are precomputed at build so the hot callers
+    /// (kinship construction, Table II census) borrow slices instead of
+    /// sorting a fresh `Vec` per query.
+    share_start: Vec<u32>,
+    /// Flattened sharing sets: every kernel touching each array, sorted,
+    /// deduplicated.
+    share_flat: Vec<KernelId>,
+    /// Arrays whose sharing set has ≥2 members, ascending.
+    shared: Vec<ArrayId>,
 }
 
 impl DependencyGraph {
@@ -72,12 +82,33 @@ impl DependencyGraph {
             })
             .collect();
 
+        let mut share_start = Vec::with_capacity(n_arrays + 1);
+        let mut share_flat = Vec::new();
+        let mut shared = Vec::new();
+        let mut buf: Vec<KernelId> = Vec::new();
+        share_start.push(0u32);
+        for a in 0..n_arrays {
+            buf.clear();
+            buf.extend_from_slice(&readers[a]);
+            buf.extend_from_slice(&writers[a]);
+            buf.sort_unstable();
+            buf.dedup();
+            if buf.len() >= 2 {
+                shared.push(ArrayId(a as u32));
+            }
+            share_flat.extend_from_slice(&buf);
+            share_start.push(share_flat.len() as u32);
+        }
+
         DependencyGraph {
             readers,
             writers,
             kernel_reads,
             kernel_writes,
             classes,
+            share_start,
+            share_flat,
+            shared,
         }
     }
 
@@ -87,30 +118,23 @@ impl DependencyGraph {
     }
 
     /// The *sharing set* `K(D)` of an array: every kernel touching it
-    /// (Table II), in invocation order.
-    pub fn sharing_set(&self, a: ArrayId) -> Vec<KernelId> {
-        let mut v: Vec<KernelId> = self.readers[a.index()]
-            .iter()
-            .chain(&self.writers[a.index()])
-            .copied()
-            .collect();
-        v.sort_unstable();
-        v.dedup();
-        v
+    /// (Table II), in invocation order. A borrowed CSR row — precomputed at
+    /// build, no per-call allocation.
+    pub fn sharing_set(&self, a: ArrayId) -> &[KernelId] {
+        let i = a.index();
+        &self.share_flat[self.share_start[i] as usize..self.share_start[i + 1] as usize]
     }
 
-    /// Arrays touched by at least two kernels (*shared arrays*, Table II).
-    pub fn shared_arrays(&self) -> Vec<ArrayId> {
-        (0..self.classes.len())
-            .map(|i| ArrayId(i as u32))
-            .filter(|a| self.sharing_set(*a).len() >= 2)
-            .collect()
+    /// Arrays touched by at least two kernels (*shared arrays*, Table II),
+    /// ascending.
+    pub fn shared_arrays(&self) -> &[ArrayId] {
+        &self.shared
     }
 
     /// Number of sharing sets with ≥2 members (the paper reports 65 for
     /// SCALE-LES and 29 for HOMME).
     pub fn sharing_set_count(&self) -> usize {
-        self.shared_arrays().len()
+        self.shared.len()
     }
 }
 

@@ -184,8 +184,20 @@ impl ExecOrderGraph {
     /// between two group members (some member reaches `c` and `c` reaches
     /// some member). Returns the first violating kernel, if any.
     pub fn path_closure_violation(&self, group: &BitSet) -> Option<KernelId> {
-        // reaches_from_group[c] = some member reaches c
         let mut from_group = BitSet::new(self.n);
+        self.path_closure_violation_with(group, &mut from_group)
+    }
+
+    /// Allocation-free variant of [`Self::path_closure_violation`]:
+    /// `from_group` is caller-owned scratch, reset (and only on first use
+    /// resized) to this graph's kernel count.
+    pub fn path_closure_violation_with(
+        &self,
+        group: &BitSet,
+        from_group: &mut BitSet,
+    ) -> Option<KernelId> {
+        // reaches_from_group[c] = some member reaches c
+        from_group.reset(self.n);
         for m in group.iter() {
             from_group.union_with(&self.reach[m]);
         }

@@ -44,6 +44,7 @@ pub mod plan;
 pub mod relax;
 pub mod repeat;
 pub mod spec;
+pub mod synth;
 pub mod tuner;
 pub mod util;
 
@@ -54,3 +55,4 @@ pub use metadata::{KernelMeta, ProgramInfo};
 pub use model::{PerfModel, ProposedModel, RooflineModel, SimpleModel};
 pub use plan::{FusionPlan, PlanError};
 pub use spec::GroupSpec;
+pub use synth::{SpecView, SynthScratch, SynthTables};

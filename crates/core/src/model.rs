@@ -26,8 +26,10 @@
 //! (an unfused kernel keeps its observed performance).
 
 use crate::metadata::ProgramInfo;
-use crate::spec::GroupSpec;
+use crate::spec::{GroupSpec, PivotSpec};
+use crate::synth::{SpecView, NO_SLOT, READS, WRITES};
 use kfuse_gpu::{occupancy, LaunchConfig};
+use kfuse_ir::KernelId;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -38,6 +40,14 @@ pub trait PerfModel: Sync {
 
     /// Projected runtime (seconds) of the new kernel described by `spec`.
     fn project(&self, info: &ProgramInfo, spec: &GroupSpec) -> f64;
+
+    /// Projected runtime over a borrowed SoA [`SpecView`] — must agree
+    /// bit-for-bit with [`PerfModel::project`] on the materialized spec.
+    /// The default materializes; the built-in models override it with
+    /// allocation-free view arithmetic.
+    fn project_view(&self, info: &ProgramInfo, view: &SpecView<'_>) -> f64 {
+        self.project(info, &view.to_spec())
+    }
 }
 
 /// Projected GMEM traffic (bytes) of a fused kernel from member metadata:
@@ -106,6 +116,74 @@ pub fn projected_fused_bytes(info: &ProgramInfo, spec: &GroupSpec) -> u64 {
     elems * info.elem_bytes()
 }
 
+/// [`projected_fused_bytes`] over a borrowed SoA view: same integer
+/// result, zero allocations. Per-array load/store aggregates come from the
+/// synthesis sweep's scratch slots; the halo-widening input-reference
+/// count is the precomputed per-kernel read-reference column minus the
+/// producer's own read of the pivot.
+pub fn projected_fused_bytes_view(info: &ProgramInfo, view: &SpecView<'_>) -> u64 {
+    let t = view.tables;
+    let grid = u64::from(info.blocks) * u64::from(info.nz);
+    let mut elems = 0u64;
+    for &cu in view.touched {
+        let c = cu as usize;
+        elems += view.store_sum[c];
+        let slot = view.pivot_slot[c];
+        if slot == NO_SLOT {
+            elems += view.load_sum[c];
+            continue;
+        }
+        let p = &view.pivots[slot as usize];
+        if p.produced {
+            continue; // produced on-chip: no loads
+        }
+        // One fetch of tile(+halo); approximate with the smallest member
+        // fetch plus the halo ring.
+        let base = if view.max_reader1[c] > 0 {
+            view.load_min[c]
+        } else {
+            0
+        };
+        elems += base + info.halo_area(u32::from(p.halo)) * grid;
+    }
+    // Computed halos widen the GMEM footprint of the producers' inputs
+    // (§II-D2), exactly as in the legacy loop above.
+    for p in view.pivots {
+        if !(p.smem && p.produced && p.halo > 0) {
+            continue;
+        }
+        let ring = info.halo_area(u32::from(p.halo)) * grid;
+        let pc = t.compact[p.array.index()];
+        for &k in view.members {
+            let ki = k.index();
+            let mut writes_pivot = false;
+            let mut own_read = 0u64;
+            for u in t.use_range(ki) {
+                if t.u_cidx[u] == pc {
+                    let fl = t.u_flags[u];
+                    writes_pivot = fl & WRITES != 0;
+                    if fl & READS != 0 {
+                        own_read = u64::from(t.u_thread_load[u]);
+                    }
+                    break; // at most one use per (kernel, array)
+                }
+            }
+            if writes_pivot {
+                elems += ring * (t.k_read_refs[ki] - own_read);
+            }
+        }
+    }
+    elems * info.elem_bytes()
+}
+
+/// Shared Roofline arithmetic: identical float sequence for the spec and
+/// view paths.
+fn roofline_time(info: &ProgramInfo, bytes: u64, flops: u64) -> f64 {
+    let t_mem = bytes as f64 / (info.gpu.gmem_bw_gbps * 1e9);
+    let t_cmp = flops as f64 / (info.gpu.peak_gflops * 1e9);
+    t_mem.max(t_cmp)
+}
+
 /// The classic Roofline projection.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct RooflineModel;
@@ -119,10 +197,14 @@ impl PerfModel for RooflineModel {
         if spec.members.len() == 1 {
             return info.meta(spec.members[0]).runtime_s;
         }
-        let bytes = projected_fused_bytes(info, spec) as f64;
-        let t_mem = bytes / (info.gpu.gmem_bw_gbps * 1e9);
-        let t_cmp = spec.flops as f64 / (info.gpu.peak_gflops * 1e9);
-        t_mem.max(t_cmp)
+        roofline_time(info, projected_fused_bytes(info, spec), spec.flops)
+    }
+
+    fn project_view(&self, info: &ProgramInfo, view: &SpecView<'_>) -> f64 {
+        if view.members.len() == 1 {
+            return info.meta(view.members[0]).runtime_s;
+        }
+        roofline_time(info, projected_fused_bytes_view(info, view), view.flops)
     }
 }
 
@@ -137,35 +219,46 @@ impl PerfModel for SimpleModel {
     }
 
     fn project(&self, info: &ProgramInfo, spec: &GroupSpec) -> f64 {
-        if spec.members.len() == 1 {
-            return info.meta(spec.members[0]).runtime_s;
-        }
-        let metas: Vec<_> = spec.members.iter().map(|&k| info.meta(k)).collect();
-        let original_sum: f64 = metas.iter().map(|m| m.runtime_s).sum();
-        let elem = info.elem_bytes() as f64;
+        simple_time(info, &spec.members, &spec.pivots)
+    }
 
-        let mut saved = 0.0f64;
-        for p in &spec.pivots {
-            // Members whose GMEM loads of the pivot are eliminated: every
-            // reader of a produced pivot, every reader but the first
-            // otherwise.
-            let mut first_kept = !p.produced;
-            for m in &metas {
-                let Some(u) = m.use_of(p.array) else { continue };
-                if !u.reads || u.load_elems == 0 {
-                    continue;
-                }
-                if first_kept {
-                    first_kept = false;
-                    continue;
-                }
-                if m.effective_bw > 0.0 {
-                    saved += (u.load_elems as f64 * elem) / m.effective_bw;
-                }
+    fn project_view(&self, info: &ProgramInfo, view: &SpecView<'_>) -> f64 {
+        simple_time(info, view.members, view.pivots)
+    }
+}
+
+/// The simple model's arithmetic over (members, pivots) slices — both the
+/// spec and the view path run this exact float sequence (member-order sum,
+/// pivot-major/member-minor savings accumulation).
+fn simple_time(info: &ProgramInfo, members: &[KernelId], pivots: &[PivotSpec]) -> f64 {
+    if members.len() == 1 {
+        return info.meta(members[0]).runtime_s;
+    }
+    let original_sum: f64 = members.iter().map(|&k| info.meta(k).runtime_s).sum();
+    let elem = info.elem_bytes() as f64;
+
+    let mut saved = 0.0f64;
+    for p in pivots {
+        // Members whose GMEM loads of the pivot are eliminated: every
+        // reader of a produced pivot, every reader but the first
+        // otherwise.
+        let mut first_kept = !p.produced;
+        for &k in members {
+            let m = info.meta(k);
+            let Some(u) = m.use_of(p.array) else { continue };
+            if !u.reads || u.load_elems == 0 {
+                continue;
+            }
+            if first_kept {
+                first_kept = false;
+                continue;
+            }
+            if m.effective_bw > 0.0 {
+                saved += (u.load_elems as f64 * elem) / m.effective_bw;
             }
         }
-        (original_sum - saved).max(0.0)
     }
+    (original_sum - saved).max(0.0)
 }
 
 /// The paper's proposed codeless upper-bound projection (Eqs. 2–10).
@@ -220,78 +313,133 @@ impl ProposedModel {
     /// quantities are still computed (resident-wave-normalized) and
     /// reported for the Fig. 6 diagnostics.
     pub fn breakdown(&self, info: &ProgramInfo, spec: &GroupSpec) -> ProposedBreakdown {
-        let gpu = &info.gpu;
-        let elem = info.elem_bytes();
-        let bytes = projected_fused_bytes(info, spec);
+        breakdown_parts(
+            info,
+            projected_fused_bytes(info, spec),
+            SpecScalars {
+                smem_bytes: spec.smem_bytes,
+                projected_regs: spec.projected_regs,
+                flops: spec.flops,
+                halo_bytes: spec.halo_bytes,
+                active_threads: spec.active_threads,
+                n_smem_pivots: spec.pivots.iter().filter(|p| p.smem).count(),
+                barriers: spec.barrier_count(),
+            },
+            || projected_smem_bytes_moved(info, spec),
+        )
+    }
 
-        // Occupancy of the projected new kernel under Eq. 6 registers and
-        // Eq. 7 SMEM (with padding, already folded into spec.smem_bytes).
-        let regs = spec.projected_regs.min(gpu.max_regs_per_thread);
-        let launch = LaunchConfig::new(info.blocks, info.threads);
-        let occ = occupancy(gpu, &launch, regs, spec.smem_bytes as u32);
-        let blocks_smx = occ.active_blocks_per_smx;
+    /// [`Self::breakdown`] over a borrowed SoA view: the same scalar bundle
+    /// is extracted from the view and fed through the shared Eq. 6–10
+    /// arithmetic, so the result is bit-for-bit the materialized one.
+    pub fn breakdown_view(&self, info: &ProgramInfo, view: &SpecView<'_>) -> ProposedBreakdown {
+        breakdown_parts(
+            info,
+            projected_fused_bytes_view(info, view),
+            SpecScalars {
+                smem_bytes: view.smem_bytes,
+                projected_regs: view.projected_regs,
+                flops: view.flops,
+                halo_bytes: view.halo_bytes,
+                active_threads: view.active_threads,
+                n_smem_pivots: view.pivots.iter().filter(|p| p.smem).count(),
+                barriers: view.barrier_count(),
+            },
+            || projected_smem_bytes_moved_view(info, view),
+        )
+    }
+}
 
-        if blocks_smx == 0 {
-            return ProposedBreakdown {
-                blocks_smx,
-                active_warps: 0,
-                b_sh: 0.0,
-                b_eff: 0.0,
-                p_mem_bound_gflops: 0.0,
-                bytes,
-                t_pro: f64::INFINITY,
-            };
-        }
+/// The scalar columns of a synthesized spec that the proposed projection
+/// consumes, bundled so the spec and view entry points drive one shared
+/// float sequence.
+struct SpecScalars {
+    smem_bytes: u64,
+    projected_regs: u32,
+    flops: u64,
+    halo_bytes: u64,
+    active_threads: u32,
+    n_smem_pivots: usize,
+    barriers: u32,
+}
 
-        // c · H_TH: halo bookkeeping per thread (Eqs. 4–5).
-        let c_h_th = if spec.halo_bytes > 0 {
-            (spec.halo_bytes).div_ceil(u64::from(info.threads).max(1) * elem) as f64
-        } else {
-            0.0
-        };
+/// Eqs. 6–10 arithmetic shared by [`ProposedModel::breakdown`] and
+/// [`ProposedModel::breakdown_view`]. `smem_moved` is lazy so the
+/// `blocks_smx == 0` early return skips the staging-traffic sweep.
+fn breakdown_parts(
+    info: &ProgramInfo,
+    bytes: u64,
+    s: SpecScalars,
+    smem_moved: impl FnOnce() -> u64,
+) -> ProposedBreakdown {
+    let gpu = &info.gpu;
+    let elem = info.elem_bytes();
 
-        // Eq. 8: B_Sh = T_B · Blocks_SMX / ((1 + c·H_TH) · |ShrLst|).
-        let n_shr = spec.pivots.iter().filter(|p| p.smem).count().max(1) as f64;
-        let b_sh =
-            f64::from(spec.active_threads) * f64::from(blocks_smx) / ((1.0 + c_h_th) * n_shr);
+    // Occupancy of the projected new kernel under Eq. 6 registers and
+    // Eq. 7 SMEM (with padding, already folded into smem_bytes).
+    let regs = s.projected_regs.min(gpu.max_regs_per_thread);
+    let launch = LaunchConfig::new(info.blocks, info.threads);
+    let occ = occupancy(gpu, &launch, regs, s.smem_bytes as u32);
+    let blocks_smx = occ.active_blocks_per_smx;
 
-        // §IV-B: B_eff = B_Sh · SMX / (Thr · B), B capped at the resident
-        // wave (blocks beyond one wave do not dilute blocking efficiency).
-        let resident = f64::from(blocks_smx) * f64::from(gpu.smx_count);
-        let b_grid = f64::from(info.blocks).min(resident).max(1.0);
-        let b_eff = b_sh * f64::from(gpu.smx_count) / (f64::from(info.threads) * b_grid);
-
-        // Eq. 9: P_MemBound = B_eff · GMEM_BW / elem_bytes  [GFLOPS].
-        let p_mem_bound = b_eff * gpu.gmem_bw_gbps / elem as f64;
-
-        // Practical runtime bound: projected traffic at the bandwidth the
-        // projected warp concurrency can sustain, against projected
-        // compute (incl. redundant halo FLOPs) and staging traffic, plus
-        // barrier and launch overheads. All inputs are metadata-derived.
-        // Residency is the occupancy cap clamped by the actual grid (small
-        // problems cannot fill the device).
-        let warps_per_block = (f64::from(info.threads) / f64::from(gpu.warp_size)).ceil();
-        let resident_blocks =
-            f64::from(blocks_smx).min((f64::from(info.blocks) / f64::from(gpu.smx_count)).ceil());
-        let hide = gpu.latency_hiding_factor(resident_blocks * warps_per_block);
-        let t_mem = bytes as f64 / (gpu.gmem_bw_gbps * 1e9 * hide.max(1e-6));
-        let t_cmp = spec.flops as f64 / (gpu.peak_gflops * 1e9 * hide.max(0.05));
-        let t_smem = projected_smem_bytes_moved(info, spec) as f64 / (gpu.smem_bw_gbps * 1e9);
-        let waves = (f64::from(info.blocks) / resident).ceil().max(1.0);
-        let t_barrier =
-            f64::from(spec.barrier_count()) * f64::from(info.nz) * gpu.barrier_ns * waves * 1e-9;
-        let t_launch = gpu.launch_overhead_us * 1e-6;
-        let t_pro = t_mem.max(t_cmp).max(t_smem) + t_barrier + t_launch;
-
-        ProposedBreakdown {
+    if blocks_smx == 0 {
+        return ProposedBreakdown {
             blocks_smx,
-            active_warps: occ.active_warps_per_smx,
-            b_sh,
-            b_eff,
-            p_mem_bound_gflops: p_mem_bound,
+            active_warps: 0,
+            b_sh: 0.0,
+            b_eff: 0.0,
+            p_mem_bound_gflops: 0.0,
             bytes,
-            t_pro,
-        }
+            t_pro: f64::INFINITY,
+        };
+    }
+
+    // c · H_TH: halo bookkeeping per thread (Eqs. 4–5).
+    let c_h_th = if s.halo_bytes > 0 {
+        (s.halo_bytes).div_ceil(u64::from(info.threads).max(1) * elem) as f64
+    } else {
+        0.0
+    };
+
+    // Eq. 8: B_Sh = T_B · Blocks_SMX / ((1 + c·H_TH) · |ShrLst|).
+    let n_shr = s.n_smem_pivots.max(1) as f64;
+    let b_sh = f64::from(s.active_threads) * f64::from(blocks_smx) / ((1.0 + c_h_th) * n_shr);
+
+    // §IV-B: B_eff = B_Sh · SMX / (Thr · B), B capped at the resident
+    // wave (blocks beyond one wave do not dilute blocking efficiency).
+    let resident = f64::from(blocks_smx) * f64::from(gpu.smx_count);
+    let b_grid = f64::from(info.blocks).min(resident).max(1.0);
+    let b_eff = b_sh * f64::from(gpu.smx_count) / (f64::from(info.threads) * b_grid);
+
+    // Eq. 9: P_MemBound = B_eff · GMEM_BW / elem_bytes  [GFLOPS].
+    let p_mem_bound = b_eff * gpu.gmem_bw_gbps / elem as f64;
+
+    // Practical runtime bound: projected traffic at the bandwidth the
+    // projected warp concurrency can sustain, against projected
+    // compute (incl. redundant halo FLOPs) and staging traffic, plus
+    // barrier and launch overheads. All inputs are metadata-derived.
+    // Residency is the occupancy cap clamped by the actual grid (small
+    // problems cannot fill the device).
+    let warps_per_block = (f64::from(info.threads) / f64::from(gpu.warp_size)).ceil();
+    let resident_blocks =
+        f64::from(blocks_smx).min((f64::from(info.blocks) / f64::from(gpu.smx_count)).ceil());
+    let hide = gpu.latency_hiding_factor(resident_blocks * warps_per_block);
+    let t_mem = bytes as f64 / (gpu.gmem_bw_gbps * 1e9 * hide.max(1e-6));
+    let t_cmp = s.flops as f64 / (gpu.peak_gflops * 1e9 * hide.max(0.05));
+    let t_smem = smem_moved() as f64 / (gpu.smem_bw_gbps * 1e9);
+    let waves = (f64::from(info.blocks) / resident).ceil().max(1.0);
+    let t_barrier = f64::from(s.barriers) * f64::from(info.nz) * gpu.barrier_ns * waves * 1e-9;
+    let t_launch = gpu.launch_overhead_us * 1e-6;
+    let t_pro = t_mem.max(t_cmp).max(t_smem) + t_barrier + t_launch;
+
+    ProposedBreakdown {
+        blocks_smx,
+        active_warps: occ.active_warps_per_smx,
+        b_sh,
+        b_eff,
+        p_mem_bound_gflops: p_mem_bound,
+        bytes,
+        t_pro,
     }
 }
 
@@ -322,6 +470,38 @@ fn projected_smem_bytes_moved(info: &ProgramInfo, spec: &GroupSpec) -> u64 {
     bytes
 }
 
+/// [`projected_smem_bytes_moved`] over a borrowed SoA view: the per-member
+/// reading-use lookup scans the kernel's CSR use row instead of a binary
+/// search over `uses`, yielding the same integer sum with no allocation.
+fn projected_smem_bytes_moved_view(info: &ProgramInfo, view: &SpecView<'_>) -> u64 {
+    let t = view.tables;
+    let elem = info.elem_bytes();
+    let blocks = u64::from(info.blocks);
+    let nz = u64::from(info.nz);
+    let sites = blocks * info.tile_area(0) * nz;
+    let mut bytes = 0u64;
+    for p in view.pivots {
+        if !p.smem {
+            continue;
+        }
+        let tile = blocks * info.tile_area(u32::from(p.halo)) * nz;
+        // Fill (loaded pivots) or produced write (produced pivots).
+        bytes += tile * elem;
+        let pc = t.compact[p.array.index()];
+        for &m in view.members {
+            for u in t.use_range(m.index()) {
+                if t.u_cidx[u] == pc {
+                    if t.u_flags[u] & READS != 0 {
+                        bytes += u64::from(t.u_thread_load[u]) * sites * elem;
+                    }
+                    break; // at most one use per (kernel, array)
+                }
+            }
+        }
+    }
+    bytes
+}
+
 impl PerfModel for ProposedModel {
     fn name(&self) -> &'static str {
         "proposed"
@@ -332,6 +512,13 @@ impl PerfModel for ProposedModel {
             return info.meta(spec.members[0]).runtime_s;
         }
         self.breakdown(info, spec).t_pro
+    }
+
+    fn project_view(&self, info: &ProgramInfo, view: &SpecView<'_>) -> f64 {
+        if view.members.len() == 1 {
+            return info.meta(view.members[0]).runtime_s;
+        }
+        self.breakdown_view(info, view).t_pro
     }
 }
 

@@ -53,6 +53,14 @@ pub struct SolveStats {
     pub cache_hit_rate: f64,
     /// Plan-level condensation acyclicity checks performed.
     pub condensation_checks: u64,
+    /// Fraction of memo probes that missed and paid the synthesis +
+    /// projection cost (`evaluations / probes`).
+    pub miss_rate: f64,
+    /// Total wall-clock nanoseconds on the memo-miss path (synthesis,
+    /// projection, insert), summed over worker threads.
+    pub miss_ns: u64,
+    /// Nanoseconds of `miss_ns` spent inside group synthesis proper.
+    pub synth_ns: u64,
     /// Per-island breakdown when the solver ran in island mode.
     pub islands: Vec<IslandStats>,
 }

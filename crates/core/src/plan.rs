@@ -16,6 +16,7 @@ use crate::kinship::ShareGraph;
 use crate::metadata::ProgramInfo;
 use crate::model::PerfModel;
 use crate::spec::GroupSpec;
+use crate::synth::{SpecView, SynthScratch, SynthTables};
 use crate::util::BitSet;
 use kfuse_ir::KernelId;
 use serde::{Deserialize, Serialize};
@@ -195,13 +196,21 @@ pub struct PlanContext {
     pub exec: ExecOrderGraph,
     /// Sharing graph with kinship distances.
     pub share: ShareGraph,
+    /// Precomputed SoA synthesis tables for the allocation-free miss path.
+    pub synth: SynthTables,
 }
 
 impl PlanContext {
     /// Build a context from extracted metadata and the relaxed program's
     /// graphs.
     pub fn new(info: ProgramInfo, exec: ExecOrderGraph, share: ShareGraph) -> Self {
-        PlanContext { info, exec, share }
+        let synth = SynthTables::build(&info);
+        PlanContext {
+            info,
+            exec,
+            share,
+            synth,
+        }
     }
 
     /// Number of kernels.
@@ -267,6 +276,93 @@ impl PlanContext {
             });
         }
         Ok(spec)
+    }
+
+    /// The *structural* constraints alone (sync/stream splits, kinship,
+    /// path closure), using the scratch's reusable bitsets: the
+    /// allocation-free front half of [`PlanContext::check_group`].
+    pub fn check_group_structure(
+        &self,
+        group: &[KernelId],
+        group_idx: usize,
+        scratch: &mut SynthScratch,
+    ) -> Result<(), PlanError> {
+        if group.len() < 2 {
+            return Ok(());
+        }
+        // Host synchronization points split the program into epochs no
+        // fusion may span.
+        let e0 = self.info.epochs[group[0].index()];
+        if group.iter().any(|k| self.info.epochs[k.index()] != e0) {
+            return Err(PlanError::SyncSplit { group: group_idx });
+        }
+        // Streams: fusing across streams serializes concurrency.
+        let s0 = self.info.streams[group[0].index()];
+        if group.iter().any(|k| self.info.streams[k.index()] != s0) {
+            return Err(PlanError::StreamSplit { group: group_idx });
+        }
+        // 1.5 kinship.
+        if !self.share.group_connected(group.iter().copied()) {
+            return Err(PlanError::Kinship { group: group_idx });
+        }
+        // 1.3 path closure.
+        scratch.group_bits.reset(self.n_kernels());
+        for &k in group {
+            scratch.group_bits.insert(k.index());
+        }
+        if let Some(v) = self
+            .exec
+            .path_closure_violation_with(&scratch.group_bits, &mut scratch.reach)
+        {
+            return Err(PlanError::PathClosure {
+                group: group_idx,
+                violator: v,
+            });
+        }
+        Ok(())
+    }
+
+    /// The capacity constraints (1.6, 1.7) over a synthesized view — the
+    /// back half of [`PlanContext::check_group`], same check order.
+    pub fn check_view_limits(
+        &self,
+        view: &SpecView<'_>,
+        group_idx: usize,
+    ) -> Result<(), PlanError> {
+        // Active-constraint pruning (§III-C): capacity checks only matter
+        // for groups that actually stage pivots.
+        if view.smem_bytes > 0 {
+            let capacity = u64::from(self.info.gpu.smem_per_smx);
+            if view.smem_bytes > capacity {
+                return Err(PlanError::SmemOverflow {
+                    group: group_idx,
+                    bytes: view.smem_bytes,
+                    capacity,
+                });
+            }
+        }
+        if view.projected_regs > self.info.gpu.max_regs_per_thread {
+            return Err(PlanError::RegOverflow {
+                group: group_idx,
+                regs: view.projected_regs,
+            });
+        }
+        Ok(())
+    }
+
+    /// Allocation-free equivalent of [`PlanContext::check_group`]:
+    /// structural checks, SoA synthesis into `scratch`, capacity checks.
+    /// Error variants match the legacy path check-for-check.
+    pub fn check_group_with<'s>(
+        &'s self,
+        group: &[KernelId],
+        group_idx: usize,
+        scratch: &'s mut SynthScratch,
+    ) -> Result<SpecView<'s>, PlanError> {
+        self.check_group_structure(group, group_idx, scratch)?;
+        let view = self.synth.synthesize_into(&self.info, group, scratch);
+        self.check_view_limits(&view, group_idx)?;
+        Ok(view)
     }
 
     /// Check profitability (1.1) of a multi-member group under `model`.

@@ -5,7 +5,7 @@
 /// Reachability over programs with ~150 kernels fits in a few words; the
 /// HGGA evaluates millions of candidate groups, so constraint checks must
 /// be branch-light and allocation-free.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BitSet {
     len: usize,
     words: Vec<u64>,
@@ -89,6 +89,19 @@ impl BitSet {
     /// Clear all bits.
     pub fn clear(&mut self) {
         self.words.fill(0);
+    }
+
+    /// Clear all bits, adjusting capacity to `len` if it differs. After a
+    /// scratch bitset has warmed to a program's kernel count, this never
+    /// allocates again.
+    pub fn reset(&mut self, len: usize) {
+        if self.len != len {
+            self.len = len;
+            self.words.clear();
+            self.words.resize(len.div_ceil(64), 0);
+        } else {
+            self.words.fill(0);
+        }
     }
 }
 

@@ -30,6 +30,7 @@
 use crate::eval::{Evaluator, GroupEval};
 use kfuse_core::exec_order::ExecOrderGraph;
 use kfuse_core::plan::FusionPlan;
+use kfuse_core::synth::SynthScratch;
 use kfuse_ir::KernelId;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -103,6 +104,9 @@ pub struct OpScratch {
     pub(crate) injected: Vec<bool>,
     pub(crate) donors: Vec<u32>,
     pub(crate) chosen: Vec<u32>,
+    /// Per-worker SoA synthesis scratch: every memo-miss evaluation issued
+    /// through this worker synthesizes into these buffers.
+    pub(crate) synth: SynthScratch,
 }
 
 impl OpScratch {
@@ -759,7 +763,7 @@ impl Chromosome {
                 s.eval
             } else {
                 let members = &self.arena[s.start as usize..(s.start + s.len) as usize];
-                let e = ev.group(members);
+                let e = ev.group_with(members, &mut scratch.synth);
                 let slot = &mut self.slots[sid as usize];
                 slot.eval = e;
                 slot.eval_known = true;
@@ -843,7 +847,10 @@ impl Chromosome {
                 let e = if s.len == 1 {
                     ev.singleton(self.arena[s.start as usize])
                 } else {
-                    ev.group(&self.arena[s.start as usize..(s.start + s.len) as usize])
+                    ev.group_with(
+                        &self.arena[s.start as usize..(s.start + s.len) as usize],
+                        &mut scratch.synth,
+                    )
                 };
                 let slot = &mut self.slots[sid as usize];
                 slot.eval = e;

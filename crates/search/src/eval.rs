@@ -31,12 +31,14 @@
 use kfuse_core::fuse::{condensation_order_with, CondensationScratch};
 use kfuse_core::model::PerfModel;
 use kfuse_core::plan::{FusionPlan, PlanContext};
+use kfuse_core::synth::SynthScratch;
 use kfuse_ir::KernelId;
 use parking_lot::RwLock;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Number of memo shards. A power of two so the shard index is a mask of
 /// the fingerprint; 16 keeps contention negligible for the island counts
@@ -87,6 +89,10 @@ type Shard = HashMap<u64, Vec<(Box<[KernelId]>, GroupEval)>, BuildHasherDefault<
 thread_local! {
     static CONDENSATION_SCRATCH: RefCell<CondensationScratch> =
         RefCell::new(CondensationScratch::new());
+    /// Fallback synthesis scratch for callers without their own (tests,
+    /// one-off probes). Solver hot loops pass per-thread scratch through
+    /// [`Evaluator::group_with`] instead.
+    static SYNTH_SCRATCH: RefCell<SynthScratch> = RefCell::new(SynthScratch::new());
 }
 
 /// Shared, thread-safe objective evaluator.
@@ -102,13 +108,16 @@ pub struct Evaluator<'a> {
     evaluations: AtomicU64,
     probes: AtomicU64,
     condensation_checks: AtomicU64,
+    miss_ns: AtomicU64,
+    synth_ns: AtomicU64,
 }
 
 impl<'a> Evaluator<'a> {
     /// Create an evaluator over `ctx` and `model`.
     pub fn new(ctx: &'a PlanContext, model: &'a dyn PerfModel) -> Self {
+        let mut scratch = SynthScratch::new();
         let baseline = (0..ctx.n_kernels())
-            .map(|i| compute_group(ctx, model, &[KernelId(i as u32)]))
+            .map(|i| compute_with(ctx, model, &[KernelId(i as u32)], &mut scratch).0)
             .collect();
         Evaluator {
             ctx,
@@ -120,6 +129,8 @@ impl<'a> Evaluator<'a> {
             evaluations: AtomicU64::new(0),
             probes: AtomicU64::new(0),
             condensation_checks: AtomicU64::new(0),
+            miss_ns: AtomicU64::new(0),
+            synth_ns: AtomicU64::new(0),
         }
     }
 
@@ -146,6 +157,28 @@ impl<'a> Evaluator<'a> {
         (probes - self.evaluations()) as f64 / probes as f64
     }
 
+    /// Fraction of multi-member memo probes that missed and paid the
+    /// synthesis + projection cost, `misses / probes`; 0 before any probe.
+    pub fn miss_rate(&self) -> f64 {
+        let probes = self.probes();
+        if probes == 0 {
+            return 0.0;
+        }
+        self.evaluations() as f64 / probes as f64
+    }
+
+    /// Total wall-clock nanoseconds spent on the memo-miss path (group
+    /// synthesis + projection + insert), summed over all threads.
+    pub fn miss_ns(&self) -> u64 {
+        self.miss_ns.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds of [`Self::miss_ns`] spent inside group synthesis
+    /// proper (`synthesize_into`), summed over all threads.
+    pub fn synth_ns(&self) -> u64 {
+        self.synth_ns.load(Ordering::Relaxed)
+    }
+
     /// Number of plan-level condensation (acyclicity) checks performed.
     /// Plans rejected on an infeasible group never reach this check.
     pub fn condensation_checks(&self) -> u64 {
@@ -167,8 +200,28 @@ impl<'a> Evaluator<'a> {
         self.baseline[k.index()]
     }
 
-    /// Evaluate one group (memoized). `group` need not be sorted.
+    /// Evaluate one group (memoized). `group` need not be sorted. Misses
+    /// synthesize into a thread-local scratch; hot loops that already own
+    /// scratch should call [`Self::group_with`].
     pub fn group(&self, group: &[KernelId]) -> GroupEval {
+        self.group_inner(group, None)
+    }
+
+    /// [`Self::group`] with caller-owned synthesis scratch, skipping the
+    /// thread-local borrow on the miss path.
+    pub fn group_with(&self, group: &[KernelId], scratch: &mut SynthScratch) -> GroupEval {
+        self.group_inner(group, Some(scratch))
+    }
+
+    /// The raw objective with no memo interaction and no stat counters:
+    /// structure checks, SoA synthesis into `scratch`, view projection and
+    /// the profitability gate. This is the allocation-free unit the
+    /// `search_scaling` miss-path benchmark times.
+    pub fn evaluate_uncached(&self, group: &[KernelId], scratch: &mut SynthScratch) -> GroupEval {
+        compute_with(self.ctx, self.model, group, scratch).0
+    }
+
+    fn group_inner(&self, group: &[KernelId], scratch: Option<&mut SynthScratch>) -> GroupEval {
         if let [k] = group {
             return self.baseline[k.index()];
         }
@@ -182,7 +235,13 @@ impl<'a> Evaluator<'a> {
                 }
             }
             self.evaluations.fetch_add(1, Ordering::Relaxed);
-            let eval = compute_group(self.ctx, self.model, key);
+            let t0 = Instant::now();
+            let (eval, synth_ns) = match scratch {
+                Some(s) => compute_with(self.ctx, self.model, key, s),
+                None => SYNTH_SCRATCH
+                    .with(|s| compute_with(self.ctx, self.model, key, &mut s.borrow_mut())),
+            };
+            self.synth_ns.fetch_add(synth_ns, Ordering::Relaxed);
             let mut w = shard.write();
             let bucket = w.entry(fp).or_default();
             // A racing thread may have inserted while we computed.
@@ -190,6 +249,9 @@ impl<'a> Evaluator<'a> {
                 return *hit;
             }
             bucket.push((key.to_vec().into_boxed_slice(), eval));
+            drop(w);
+            self.miss_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             eval
         })
     }
@@ -261,7 +323,42 @@ fn fingerprint(group: &[KernelId]) -> u64 {
     acc
 }
 
-/// The raw (unmemoized) group objective.
+/// The raw (unmemoized) group objective over the allocation-free SoA path:
+/// structure checks, synthesis into `scratch`, limit checks on the view,
+/// view projection, profitability. Returns the eval plus the nanoseconds
+/// spent inside `synthesize_into`.
+fn compute_with(
+    ctx: &PlanContext,
+    model: &dyn PerfModel,
+    group: &[KernelId],
+    scratch: &mut SynthScratch,
+) -> (GroupEval, u64) {
+    const INFEASIBLE: GroupEval = GroupEval {
+        time_s: f64::INFINITY,
+    };
+    if ctx.check_group_structure(group, 0, scratch).is_err() {
+        return (INFEASIBLE, 0);
+    }
+    let t0 = Instant::now();
+    let view = ctx.synth.synthesize_into(&ctx.info, group, scratch);
+    let synth_ns = t0.elapsed().as_nanos() as u64;
+    if ctx.check_view_limits(&view, 0).is_err() {
+        return (INFEASIBLE, synth_ns);
+    }
+    let t = model.project_view(&ctx.info, &view);
+    if group.len() >= 2 {
+        // Constraint 1.1: profitability.
+        let original = ctx.info.original_sum(group);
+        if t >= original || t.is_nan() {
+            return (INFEASIBLE, synth_ns);
+        }
+    }
+    (GroupEval { time_s: t }, synth_ns)
+}
+
+/// The raw (unmemoized) group objective over the materializing legacy
+/// path, retained for [`legacy::LegacyEvaluator`] and as the comparison
+/// baseline in the miss-path benchmark.
 fn compute_group(ctx: &PlanContext, model: &dyn PerfModel, group: &[KernelId]) -> GroupEval {
     let spec = match ctx.check_group(group, 0) {
         Ok(s) => s,

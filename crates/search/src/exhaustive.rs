@@ -64,6 +64,9 @@ impl Solver for ExhaustiveSolver {
                 probes: ev.probes(),
                 cache_hit_rate: ev.hit_rate(),
                 condensation_checks: ev.condensation_checks(),
+                miss_rate: ev.miss_rate(),
+                miss_ns: ev.miss_ns(),
+                synth_ns: ev.synth_ns(),
                 islands: Vec::new(),
             },
         }

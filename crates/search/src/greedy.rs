@@ -13,6 +13,7 @@ use kfuse_core::fuse::{condensation_order_with, CondensationScratch};
 use kfuse_core::model::PerfModel;
 use kfuse_core::pipeline::{SolveOutcome, SolveStats, Solver};
 use kfuse_core::plan::{FusionPlan, PlanContext};
+use kfuse_core::synth::SynthScratch;
 use kfuse_ir::KernelId;
 use std::time::Instant;
 
@@ -37,6 +38,7 @@ impl Solver for GreedySolver {
         let mut merged: Vec<KernelId> = Vec::new();
         let mut cand_pool: Vec<Vec<KernelId>> = Vec::new();
         let mut cscratch = CondensationScratch::new();
+        let mut sscratch = SynthScratch::new();
 
         loop {
             let mut best: Option<(usize, usize, f64)> = None;
@@ -46,11 +48,12 @@ impl Solver for GreedySolver {
                     if ctx.share.component(groups[i][0]) != ctx.share.component(groups[j][0]) {
                         continue;
                     }
-                    let cur = ev.group(&groups[i]).time_s + ev.group(&groups[j]).time_s;
+                    let cur = ev.group_with(&groups[i], &mut sscratch).time_s
+                        + ev.group_with(&groups[j], &mut sscratch).time_s;
                     merged.clear();
                     merged.extend_from_slice(&groups[i]);
                     merged.extend_from_slice(&groups[j]);
-                    let t = ev.group(&merged).time_s;
+                    let t = ev.group_with(&merged, &mut sscratch).time_s;
                     if !t.is_finite() {
                         continue;
                     }
@@ -107,6 +110,9 @@ impl Solver for GreedySolver {
                 probes: ev.probes(),
                 cache_hit_rate: ev.hit_rate(),
                 condensation_checks: ev.condensation_checks(),
+                miss_rate: ev.miss_rate(),
+                miss_ns: ev.miss_ns(),
+                synth_ns: ev.synth_ns(),
                 islands: Vec::new(),
             },
         }

@@ -241,6 +241,9 @@ impl HggaSolver {
                 probes: ev.probes(),
                 cache_hit_rate: ev.hit_rate(),
                 condensation_checks: ev.condensation_checks(),
+                miss_rate: ev.miss_rate(),
+                miss_ns: ev.miss_ns(),
+                synth_ns: ev.synth_ns(),
                 islands: Vec::new(),
             },
         }
@@ -381,6 +384,9 @@ impl HggaSolver {
                 probes: ev.probes(),
                 cache_hit_rate: ev.hit_rate(),
                 condensation_checks: ev.condensation_checks(),
+                miss_rate: ev.miss_rate(),
+                miss_ns: ev.miss_ns(),
+                synth_ns: ev.synth_ns(),
                 islands: island_stats,
             },
         }
@@ -509,7 +515,7 @@ pub fn random_chromosome(
         scratch.probe.clear();
         scratch.probe.extend_from_slice(ch.slot_members(ga));
         scratch.probe.extend_from_slice(ch.slot_members(gb));
-        let e = ev.group(&scratch.probe);
+        let e = ev.group_with(&scratch.probe, &mut scratch.synth);
         if e.feasible() {
             let (i, j) = (ch.position_of_slot(ga), ch.position_of_slot(gb));
             ch.merge_into(i, j, e);
@@ -647,7 +653,7 @@ pub fn mutate(
                     scratch.probe.clear();
                     scratch.probe.extend_from_slice(ch.members_at(gi));
                     scratch.probe.extend_from_slice(ch.members_at(gj));
-                    let e = ev.group(&scratch.probe);
+                    let e = ev.group_with(&scratch.probe, &mut scratch.synth);
                     if e.feasible() {
                         ch.merge_append(gi, gj, e);
                     }
@@ -671,7 +677,7 @@ pub fn mutate(
                     scratch.probe.clear();
                     scratch.probe.extend_from_slice(ch.members_at(gj));
                     scratch.probe.push(k);
-                    let target = ev.group(&scratch.probe);
+                    let target = ev.group_with(&scratch.probe, &mut scratch.synth);
                     let src_len = ch.members_at(gi).len() - 1;
                     // Probe the shrunk source only if the target passed
                     // (legacy short-circuit).
@@ -685,7 +691,7 @@ pub fn mutate(
                                 .filter(|&(x, _)| x != vi)
                                 .map(|(_, &m)| m),
                         );
-                        Some(ev.group(&scratch.probe2))
+                        Some(ev.group_with(&scratch.probe2, &mut scratch.synth))
                     } else {
                         None
                     };
@@ -748,8 +754,8 @@ pub fn local_search(
             if scratch.split_a.is_empty() || scratch.split_b.is_empty() {
                 continue;
             }
-            let ea = ev.group(&scratch.split_a);
-            let eb = ev.group(&scratch.split_b);
+            let ea = ev.group_with(&scratch.split_a, &mut scratch.synth);
+            let eb = ev.group_with(&scratch.split_b, &mut scratch.synth);
             if ea.time_s.is_finite() && eb.time_s.is_finite() {
                 let gain = cost_at(&ch, gi) - ea.time_s - eb.time_s;
                 if gain > 1e-15 && best_split.as_ref().is_none_or(|(g, ..)| gain > *g) {
@@ -778,7 +784,7 @@ pub fn local_search(
                 scratch.probe.clear();
                 scratch.probe.extend_from_slice(ch.members_at(i));
                 scratch.probe.extend_from_slice(ch.members_at(j));
-                let e = ev.group(&scratch.probe);
+                let e = ev.group_with(&scratch.probe, &mut scratch.synth);
                 if e.time_s.is_finite() {
                     let gain = cost_at(&ch, i) + cost_at(&ch, j) - e.time_s;
                     if gain > 1e-15 && best.as_ref().is_none_or(|(g, _)| gain > *g) {
@@ -798,11 +804,11 @@ pub fn local_search(
                         .filter(|&(x, _)| x != vi)
                         .map(|(_, &m)| m),
                 );
-                let es = ev.group(&scratch.probe2);
+                let es = ev.group_with(&scratch.probe2, &mut scratch.synth);
                 scratch.probe.clear();
                 scratch.probe.extend_from_slice(ch.members_at(j));
                 scratch.probe.push(k);
-                let et = ev.group(&scratch.probe);
+                let et = ev.group_with(&scratch.probe, &mut scratch.synth);
                 if es.time_s.is_finite() && et.time_s.is_finite() {
                     let gain = cost_at(&ch, i) + cost_at(&ch, j) - es.time_s - et.time_s;
                     if gain > 1e-15 && best.as_ref().is_none_or(|(g, _)| gain > *g) {
@@ -847,7 +853,7 @@ fn first_fit(
             scratch.probe.clear();
             scratch.probe.extend_from_slice(ch.members_at(gi));
             scratch.probe.push(k);
-            let e = ev.group(&scratch.probe);
+            let e = ev.group_with(&scratch.probe, &mut scratch.synth);
             if e.feasible() {
                 ch.push_member(gi, k, e);
                 placed = true;

@@ -482,6 +482,9 @@ pub fn solve(cfg: &HggaConfig, ctx: &PlanContext, model: &dyn PerfModel) -> Solv
             probes: ev.probes(),
             cache_hit_rate: ev.hit_rate(),
             condensation_checks: ev.condensation_checks(),
+            miss_rate: ev.miss_rate(),
+            miss_ns: ev.miss_ns(),
+            synth_ns: ev.synth_ns(),
             islands: Vec::new(),
         },
     }

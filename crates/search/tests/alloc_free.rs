@@ -1,0 +1,120 @@
+//! Zero-allocation guarantee of the memo-miss evaluation path.
+//!
+//! A counting global allocator wraps `System`; after warming the synthesis
+//! scratch once, re-evaluating distinct groups through
+//! [`Evaluator::evaluate_uncached`] (structure checks + SoA synthesis +
+//! view projection + profitability) must not allocate at all. Memo
+//! insertion (the boxed key) is deliberately outside this unit — it is
+//! amortized storage, not per-evaluation work.
+
+use kfuse_core::model::{PerfModel, ProposedModel, RooflineModel, SimpleModel};
+use kfuse_core::pipeline::prepare;
+use kfuse_core::synth::SynthScratch;
+use kfuse_gpu::{FpPrecision, GpuSpec};
+use kfuse_ir::KernelId;
+use kfuse_search::Evaluator;
+use kfuse_workloads::synth::{generate, SynthConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn miss_path_is_allocation_free_once_warm() {
+    // The 60-kernel scaling workload — the same shape the miss-path
+    // benchmark measures.
+    let cfg = SynthConfig {
+        name: "alloc_free_60".into(),
+        kernels: 60,
+        arrays: 120,
+        data_copies: 2,
+        sharing_set: 3,
+        thread_load: 4,
+        kinship: 3,
+        grid: [64, 16, 2],
+        block: (32, 4),
+        dep_prob: 0.5,
+        reads_per_kernel: 2,
+        pointwise_prob: 0.3,
+        sync_interval: None,
+        seed: 0xBEEF + 60,
+    };
+    let p = generate(&cfg);
+    let (_, ctx) = prepare(&p, &GpuSpec::k20x(), FpPrecision::Double);
+    let model = ProposedModel::default();
+    let ev = Evaluator::new(&ctx, &model);
+    let extra: [Box<dyn PerfModel>; 2] = [Box::new(RooflineModel), Box::new(SimpleModel)];
+
+    // Distinct groups spanning singletons up to 32 members (the stack-key
+    // bound) built BEFORE the measured region.
+    let n = ctx.n_kernels();
+    let groups: Vec<Vec<KernelId>> = (0..200u64)
+        .map(|i| {
+            let len = 1 + (i as usize % 32);
+            let start = (i as usize * 7) % n;
+            (0..len)
+                .map(|j| KernelId(((start + j * 3) % n) as u32))
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect()
+        })
+        .collect();
+
+    // Warm the scratch to the program's dimensions (first call sizes every
+    // slot array and the pivot/touched buffers to their upper bounds).
+    let mut scratch = SynthScratch::new();
+    for g in &groups {
+        std::hint::black_box(ev.evaluate_uncached(g, &mut scratch));
+    }
+
+    let before = allocations();
+    for _ in 0..3 {
+        for g in &groups {
+            std::hint::black_box(ev.evaluate_uncached(g, &mut scratch));
+        }
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta,
+        0,
+        "steady-state miss-path evaluation must not allocate ({delta} allocations over {} evals)",
+        3 * groups.len()
+    );
+
+    // The other two models share the same guarantee through project_view.
+    for m in &extra {
+        let before = allocations();
+        for g in &groups {
+            if g.len() < 2 {
+                continue;
+            }
+            let view = ctx.synth.synthesize_into(&ctx.info, g, &mut scratch);
+            std::hint::black_box(m.project_view(&ctx.info, &view));
+        }
+        let delta = allocations() - before;
+        assert_eq!(delta, 0, "{} project_view must not allocate", m.name());
+    }
+}

@@ -43,6 +43,8 @@ echo "-- kfuse lint rk3 (fused, seed 3)"
 ./target/release/kfuse lint "$verify_tmp/rk3.json" --fuse --seed 3
 echo "-- differential harness (verifier vs both evaluators)"
 cargo test --release -q --test differential
+echo "-- synthesis differential (SoA vs legacy vs verifier, 3 GPUs)"
+cargo test --release -q --test synth_differential
 
 bins=(table1 fig3_motivating table5 fig5a fig5b table6 fig6 fig7_8 fig9 table7 smem_whatif fusion_efficiency ablation blocksize_study weak_scaling)
 for b in "${bins[@]}"; do

@@ -1,0 +1,206 @@
+//! Differential testing of group synthesis: the allocation-free SoA path
+//! (`SynthTables::synthesize_into`) against the materializing oracle
+//! (`GroupSpec::synthesize`) and the independent verifier's re-derivation
+//! (`PlanChecker::derive_spec`), field-for-field, plus bitwise agreement
+//! of every performance model's `project` and `project_view` and
+//! variant-for-variant agreement of `check_group` and `check_group_with`.
+//!
+//! Groups are sampled with no feasibility filter, so the sweep covers
+//! degenerate shapes (singletons, disconnected members, capacity
+//! violations) as well as profitable fusions, across all three GPU specs.
+
+use kernel_fusion::prelude::*;
+use kfuse_core::spec::GroupSpec;
+use kfuse_core::synth::SynthScratch;
+use kfuse_verify::PlanChecker;
+use kfuse_workloads::synth::{generate, SynthConfig};
+use proptest::prelude::*;
+
+fn small_config(seed: u64, kernels: usize) -> SynthConfig {
+    SynthConfig {
+        name: format!("synthdiff_{seed}"),
+        kernels,
+        arrays: kernels * 2,
+        data_copies: 2,
+        sharing_set: 3,
+        thread_load: 4,
+        kinship: 3,
+        grid: [64, 16, 2],
+        block: (32, 4),
+        dep_prob: 0.5,
+        reads_per_kernel: 2,
+        pointwise_prob: 0.3,
+        sync_interval: None,
+        seed,
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A random group of 1–6 distinct kernels out of `n`.
+fn random_group(n: usize, state: &mut u64) -> Vec<KernelId> {
+    let len = 1 + (splitmix64(state) % 6) as usize;
+    let mut g: Vec<KernelId> = (0..len)
+        .map(|_| KernelId((splitmix64(state) % n as u64) as u32))
+        .collect();
+    g.sort_unstable();
+    g.dedup();
+    g
+}
+
+fn gpus() -> [GpuSpec; 3] {
+    [GpuSpec::k20x(), GpuSpec::k40(), GpuSpec::gtx750ti()]
+}
+
+fn assert_specs_eq(a: &GroupSpec, b: &GroupSpec, what: &str) {
+    assert_eq!(a.members, b.members, "{what}: members");
+    assert_eq!(a.pivots, b.pivots, "{what}: pivots");
+    assert_eq!(a.barrier_before, b.barrier_before, "{what}: barrier_before");
+    assert_eq!(a.smem_bytes, b.smem_bytes, "{what}: smem_bytes");
+    assert_eq!(a.projected_regs, b.projected_regs, "{what}: projected_regs");
+    assert_eq!(a.flops, b.flops, "{what}: flops");
+    assert_eq!(a.halo_bytes, b.halo_bytes, "{what}: halo_bytes");
+    assert_eq!(a.ro_bytes, b.ro_bytes, "{what}: ro_bytes");
+    assert_eq!(a.active_threads, b.active_threads, "{what}: active_threads");
+    assert_eq!(a.complex, b.complex, "{what}: complex");
+}
+
+fn models() -> Vec<Box<dyn PerfModel>> {
+    vec![
+        Box::new(RooflineModel),
+        Box::new(SimpleModel),
+        Box::new(ProposedModel::default()),
+    ]
+}
+
+fn check_program_on(gpu: &GpuSpec, seed: u64, kernels: usize) {
+    let p = generate(&small_config(seed, kernels));
+    let (_, ctx) = pipeline::prepare(&p, gpu, FpPrecision::Double);
+    let checker = PlanChecker::new(&ctx.info);
+    let models = models();
+    let mut scratch = SynthScratch::new();
+    let mut state = seed ^ 0x5EED_CAFE;
+    for _ in 0..32 {
+        let group = random_group(ctx.n_kernels(), &mut state);
+        let legacy = GroupSpec::synthesize(&ctx.info, &group);
+
+        // The SoA sweep materializes to the identical spec...
+        let view = ctx.synth.synthesize_into(&ctx.info, &group, &mut scratch);
+        assert_specs_eq(
+            &view.to_spec(),
+            &legacy,
+            &format!("SoA vs legacy, {} {group:?}", gpu.name),
+        );
+        // ...and every model projects it bitwise identically.
+        for m in &models {
+            let spec_t = m.project(&ctx.info, &legacy);
+            let view_t = m.project_view(&ctx.info, &view);
+            assert_eq!(
+                spec_t.to_bits(),
+                view_t.to_bits(),
+                "{} project vs project_view, {} {group:?}",
+                m.name(),
+                gpu.name
+            );
+        }
+
+        // The independent verifier re-derives the same spec.
+        let derived = checker.derive_spec(&group);
+        assert_specs_eq(
+            &derived,
+            &legacy,
+            &format!("verifier vs legacy, {} {group:?}", gpu.name),
+        );
+
+        // Constraint checking agrees variant-for-variant.
+        let old = ctx.check_group(&group, 7).map(|_| ());
+        let new = ctx.check_group_with(&group, 7, &mut scratch).map(|_| ());
+        match (old, new) {
+            (Ok(()), Ok(())) => {}
+            (Err(a), Err(b)) => assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "check_group error divergence on {} {group:?}",
+                gpu.name
+            ),
+            (a, b) => panic!(
+                "check_group feasibility divergence on {} {group:?}: legacy {a:?} vs SoA {b:?}",
+                gpu.name
+            ),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// SoA == legacy == verifier over random programs, all three GPUs.
+    #[test]
+    fn synthesis_paths_agree(seed in 0u64..10_000, kernels in 4usize..16) {
+        for gpu in gpus() {
+            check_program_on(&gpu, seed, kernels);
+        }
+    }
+}
+
+/// A handcrafted fixture covering all four touch classes (read-only
+/// shared input, produced read-write pivot consumed at a radius, an
+/// expandable double-written array, and write-only outputs) swept over
+/// every subset of its kernels on every GPU.
+#[test]
+fn all_touch_classes_all_subsets_all_gpus() {
+    let mut pb = ProgramBuilder::new("touchmix", [64, 32, 4]);
+    let a = pb.array("A"); // read-only, shared by all
+    let b = pb.array("B"); // read-write: produced by k0, consumed at radius
+    let q = pb.array("Q"); // expandable: written by k0 and k2
+    let [w0, w1, w2] = pb.arrays(["W0", "W1", "W2"]); // write-only outputs
+    pb.kernel("k0")
+        .write(b, Expr::at(a) + Expr::lit(1.0))
+        .write(q, Expr::at(a) * Expr::lit(2.0))
+        .build();
+    pb.kernel("k1")
+        .write(
+            w0,
+            Expr::load(b, kfuse_ir::stencil::Offset::new(1, 0, 0)) + Expr::at(q),
+        )
+        .build();
+    pb.kernel("k2")
+        .write(q, Expr::at(a) - Expr::lit(1.0))
+        .write(w1, Expr::at(b))
+        .build();
+    pb.kernel("k3")
+        .write(w2, Expr::load(q, kfuse_ir::stencil::Offset::new(-1, 0, 0)))
+        .build();
+    let p = pb.build();
+
+    for gpu in gpus() {
+        let (_, ctx) = pipeline::prepare(&p, &gpu, FpPrecision::Double);
+        let checker = PlanChecker::new(&ctx.info);
+        let mut scratch = SynthScratch::new();
+        let n = ctx.n_kernels();
+        for mask in 1u32..(1 << n) {
+            let group: Vec<KernelId> = (0..n)
+                .filter(|k| mask & (1 << k) != 0)
+                .map(|k| KernelId(k as u32))
+                .collect();
+            let legacy = GroupSpec::synthesize(&ctx.info, &group);
+            let view = ctx.synth.synthesize_into(&ctx.info, &group, &mut scratch);
+            assert_specs_eq(
+                &view.to_spec(),
+                &legacy,
+                &format!("fixture SoA, {} mask {mask:b}", gpu.name),
+            );
+            assert_specs_eq(
+                &checker.derive_spec(&group),
+                &legacy,
+                &format!("fixture verifier, {} mask {mask:b}", gpu.name),
+            );
+        }
+    }
+}
