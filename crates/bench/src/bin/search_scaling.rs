@@ -29,6 +29,10 @@
 //! working directory (the repo root when driven by `run_experiments.sh`).
 //! `--check-against <file>` compares the fresh flat-solver evals/s against
 //! a committed baseline and exits non-zero on a >20% regression.
+//! `--trace` additionally records one traced HGGA run per workload (via
+//! `kfuse-obs`) and writes Perfetto-loadable chrome-trace JSON to
+//! `results/search_scaling_trace_<kernels>.json`, so BENCH runs carry
+//! timelines next to the throughput numbers.
 
 use kfuse_bench::write_json;
 use kfuse_core::model::ProposedModel;
@@ -37,9 +41,9 @@ use kfuse_core::pipeline::Solver;
 use kfuse_core::plan::{FusionPlan, PlanContext};
 use kfuse_gpu::GpuSpec;
 use kfuse_ir::KernelId;
+use kfuse_obs::{InMemoryRecorder, ObsHandle};
 use kfuse_search::eval::legacy::LegacyEvaluator;
 use kfuse_search::{Evaluator, HggaConfig, HggaSolver};
-use kfuse_workloads::synth::{generate, SynthConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -196,23 +200,31 @@ struct MissHeadline {
     speedup: f64,
 }
 
+/// The shared scaling-study workload (see `kfuse_workloads::synth::scaling`
+/// — also what `kfuse example synth60` dumps).
 fn synth(kernels: usize) -> kfuse_ir::Program {
-    generate(&SynthConfig {
-        name: format!("scale_{kernels}"),
-        kernels,
-        arrays: kernels * 2,
-        data_copies: 2,
-        sharing_set: 3,
-        thread_load: 4,
-        kinship: 3,
-        grid: [64, 16, 2],
-        block: (32, 4),
-        dep_prob: 0.5,
-        reads_per_kernel: 2,
-        pointwise_prob: 0.3,
-        sync_interval: None,
-        seed: 0xBEEF + kernels as u64,
-    })
+    kfuse_workloads::synth::scaling(kernels)
+}
+
+/// Record one traced HGGA run (8 islands, the study config) and write the
+/// chrome-trace JSON next to the other results.
+fn write_trace(kernels: usize, ctx: &PlanContext, model: &ProposedModel) {
+    let rec = InMemoryRecorder::new();
+    let s = HggaSolver {
+        config: study_config(8),
+    };
+    let out = s.solve_observed(ctx, model, ObsHandle::new(&rec));
+    let trace = kfuse_obs::chrome_trace(&rec);
+    let path = kfuse_bench::results_dir().join(format!("search_scaling_trace_{kernels}.json"));
+    match std::fs::write(&path, trace) {
+        Ok(()) => println!(
+            "  trace      : {} events over {:.3} s -> {}",
+            rec.len(),
+            out.stats.elapsed.as_secs_f64(),
+            path.display()
+        ),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
 }
 
 /// Deterministic pool of candidate plans built by random constructive
@@ -532,6 +544,7 @@ fn variant_point(
 }
 
 fn main() {
+    let mut trace = false;
     let check_against: Option<String> = {
         let mut args = std::env::args().skip(1);
         let mut path = None;
@@ -542,6 +555,8 @@ fn main() {
                     eprintln!("--check-against requires a file argument");
                     std::process::exit(2);
                 }
+            } else if a == "--trace" {
+                trace = true;
             }
         }
         path
@@ -683,6 +698,10 @@ fn main() {
                 v.variant, v.islands, v.evals_per_sec, v.wall_s, v.objective,
                 v.condensation_checks, v.cache_hit_rate
             );
+        }
+
+        if trace {
+            write_trace(kernels, &ctx, &model);
         }
 
         report.workloads.push(WorkloadReport {

@@ -30,6 +30,13 @@
 //!     Fusion Efficiency metric (Eqs. 11–12).
 //! 11. [`pipeline`] — Algorithm 1: metadata → graphs → search → transform,
 //!     generic over a solver (the HGGA lives in `kfuse-search`).
+//!
+//! Solver runs report through the structured observability layer in
+//! `kfuse-obs`: [`pipeline::SolveStats`] is a derived view over its
+//! metrics registry, and [`pipeline::run_observed`] threads a tracing
+//! handle through the search (see `OBSERVABILITY.md`).
+
+#![warn(missing_docs)]
 
 pub mod depgraph;
 pub mod dot;

@@ -19,6 +19,7 @@ use crate::relax::relax_expandable;
 use crate::spec::GroupSpec;
 use kfuse_gpu::{FpPrecision, GpuSpec};
 use kfuse_ir::Program;
+use kfuse_obs::{ratio, Counter, MetricsSnapshot, ObsHandle};
 use kfuse_sim::{simulate_program, ProgramTiming};
 use std::time::Duration;
 
@@ -65,6 +66,33 @@ pub struct SolveStats {
     pub islands: Vec<IslandStats>,
 }
 
+impl SolveStats {
+    /// Derive the registry-backed portion of the stats from a metrics
+    /// snapshot. Fields the registry cannot know — wall-clock times,
+    /// `best_generation`, the per-island breakdown — stay at their
+    /// defaults for the caller to fill in.
+    ///
+    /// This is the single mapping between the [`kfuse_obs`] counter
+    /// taxonomy and the legacy Table VI columns, so every solver reports
+    /// `probes`/`cache_hit_rate`/`miss_ns`/… identically (and rates are
+    /// `0.0`, never NaN, when no probe was issued).
+    pub fn from_metrics(metrics: &MetricsSnapshot) -> SolveStats {
+        let probes = metrics.get(Counter::MemoProbes);
+        let misses = metrics.get(Counter::MemoMisses);
+        SolveStats {
+            generations: metrics.get(Counter::Generations) as u32,
+            evaluations: misses,
+            probes,
+            cache_hit_rate: ratio(probes.saturating_sub(misses), probes),
+            condensation_checks: metrics.get(Counter::CondensationChecks),
+            miss_rate: ratio(misses, probes),
+            miss_ns: metrics.get(Counter::MissNs),
+            synth_ns: metrics.get(Counter::SynthNs),
+            ..SolveStats::default()
+        }
+    }
+}
+
 /// Outcome of a solver run.
 #[derive(Debug, Clone)]
 pub struct SolveOutcome {
@@ -72,8 +100,25 @@ pub struct SolveOutcome {
     pub plan: FusionPlan,
     /// Its objective value (total projected runtime, Eq. 1).
     pub objective: f64,
-    /// Search statistics.
+    /// Search statistics (Table VI view, derived from `metrics` by
+    /// registry-backed solvers).
     pub stats: SolveStats,
+    /// Raw metrics snapshot the run accumulated (empty for solvers that
+    /// predate the registry, e.g. external [`Solver`] impls).
+    pub metrics: MetricsSnapshot,
+}
+
+impl SolveOutcome {
+    /// An outcome carrying no metrics snapshot (for hand-rolled or stub
+    /// solvers).
+    pub fn new(plan: FusionPlan, objective: f64, stats: SolveStats) -> SolveOutcome {
+        SolveOutcome {
+            plan,
+            objective,
+            stats,
+            metrics: MetricsSnapshot::default(),
+        }
+    }
 }
 
 /// A search strategy over the space of feasible fusion plans.
@@ -83,6 +128,19 @@ pub trait Solver {
 
     /// Find a (near-)optimal plan for `ctx` under `model`.
     fn solve(&self, ctx: &PlanContext, model: &dyn PerfModel) -> SolveOutcome;
+
+    /// [`Solver::solve`] with an observability handle: implementations
+    /// that support tracing emit spans/gauges into `obs` during the run.
+    /// The default ignores the handle, so plain solvers keep working.
+    fn solve_observed(
+        &self,
+        ctx: &PlanContext,
+        model: &dyn PerfModel,
+        obs: ObsHandle<'_>,
+    ) -> SolveOutcome {
+        let _ = obs;
+        self.solve(ctx, model)
+    }
 }
 
 /// Everything produced by one pipeline run.
@@ -99,6 +157,8 @@ pub struct PipelineResult {
     pub ctx: PlanContext,
     /// Solver statistics.
     pub stats: SolveStats,
+    /// Raw solver metrics snapshot (see [`SolveOutcome::metrics`]).
+    pub metrics: MetricsSnapshot,
     /// Simulated timing of the relaxed (original) program.
     pub original_timing: ProgramTiming,
     /// Simulated timing of the fused program.
@@ -208,8 +268,31 @@ pub fn run_with(
     solver: &dyn Solver,
     opts: PipelineOptions,
 ) -> Result<PipelineResult, PipelineError> {
+    run_observed(
+        program,
+        gpu,
+        precision,
+        model,
+        solver,
+        opts,
+        ObsHandle::disabled(),
+    )
+}
+
+/// [`run_with`] under an observability handle: the solve phase runs via
+/// [`Solver::solve_observed`] so spans/gauges land in `obs`, and the
+/// result carries the solver's raw metrics snapshot.
+pub fn run_observed(
+    program: &Program,
+    gpu: &GpuSpec,
+    precision: FpPrecision,
+    model: &dyn PerfModel,
+    solver: &dyn Solver,
+    opts: PipelineOptions,
+    obs: ObsHandle<'_>,
+) -> Result<PipelineResult, PipelineError> {
     let (relaxed, ctx) = prepare_with(program, gpu, precision, opts);
-    let outcome = solver.solve(&ctx, model);
+    let outcome = solver.solve_observed(&ctx, model, obs);
     let specs = ctx
         .validate(&outcome.plan)
         .map_err(PipelineError::InvalidPlan)?;
@@ -226,6 +309,7 @@ pub fn run_with(
         specs,
         ctx,
         stats: outcome.stats,
+        metrics: outcome.metrics,
         original_timing,
         fused_timing,
     })
@@ -247,11 +331,7 @@ mod tests {
         fn solve(&self, ctx: &PlanContext, model: &dyn PerfModel) -> SolveOutcome {
             let plan = FusionPlan::identity(ctx.n_kernels());
             let objective = ctx.objective(&plan, model);
-            SolveOutcome {
-                plan,
-                objective,
-                stats: SolveStats::default(),
-            }
+            SolveOutcome::new(plan, objective, SolveStats::default())
         }
     }
 
@@ -269,11 +349,7 @@ mod tests {
             }
             let plan = FusionPlan::new(groups);
             let objective = ctx.objective(&plan, model);
-            SolveOutcome {
-                plan,
-                objective,
-                stats: SolveStats::default(),
-            }
+            SolveOutcome::new(plan, objective, SolveStats::default())
         }
     }
 

@@ -124,11 +124,7 @@ mod tests {
                 plan = FusionPlan::identity(n);
             }
             let objective = ctx.objective(&plan, model);
-            SolveOutcome {
-                plan,
-                objective,
-                stats: SolveStats::default(),
-            }
+            SolveOutcome::new(plan, objective, SolveStats::default())
         }
     }
 

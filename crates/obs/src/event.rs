@@ -1,0 +1,268 @@
+//! The typed event taxonomy: span, counter and gauge identifiers.
+//!
+//! Everything the planner can emit is enumerated here, so recorders store
+//! fixed-size events (no name strings, no per-event allocation) and
+//! exporters can attach stable names and argument labels after the fact.
+//! The taxonomy is documented for users in `OBSERVABILITY.md`.
+
+use std::time::{Duration, Instant};
+
+/// A timed region of planner work. Each variant is one row ("slice") kind
+/// in the chrome-trace timeline; [`SpanId::name`] is the slice label and
+/// [`SpanId::arg_names`] labels the two numeric arguments every span
+/// carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum SpanId {
+    /// One whole solver run (`Solver::solve_observed`).
+    Solve,
+    /// Construction and scoring of the initial population(s).
+    InitialPopulation,
+    /// One HGGA generation (single-population mode, or one island's
+    /// generation when `track > 0`).
+    Generation,
+    /// One inter-migration epoch of the island model: all islands evolving
+    /// concurrently for `migration_interval` generations.
+    Epoch,
+    /// One ring-migration exchange between islands.
+    Migration,
+    /// One evaluation-memo miss: group synthesis + projection + insert.
+    MemoMiss,
+    /// The SoA group-synthesis portion of a memo miss
+    /// (`SynthTables::synthesize_into`).
+    Synthesis,
+    /// One full pairwise-merge sweep of the greedy solver.
+    GreedySweep,
+    /// The exhaustive solver's whole partition enumeration.
+    Enumeration,
+    /// The independent plan-constraint verification pass
+    /// (`kfuse-verify::constraints`).
+    ConstraintPass,
+    /// The IR hazard-analysis pass (`kfuse-verify::hazards`).
+    HazardPass,
+    /// The generated-CUDA lint pass (`kfuse-verify::cuda_lint`).
+    LintPass,
+}
+
+impl SpanId {
+    /// Stable display name (chrome-trace `name` field).
+    pub const fn name(self) -> &'static str {
+        match self {
+            SpanId::Solve => "solve",
+            SpanId::InitialPopulation => "initial_population",
+            SpanId::Generation => "generation",
+            SpanId::Epoch => "epoch",
+            SpanId::Migration => "migration",
+            SpanId::MemoMiss => "memo_miss",
+            SpanId::Synthesis => "synthesis",
+            SpanId::GreedySweep => "greedy_sweep",
+            SpanId::Enumeration => "enumeration",
+            SpanId::ConstraintPass => "constraint_pass",
+            SpanId::HazardPass => "hazard_pass",
+            SpanId::LintPass => "lint_pass",
+        }
+    }
+
+    /// Chrome-trace category, used by Perfetto to colour/filter tracks.
+    pub const fn category(self) -> &'static str {
+        match self {
+            SpanId::Solve | SpanId::InitialPopulation => "solver",
+            SpanId::Generation | SpanId::Epoch | SpanId::Migration => "ga",
+            SpanId::MemoMiss | SpanId::Synthesis => "eval",
+            SpanId::GreedySweep | SpanId::Enumeration => "solver",
+            SpanId::ConstraintPass | SpanId::HazardPass | SpanId::LintPass => "verify",
+        }
+    }
+
+    /// Labels of the two numeric arguments recorded with each span.
+    /// Unused slots are labelled `"_"` and omitted by the exporter.
+    pub const fn arg_names(self) -> (&'static str, &'static str) {
+        match self {
+            SpanId::Solve => ("kernels", "islands"),
+            SpanId::InitialPopulation => ("individuals", "_"),
+            SpanId::Generation => ("gen", "island"),
+            SpanId::Epoch => ("gens_done", "islands"),
+            SpanId::Migration => ("emigrants_per_island", "islands"),
+            SpanId::MemoMiss => ("group_len", "_"),
+            SpanId::Synthesis => ("group_len", "_"),
+            SpanId::GreedySweep => ("groups", "merged"),
+            SpanId::Enumeration => ("kernels", "_"),
+            SpanId::ConstraintPass => ("groups", "diagnostics"),
+            SpanId::HazardPass => ("kernels", "diagnostics"),
+            SpanId::LintPass => ("lines", "diagnostics"),
+        }
+    }
+}
+
+/// A monotonically increasing count of planner work, aggregated in the
+/// [`crate::MetricsRegistry`]. Counters are cheap relaxed atomics and are
+/// always on (they replace the hand-rolled `SolveStats` counters that
+/// predated this crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Multi-member evaluation-memo probes (hits + misses).
+    MemoProbes,
+    /// Memo probes that missed and paid synthesis + projection (this is
+    /// the legacy `SolveStats::evaluations`).
+    MemoMisses,
+    /// Plan/chromosome-level condensation acyclicity checks.
+    CondensationChecks,
+    /// Wall-clock nanoseconds on the memo-miss path, summed over threads.
+    MissNs,
+    /// Nanoseconds of [`Counter::MissNs`] inside group synthesis proper.
+    SynthNs,
+    /// GA generations executed (summed over islands in island mode).
+    Generations,
+    /// Ring-migration exchanges performed.
+    Migrations,
+    /// Individuals received from a ring predecessor.
+    MigrantsReceived,
+    /// Times a new global best was accepted.
+    BestImprovements,
+    /// Chromosome `finalize` calls (offspring sealed: repair + rescore).
+    Finalizes,
+    /// Repair-free delta `rescore` calls.
+    DeltaRescores,
+    /// Groups whose cached eval was stale and had to be re-resolved
+    /// during `finalize`/`rescore`.
+    GroupsRescored,
+    /// Infeasible or cycle-stuck groups dissolved during repair.
+    GroupsSplit,
+    /// Full pairwise-merge sweeps performed by the greedy solver.
+    GreedySweeps,
+    /// Merges the greedy solver committed.
+    GreedyMerges,
+    /// Complete set partitions scored by the exhaustive solver.
+    PartitionsScored,
+}
+
+impl Counter {
+    /// Number of counters (registry slot count).
+    pub const COUNT: usize = 16;
+
+    /// All counters, in registry/display order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::MemoProbes,
+        Counter::MemoMisses,
+        Counter::CondensationChecks,
+        Counter::MissNs,
+        Counter::SynthNs,
+        Counter::Generations,
+        Counter::Migrations,
+        Counter::MigrantsReceived,
+        Counter::BestImprovements,
+        Counter::Finalizes,
+        Counter::DeltaRescores,
+        Counter::GroupsRescored,
+        Counter::GroupsSplit,
+        Counter::GreedySweeps,
+        Counter::GreedyMerges,
+        Counter::PartitionsScored,
+    ];
+
+    /// Stable snake_case name (metrics-dump key).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::MemoProbes => "memo_probes",
+            Counter::MemoMisses => "memo_misses",
+            Counter::CondensationChecks => "condensation_checks",
+            Counter::MissNs => "miss_ns",
+            Counter::SynthNs => "synth_ns",
+            Counter::Generations => "generations",
+            Counter::Migrations => "migrations",
+            Counter::MigrantsReceived => "migrants_received",
+            Counter::BestImprovements => "best_improvements",
+            Counter::Finalizes => "finalizes",
+            Counter::DeltaRescores => "delta_rescores",
+            Counter::GroupsRescored => "groups_rescored",
+            Counter::GroupsSplit => "groups_split",
+            Counter::GreedySweeps => "greedy_sweeps",
+            Counter::GreedyMerges => "greedy_merges",
+            Counter::PartitionsScored => "partitions_scored",
+        }
+    }
+}
+
+/// A sampled value. Gauges live in the [`crate::MetricsRegistry`]
+/// (latest value) and may additionally be emitted as timestamped
+/// [`TraceEvent::Value`] events, which chrome-trace renders as counter
+/// tracks (e.g. the objective trajectory over a run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Gauge {
+    /// Best objective found so far (seconds of projected runtime).
+    BestObjective,
+    /// Best objective within the current generation's population.
+    GenerationBest,
+    /// Final memo hit rate, `(probes - misses) / probes`.
+    CacheHitRate,
+    /// Final memo miss rate, `misses / probes`.
+    MissRate,
+}
+
+impl Gauge {
+    /// Number of gauges (registry slot count).
+    pub const COUNT: usize = 4;
+
+    /// All gauges, in registry/display order.
+    pub const ALL: [Gauge; Gauge::COUNT] = [
+        Gauge::BestObjective,
+        Gauge::GenerationBest,
+        Gauge::CacheHitRate,
+        Gauge::MissRate,
+    ];
+
+    /// Stable snake_case name (metrics-dump key and counter-track label).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Gauge::BestObjective => "best_objective",
+            Gauge::GenerationBest => "generation_best",
+            Gauge::CacheHitRate => "cache_hit_rate",
+            Gauge::MissRate => "miss_rate",
+        }
+    }
+}
+
+/// One recorded timeline event. Fixed-size and `Copy`, so the in-memory
+/// recorder appends without boxing and drops excess events wholesale.
+#[derive(Debug, Clone, Copy)]
+pub enum TraceEvent {
+    /// A completed span (chrome-trace `"ph": "X"`).
+    Span {
+        /// What kind of work this was.
+        id: SpanId,
+        /// Logical track (chrome-trace `tid`): 0 for the coordinator,
+        /// island index + 1 for per-island work, worker-thread shard + 64
+        /// for evaluator-internal spans.
+        track: u32,
+        /// Start, as an [`Instant`] (converted to epoch-relative
+        /// microseconds at export time).
+        start: Instant,
+        /// Duration of the span.
+        dur: Duration,
+        /// Two span-specific numeric arguments (see [`SpanId::arg_names`]).
+        args: [u64; 2],
+    },
+    /// A timestamped gauge sample (chrome-trace `"ph": "C"`).
+    Value {
+        /// Which gauge.
+        gauge: Gauge,
+        /// Logical track (same convention as spans).
+        track: u32,
+        /// When the sample was taken.
+        at: Instant,
+        /// The sampled value.
+        value: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp (span start, or sample time).
+    pub fn at(&self) -> Instant {
+        match *self {
+            TraceEvent::Span { start, .. } => start,
+            TraceEvent::Value { at, .. } => at,
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # kfuse-obs — structured observability for the fusion planner
+//!
+//! One small, dependency-free subsystem that replaces the scattered
+//! per-solver counters with:
+//!
+//! * a typed **event taxonomy** ([`SpanId`], [`Counter`], [`Gauge`]) —
+//!   every span, counter and gauge the planner can emit is enumerated, so
+//!   events are fixed-size and allocation-free to record;
+//! * a **[`Recorder`] trait** with a cheap pass-everywhere [`ObsHandle`]
+//!   and a thread-safe sharded [`InMemoryRecorder`];
+//! * an always-on **[`MetricsRegistry`]** of relaxed atomics — the single
+//!   home for planner counters, from which `SolveStats` is derived;
+//! * **exporters**: [`chrome_trace`] JSON (loadable in Perfetto /
+//!   `chrome://tracing`), a flat JSON metrics dump
+//!   ([`MetricsSnapshot::to_json`]), and a human table
+//!   ([`MetricsSnapshot::render_table`]).
+//!
+//! ## Disablement, twice
+//!
+//! Tracing must cost nothing where it isn't wanted, so it can be turned
+//! off at two layers:
+//!
+//! * **Runtime** (the default): an [`ObsHandle::disabled`] handle records
+//!   nothing, takes no timestamps and allocates nothing — one branch per
+//!   call site. The `alloc_free` test in `kfuse-search` proves the
+//!   memo-miss hot path stays allocation-free under a disabled handle.
+//! * **Compile time**: build with `--no-default-features` (dropping the
+//!   `trace` feature) and [`ObsHandle`]/[`SpanGuard`] become zero-sized
+//!   types with empty inline methods; the whole span layer compiles out.
+//!   The [`MetricsRegistry`] stays on either way — its counters are the
+//!   same relaxed atomics the planner always maintained.
+//!
+//! ## Track convention
+//!
+//! Chrome-trace `tid`s are logical tracks, not OS threads: track 0 is the
+//! coordinator/planner, track `island + 1` is an island's generation work,
+//! and [`WORKER_TRACK_BASE`]` + shard` hosts evaluator-internal spans
+//! (memo misses, synthesis) emitted from whichever worker thread paid
+//! them. See `OBSERVABILITY.md` at the repository root for the full event
+//! taxonomy, exporter formats and a Perfetto walkthrough.
+
+#![warn(missing_docs)]
+
+mod event;
+mod export;
+mod metrics;
+mod recorder;
+
+pub use event::{Counter, Gauge, SpanId, TraceEvent};
+pub use export::chrome_trace;
+pub use metrics::{ratio, MetricsRegistry, MetricsSnapshot};
+pub use recorder::{
+    worker_track, InMemoryRecorder, ObsHandle, Recorder, SpanGuard, DEFAULT_CAPACITY,
+    WORKER_TRACK_BASE,
+};

@@ -32,6 +32,7 @@ use kfuse_core::exec_order::ExecOrderGraph;
 use kfuse_core::plan::FusionPlan;
 use kfuse_core::synth::SynthScratch;
 use kfuse_ir::KernelId;
+use kfuse_obs::Counter;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -741,6 +742,7 @@ impl Chromosome {
     /// objective. After this the chromosome is in plan normal form and
     /// [`Chromosome::cost`] equals `ev.plan(&self.to_plan())`.
     pub fn finalize(&mut self, ev: &Evaluator, scratch: &mut OpScratch) {
+        ev.count(Counter::Finalizes, 1);
         self.normalize();
 
         // Phase 1: singletons pass unchecked (exactly like legacy repair);
@@ -756,6 +758,7 @@ impl Chromosome {
                     let slot = &mut self.slots[sid as usize];
                     slot.eval = ev.singleton(k);
                     slot.eval_known = true;
+                    ev.count(Counter::GroupsRescored, 1);
                 }
                 continue;
             }
@@ -767,10 +770,12 @@ impl Chromosome {
                 let slot = &mut self.slots[sid as usize];
                 slot.eval = e;
                 slot.eval_known = true;
+                ev.count(Counter::GroupsRescored, 1);
                 e
             };
             if !eval.feasible() {
                 self.split_slot(sid, ev);
+                ev.count(Counter::GroupsSplit, 1);
                 killed = true;
             }
         }
@@ -833,6 +838,7 @@ impl Chromosome {
     /// feasible and at least one is fused. This is the delta-scoring entry
     /// point the benchmarks and the differential test drive.
     pub fn rescore(&mut self, ev: &Evaluator, scratch: &mut OpScratch) -> f64 {
+        ev.count(Counter::DeltaRescores, 1);
         self.compact_storage(scratch);
         self.normalize();
         let mut total = 0.0;
@@ -852,6 +858,7 @@ impl Chromosome {
                         &mut scratch.synth,
                     )
                 };
+                ev.count(Counter::GroupsRescored, 1);
                 let slot = &mut self.slots[sid as usize];
                 slot.eval = e;
                 slot.eval_known = true;

@@ -9,11 +9,11 @@
 //! The memo is engineered for the island-model solver, where many threads
 //! hammer it concurrently:
 //!
-//! * **Sharding.** Groups hash to one of [`SHARD_COUNT`] independent
+//! * **Sharding.** Groups hash to one of `SHARD_COUNT` independent
 //!   `RwLock<HashMap>` shards by an order-insensitive 64-bit fingerprint,
 //!   so writers on one shard never stall readers on another.
 //! * **Allocation-free hit path.** The probe key is the group sorted into
-//!   a stack buffer (heap fallback only beyond [`STACK_KEY`] members); a
+//!   a stack buffer (heap fallback only beyond `STACK_KEY` members); a
 //!   hit performs zero heap allocation. Entries are compared by their full
 //!   sorted member list, so fingerprint collisions are correctness-neutral.
 //! * **Singleton bypass.** Per-kernel baseline costs are precomputed into
@@ -33,12 +33,14 @@ use kfuse_core::model::PerfModel;
 use kfuse_core::plan::{FusionPlan, PlanContext};
 use kfuse_core::synth::SynthScratch;
 use kfuse_ir::KernelId;
+use kfuse_obs::{
+    ratio, worker_track, Counter, MetricsRegistry, MetricsSnapshot, ObsHandle, SpanId,
+};
 use parking_lot::RwLock;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Number of memo shards. A power of two so the shard index is a mask of
 /// the fingerprint; 16 keeps contention negligible for the island counts
@@ -96,6 +98,10 @@ thread_local! {
 }
 
 /// Shared, thread-safe objective evaluator.
+///
+/// All counters live in an owned [`MetricsRegistry`] (the `kfuse-obs`
+/// taxonomy); the accessor methods below are derived views over it, and
+/// solvers snapshot it into their [`kfuse_core::pipeline::SolveOutcome`].
 pub struct Evaluator<'a> {
     /// Planning context (metadata + graphs).
     pub ctx: &'a PlanContext,
@@ -105,16 +111,20 @@ pub struct Evaluator<'a> {
     /// Dense per-kernel baseline: `baseline[k]` is the singleton eval of
     /// kernel `k`, precomputed so singleton groups bypass the memo.
     baseline: Vec<GroupEval>,
-    evaluations: AtomicU64,
-    probes: AtomicU64,
-    condensation_checks: AtomicU64,
-    miss_ns: AtomicU64,
-    synth_ns: AtomicU64,
+    metrics: MetricsRegistry,
+    obs: ObsHandle<'a>,
 }
 
 impl<'a> Evaluator<'a> {
-    /// Create an evaluator over `ctx` and `model`.
+    /// Create an evaluator over `ctx` and `model` (tracing disabled).
     pub fn new(ctx: &'a PlanContext, model: &'a dyn PerfModel) -> Self {
+        Self::observed(ctx, model, ObsHandle::disabled())
+    }
+
+    /// [`Self::new`] with a tracing handle: memo misses and synthesis emit
+    /// spans on the calling worker's track. A disabled handle costs one
+    /// branch on the miss path and nothing on the hit path.
+    pub fn observed(ctx: &'a PlanContext, model: &'a dyn PerfModel, obs: ObsHandle<'a>) -> Self {
         let mut scratch = SynthScratch::new();
         let baseline = (0..ctx.n_kernels())
             .map(|i| compute_with(ctx, model, &[KernelId(i as u32)], &mut scratch).0)
@@ -126,63 +136,70 @@ impl<'a> Evaluator<'a> {
                 .map(|_| RwLock::new(Shard::default()))
                 .collect(),
             baseline,
-            evaluations: AtomicU64::new(0),
-            probes: AtomicU64::new(0),
-            condensation_checks: AtomicU64::new(0),
-            miss_ns: AtomicU64::new(0),
-            synth_ns: AtomicU64::new(0),
+            metrics: MetricsRegistry::new(),
+            obs,
         }
+    }
+
+    /// The metrics registry this evaluator accumulates into. Solvers add
+    /// their own counters (generations, migrations, …) here so one
+    /// snapshot captures the whole run.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The tracing handle this evaluator records through.
+    pub fn obs(&self) -> ObsHandle<'a> {
+        self.obs
+    }
+
+    /// Point-in-time copy of all accumulated metrics.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// Number of *distinct* multi-member objective evaluations performed
     /// (memo misses). Singleton baselines are precomputed at construction
     /// and not counted.
     pub fn evaluations(&self) -> u64 {
-        self.evaluations.load(Ordering::Relaxed)
+        self.metrics.get(Counter::MemoMisses)
     }
 
     /// Number of multi-member memo probes (hits + misses). Singleton
     /// lookups resolve through the dense baseline and are not counted.
     pub fn probes(&self) -> u64 {
-        self.probes.load(Ordering::Relaxed)
+        self.metrics.get(Counter::MemoProbes)
     }
 
     /// Fraction of multi-member memo probes served from the memo,
     /// `(probes - misses) / probes`; 0 when nothing has been probed yet.
     pub fn hit_rate(&self) -> f64 {
         let probes = self.probes();
-        if probes == 0 {
-            return 0.0;
-        }
-        (probes - self.evaluations()) as f64 / probes as f64
+        ratio(probes.saturating_sub(self.evaluations()), probes)
     }
 
     /// Fraction of multi-member memo probes that missed and paid the
     /// synthesis + projection cost, `misses / probes`; 0 before any probe.
     pub fn miss_rate(&self) -> f64 {
-        let probes = self.probes();
-        if probes == 0 {
-            return 0.0;
-        }
-        self.evaluations() as f64 / probes as f64
+        ratio(self.evaluations(), self.probes())
     }
 
     /// Total wall-clock nanoseconds spent on the memo-miss path (group
     /// synthesis + projection + insert), summed over all threads.
     pub fn miss_ns(&self) -> u64 {
-        self.miss_ns.load(Ordering::Relaxed)
+        self.metrics.get(Counter::MissNs)
     }
 
     /// Nanoseconds of [`Self::miss_ns`] spent inside group synthesis
     /// proper (`synthesize_into`), summed over all threads.
     pub fn synth_ns(&self) -> u64 {
-        self.synth_ns.load(Ordering::Relaxed)
+        self.metrics.get(Counter::SynthNs)
     }
 
     /// Number of plan-level condensation (acyclicity) checks performed.
     /// Plans rejected on an infeasible group never reach this check.
     pub fn condensation_checks(&self) -> u64 {
-        self.condensation_checks.load(Ordering::Relaxed)
+        self.metrics.get(Counter::CondensationChecks)
     }
 
     /// Record an acyclicity check performed outside [`Evaluator::plan`] —
@@ -190,7 +207,14 @@ impl<'a> Evaluator<'a> {
     /// from-scratch condensation both report through this so the
     /// per-variant counts in the scaling study are comparable.
     pub(crate) fn count_condensation(&self) {
-        self.condensation_checks.fetch_add(1, Ordering::Relaxed);
+        self.metrics.incr(Counter::CondensationChecks);
+    }
+
+    /// Add `v` to a solver-side counter (generations, finalizes, …): the
+    /// GA loops and chromosome machinery report through the evaluator so
+    /// the whole run lands in one registry.
+    pub(crate) fn count(&self, c: Counter, v: u64) {
+        self.metrics.add(c, v);
     }
 
     /// The precomputed singleton eval of kernel `k` — the delta path's
@@ -225,7 +249,7 @@ impl<'a> Evaluator<'a> {
         if let [k] = group {
             return self.baseline[k.index()];
         }
-        self.probes.fetch_add(1, Ordering::Relaxed);
+        self.metrics.incr(Counter::MemoProbes);
         with_sorted_key(group, |key| {
             let fp = fingerprint(key);
             let shard = &self.shards[(fp & (SHARD_COUNT as u64 - 1)) as usize];
@@ -234,14 +258,14 @@ impl<'a> Evaluator<'a> {
                     return *hit;
                 }
             }
-            self.evaluations.fetch_add(1, Ordering::Relaxed);
+            self.metrics.incr(Counter::MemoMisses);
             let t0 = Instant::now();
             let (eval, synth_ns) = match scratch {
                 Some(s) => compute_with(self.ctx, self.model, key, s),
                 None => SYNTH_SCRATCH
                     .with(|s| compute_with(self.ctx, self.model, key, &mut s.borrow_mut())),
             };
-            self.synth_ns.fetch_add(synth_ns, Ordering::Relaxed);
+            self.metrics.add(Counter::SynthNs, synth_ns);
             let mut w = shard.write();
             let bucket = w.entry(fp).or_default();
             // A racing thread may have inserted while we computed.
@@ -250,8 +274,23 @@ impl<'a> Evaluator<'a> {
             }
             bucket.push((key.to_vec().into_boxed_slice(), eval));
             drop(w);
-            self.miss_ns
-                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let miss = t0.elapsed();
+            self.metrics.add(Counter::MissNs, miss.as_nanos() as u64);
+            if self.obs.is_enabled() {
+                // Reuse the timestamps the miss path measures anyway: the
+                // synthesis span is nested at the front of the miss span.
+                let track = worker_track();
+                let len = key.len() as u64;
+                self.obs
+                    .record_span(SpanId::MemoMiss, track, t0, miss, [len, 0]);
+                self.obs.record_span(
+                    SpanId::Synthesis,
+                    track,
+                    t0,
+                    Duration::from_nanos(synth_ns),
+                    [len, 0],
+                );
+            }
             eval
         })
     }
@@ -271,7 +310,7 @@ impl<'a> Evaluator<'a> {
             total += e.time_s;
         }
         if any_multi {
-            self.condensation_checks.fetch_add(1, Ordering::Relaxed);
+            self.metrics.incr(Counter::CondensationChecks);
             let acyclic = CONDENSATION_SCRATCH.with(|s| {
                 condensation_order_with(plan, &self.ctx.exec, &mut s.borrow_mut()).is_ok()
             });
@@ -402,6 +441,7 @@ pub mod legacy {
         pub model: &'a dyn PerfModel,
         memo: RwLock<HashMap<Vec<KernelId>, GroupEval>>,
         evaluations: AtomicU64,
+        probes: AtomicU64,
     }
 
     impl<'a> LegacyEvaluator<'a> {
@@ -412,6 +452,7 @@ pub mod legacy {
                 model,
                 memo: RwLock::new(HashMap::new()),
                 evaluations: AtomicU64::new(0),
+                probes: AtomicU64::new(0),
             }
         }
 
@@ -420,8 +461,25 @@ pub mod legacy {
             self.evaluations.load(Ordering::Relaxed)
         }
 
+        /// Number of memo probes issued (the legacy memo probes for
+        /// singletons too, unlike the sharded evaluator's baseline
+        /// bypass).
+        pub fn probes(&self) -> u64 {
+            self.probes.load(Ordering::Relaxed)
+        }
+
+        /// Fraction of probes served from the memo. Normalized through
+        /// [`kfuse_obs::ratio`], so a fresh evaluator reports `0.0` —
+        /// matching the sharded [`super::Evaluator::hit_rate`] instead of
+        /// the `NaN` a bare `hits / probes` division would yield.
+        pub fn hit_rate(&self) -> f64 {
+            let probes = self.probes();
+            kfuse_obs::ratio(probes.saturating_sub(self.evaluations()), probes)
+        }
+
         /// Evaluate one group (memoized).
         pub fn group(&self, group: &[KernelId]) -> GroupEval {
+            self.probes.fetch_add(1, Ordering::Relaxed);
             let mut key = group.to_vec();
             key.sort_unstable();
             if let Some(hit) = self.memo.read().get(&key) {

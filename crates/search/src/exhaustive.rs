@@ -15,6 +15,7 @@ use kfuse_core::model::PerfModel;
 use kfuse_core::pipeline::{SolveOutcome, SolveStats, Solver};
 use kfuse_core::plan::{FusionPlan, PlanContext};
 use kfuse_ir::KernelId;
+use kfuse_obs::{Counter, ObsHandle, SpanId};
 use std::time::Instant;
 
 /// Exhaustive partition enumeration.
@@ -36,39 +37,49 @@ impl Solver for ExhaustiveSolver {
     }
 
     fn solve(&self, ctx: &PlanContext, model: &dyn PerfModel) -> SolveOutcome {
+        self.solve_observed(ctx, model, ObsHandle::disabled())
+    }
+
+    fn solve_observed(
+        &self,
+        ctx: &PlanContext,
+        model: &dyn PerfModel,
+        obs: ObsHandle<'_>,
+    ) -> SolveOutcome {
         let n = ctx.n_kernels();
         assert!(
             n <= self.max_kernels,
             "exhaustive search over {n} kernels exceeds the {} limit (Bell-number blowup)",
             self.max_kernels
         );
-        let ev = Evaluator::new(ctx, model);
+        let ev = Evaluator::observed(ctx, model, obs);
         let start = Instant::now();
+        let mut solve_span = obs.span(SpanId::Solve);
+        solve_span.set_arg(0, n as u64);
 
         // Restricted growth string enumeration.
         let mut assign = vec![0usize; n];
         let mut best_plan = FusionPlan::identity(n);
         let mut best_cost = ev.plan(&best_plan);
+        ev.count(Counter::PartitionsScored, 1);
 
-        enumerate(ctx, &ev, &mut assign, 0, 0, &mut best_plan, &mut best_cost);
+        {
+            let mut enum_span = obs.span(SpanId::Enumeration);
+            enum_span.set_arg(0, n as u64);
+            enumerate(ctx, &ev, &mut assign, 0, 0, &mut best_plan, &mut best_cost);
+        }
 
+        let metrics = ev.snapshot();
+        let stats = SolveStats {
+            elapsed: start.elapsed(),
+            time_to_best: start.elapsed(),
+            ..SolveStats::from_metrics(&metrics)
+        };
         SolveOutcome {
             plan: best_plan,
             objective: best_cost,
-            stats: SolveStats {
-                generations: 0,
-                evaluations: ev.evaluations(),
-                elapsed: start.elapsed(),
-                time_to_best: start.elapsed(),
-                best_generation: 0,
-                probes: ev.probes(),
-                cache_hit_rate: ev.hit_rate(),
-                condensation_checks: ev.condensation_checks(),
-                miss_rate: ev.miss_rate(),
-                miss_ns: ev.miss_ns(),
-                synth_ns: ev.synth_ns(),
-                islands: Vec::new(),
-            },
+            stats,
+            metrics,
         }
     }
 }
@@ -90,6 +101,7 @@ fn enumerate(
         }
         let plan = FusionPlan::new(groups);
         let cost = ev.plan(&plan);
+        ev.count(Counter::PartitionsScored, 1);
         if cost < *best_cost {
             *best_cost = cost;
             *best_plan = plan;

@@ -15,6 +15,7 @@ use kfuse_core::pipeline::{SolveOutcome, SolveStats, Solver};
 use kfuse_core::plan::{FusionPlan, PlanContext};
 use kfuse_core::synth::SynthScratch;
 use kfuse_ir::KernelId;
+use kfuse_obs::{Counter, ObsHandle, SpanId};
 use std::time::Instant;
 
 /// The greedy best-merge-first solver.
@@ -27,9 +28,20 @@ impl Solver for GreedySolver {
     }
 
     fn solve(&self, ctx: &PlanContext, model: &dyn PerfModel) -> SolveOutcome {
-        let ev = Evaluator::new(ctx, model);
+        self.solve_observed(ctx, model, ObsHandle::disabled())
+    }
+
+    fn solve_observed(
+        &self,
+        ctx: &PlanContext,
+        model: &dyn PerfModel,
+        obs: ObsHandle<'_>,
+    ) -> SolveOutcome {
+        let ev = Evaluator::observed(ctx, model, obs);
         let start = Instant::now();
+        let mut solve_span = obs.span(SpanId::Solve);
         let n = ctx.n_kernels();
+        solve_span.set_arg(0, n as u64);
         let mut groups: Vec<Vec<KernelId>> = (0..n).map(|i| vec![KernelId(i as u32)]).collect();
 
         // Steady-state buffers: the probe pair-merge, the candidate plan's
@@ -41,6 +53,9 @@ impl Solver for GreedySolver {
         let mut sscratch = SynthScratch::new();
 
         loop {
+            let mut sweep_span = obs.span(SpanId::GreedySweep);
+            sweep_span.set_arg(0, groups.len() as u64);
+            ev.count(Counter::GreedySweeps, 1);
             let mut best: Option<(usize, usize, f64)> = None;
             for i in 0..groups.len() {
                 for j in i + 1..groups.len() {
@@ -91,6 +106,8 @@ impl Solver for GreedySolver {
                 Some((i, j, _)) => {
                     let gj = groups.remove(j);
                     groups[i].extend(gj);
+                    ev.count(Counter::GreedyMerges, 1);
+                    sweep_span.set_arg(1, 1);
                 }
                 None => break,
             }
@@ -98,23 +115,17 @@ impl Solver for GreedySolver {
 
         let plan = FusionPlan::new(groups);
         let objective = ev.plan(&plan);
+        let metrics = ev.snapshot();
+        let stats = SolveStats {
+            elapsed: start.elapsed(),
+            time_to_best: start.elapsed(),
+            ..SolveStats::from_metrics(&metrics)
+        };
         SolveOutcome {
             plan,
             objective,
-            stats: SolveStats {
-                generations: 0,
-                evaluations: ev.evaluations(),
-                elapsed: start.elapsed(),
-                time_to_best: start.elapsed(),
-                best_generation: 0,
-                probes: ev.probes(),
-                cache_hit_rate: ev.hit_rate(),
-                condensation_checks: ev.condensation_checks(),
-                miss_rate: ev.miss_rate(),
-                miss_ns: ev.miss_ns(),
-                synth_ns: ev.synth_ns(),
-                islands: Vec::new(),
-            },
+            stats,
+            metrics,
         }
     }
 }

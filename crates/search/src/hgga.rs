@@ -43,6 +43,7 @@ use kfuse_core::model::PerfModel;
 use kfuse_core::pipeline::{IslandStats, SolveOutcome, SolveStats, Solver};
 use kfuse_core::plan::{FusionPlan, PlanContext};
 use kfuse_ir::KernelId;
+use kfuse_obs::{Counter, Gauge, ObsHandle, SpanId};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -178,33 +179,55 @@ impl Solver for HggaSolver {
     }
 
     fn solve(&self, ctx: &PlanContext, model: &dyn PerfModel) -> SolveOutcome {
+        self.solve_observed(ctx, model, ObsHandle::disabled())
+    }
+
+    fn solve_observed(
+        &self,
+        ctx: &PlanContext,
+        model: &dyn PerfModel,
+        obs: ObsHandle<'_>,
+    ) -> SolveOutcome {
         if self.config.islands <= 1 {
-            self.solve_single(ctx, model)
+            self.solve_single(ctx, model, obs)
         } else {
-            self.solve_islands(ctx, model)
+            self.solve_islands(ctx, model, obs)
         }
     }
 }
 
 impl HggaSolver {
     /// The single-population algorithm (`islands <= 1`).
-    fn solve_single(&self, ctx: &PlanContext, model: &dyn PerfModel) -> SolveOutcome {
+    fn solve_single(
+        &self,
+        ctx: &PlanContext,
+        model: &dyn PerfModel,
+        obs: ObsHandle<'_>,
+    ) -> SolveOutcome {
         let cfg = &self.config;
-        let ev = Evaluator::new(ctx, model);
+        let ev = Evaluator::observed(ctx, model, obs);
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let mut scratch = OpScratch::new();
         let start = Instant::now();
+        let mut solve_span = obs.span(SpanId::Solve);
+        solve_span.set_arg(0, ctx.n_kernels() as u64);
+        solve_span.set_arg(1, 1);
 
         // Initial population: randomized constructive merges.
-        let mut pop: Vec<Individual> = (0..cfg.population)
-            .map(|_| Individual {
-                chromo: random_chromosome(&ev, &mut rng, &mut scratch),
-            })
-            .collect();
+        let mut pop: Vec<Individual> = {
+            let mut init_span = obs.span(SpanId::InitialPopulation);
+            init_span.set_arg(0, cfg.population as u64);
+            (0..cfg.population)
+                .map(|_| Individual {
+                    chromo: random_chromosome(&ev, &mut rng, &mut scratch),
+                })
+                .collect()
+        };
         pop.sort_by(|a, b| a.cost().total_cmp(&b.cost()));
 
         let mut best = pop[0].chromo.to_plan();
         let mut best_cost = pop[0].cost();
+        obs.value(Gauge::BestObjective, best_cost);
         let mut best_gen = 0u32;
         let mut time_to_best = start.elapsed();
         let mut stall = 0u32;
@@ -212,12 +235,20 @@ impl HggaSolver {
 
         for gen in 1..=cfg.max_generations {
             generations = gen;
-            step_generation(&ev, cfg, cfg.population, &mut pop, &mut rng, &mut scratch);
+            {
+                let mut gen_span = obs.span(SpanId::Generation);
+                gen_span.set_arg(0, gen as u64);
+                step_generation(&ev, cfg, cfg.population, &mut pop, &mut rng, &mut scratch);
+            }
+            ev.count(Counter::Generations, 1);
+            obs.value(Gauge::GenerationBest, pop[0].cost());
 
             if pop[0].cost() < best_cost - 1e-15 {
                 best_cost = pop[0].cost();
                 best = pop[0].chromo.to_plan();
                 debug_verify_best(ctx, model, &best, best_cost);
+                ev.count(Counter::BestImprovements, 1);
+                obs.value(Gauge::BestObjective, best_cost);
                 best_gen = gen;
                 time_to_best = start.elapsed();
                 stall = 0;
@@ -229,33 +260,40 @@ impl HggaSolver {
             }
         }
 
+        ev.metrics().set_gauge(Gauge::BestObjective, best_cost);
+        ev.metrics().set_gauge(Gauge::CacheHitRate, ev.hit_rate());
+        ev.metrics().set_gauge(Gauge::MissRate, ev.miss_rate());
+        let metrics = ev.snapshot();
+        let stats = SolveStats {
+            elapsed: start.elapsed(),
+            time_to_best,
+            best_generation: best_gen,
+            generations,
+            ..SolveStats::from_metrics(&metrics)
+        };
         SolveOutcome {
             plan: best,
             objective: best_cost,
-            stats: SolveStats {
-                generations,
-                evaluations: ev.evaluations(),
-                elapsed: start.elapsed(),
-                time_to_best,
-                best_generation: best_gen,
-                probes: ev.probes(),
-                cache_hit_rate: ev.hit_rate(),
-                condensation_checks: ev.condensation_checks(),
-                miss_rate: ev.miss_rate(),
-                miss_ns: ev.miss_ns(),
-                synth_ns: ev.synth_ns(),
-                islands: Vec::new(),
-            },
+            stats,
+            metrics,
         }
     }
 
     /// Island-model evolution (`islands >= 2`): concurrent sub-populations
     /// with deterministic per-island RNG streams and ring migration.
-    fn solve_islands(&self, ctx: &PlanContext, model: &dyn PerfModel) -> SolveOutcome {
+    fn solve_islands(
+        &self,
+        ctx: &PlanContext,
+        model: &dyn PerfModel,
+        obs: ObsHandle<'_>,
+    ) -> SolveOutcome {
         let cfg = &self.config;
         let n_islands = cfg.islands;
-        let ev = Evaluator::new(ctx, model);
+        let ev = Evaluator::observed(ctx, model, obs);
         let start = Instant::now();
+        let mut solve_span = obs.span(SpanId::Solve);
+        solve_span.set_arg(0, ctx.n_kernels() as u64);
+        solve_span.set_arg(1, n_islands as u64);
         // Split the population budget; keep every island large enough for
         // elitism plus actual selection pressure.
         let pop_target = (cfg.population / n_islands).max(cfg.elitism + 2).max(4);
@@ -272,6 +310,7 @@ impl HggaSolver {
                 best_gen: 0,
                 generations: 0,
                 migrations_received: 0,
+                track: i as u32 + 1,
             })
             .collect();
 
@@ -280,6 +319,8 @@ impl HggaSolver {
         // of parallelism — while sharing the sharded memo.
         {
             let ev = &ev;
+            let mut init_span = obs.span(SpanId::InitialPopulation);
+            init_span.set_arg(0, (pop_target * n_islands) as u64);
             rayon::scope(|s| {
                 for isl in islands.iter_mut() {
                     s.spawn(move || {
@@ -313,6 +354,9 @@ impl HggaSolver {
             let epoch = interval.min(cfg.max_generations - gens_done);
             {
                 let ev = &ev;
+                let mut epoch_span = obs.span(SpanId::Epoch);
+                epoch_span.set_arg(0, gens_done as u64);
+                epoch_span.set_arg(1, n_islands as u64);
                 rayon::scope(|s| {
                     for isl in islands.iter_mut() {
                         s.spawn(move || evolve_island(ev, cfg, pop_target, isl, epoch));
@@ -335,6 +379,8 @@ impl HggaSolver {
             }
             if improved {
                 debug_verify_best(ctx, model, &global_plan, global_cost);
+                ev.count(Counter::BestImprovements, 1);
+                obs.value(Gauge::BestObjective, global_cost);
             }
             if improved {
                 stall = 0;
@@ -348,6 +394,10 @@ impl HggaSolver {
             // Ring migration: emigrant sets are drawn from pre-migration
             // populations so the island order cannot leak into the result.
             if emigrants > 0 && gens_done < cfg.max_generations {
+                let mut mig_span = obs.span(SpanId::Migration);
+                mig_span.set_arg(0, emigrants as u64);
+                mig_span.set_arg(1, n_islands as u64);
+                ev.count(Counter::Migrations, 1);
                 let packets: Vec<Vec<Individual>> = islands
                     .iter()
                     .map(|isl| isl.pop.iter().take(emigrants).cloned().collect())
@@ -359,6 +409,7 @@ impl HggaSolver {
                         *isl.pop.last_mut().expect("island pop is non-empty") = migrant;
                         isl.pop.sort_by(|a, b| a.cost().total_cmp(&b.cost()));
                         isl.migrations_received += 1;
+                        ev.count(Counter::MigrantsReceived, 1);
                     }
                 }
             }
@@ -372,23 +423,25 @@ impl HggaSolver {
                 migrations_received: isl.migrations_received,
             })
             .collect();
+        ev.metrics().set_gauge(Gauge::BestObjective, global_cost);
+        ev.metrics().set_gauge(Gauge::CacheHitRate, ev.hit_rate());
+        ev.metrics().set_gauge(Gauge::MissRate, ev.miss_rate());
+        let metrics = ev.snapshot();
+        let stats = SolveStats {
+            // Legacy semantics: the Table VI column is the max over
+            // islands; the registry's `generations` counter is the sum.
+            generations: islands.iter().map(|i| i.generations).max().unwrap_or(0),
+            elapsed: start.elapsed(),
+            time_to_best,
+            best_generation: global_gen,
+            islands: island_stats,
+            ..SolveStats::from_metrics(&metrics)
+        };
         SolveOutcome {
             plan: global_plan,
             objective: global_cost,
-            stats: SolveStats {
-                generations: islands.iter().map(|i| i.generations).max().unwrap_or(0),
-                evaluations: ev.evaluations(),
-                elapsed: start.elapsed(),
-                time_to_best,
-                best_generation: global_gen,
-                probes: ev.probes(),
-                cache_hit_rate: ev.hit_rate(),
-                condensation_checks: ev.condensation_checks(),
-                miss_rate: ev.miss_rate(),
-                miss_ns: ev.miss_ns(),
-                synth_ns: ev.synth_ns(),
-                islands: island_stats,
-            },
+            stats,
+            metrics,
         }
     }
 }
@@ -403,6 +456,9 @@ struct Island {
     best_gen: u32,
     generations: u32,
     migrations_received: u32,
+    /// Trace track this island records on (`island index + 1`; 0 is the
+    /// coordinator).
+    track: u32,
 }
 
 /// Derive island `i`'s RNG seed from the run seed (splitmix64-style mix,
@@ -423,16 +479,24 @@ fn evolve_island(
     isl: &mut Island,
     gens: u32,
 ) {
+    let obs = ev.obs();
     for _ in 0..gens {
         isl.generations += 1;
-        step_generation(
-            ev,
-            cfg,
-            pop_target,
-            &mut isl.pop,
-            &mut isl.rng,
-            &mut isl.scratch,
-        );
+        {
+            let mut gen_span = obs.span_on(SpanId::Generation, isl.track);
+            gen_span.set_arg(0, isl.generations as u64);
+            gen_span.set_arg(1, (isl.track - 1) as u64);
+            step_generation(
+                ev,
+                cfg,
+                pop_target,
+                &mut isl.pop,
+                &mut isl.rng,
+                &mut isl.scratch,
+            );
+        }
+        ev.count(Counter::Generations, 1);
+        obs.value_on(Gauge::GenerationBest, isl.track, isl.pop[0].cost());
         if isl.pop[0].cost() < isl.best_cost - 1e-15 {
             isl.best_cost = isl.pop[0].cost();
             isl.best = isl.pop[0].chromo.to_plan();

@@ -470,6 +470,12 @@ pub fn solve(cfg: &HggaConfig, ctx: &PlanContext, model: &dyn PerfModel) -> Solv
         }
     }
 
+    // Registry parity: the frozen loop above counts generations by hand;
+    // mirror the total into the registry once so the snapshot-derived
+    // stats view (`SolveStats::from_metrics`) agrees with the hand-counted
+    // block below. No RNG draw, no trajectory change.
+    ev.count(kfuse_obs::Counter::Generations, generations as u64);
+
     SolveOutcome {
         plan: best,
         objective: best_cost,
@@ -487,5 +493,6 @@ pub fn solve(cfg: &HggaConfig, ctx: &PlanContext, model: &dyn PerfModel) -> Solv
             synth_ns: ev.synth_ns(),
             islands: Vec::new(),
         },
+        metrics: ev.snapshot(),
     }
 }

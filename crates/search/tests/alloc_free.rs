@@ -1,4 +1,4 @@
-//! Zero-allocation guarantee of the memo-miss evaluation path.
+//! Zero-allocation guarantees of the steady-state evaluation paths.
 //!
 //! A counting global allocator wraps `System`; after warming the synthesis
 //! scratch once, re-evaluating distinct groups through
@@ -6,14 +6,19 @@
 //! view projection + profitability) must not allocate at all. Memo
 //! insertion (the boxed key) is deliberately outside this unit — it is
 //! amortized storage, not per-evaluation work.
+//!
+//! The observability rework adds a second guarantee: with tracing
+//! disabled ([`ObsHandle::disabled`], or the `trace` feature off — both
+//! land in the same no-op path), the memo *hit* path with its always-on
+//! registry counters must also stay allocation-free.
 
 use kfuse_core::model::{PerfModel, ProposedModel, RooflineModel, SimpleModel};
 use kfuse_core::pipeline::prepare;
 use kfuse_core::synth::SynthScratch;
 use kfuse_gpu::{FpPrecision, GpuSpec};
 use kfuse_ir::KernelId;
+use kfuse_obs::ObsHandle;
 use kfuse_search::Evaluator;
-use kfuse_workloads::synth::{generate, SynthConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -42,36 +47,10 @@ fn allocations() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
-#[test]
-fn miss_path_is_allocation_free_once_warm() {
-    // The 60-kernel scaling workload — the same shape the miss-path
-    // benchmark measures.
-    let cfg = SynthConfig {
-        name: "alloc_free_60".into(),
-        kernels: 60,
-        arrays: 120,
-        data_copies: 2,
-        sharing_set: 3,
-        thread_load: 4,
-        kinship: 3,
-        grid: [64, 16, 2],
-        block: (32, 4),
-        dep_prob: 0.5,
-        reads_per_kernel: 2,
-        pointwise_prob: 0.3,
-        sync_interval: None,
-        seed: 0xBEEF + 60,
-    };
-    let p = generate(&cfg);
-    let (_, ctx) = prepare(&p, &GpuSpec::k20x(), FpPrecision::Double);
-    let model = ProposedModel::default();
-    let ev = Evaluator::new(&ctx, &model);
-    let extra: [Box<dyn PerfModel>; 2] = [Box::new(RooflineModel), Box::new(SimpleModel)];
-
-    // Distinct groups spanning singletons up to 32 members (the stack-key
-    // bound) built BEFORE the measured region.
-    let n = ctx.n_kernels();
-    let groups: Vec<Vec<KernelId>> = (0..200u64)
+/// Distinct member-sorted groups spanning singletons up to 32 members
+/// (the stack-key bound), deterministic in `n`.
+fn group_pool(n: usize) -> Vec<Vec<KernelId>> {
+    (0..200u64)
         .map(|i| {
             let len = 1 + (i as usize % 32);
             let start = (i as usize * 7) % n;
@@ -81,7 +60,21 @@ fn miss_path_is_allocation_free_once_warm() {
                 .into_iter()
                 .collect()
         })
-        .collect();
+        .collect()
+}
+
+#[test]
+fn miss_path_is_allocation_free_once_warm() {
+    // The 60-kernel scaling workload — the same program the miss-path
+    // benchmark and `kfuse example synth60` use.
+    let p = kfuse_workloads::synth::scaling(60);
+    let (_, ctx) = prepare(&p, &GpuSpec::k20x(), FpPrecision::Double);
+    let model = ProposedModel::default();
+    let ev = Evaluator::new(&ctx, &model);
+    let extra: [Box<dyn PerfModel>; 2] = [Box::new(RooflineModel), Box::new(SimpleModel)];
+
+    // Distinct groups built BEFORE the measured region.
+    let groups = group_pool(ctx.n_kernels());
 
     // Warm the scratch to the program's dimensions (first call sizes every
     // slot array and the pivot/touched buffers to their upper bounds).
@@ -117,4 +110,42 @@ fn miss_path_is_allocation_free_once_warm() {
         let delta = allocations() - before;
         assert_eq!(delta, 0, "{} project_view must not allocate", m.name());
     }
+}
+
+#[test]
+fn memo_hit_path_with_disabled_obs_is_allocation_free() {
+    // The observability layer must cost nothing when disabled: probing a
+    // warm memo through an evaluator built with `ObsHandle::disabled()`
+    // (stack key + shard lookup + relaxed registry counters, no spans,
+    // no timestamps) allocates nothing in steady state.
+    let p = kfuse_workloads::synth::scaling(40);
+    let (_, ctx) = prepare(&p, &GpuSpec::k20x(), FpPrecision::Double);
+    let model = ProposedModel::default();
+    let ev = Evaluator::observed(&ctx, &model, ObsHandle::disabled());
+    let groups = group_pool(ctx.n_kernels());
+
+    // Warm: every group pays its one miss (scratch sizing + memo insert).
+    let mut scratch = SynthScratch::new();
+    for g in &groups {
+        std::hint::black_box(ev.group_with(g, &mut scratch));
+    }
+
+    let probes_before = ev.probes();
+    let before = allocations();
+    for _ in 0..3 {
+        for g in &groups {
+            std::hint::black_box(ev.group_with(g, &mut scratch));
+        }
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "obs-disabled memo hit path must not allocate ({delta} allocations)"
+    );
+    // The registry still counted every multi-member probe.
+    assert!(ev.probes() > probes_before);
+    assert_eq!(
+        ev.evaluations(),
+        ev.snapshot().get(kfuse_obs::Counter::MemoMisses)
+    );
 }

@@ -614,3 +614,18 @@ impl<'a> PlanChecker<'a> {
 pub fn check_plan(info: &ProgramInfo, plan: &FusionPlan, model: Option<&dyn PerfModel>) -> Report {
     PlanChecker::new(info).check(plan, model)
 }
+
+/// [`check_plan`] wrapped in a `constraint_pass` span on the given
+/// observability handle (arg 0: plan groups, arg 1: diagnostics found).
+pub fn check_plan_with(
+    info: &ProgramInfo,
+    plan: &FusionPlan,
+    model: Option<&dyn PerfModel>,
+    obs: kfuse_obs::ObsHandle<'_>,
+) -> Report {
+    let mut span = obs.span(kfuse_obs::SpanId::ConstraintPass);
+    span.set_arg(0, plan.groups.len() as u64);
+    let report = check_plan(info, plan, model);
+    span.set_arg(1, report.diagnostics.len() as u64);
+    report
+}

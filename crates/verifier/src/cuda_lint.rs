@@ -173,6 +173,16 @@ pub fn lint(src: &str) -> Report {
     Report::new(diags)
 }
 
+/// [`lint`] wrapped in a `lint_pass` span on the given observability
+/// handle (arg 0: source lines linted, arg 1: diagnostics found).
+pub fn lint_with(src: &str, obs: kfuse_obs::ObsHandle<'_>) -> Report {
+    let mut span = obs.span(kfuse_obs::SpanId::LintPass);
+    span.set_arg(0, src.lines().count() as u64);
+    let report = lint(src);
+    span.set_arg(1, report.diagnostics.len() as u64);
+    report
+}
+
 /// Parse `__shared__ T s_NAME[BY + 2*h][...]` into a [`TileDecl`].
 fn parse_tile_decl(line: &str) -> Option<TileDecl> {
     let after = line.split("s_").nth(1)?;

@@ -23,6 +23,16 @@ pub fn check_program(p: &Program) -> Report {
     Report::new(diags)
 }
 
+/// [`check_program`] wrapped in a `hazard_pass` span on the given
+/// observability handle (arg 0: kernels analyzed, arg 1: diagnostics).
+pub fn check_program_with(p: &Program, obs: kfuse_obs::ObsHandle<'_>) -> Report {
+    let mut span = obs.span(kfuse_obs::SpanId::HazardPass);
+    span.set_arg(0, p.kernels.len() as u64);
+    let report = check_program(p);
+    span.set_arg(1, report.diagnostics.len() as u64);
+    report
+}
+
 /// Per-segment read set (deduplicated) and write set of a kernel.
 struct SegmentAccess {
     reads: BTreeSet<(ArrayId, Offset)>,

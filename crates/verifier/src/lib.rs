@@ -19,13 +19,20 @@
 //! Every finding is a structured [`Diagnostic`] with a stable `KF####`
 //! code (see [`diag`] for the full table), a severity, a span, an
 //! explanation and a suggested fix, renderable as text or JSON.
+//!
+//! Each entry point also has an observed variant ([`check_plan_with`],
+//! [`check_program_with`], [`lint_with`]) that wraps the pass in a
+//! `kfuse-obs` span (`constraint_pass` / `hazard_pass` / `lint_pass`)
+//! carrying the input size and diagnostic count, so verifier time shows
+//! up alongside solver work in exported chrome traces. Pass
+//! `ObsHandle::disabled()` (or call the plain variant) to pay nothing.
 
 pub mod constraints;
 pub mod cuda_lint;
 pub mod diag;
 pub mod hazards;
 
-pub use constraints::{check_plan, PlanChecker};
-pub use cuda_lint::lint;
+pub use constraints::{check_plan, check_plan_with, PlanChecker};
+pub use cuda_lint::{lint, lint_with};
 pub use diag::{Diagnostic, Report, Severity, Span};
-pub use hazards::check_program;
+pub use hazards::{check_program, check_program_with};

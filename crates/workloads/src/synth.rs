@@ -102,6 +102,30 @@ pub fn footprint(t: usize) -> Vec<Offset> {
         .collect()
 }
 
+/// The scaling-study workload: the fixed configuration the search
+/// benchmarks (`search_scaling`) and the observability examples use for
+/// their 20/40/60-kernel synthetic programs. One shared definition so
+/// `kfuse example synth60`, the bench binaries, and the docs all talk
+/// about the same program.
+pub fn scaling(kernels: usize) -> Program {
+    generate(&SynthConfig {
+        name: format!("scale_{kernels}"),
+        kernels,
+        arrays: kernels * 2,
+        data_copies: 2,
+        sharing_set: 3,
+        thread_load: 4,
+        kinship: 3,
+        grid: [64, 16, 2],
+        block: (32, 4),
+        dep_prob: 0.5,
+        reads_per_kernel: 2,
+        pointwise_prob: 0.3,
+        sync_interval: None,
+        seed: 0xBEEF + kernels as u64,
+    })
+}
+
 /// Generate a program from `cfg`.
 pub fn generate(cfg: &SynthConfig) -> Program {
     let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5EED_5EED);

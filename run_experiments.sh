@@ -17,6 +17,8 @@ if [[ "${1:-}" != "--skip-checks" ]]; then
   cargo fmt --check
   echo "== cargo clippy --workspace --all-targets -- -D warnings"
   cargo clippy --workspace --all-targets -- -D warnings
+  echo "== cargo doc --no-deps (missing_docs gate)"
+  RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 fi
 
 cargo build --release -p kfuse-bench
@@ -46,6 +48,34 @@ cargo test --release -q --test differential
 echo "-- synthesis differential (SoA vs legacy vs verifier, 3 GPUs)"
 cargo test --release -q --test synth_differential
 
+echo
+echo "================================================================"
+echo "== obs: traced solves on every workload + disabled-path guarantees"
+echo "================================================================"
+# Solve every built-in workload with tracing + metrics dumps on, then
+# validate that each emitted file is well-formed JSON (chrome-trace with
+# a traceEvents array, metrics with a counters object). python3 is the
+# only JSON validator assumed on the host.
+for ex in quickstart rk3 fig3 scale-les homme suite; do
+  echo "-- kfuse solve $ex --trace"
+  ./target/release/kfuse solve "$verify_tmp/$ex.json" --islands 2 \
+    --trace "$verify_tmp/$ex-trace.json" --metrics "$verify_tmp/$ex-metrics.json" > /dev/null
+  python3 - "$verify_tmp/$ex-trace.json" "$verify_tmp/$ex-metrics.json" <<'PY'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+assert isinstance(trace["traceEvents"], list) and trace["traceEvents"], "empty trace"
+assert any(e.get("ph") == "X" for e in trace["traceEvents"]), "no complete spans"
+metrics = json.load(open(sys.argv[2]))
+assert "counters" in metrics and "gauges" in metrics, "malformed metrics dump"
+print(f"   ok: {len(trace['traceEvents'])} trace events, "
+      f"{sum(1 for v in metrics['counters'].values() if v)} live counters")
+PY
+done
+echo "-- disabled-path allocation freedom (alloc_free)"
+cargo test --release -q -p kfuse-search --test alloc_free
+echo "-- obs crate with the trace feature compiled out"
+cargo test --release -q -p kfuse-obs --no-default-features
+
 bins=(table1 fig3_motivating table5 fig5a fig5b table6 fig6 fig7_8 fig9 table7 smem_whatif fusion_efficiency ablation blocksize_study weak_scaling)
 for b in "${bins[@]}"; do
   echo
@@ -59,4 +89,4 @@ echo
 echo "================================================================"
 echo "== search_scaling (+ evals/s regression gate vs BENCH_search.json)"
 echo "================================================================"
-./target/release/search_scaling --check-against BENCH_search.json
+./target/release/search_scaling --check-against BENCH_search.json --trace

@@ -8,11 +8,17 @@
 //! kfuse analyze rk3.json              # graphs, classes, reducible traffic
 //! kfuse fuse rk3.json --gpu k20x      # search + fuse + simulate
 //! kfuse fuse rk3.json --emit-cuda out.cu
+//! kfuse solve synth60 --trace t.json  # search only, with a chrome trace
+//! kfuse stats rk3.json                # solve and print the metrics table
 //! kfuse simulate rk3.json             # per-kernel timing table
 //! kfuse codegen rk3.json > rk3.cu     # CUDA C for the program as-is
 //! kfuse verify rk3.json --plan p.json # independent plan + hazard check
 //! kfuse lint rk3.json --fuse          # lint the generated CUDA text
 //! ```
+//!
+//! `solve` and `stats` accept either a program JSON path or a built-in
+//! example name (`kfuse solve synth60` traces the 60-kernel scaling
+//! workload without an intermediate file).
 
 use kernel_fusion::prelude::*;
 use kfuse_core::depgraph::{DependencyGraph, TouchClass};
@@ -23,10 +29,13 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
-         kfuse example <quickstart|rk3|fig3|scale-les|homme|suite>\n  \
+         kfuse example <quickstart|rk3|fig3|scale-les|homme|suite|synth20|synth40|synth60>\n  \
          kfuse analyze  <program.json> [--gpu k20x|k40|gtx750ti] [--dot-deps FILE] [--dot-exec FILE]\n  \
          kfuse simulate <program.json> [--gpu ...]\n  \
          kfuse fuse     <program.json> [--gpu ...] [--seed N] [--islands N] [--emit-cuda FILE] [--plan-out FILE]\n  \
+         kfuse solve    <program.json|example> [--gpu ...] [--solver hgga|greedy|exhaustive] [--seed N]\n             \
+                        [--islands N] [--trace FILE] [--metrics FILE] [--plan-out FILE]\n  \
+         kfuse stats    <program.json|example> [--gpu ...] [--solver ...] [--seed N] [--islands N]\n  \
          kfuse codegen  <program.json> [--single]\n  \
          kfuse verify   <program.json> [--gpu ...] [--plan FILE] [--json]\n  \
          kfuse lint     <program.json|kernels.cu> [--gpu ...] [--fuse] [--seed N] [--json]"
@@ -67,6 +76,8 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(rest),
         "simulate" => cmd_simulate(rest),
         "fuse" => cmd_fuse(rest),
+        "solve" => cmd_solve(rest, true),
+        "stats" => cmd_solve(rest, false),
         "codegen" => cmd_codegen(rest),
         "verify" => cmd_verify(rest),
         "lint" => cmd_lint(rest),
@@ -81,11 +92,14 @@ fn main() -> ExitCode {
     }
 }
 
-fn cmd_example(args: &[String]) -> Result<(), String> {
-    let Some(name) = args.first() else {
-        return Err("example name required".into());
-    };
-    let p: Program = match name.as_str() {
+/// Build a built-in example program by name. `synth<N>` (e.g. `synth60`)
+/// is the N-kernel scaling-study workload from `kfuse_workloads::synth`.
+fn builtin_program(name: &str) -> Option<Program> {
+    if let Some(n) = name.strip_prefix("synth") {
+        let kernels: usize = n.parse().ok().filter(|&k| (2..=200).contains(&k))?;
+        return Some(kfuse_workloads::synth::scaling(kernels));
+    }
+    Some(match name {
         "quickstart" => {
             let mut pb = ProgramBuilder::new("quickstart", [256, 128, 16]);
             let a = pb.array("A");
@@ -104,8 +118,15 @@ fn cmd_example(args: &[String]) -> Result<(), String> {
         "scale-les" => kfuse_workloads::scale_les::full(),
         "homme" => kfuse_workloads::homme::full(),
         "suite" => kfuse_workloads::TestSuite::generate(&kfuse_workloads::SuiteParams::default()),
-        other => return Err(format!("unknown example `{other}`")),
+        _ => return None,
+    })
+}
+
+fn cmd_example(args: &[String]) -> Result<(), String> {
+    let Some(name) = args.first() else {
+        return Err("example name required".into());
     };
+    let p = builtin_program(name).ok_or_else(|| format!("unknown example `{name}`"))?;
     let json = serde_json::to_string_pretty(&p).map_err(|e| e.to_string())?;
     println!("{json}");
     Ok(())
@@ -278,6 +299,100 @@ fn cmd_fuse(args: &[String]) -> Result<(), String> {
     // Always re-apply + verify determinism of the plan as a sanity check.
     let specs = r.ctx.validate(&r.plan).map_err(|e| e.to_string())?;
     apply_plan(&r.relaxed, &r.ctx.info, &r.ctx.exec, &r.plan, &specs).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// `kfuse solve` / `kfuse stats`: run the search only (no fusion apply or
+/// simulation), with optional chrome-trace and metrics-dump output.
+/// `stats` is `solve` reduced to the human metrics table.
+fn cmd_solve(args: &[String], full_output: bool) -> Result<(), String> {
+    use kernel_fusion::obs::{InMemoryRecorder, ObsHandle};
+
+    let Some(target) = args.first() else {
+        return Err("program path or example name required".into());
+    };
+    let p = if std::path::Path::new(target).exists() {
+        load_program(target)?
+    } else {
+        builtin_program(target)
+            .ok_or_else(|| format!("`{target}` is neither a file nor a built-in example"))?
+    };
+    let gpu = parse_gpu(args);
+    let seed = flag_value(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(17u64);
+    let islands = flag_value(args, "--islands")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1usize);
+
+    let hgga;
+    let solver: &dyn Solver = match flag_value(args, "--solver").as_deref() {
+        None | Some("hgga") => {
+            let mut s = HggaSolver::with_seed(seed);
+            s.config.islands = islands;
+            hgga = s;
+            &hgga
+        }
+        Some("greedy") => &GreedySolver,
+        Some("exhaustive") => &ExhaustiveSolver::default(),
+        Some(other) => return Err(format!("unknown solver `{other}`")),
+    };
+
+    let (_, ctx) = pipeline::prepare(&p, &gpu, gpu.default_precision());
+    let model = ProposedModel::default();
+    let trace_out = flag_value(args, "--trace");
+    let recorder = trace_out.as_ref().map(|_| InMemoryRecorder::new());
+    let obs = match &recorder {
+        Some(rec) => ObsHandle::new(rec),
+        None => ObsHandle::disabled(),
+    };
+    let out = solver.solve_observed(&ctx, &model, obs);
+
+    if full_output {
+        println!(
+            "solver {}: objective {:.6e} over {} kernels in {} groups ({:?})",
+            solver.name(),
+            out.objective,
+            ctx.n_kernels(),
+            out.plan.groups.len(),
+            out.stats.elapsed
+        );
+        println!();
+    }
+    print!("{}", out.metrics.render_table());
+    if full_output && !out.stats.islands.is_empty() {
+        println!();
+        for (i, isl) in out.stats.islands.iter().enumerate() {
+            println!(
+                "island {i}: {} generations, best at gen {}, {} migrants received",
+                isl.generations, isl.best_generation, isl.migrations_received
+            );
+        }
+    }
+
+    if let Some(path) = trace_out {
+        let rec = recorder.as_ref().expect("recorder exists when tracing");
+        let json = kernel_fusion::obs::chrome_trace(rec);
+        std::fs::write(&path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote chrome trace ({} events) to {path}", rec.len());
+    }
+    if let Some(path) = flag_value(args, "--metrics") {
+        std::fs::write(&path, out.metrics.to_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote metrics dump to {path}");
+    }
+    if let Some(path) = flag_value(args, "--plan-out") {
+        let json = serde_json::to_string_pretty(&out.plan).map_err(|e| e.to_string())?;
+        std::fs::write(&path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote plan to {path}");
+    }
+
+    // Consistency guard: the legacy stats view must stay derivable from
+    // the registry snapshot (the regression tests pin this per solver).
+    debug_assert_eq!(
+        out.stats.evaluations,
+        out.metrics.get(kernel_fusion::obs::Counter::MemoMisses)
+    );
     Ok(())
 }
 

@@ -19,6 +19,7 @@
 //! | [`search`] | HGGA, exhaustive and greedy solvers |
 //! | [`verify`] | independent plan verifier, hazard analyzer, CUDA lint |
 //! | [`workloads`] | Fig. 3 example, CloverLeaf suite, SCALE-LES, HOMME |
+//! | [`obs`] | structured tracing, metrics registry, chrome-trace export |
 //!
 //! ## Quickstart
 //!
@@ -45,6 +46,7 @@
 pub use kfuse_core as core;
 pub use kfuse_gpu as gpu;
 pub use kfuse_ir as ir;
+pub use kfuse_obs as obs;
 pub use kfuse_search as search;
 pub use kfuse_sim as sim;
 pub use kfuse_verify as verify;

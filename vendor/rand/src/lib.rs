@@ -1,6 +1,6 @@
 //! Offline stand-in for the `rand` crate (see `vendor/README.md`).
 //!
-//! Provides exactly the API surface this workspace uses: [`SmallRng`]
+//! Provides exactly the API surface this workspace uses: [`rngs::SmallRng`]
 //! (xoshiro256++ seeded via SplitMix64), the [`Rng`] / [`SeedableRng`] /
 //! [`RngCore`] traits with `gen_range` / `gen_bool` / `gen`, and
 //! [`seq::SliceRandom`] with `choose` / `choose_multiple` / `shuffle`.
