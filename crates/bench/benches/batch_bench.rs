@@ -1,0 +1,88 @@
+//! Lane-occupancy sweep for batched candidate scoring: the same distinct
+//! group pool scored through [`Evaluator::evaluate_uncached_batch`] with
+//! the queue chopped into widths of 1/2/4/8 candidates per call, so every
+//! lane sweep runs at exactly that fill. Width 8 is the steady-state the
+//! `search_scaling` batch gate pins; width 1 is the degenerate
+//! one-candidate-per-sweep cost (≈ the scalar unit plus batch plumbing);
+//! the scalar path itself is timed alongside as the baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kfuse_core::batch::{BatchScratch, CandidateBatch};
+use kfuse_core::model::ProposedModel;
+use kfuse_core::pipeline::prepare;
+use kfuse_core::synth::SynthScratch;
+use kfuse_gpu::{FpPrecision, GpuSpec};
+use kfuse_ir::KernelId;
+use kfuse_search::Evaluator;
+use kfuse_workloads::synth::{generate, SynthConfig};
+use std::hint::black_box;
+
+/// Distinct groups of 2..=8 members over `n` kernels, deterministic.
+fn group_pool(n: usize, count: usize) -> Vec<Vec<KernelId>> {
+    (0..count)
+        .map(|i| {
+            let len = 2 + (i % 7);
+            let start = (i * 11) % n;
+            let mut g: Vec<KernelId> = (0..len)
+                .map(|j| KernelId(((start + j * 5) % n) as u32))
+                .collect();
+            g.sort_unstable();
+            g.dedup();
+            g
+        })
+        .collect()
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let model = ProposedModel::default();
+    for kernels in [20usize, 60] {
+        let cfg = SynthConfig {
+            kernels,
+            seed: 0xBEEF + kernels as u64,
+            ..SynthConfig::default()
+        };
+        let program = generate(&cfg);
+        let (_, ctx) = prepare(&program, &GpuSpec::k20x(), FpPrecision::Double);
+        let ev = Evaluator::new(&ctx, &model);
+        let groups = group_pool(ctx.n_kernels(), 64);
+
+        let mut g = c.benchmark_group(format!("batch/{kernels}k"));
+
+        g.bench_function("scalar", |b| {
+            let mut scratch = SynthScratch::new();
+            b.iter(|| {
+                for grp in &groups {
+                    black_box(ev.evaluate_uncached(grp, &mut scratch));
+                }
+            })
+        });
+
+        for width in [1usize, 2, 4, 8] {
+            // One CandidateBatch of `width` candidates per call: every
+            // lane sweep runs at exactly this fill.
+            let batches: Vec<CandidateBatch> = groups
+                .chunks(width)
+                .map(|chunk| {
+                    let mut b = CandidateBatch::new();
+                    for grp in chunk {
+                        b.push(grp);
+                    }
+                    b
+                })
+                .collect();
+            g.bench_function(format!("lanes{width}"), |b| {
+                let mut scratch = BatchScratch::new();
+                let mut times: Vec<f64> = Vec::new();
+                b.iter(|| {
+                    for batch in &batches {
+                        black_box(ev.evaluate_uncached_batch(batch, &mut scratch, &mut times));
+                    }
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

@@ -23,6 +23,11 @@
 //!    condensation-check counts per variant. Both trajectories are
 //!    bit-identical (see the pinning tests), so any wall-clock delta is
 //!    pure representation overhead.
+//! 5. **Lane-batched miss path** — the same memo-bypassed group pool as
+//!    the miss-path study, scored whole-batch through
+//!    `Evaluator::evaluate_uncached_batch` (8-lane synthesis + batched
+//!    projection under the `batch` feature), against the scalar SoA
+//!    unit.
 //!
 //! Results go to `results/search_scaling.json`; the machine-readable
 //! headline for the regression gate goes to `BENCH_search.json` in the
@@ -123,12 +128,31 @@ struct MissPoint {
     cold_solver_synth_ns_per_eval: f64,
 }
 
+/// Lane-batched miss-path throughput: the same group pool as
+/// [`MissPoint`], scored whole-batch through
+/// [`Evaluator::evaluate_uncached_batch`] (8-lane synthesis + batched
+/// projection under the `batch` feature; the scalar fallback otherwise).
+#[derive(Serialize, Clone)]
+struct BatchPoint {
+    kernels: usize,
+    /// Distinct multi-member groups in the measured pool.
+    groups: usize,
+    batch_evals_per_sec: f64,
+    /// The scalar SoA unit over the same pool (copied from the miss-path
+    /// section) — the denominator of `speedup`.
+    soa_evals_per_sec: f64,
+    speedup: f64,
+    /// Mean structure-passing candidates per lane sweep over the run.
+    avg_batch_fill: f64,
+}
+
 #[derive(Serialize)]
 struct WorkloadReport {
     kernels: usize,
     evaluator: Vec<EvaluatorPoint>,
     neighbor: Vec<NeighborPoint>,
     miss_path: MissPoint,
+    batch: BatchPoint,
     solver: Vec<SolverPoint>,
     variants: Vec<VariantPoint>,
 }
@@ -147,6 +171,7 @@ struct BenchFile {
     max_generations: u32,
     neighbor: Vec<BenchNeighbor>,
     miss_path: Vec<MissPoint>,
+    batch: Vec<BatchPoint>,
     variants: Vec<BenchVariant>,
     headline: Headline,
 }
@@ -182,6 +207,7 @@ struct Headline {
     speedup: f64,
     solver: SolverHeadline,
     miss: MissHeadline,
+    batch: BatchHeadline,
 }
 
 #[derive(Serialize)]
@@ -198,6 +224,15 @@ struct MissHeadline {
     soa_evals_per_sec: f64,
     legacy_evals_per_sec: f64,
     speedup: f64,
+}
+
+#[derive(Serialize)]
+struct BatchHeadline {
+    kernels: usize,
+    batch_evals_per_sec: f64,
+    soa_evals_per_sec: f64,
+    speedup: f64,
+    avg_batch_fill: f64,
 }
 
 /// The shared scaling-study workload (see `kfuse_workloads::synth::scaling`
@@ -482,6 +517,63 @@ fn miss_path_point(
     }
 }
 
+/// Lane-batched counterpart of [`miss_path_point`]: the identical group
+/// pool, memo bypassed, scored whole-batch through
+/// [`Evaluator::evaluate_uncached_batch`].
+fn batch_point(kernels: usize, ev: &Evaluator<'_>, plans: &[FusionPlan]) -> BatchPoint {
+    let mut groups: Vec<Vec<KernelId>> = plans
+        .iter()
+        .flat_map(|p| p.groups.iter().filter(|g| g.len() >= 2).cloned())
+        .collect();
+    groups.sort();
+    groups.dedup();
+    let mut batch = kfuse_core::batch::CandidateBatch::new();
+    for g in &groups {
+        batch.push(g);
+    }
+
+    let mut scratch = kfuse_core::batch::BatchScratch::new();
+    let mut times: Vec<f64> = Vec::new();
+    // Warm the scratch, then calibrate so the measurement runs ~0.5 s.
+    let t = Instant::now();
+    std::hint::black_box(ev.evaluate_uncached_batch(&batch, &mut scratch, &mut times));
+    let pass = t.elapsed().as_secs_f64().max(1e-6);
+    let iters = ((0.5 / pass).ceil() as usize).clamp(2, 100_000);
+
+    let mut stats = kfuse_core::batch::BatchStats::default();
+    let t = Instant::now();
+    for _ in 0..iters {
+        stats.merge(ev.evaluate_uncached_batch(&batch, &mut scratch, &mut times));
+        std::hint::black_box(&times);
+    }
+    let rate = (iters * groups.len()) as f64 / t.elapsed().as_secs_f64();
+
+    // The scalar baseline re-measures `evaluate_uncached` here, back to
+    // back with the batched loop over the identical pool, so the speedup
+    // ratio compares like state with like state (the miss stage's SoA
+    // figure is measured under its own conditions).
+    let mut s = kfuse_core::synth::SynthScratch::new();
+    for g in &groups {
+        std::hint::black_box(ev.evaluate_uncached(g, &mut s));
+    }
+    let t = Instant::now();
+    for _ in 0..iters {
+        for g in &groups {
+            std::hint::black_box(ev.evaluate_uncached(g, &mut s));
+        }
+    }
+    let soa = (iters * groups.len()) as f64 / t.elapsed().as_secs_f64();
+
+    BatchPoint {
+        kernels,
+        groups: groups.len(),
+        batch_evals_per_sec: rate,
+        soa_evals_per_sec: soa,
+        speedup: rate / soa,
+        avg_batch_fill: stats.lanes as f64 / (stats.batches.max(1)) as f64,
+    }
+}
+
 /// Pick an iteration count so each measurement takes roughly half a
 /// second at single-thread speed.
 fn calibrate<F: Fn(&FusionPlan) -> f64>(plans: &[FusionPlan], eval: F) -> usize {
@@ -575,17 +667,37 @@ fn main() {
         let mut rng = SmallRng::seed_from_u64(0xD15C0);
         let plans = plan_pool(&ctx, &sharded, &mut rng);
 
+        println!("== {kernels} kernels ({} candidate plans) ==", plans.len());
+
+        // The miss-path and lane-batched stages run first, before the
+        // memo warm-up below: both measure raw (memo-independent)
+        // evaluation, and the warmed shards' tens of MB of heap
+        // otherwise bleed cache pollution into their single-threaded
+        // timing loops.
+        let miss_path = miss_path_point(kernels, &ctx, &model, &sharded, &plans);
+        println!(
+            "  miss path : SoA {:>12.0} evals/s   legacy {:>12.0} evals/s   ({:.2}x)   cold miss rate {:.3}   {:.0} ns/miss ({:.0} ns synth)",
+            miss_path.soa_evals_per_sec,
+            miss_path.legacy_evals_per_sec,
+            miss_path.speedup,
+            miss_path.cold_solver_miss_rate,
+            miss_path.cold_solver_miss_ns_per_eval,
+            miss_path.cold_solver_synth_ns_per_eval,
+        );
+
+        let batch = batch_point(kernels, &sharded, &plans);
+        println!(
+            "  batch     : batched {:>12.0} evals/s   scalar SoA {:>12.0} evals/s   ({:.2}x)   avg fill {:.2}",
+            batch.batch_evals_per_sec, batch.soa_evals_per_sec, batch.speedup, batch.avg_batch_fill,
+        );
+
         // Warm both memos so every measured evaluation is a hit.
         for p in &plans {
             sharded.plan(p);
             legacy.plan(p);
         }
         let iters = calibrate(&plans, |p| sharded.plan(p));
-
-        println!(
-            "== {kernels} kernels ({} candidate plans, {iters} iters) ==",
-            plans.len()
-        );
+        println!("  evaluator : {iters} warmed iters per thread");
         let mut evaluator = Vec::new();
         for &threads in &THREAD_COUNTS {
             let new_rate = throughput(threads, iters, &plans, |p| sharded.plan(p));
@@ -628,17 +740,6 @@ fn main() {
                 speedup_vs_sharded: delta / full_sharded,
             });
         }
-
-        let miss_path = miss_path_point(kernels, &ctx, &model, &sharded, &plans);
-        println!(
-            "  miss path : SoA {:>12.0} evals/s   legacy {:>12.0} evals/s   ({:.2}x)   cold miss rate {:.3}   {:.0} ns/miss ({:.0} ns synth)",
-            miss_path.soa_evals_per_sec,
-            miss_path.legacy_evals_per_sec,
-            miss_path.speedup,
-            miss_path.cold_solver_miss_rate,
-            miss_path.cold_solver_miss_ns_per_eval,
-            miss_path.cold_solver_synth_ns_per_eval,
-        );
 
         let mut solver = Vec::new();
         for &islands in &ISLAND_COUNTS {
@@ -709,6 +810,7 @@ fn main() {
             evaluator,
             neighbor,
             miss_path,
+            batch,
             solver,
             variants,
         });
@@ -770,8 +872,10 @@ fn main() {
         .map(|w| w.miss_path.clone())
         .collect();
     let head_miss = bench_miss.iter().find(|m| m.kernels == 60);
-    let (Some(head_n), Some(head_ref), Some(head_flat), Some(head_miss)) =
-        (head_n, head_ref, head_flat, head_miss)
+    let bench_batch: Vec<BatchPoint> = report.workloads.iter().map(|w| w.batch.clone()).collect();
+    let head_batch = bench_batch.iter().find(|b| b.kernels == 60);
+    let (Some(head_n), Some(head_ref), Some(head_flat), Some(head_miss), Some(head_batch)) =
+        (head_n, head_ref, head_flat, head_miss, head_batch)
     else {
         eprintln!("missing 60-kernel headline measurements");
         std::process::exit(2);
@@ -798,9 +902,17 @@ fn main() {
                 legacy_evals_per_sec: head_miss.legacy_evals_per_sec,
                 speedup: head_miss.speedup,
             },
+            batch: BatchHeadline {
+                kernels: 60,
+                batch_evals_per_sec: head_batch.batch_evals_per_sec,
+                soa_evals_per_sec: head_batch.soa_evals_per_sec,
+                speedup: head_batch.speedup,
+                avg_batch_fill: head_batch.avg_batch_fill,
+            },
         },
         neighbor: bench_neighbor,
         miss_path: bench_miss,
+        batch: bench_batch,
         variants: bench_variants,
     };
     println!(
@@ -820,6 +932,13 @@ fn main() {
         bench.headline.miss.soa_evals_per_sec,
         bench.headline.miss.legacy_evals_per_sec,
         bench.headline.miss.speedup
+    );
+    println!(
+        "batch:    60 kernels — lane-batched {:.0} evals/s vs scalar SoA {:.0} evals/s ({:.2}x, avg fill {:.2})",
+        bench.headline.batch.batch_evals_per_sec,
+        bench.headline.batch.soa_evals_per_sec,
+        bench.headline.batch.speedup,
+        bench.headline.batch.avg_batch_fill
     );
     // Load the committed baseline BEFORE overwriting it with this run.
     let committed: Option<(String, serde_json::Value)> = check_against.map(|path| {
@@ -863,6 +982,14 @@ fn main() {
                 "miss-path SoA evaluation",
                 committed["headline"]["miss"]["soa_evals_per_sec"].as_f64(),
                 bench.headline.miss.soa_evals_per_sec,
+            ),
+            (
+                // Pre-batch baselines have no `headline.batch` section;
+                // `as_f64()` yields None there and the gate skips
+                // gracefully below.
+                "lane-batched miss-path evaluation",
+                committed["headline"]["batch"]["batch_evals_per_sec"].as_f64(),
+                bench.headline.batch.batch_evals_per_sec,
             ),
         ] {
             let Some(baseline) = baseline.filter(|b| *b > 0.0) else {

@@ -38,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod depgraph;
 pub mod dot;
 pub mod efficiency;
@@ -55,6 +56,7 @@ pub mod synth;
 pub mod tuner;
 pub mod util;
 
+pub use batch::{BatchScratch, BatchStats, CandidateBatch, LANES};
 pub use depgraph::{DependencyGraph, TouchClass};
 pub use exec_order::ExecOrderGraph;
 pub use kinship::ShareGraph;

@@ -25,6 +25,8 @@
 //! All models return the **measured** runtime for single-member groups
 //! (an unfused kernel keeps its observed performance).
 
+#[cfg(feature = "batch")]
+use crate::batch::{BatchView, LANES};
 use crate::metadata::ProgramInfo;
 use crate::spec::{GroupSpec, PivotSpec};
 use crate::synth::{SpecView, NO_SLOT, READS, WRITES};
@@ -47,6 +49,19 @@ pub trait PerfModel: Sync {
     /// allocation-free view arithmetic.
     fn project_view(&self, info: &ProgramInfo, view: &SpecView<'_>) -> f64 {
         self.project(info, &view.to_spec())
+    }
+
+    /// Projected runtimes for every populated lane of a synthesized
+    /// [`BatchView`], written to `out[0..view.fill()]` — each lane must
+    /// agree bit-for-bit with [`PerfModel::project`] on that lane's
+    /// materialized spec. The default materializes each lane; the
+    /// built-in models override it with allocation-free lane arithmetic
+    /// over the batch's per-array aggregates.
+    #[cfg(feature = "batch")]
+    fn project_batch(&self, info: &ProgramInfo, view: &BatchView<'_>, out: &mut [f64; LANES]) {
+        for (l, slot) in out.iter_mut().enumerate().take(view.fill()) {
+            *slot = self.project(info, &view.lane_spec(l));
+        }
     }
 }
 
@@ -176,6 +191,92 @@ pub fn projected_fused_bytes_view(info: &ProgramInfo, view: &SpecView<'_>) -> u6
     elems * info.elem_bytes()
 }
 
+/// [`projected_fused_bytes_view`] for every lane of a batch: the same
+/// integer per lane, with the per-pivot member×use rescans of the
+/// halo-widening term collapsed into the `write_refs` per-array aggregate
+/// gathered during the batch aggregation sweep (an exact `u64`
+/// distribution of `ring` over the same term multiset).
+#[cfg(feature = "batch")]
+fn projected_fused_bytes_batch(info: &ProgramInfo, view: &BatchView<'_>) -> [u64; LANES] {
+    let t = view.tables;
+    let grid = u64::from(info.blocks) * u64::from(info.nz);
+    let fill = view.fill();
+    let mut elems = [0u64; LANES];
+    for &cu in view.touched {
+        let c = cu as usize;
+        // Walk set lane bits only (most columns belong to one or two
+        // lanes); each lane's accumulator still sums its columns in
+        // touched-ascending order, so the totals are unchanged.
+        let a = &view.agg[c];
+        let sm = &view.sums[c];
+        let mut lm = view.lane_mask[c];
+        while lm != 0 {
+            let l = lm.trailing_zeros() as usize;
+            lm &= lm - 1;
+            let e = &mut elems[l];
+            *e += sm.store_sum[l];
+            let slot = a.pivot_slot[l];
+            if slot == NO_SLOT {
+                *e += sm.load_sum[l];
+                continue;
+            }
+            let p = &view.pivots(l)[slot as usize];
+            if p.produced {
+                continue; // produced on-chip: no loads
+            }
+            // One fetch of tile(+halo); approximate with the smallest
+            // member fetch plus the halo ring.
+            let base = if a.max_reader1[l] > 0 {
+                sm.load_min[l]
+            } else {
+                0
+            };
+            *e += base + info.halo_area(u32::from(p.halo)) * grid;
+        }
+    }
+    // Computed halos widen the GMEM footprint of the producers' inputs
+    // (§II-D2): ring × Σ over writers of (read refs − own pivot read),
+    // the sum pre-aggregated per array.
+    for (l, e) in elems.iter_mut().enumerate().take(fill) {
+        for p in view.pivots(l) {
+            if !(p.smem && p.produced && p.halo > 0) {
+                continue;
+            }
+            let ring = info.halo_area(u32::from(p.halo)) * grid;
+            let pc = t.compact[p.array.index()] as usize;
+            *e += ring * view.sums[pc].write_refs[l];
+        }
+    }
+    let eb = info.elem_bytes();
+    elems.map(|e| e * eb)
+}
+
+/// [`projected_smem_bytes_moved_view`] for every lane of a batch: the
+/// per-pivot member scan becomes one multiply against the `read_tl`
+/// per-array aggregate (exact `u64` distribution of `sites · elem`).
+#[cfg(feature = "batch")]
+fn projected_smem_bytes_moved_batch(info: &ProgramInfo, view: &BatchView<'_>) -> [u64; LANES] {
+    let t = view.tables;
+    let elem = info.elem_bytes();
+    let blocks = u64::from(info.blocks);
+    let nz = u64::from(info.nz);
+    let sites = blocks * info.tile_area(0) * nz;
+    let mut bytes = [0u64; LANES];
+    for (l, b) in bytes.iter_mut().enumerate().take(view.fill()) {
+        for p in view.pivots(l) {
+            if !p.smem {
+                continue;
+            }
+            let tile = blocks * info.tile_area(u32::from(p.halo)) * nz;
+            let pc = t.compact[p.array.index()] as usize;
+            // Fill (loaded) or produced write, plus one SMEM access per
+            // thread-load reference per site for staged reads.
+            *b += tile * elem + view.sums[pc].read_tl[l] * sites * elem;
+        }
+    }
+    bytes
+}
+
 /// Shared Roofline arithmetic: identical float sequence for the spec and
 /// view paths.
 fn roofline_time(info: &ProgramInfo, bytes: u64, flops: u64) -> f64 {
@@ -206,6 +307,19 @@ impl PerfModel for RooflineModel {
         }
         roofline_time(info, projected_fused_bytes_view(info, view), view.flops)
     }
+
+    #[cfg(feature = "batch")]
+    fn project_batch(&self, info: &ProgramInfo, view: &BatchView<'_>, out: &mut [f64; LANES]) {
+        let bytes = projected_fused_bytes_batch(info, view);
+        for (l, o) in out.iter_mut().enumerate().take(view.fill()) {
+            let members = view.members(l);
+            *o = if members.len() == 1 {
+                info.meta(members[0]).runtime_s
+            } else {
+                roofline_time(info, bytes[l], view.flops(l))
+            };
+        }
+    }
 }
 
 /// The empirical "simple model": original sum minus measured shared-array
@@ -224,6 +338,13 @@ impl PerfModel for SimpleModel {
 
     fn project_view(&self, info: &ProgramInfo, view: &SpecView<'_>) -> f64 {
         simple_time(info, view.members, view.pivots)
+    }
+
+    #[cfg(feature = "batch")]
+    fn project_batch(&self, info: &ProgramInfo, view: &BatchView<'_>, out: &mut [f64; LANES]) {
+        for (l, o) in out.iter_mut().enumerate().take(view.fill()) {
+            *o = simple_time(info, view.members(l), view.pivots(l));
+        }
     }
 }
 
@@ -519,6 +640,39 @@ impl PerfModel for ProposedModel {
             return info.meta(view.members[0]).runtime_s;
         }
         self.breakdown_view(info, view).t_pro
+    }
+
+    #[cfg(feature = "batch")]
+    fn project_batch(&self, info: &ProgramInfo, view: &BatchView<'_>, out: &mut [f64; LANES]) {
+        let bytes = projected_fused_bytes_batch(info, view);
+        let smem = projected_smem_bytes_moved_batch(info, view);
+        for (l, o) in out.iter_mut().enumerate().take(view.fill()) {
+            let members = view.members(l);
+            if members.len() == 1 {
+                *o = info.meta(members[0]).runtime_s;
+                continue;
+            }
+            // The same scalar bundle as `breakdown_view`, fed through the
+            // shared Eq. 6–10 float sequence. `smem` is precomputed for
+            // all lanes; `breakdown_parts` ignores it on the
+            // `blocks_smx == 0` early return exactly like the lazy scalar
+            // closure.
+            *o = breakdown_parts(
+                info,
+                bytes[l],
+                SpecScalars {
+                    smem_bytes: view.smem_bytes(l),
+                    projected_regs: view.projected_regs(l),
+                    flops: view.flops(l),
+                    halo_bytes: view.halo_bytes(l),
+                    active_threads: view.active_threads(l),
+                    n_smem_pivots: view.pivots(l).iter().filter(|p| p.smem).count(),
+                    barriers: view.barrier_count(l),
+                },
+                || smem[l],
+            )
+            .t_pro;
+        }
     }
 }
 

@@ -62,6 +62,11 @@ pub struct SolveStats {
     pub miss_ns: u64,
     /// Nanoseconds of `miss_ns` spent inside group synthesis proper.
     pub synth_ns: u64,
+    /// Average candidate lanes per batched-evaluator sweep
+    /// (`BatchLanesFilled / BatchesScored`): up to 8 with the `batch`
+    /// feature, 1.0 under the scalar fallback, 0.0 when the run never
+    /// scored a batch.
+    pub avg_batch_fill: f64,
     /// Per-island breakdown when the solver ran in island mode.
     pub islands: Vec<IslandStats>,
 }
@@ -88,6 +93,10 @@ impl SolveStats {
             miss_rate: ratio(misses, probes),
             miss_ns: metrics.get(Counter::MissNs),
             synth_ns: metrics.get(Counter::SynthNs),
+            avg_batch_fill: ratio(
+                metrics.get(Counter::BatchLanesFilled),
+                metrics.get(Counter::BatchesScored),
+            ),
             ..SolveStats::default()
         }
     }

@@ -31,6 +31,9 @@ pub enum SpanId {
     /// The SoA group-synthesis portion of a memo miss
     /// (`SynthTables::synthesize_into`).
     Synthesis,
+    /// One lane-batched scoring flush: all distinct memo misses of a
+    /// probe batch synthesized and projected lane-per-candidate.
+    BatchScore,
     /// One full pairwise-merge sweep of the greedy solver.
     GreedySweep,
     /// The exhaustive solver's whole partition enumeration.
@@ -55,6 +58,7 @@ impl SpanId {
             SpanId::Migration => "migration",
             SpanId::MemoMiss => "memo_miss",
             SpanId::Synthesis => "synthesis",
+            SpanId::BatchScore => "batch_score",
             SpanId::GreedySweep => "greedy_sweep",
             SpanId::Enumeration => "enumeration",
             SpanId::ConstraintPass => "constraint_pass",
@@ -68,7 +72,7 @@ impl SpanId {
         match self {
             SpanId::Solve | SpanId::InitialPopulation => "solver",
             SpanId::Generation | SpanId::Epoch | SpanId::Migration => "ga",
-            SpanId::MemoMiss | SpanId::Synthesis => "eval",
+            SpanId::MemoMiss | SpanId::Synthesis | SpanId::BatchScore => "eval",
             SpanId::GreedySweep | SpanId::Enumeration => "solver",
             SpanId::ConstraintPass | SpanId::HazardPass | SpanId::LintPass => "verify",
         }
@@ -85,6 +89,7 @@ impl SpanId {
             SpanId::Migration => ("emigrants_per_island", "islands"),
             SpanId::MemoMiss => ("group_len", "_"),
             SpanId::Synthesis => ("group_len", "_"),
+            SpanId::BatchScore => ("groups", "lanes"),
             SpanId::GreedySweep => ("groups", "merged"),
             SpanId::Enumeration => ("kernels", "_"),
             SpanId::ConstraintPass => ("groups", "diagnostics"),
@@ -135,11 +140,18 @@ pub enum Counter {
     GreedyMerges,
     /// Complete set partitions scored by the exhaustive solver.
     PartitionsScored,
+    /// Lane sweeps executed by the batched evaluator (one per chunk of up
+    /// to `LANES` candidates; one per candidate under the scalar
+    /// fallback).
+    BatchesScored,
+    /// Candidate lanes actually filled across those sweeps.
+    /// `BatchLanesFilled / BatchesScored` is the average batch fill.
+    BatchLanesFilled,
 }
 
 impl Counter {
     /// Number of counters (registry slot count).
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 18;
 
     /// All counters, in registry/display order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -159,6 +171,8 @@ impl Counter {
         Counter::GreedySweeps,
         Counter::GreedyMerges,
         Counter::PartitionsScored,
+        Counter::BatchesScored,
+        Counter::BatchLanesFilled,
     ];
 
     /// Stable snake_case name (metrics-dump key).
@@ -180,6 +194,8 @@ impl Counter {
             Counter::GreedySweeps => "greedy_sweeps",
             Counter::GreedyMerges => "greedy_merges",
             Counter::PartitionsScored => "partitions_scored",
+            Counter::BatchesScored => "batches_scored",
+            Counter::BatchLanesFilled => "batch_lanes_filled",
         }
     }
 }

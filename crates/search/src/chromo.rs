@@ -27,7 +27,7 @@
 //!   group times in normalized order so the f64 result is bitwise equal to
 //!   [`Evaluator::plan`] on the converted [`FusionPlan`].
 
-use crate::eval::{Evaluator, GroupEval};
+use crate::eval::{BatchProbe, Evaluator, GroupEval};
 use kfuse_core::exec_order::ExecOrderGraph;
 use kfuse_core::plan::FusionPlan;
 use kfuse_core::synth::SynthScratch;
@@ -94,12 +94,9 @@ pub struct OpScratch {
     edges2: Vec<u32>,
     // Operator buffers (owned here so operators allocate nothing steady-state).
     pub(crate) probe: Vec<KernelId>,
-    pub(crate) probe2: Vec<KernelId>,
     pub(crate) orphans: Vec<KernelId>,
     pub(crate) split_a: Vec<KernelId>,
     pub(crate) split_b: Vec<KernelId>,
-    pub(crate) best_a: Vec<KernelId>,
-    pub(crate) best_b: Vec<KernelId>,
     pub(crate) idxs: Vec<usize>,
     pub(crate) multi: Vec<usize>,
     pub(crate) injected: Vec<bool>,
@@ -108,6 +105,16 @@ pub struct OpScratch {
     /// Per-worker SoA synthesis scratch: every memo-miss evaluation issued
     /// through this worker synthesizes into these buffers.
     pub(crate) synth: SynthScratch,
+    /// Per-worker batched memo probe: operators queue candidate moves here
+    /// and rescore them lane-per-candidate in one flush.
+    pub(crate) bp: BatchProbe,
+    /// Evaluations written back by [`Evaluator::group_batch`], indexed by
+    /// candidate position in `bp`.
+    pub(crate) bevals: Vec<GroupEval>,
+    /// One packed descriptor per queued sample, replayed after the flush:
+    /// `[kind-or-slot, i, j, vi, candidate index]` (operators assign their
+    /// own meanings per field).
+    pub(crate) descs: Vec<[u32; 5]>,
 }
 
 impl OpScratch {
@@ -747,7 +754,33 @@ impl Chromosome {
 
         // Phase 1: singletons pass unchecked (exactly like legacy repair);
         // multi-member groups must be feasible or dissolve.
+        //
+        // Every unresolved multi-member eval is gathered up front and
+        // scored as one lane batch: the loop below only appends slots past
+        // `initial` (splits), so the memberships probed here are exactly
+        // the ones the one-at-a-time loop would have probed.
         let initial = self.order.len();
+        scratch.bp.clear();
+        scratch.descs.clear();
+        for pos in 0..initial {
+            let sid = self.order[pos];
+            let s = self.slots[sid as usize];
+            if s.len >= 2 && !s.eval_known {
+                scratch
+                    .bp
+                    .push(&self.arena[s.start as usize..(s.start + s.len) as usize]);
+                scratch.descs.push([sid, 0, 0, 0, 0]);
+            }
+        }
+        if scratch.descs.len() >= 2 {
+            ev.group_batch(&mut scratch.bp, &mut scratch.bevals);
+            for (d, e) in scratch.descs.iter().zip(&scratch.bevals) {
+                let slot = &mut self.slots[d[0] as usize];
+                slot.eval = *e;
+                slot.eval_known = true;
+                ev.count(Counter::GroupsRescored, 1);
+            }
+        }
         let mut killed = false;
         for pos in 0..initial {
             let sid = self.order[pos];

@@ -28,6 +28,7 @@
 //! is done, and the condensation check itself runs against thread-local
 //! reusable scratch ([`kfuse_core::fuse::CondensationScratch`]).
 
+use kfuse_core::batch::{score_into, score_scalar, BatchScratch, BatchStats, CandidateBatch};
 use kfuse_core::fuse::{condensation_order_with, CondensationScratch};
 use kfuse_core::model::PerfModel;
 use kfuse_core::plan::{FusionPlan, PlanContext};
@@ -184,6 +185,17 @@ impl<'a> Evaluator<'a> {
         ratio(self.evaluations(), self.probes())
     }
 
+    /// Average number of candidate lanes occupied per batched scoring
+    /// sweep, `BatchLanesFilled / BatchesScored`: up to
+    /// [`kfuse_core::batch::LANES`] with the `batch` feature, exactly 1
+    /// under the scalar fallback, 0 while nothing has been batch-scored.
+    pub fn avg_batch_fill(&self) -> f64 {
+        ratio(
+            self.metrics.get(Counter::BatchLanesFilled),
+            self.metrics.get(Counter::BatchesScored),
+        )
+    }
+
     /// Total wall-clock nanoseconds spent on the memo-miss path (group
     /// synthesis + projection + insert), summed over all threads.
     pub fn miss_ns(&self) -> u64 {
@@ -327,6 +339,202 @@ impl<'a> Evaluator<'a> {
     }
 }
 
+/// Reusable state for [`Evaluator::group_batch`]: a candidate queue, the
+/// distinct-miss queue behind it, and the lane-batched scoring scratch.
+/// One per solver thread; every buffer is retained across calls, so
+/// steady-state probing allocates nothing.
+pub struct BatchProbe {
+    /// Candidates exactly as enqueued by the caller.
+    cands: CandidateBatch,
+    /// Distinct memo misses (canonically sorted keys) awaiting scoring.
+    miss: CandidateBatch,
+    /// Fingerprint of each entry in `miss` (parallel array).
+    miss_fp: Vec<u64>,
+    /// `(candidate index, miss index)` pairs resolved after the flush.
+    pending: Vec<(u32, u32)>,
+    /// Scored seconds per miss (parallel to `miss`).
+    times: Vec<f64>,
+    /// Lane-batched synthesis + projection scratch.
+    core: BatchScratch,
+}
+
+impl Default for BatchProbe {
+    fn default() -> Self {
+        BatchProbe::new()
+    }
+}
+
+impl BatchProbe {
+    /// An empty probe; its buffers size themselves on first use.
+    pub fn new() -> Self {
+        BatchProbe {
+            cands: CandidateBatch::new(),
+            miss: CandidateBatch::new(),
+            miss_fp: Vec::new(),
+            pending: Vec::new(),
+            times: Vec::new(),
+            core: BatchScratch::new(),
+        }
+    }
+
+    /// Remove every queued candidate, keeping capacity.
+    pub fn clear(&mut self) {
+        self.cands.clear();
+    }
+
+    /// Enqueue a complete candidate; returns its index.
+    pub fn push(&mut self, group: &[KernelId]) -> usize {
+        self.cands.push(group)
+    }
+
+    /// Append one member to the candidate currently being built (close it
+    /// with [`BatchProbe::seal`]).
+    pub fn push_member(&mut self, k: KernelId) {
+        self.cands.push_member(k);
+    }
+
+    /// Append members to the candidate currently being built.
+    pub fn extend_members(&mut self, ks: &[KernelId]) {
+        self.cands.extend_members(ks);
+    }
+
+    /// Close the candidate built member-by-member; returns its index.
+    pub fn seal(&mut self) -> usize {
+        self.cands.seal()
+    }
+
+    /// Number of candidates queued.
+    pub fn len(&self) -> usize {
+        self.cands.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.cands.is_empty()
+    }
+
+    /// The members of queued candidate `i`, exactly as enqueued.
+    pub fn group(&self, i: usize) -> &[KernelId] {
+        self.cands.group(i)
+    }
+}
+
+impl<'a> Evaluator<'a> {
+    /// Evaluate every candidate queued in `probe` (memoized), leaving
+    /// `out[i]` as the eval of candidate `i`. Equivalent to calling
+    /// [`Self::group`] per candidate — bitwise-identical results — but
+    /// memo misses are gathered and scored lane-per-candidate through
+    /// [`kfuse_core::batch::score_into`], so a probe batch pays the
+    /// synthesis + projection cost once per [`kfuse_core::batch::LANES`]
+    /// distinct misses instead of once per miss.
+    ///
+    /// The queue survives the call — callers replay scored candidates by
+    /// index (`probe.group(i)` / `out[i]`) — and is reset by the next
+    /// [`BatchProbe::clear`].
+    pub fn group_batch(&self, probe: &mut BatchProbe, out: &mut Vec<GroupEval>) {
+        let BatchProbe {
+            cands,
+            miss,
+            miss_fp,
+            pending,
+            times,
+            core,
+        } = probe;
+        miss.clear();
+        miss_fp.clear();
+        pending.clear();
+        out.clear();
+        let mut multi_probes = 0u64;
+        for i in 0..cands.len() {
+            let group = cands.group(i);
+            if let [k] = group {
+                out.push(self.baseline[k.index()]);
+                continue;
+            }
+            multi_probes += 1;
+            let eval = with_sorted_key(group, |key| {
+                let fp = fingerprint(key);
+                let shard = &self.shards[(fp & (SHARD_COUNT as u64 - 1)) as usize];
+                if let Some(bucket) = shard.read().get(&fp) {
+                    if let Some((_, hit)) = bucket.iter().find(|(k, _)| &**k == key) {
+                        return *hit;
+                    }
+                }
+                // Distinct miss, or an in-batch duplicate of one already
+                // queued; either way the candidate resolves after the
+                // flush. NaN is a placeholder, never returned.
+                let j = (0..miss.len())
+                    .find(|&j| miss_fp[j] == fp && miss.group(j) == key)
+                    .unwrap_or_else(|| {
+                        miss_fp.push(fp);
+                        miss.push(key)
+                    });
+                pending.push((i as u32, j as u32));
+                GroupEval { time_s: f64::NAN }
+            });
+            out.push(eval);
+        }
+        self.metrics.add(Counter::MemoProbes, multi_probes);
+        if !miss.is_empty() {
+            let t0 = Instant::now();
+            let stats = score_into(self.ctx, self.model, miss, core, times);
+            self.metrics.add(Counter::MemoMisses, miss.len() as u64);
+            self.metrics.add(Counter::SynthNs, stats.synth_ns);
+            self.metrics.add(Counter::BatchesScored, stats.batches);
+            self.metrics.add(Counter::BatchLanesFilled, stats.lanes);
+            // Publish in queue order so single-threaded runs populate the
+            // memo deterministically; a racing thread's entry wins (the
+            // values are bitwise equal — same pure function — so this
+            // only avoids duplicate entries).
+            for j in 0..miss.len() {
+                let key = miss.group(j);
+                let fp = miss_fp[j];
+                let shard = &self.shards[(fp & (SHARD_COUNT as u64 - 1)) as usize];
+                let mut w = shard.write();
+                let bucket = w.entry(fp).or_default();
+                if let Some((_, hit)) = bucket.iter().find(|(k, _)| &**k == key) {
+                    times[j] = hit.time_s;
+                } else {
+                    bucket.push((
+                        key.to_vec().into_boxed_slice(),
+                        GroupEval { time_s: times[j] },
+                    ));
+                }
+            }
+            let dur = t0.elapsed();
+            self.metrics.add(Counter::MissNs, dur.as_nanos() as u64);
+            if self.obs.is_enabled() {
+                self.obs.record_span(
+                    SpanId::BatchScore,
+                    worker_track(),
+                    t0,
+                    dur,
+                    [miss.len() as u64, stats.lanes],
+                );
+            }
+            for &(i, j) in pending.iter() {
+                out[i as usize] = GroupEval {
+                    time_s: times[j as usize],
+                };
+            }
+        }
+    }
+
+    /// The raw batched objective with no memo interaction and no stat
+    /// counters: every candidate of `batch` scored through the
+    /// lane-batched path (or the scalar fallback when the `batch` feature
+    /// is off) into `out`. This is the allocation-free unit the
+    /// `search_scaling` batch miss-path benchmark times.
+    pub fn evaluate_uncached_batch(
+        &self,
+        batch: &CandidateBatch,
+        scratch: &mut BatchScratch,
+        out: &mut Vec<f64>,
+    ) -> BatchStats {
+        score_into(self.ctx, self.model, batch, scratch, out)
+    }
+}
+
 /// Run `f` on `group` sorted into canonical order, without allocating for
 /// groups up to [`STACK_KEY`] members.
 fn with_sorted_key<R>(group: &[KernelId], f: impl FnOnce(&[KernelId]) -> R) -> R {
@@ -365,33 +573,16 @@ fn fingerprint(group: &[KernelId]) -> u64 {
 /// The raw (unmemoized) group objective over the allocation-free SoA path:
 /// structure checks, synthesis into `scratch`, limit checks on the view,
 /// view projection, profitability. Returns the eval plus the nanoseconds
-/// spent inside `synthesize_into`.
+/// spent inside `synthesize_into`. Delegates to
+/// [`kfuse_core::batch::score_scalar`] — the single scalar definition the
+/// lane-batched path is proven bitwise-identical against.
 fn compute_with(
     ctx: &PlanContext,
     model: &dyn PerfModel,
     group: &[KernelId],
     scratch: &mut SynthScratch,
 ) -> (GroupEval, u64) {
-    const INFEASIBLE: GroupEval = GroupEval {
-        time_s: f64::INFINITY,
-    };
-    if ctx.check_group_structure(group, 0, scratch).is_err() {
-        return (INFEASIBLE, 0);
-    }
-    let t0 = Instant::now();
-    let view = ctx.synth.synthesize_into(&ctx.info, group, scratch);
-    let synth_ns = t0.elapsed().as_nanos() as u64;
-    if ctx.check_view_limits(&view, 0).is_err() {
-        return (INFEASIBLE, synth_ns);
-    }
-    let t = model.project_view(&ctx.info, &view);
-    if group.len() >= 2 {
-        // Constraint 1.1: profitability.
-        let original = ctx.info.original_sum(group);
-        if t >= original || t.is_nan() {
-            return (INFEASIBLE, synth_ns);
-        }
-    }
+    let (t, synth_ns) = score_scalar(ctx, model, group, scratch);
     (GroupEval { time_s: t }, synth_ns)
 }
 

@@ -8,7 +8,7 @@
 //! objective. It is fast and serves as the non-architecture-aware /
 //! non-global baseline the HGGA is compared against.
 
-use crate::eval::Evaluator;
+use crate::eval::{BatchProbe, Evaluator, GroupEval};
 use kfuse_core::fuse::{condensation_order_with, CondensationScratch};
 use kfuse_core::model::PerfModel;
 use kfuse_core::pipeline::{SolveOutcome, SolveStats, Solver};
@@ -51,6 +51,9 @@ impl Solver for GreedySolver {
         let mut cand_pool: Vec<Vec<KernelId>> = Vec::new();
         let mut cscratch = CondensationScratch::new();
         let mut sscratch = SynthScratch::new();
+        let mut probe = BatchProbe::new();
+        let mut evals: Vec<GroupEval> = Vec::new();
+        let mut row: Vec<u32> = Vec::new();
 
         loop {
             let mut sweep_span = obs.span(SpanId::GreedySweep);
@@ -58,20 +61,34 @@ impl Solver for GreedySolver {
             ev.count(Counter::GreedySweeps, 1);
             let mut best: Option<(usize, usize, f64)> = None;
             for i in 0..groups.len() {
+                // Lane-batch row `i`: every pairwise merge candidate that
+                // passes the kinship prefilter, scored in one flush. The
+                // solver has no RNG and evaluations are pure, so the
+                // best-merge choice is unchanged.
+                probe.clear();
+                row.clear();
                 for j in i + 1..groups.len() {
                     // Kinship prefilter: skip cross-component pairs.
                     if ctx.share.component(groups[i][0]) != ctx.share.component(groups[j][0]) {
                         continue;
                     }
+                    probe.extend_members(&groups[i]);
+                    probe.extend_members(&groups[j]);
+                    probe.seal();
+                    row.push(j as u32);
+                }
+                ev.group_batch(&mut probe, &mut evals);
+                for (c, &j) in row.iter().enumerate() {
+                    let j = j as usize;
                     let cur = ev.group_with(&groups[i], &mut sscratch).time_s
                         + ev.group_with(&groups[j], &mut sscratch).time_s;
-                    merged.clear();
-                    merged.extend_from_slice(&groups[i]);
-                    merged.extend_from_slice(&groups[j]);
-                    let t = ev.group_with(&merged, &mut sscratch).time_s;
+                    let t = evals[c].time_s;
                     if !t.is_finite() {
                         continue;
                     }
+                    merged.clear();
+                    merged.extend_from_slice(&groups[i]);
+                    merged.extend_from_slice(&groups[j]);
                     let gain = cur - t;
                     if gain > 0.0 && best.is_none_or(|(_, _, g)| gain > g) {
                         // Verify the merged plan remains realizable. The

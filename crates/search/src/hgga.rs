@@ -738,27 +738,27 @@ pub fn mutate(
                 let k = ch.members_at(gi)[vi];
                 let gj = rng.gen_range(0..ch.group_count());
                 if gj != gi {
-                    scratch.probe.clear();
-                    scratch.probe.extend_from_slice(ch.members_at(gj));
-                    scratch.probe.push(k);
-                    let target = ev.group_with(&scratch.probe, &mut scratch.synth);
+                    // Grown target and shrunk source scored as one
+                    // two-lane batch. The legacy operator skipped the
+                    // source probe when the target failed; probing it
+                    // anyway costs a shared lane sweep and cannot change
+                    // the accept decision (evaluations are pure).
+                    scratch.bp.clear();
+                    scratch.bp.extend_members(ch.members_at(gj));
+                    scratch.bp.push_member(k);
+                    scratch.bp.seal();
                     let src_len = ch.members_at(gi).len() - 1;
-                    // Probe the shrunk source only if the target passed
-                    // (legacy short-circuit).
-                    let source = if target.feasible() && src_len > 0 {
-                        scratch.probe2.clear();
-                        let members = ch.members_at(gi);
-                        scratch.probe2.extend(
-                            members
-                                .iter()
-                                .enumerate()
-                                .filter(|&(x, _)| x != vi)
-                                .map(|(_, &m)| m),
-                        );
-                        Some(ev.group_with(&scratch.probe2, &mut scratch.synth))
-                    } else {
-                        None
-                    };
+                    if src_len > 0 {
+                        for (x, &m) in ch.members_at(gi).iter().enumerate() {
+                            if x != vi {
+                                scratch.bp.push_member(m);
+                            }
+                        }
+                        scratch.bp.seal();
+                    }
+                    ev.group_batch(&mut scratch.bp, &mut scratch.bevals);
+                    let target = scratch.bevals[0];
+                    let source = (target.feasible() && src_len > 0).then(|| scratch.bevals[1]);
                     let ok =
                         target.feasible() && (src_len == 0 || source.is_some_and(|e| e.feasible()));
                     if ok {
@@ -785,6 +785,15 @@ enum Act {
 /// driver and the hill climber the polisher. Group costs are read from the
 /// chromosome's cached evaluations — no per-pass cost re-collection — and
 /// the winning action is applied in place in the arena.
+///
+/// Candidate moves are *batched*: each sampling phase generates its
+/// samples with the exact RNG draws of the one-at-a-time loop (the
+/// chromosome is untouched while sampling, so the draws see identical
+/// state), queues the implied groups in a [`crate::eval::BatchProbe`],
+/// scores them lane-per-candidate in one flush, and then replays the
+/// winner selection in sample order with identical float comparisons —
+/// the chosen action, and therefore the trajectory, is bit-for-bit that
+/// of the scalar loop.
 pub fn local_search(
     ev: &Evaluator<'_>,
     mut ch: Chromosome,
@@ -799,8 +808,10 @@ pub fn local_search(
     for _pass in 0..4 {
         let glen = ch.group_count();
         // Improving bipartitions first: sample random splits of larger
-        // groups and take the best one found.
-        let mut best_split: Option<(f64, usize, GroupEval, GroupEval)> = None;
+        // groups and take the best one found. Descriptor: [gi, ca, _, _, _]
+        // with the halves at candidates ca and ca+1.
+        scratch.bp.clear();
+        scratch.descs.clear();
         for _ in 0..12 {
             let gi = rng.gen_range(0..glen);
             if ch.members_at(gi).len() < 3 {
@@ -818,24 +829,34 @@ pub fn local_search(
             if scratch.split_a.is_empty() || scratch.split_b.is_empty() {
                 continue;
             }
-            let ea = ev.group_with(&scratch.split_a, &mut scratch.synth);
-            let eb = ev.group_with(&scratch.split_b, &mut scratch.synth);
+            let ca = scratch.bp.push(&scratch.split_a);
+            scratch.bp.push(&scratch.split_b);
+            scratch.descs.push([gi as u32, ca as u32, 0, 0, 0]);
+        }
+        ev.group_batch(&mut scratch.bp, &mut scratch.bevals);
+        let mut best_split: Option<(f64, usize, usize, GroupEval, GroupEval)> = None;
+        for d in &scratch.descs {
+            let (gi, ca) = (d[0] as usize, d[1] as usize);
+            let (ea, eb) = (scratch.bevals[ca], scratch.bevals[ca + 1]);
             if ea.time_s.is_finite() && eb.time_s.is_finite() {
                 let gain = cost_at(&ch, gi) - ea.time_s - eb.time_s;
                 if gain > 1e-15 && best_split.as_ref().is_none_or(|(g, ..)| gain > *g) {
-                    best_split = Some((gain, gi, ea, eb));
-                    std::mem::swap(&mut scratch.best_a, &mut scratch.split_a);
-                    std::mem::swap(&mut scratch.best_b, &mut scratch.split_b);
+                    best_split = Some((gain, gi, ca, ea, eb));
                 }
             }
         }
-        if let Some((_, gi, ea, eb)) = best_split {
-            ch.replace_members(gi, &scratch.best_a, Some(ea));
-            ch.push_group(&scratch.best_b, Some(eb));
+        if let Some((_, gi, ca, ea, eb)) = best_split {
+            ch.replace_members(gi, scratch.bp.group(ca), Some(ea));
+            ch.push_group(scratch.bp.group(ca + 1), Some(eb));
             continue;
         }
 
-        let mut best: Option<(f64, Act)> = None;
+        // Merge/move samples. Descriptors: [0, i, j, _, c] for a merge of
+        // i and j at candidate c; [1, i, j, vi, c] for a move with the
+        // shrunk source at c and the grown target at c+1 (source first,
+        // mirroring the reference probe order).
+        scratch.bp.clear();
+        scratch.descs.clear();
         let samples = 48.min(glen * glen);
         for _ in 0..samples {
             let i = rng.gen_range(0..glen);
@@ -844,35 +865,42 @@ pub fn local_search(
                 continue;
             }
             if rng.gen_bool(0.5) {
-                // Merge i and j.
-                scratch.probe.clear();
-                scratch.probe.extend_from_slice(ch.members_at(i));
-                scratch.probe.extend_from_slice(ch.members_at(j));
-                let e = ev.group_with(&scratch.probe, &mut scratch.synth);
+                scratch.bp.extend_members(ch.members_at(i));
+                scratch.bp.extend_members(ch.members_at(j));
+                let c = scratch.bp.seal();
+                scratch.descs.push([0, i as u32, j as u32, 0, c as u32]);
+            } else if ch.members_at(i).len() >= 2 {
+                let vi = rng.gen_range(0..ch.members_at(i).len());
+                let k = ch.members_at(i)[vi];
+                for (x, &m) in ch.members_at(i).iter().enumerate() {
+                    if x != vi {
+                        scratch.bp.push_member(m);
+                    }
+                }
+                let c = scratch.bp.seal();
+                scratch.bp.extend_members(ch.members_at(j));
+                scratch.bp.push_member(k);
+                scratch.bp.seal();
+                scratch
+                    .descs
+                    .push([1, i as u32, j as u32, vi as u32, c as u32]);
+            }
+        }
+        ev.group_batch(&mut scratch.bp, &mut scratch.bevals);
+        let mut best: Option<(f64, Act)> = None;
+        for d in &scratch.descs {
+            let (i, j, c) = (d[1] as usize, d[2] as usize, d[4] as usize);
+            if d[0] == 0 {
+                let e = scratch.bevals[c];
                 if e.time_s.is_finite() {
                     let gain = cost_at(&ch, i) + cost_at(&ch, j) - e.time_s;
                     if gain > 1e-15 && best.as_ref().is_none_or(|(g, _)| gain > *g) {
                         best = Some((gain, Act::Merge(i, j, e)));
                     }
                 }
-            } else if ch.members_at(i).len() >= 2 {
-                // Move one kernel i→j. Probe order (source, then target)
-                // mirrors the reference operator.
-                let vi = rng.gen_range(0..ch.members_at(i).len());
-                let k = ch.members_at(i)[vi];
-                scratch.probe2.clear();
-                scratch.probe2.extend(
-                    ch.members_at(i)
-                        .iter()
-                        .enumerate()
-                        .filter(|&(x, _)| x != vi)
-                        .map(|(_, &m)| m),
-                );
-                let es = ev.group_with(&scratch.probe2, &mut scratch.synth);
-                scratch.probe.clear();
-                scratch.probe.extend_from_slice(ch.members_at(j));
-                scratch.probe.push(k);
-                let et = ev.group_with(&scratch.probe, &mut scratch.synth);
+            } else {
+                let vi = d[3] as usize;
+                let (es, et) = (scratch.bevals[c], scratch.bevals[c + 1]);
                 if es.time_s.is_finite() && et.time_s.is_finite() {
                     let gain = cost_at(&ch, i) + cost_at(&ch, j) - es.time_s - et.time_s;
                     if gain > 1e-15 && best.as_ref().is_none_or(|(g, _)| gain > *g) {
@@ -908,16 +936,24 @@ fn first_fit(
     orphans.shuffle(rng);
     for &k in orphans.iter() {
         let mut placed = false;
-        // Try a bounded random sample of hosts.
+        // Probe the bounded random host sample as one lane batch, then
+        // seat the kernel in the first feasible host in sample order —
+        // the same host the one-at-a-time loop picked (extra probes past
+        // it are pure and decide nothing). Placements change membership,
+        // so batching stays within one orphan.
         let mut idxs = std::mem::take(&mut scratch.idxs);
         idxs.clear();
         idxs.extend(0..ch.group_count());
         idxs.shuffle(rng);
+        scratch.bp.clear();
         for &gi in idxs.iter().take(8) {
-            scratch.probe.clear();
-            scratch.probe.extend_from_slice(ch.members_at(gi));
-            scratch.probe.push(k);
-            let e = ev.group_with(&scratch.probe, &mut scratch.synth);
+            scratch.bp.extend_members(ch.members_at(gi));
+            scratch.bp.push_member(k);
+            scratch.bp.seal();
+        }
+        ev.group_batch(&mut scratch.bp, &mut scratch.bevals);
+        for (c, &gi) in idxs.iter().take(8).enumerate() {
+            let e = scratch.bevals[c];
             if e.feasible() {
                 ch.push_member(gi, k, e);
                 placed = true;

@@ -38,7 +38,7 @@ pub mod greedy;
 pub mod hgga;
 pub mod reference;
 
-pub use eval::Evaluator;
+pub use eval::{BatchProbe, Evaluator};
 pub use exhaustive::ExhaustiveSolver;
 pub use greedy::GreedySolver;
 pub use hgga::{HggaConfig, HggaSolver};

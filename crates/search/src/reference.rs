@@ -491,6 +491,7 @@ pub fn solve(cfg: &HggaConfig, ctx: &PlanContext, model: &dyn PerfModel) -> Solv
             miss_rate: ev.miss_rate(),
             miss_ns: ev.miss_ns(),
             synth_ns: ev.synth_ns(),
+            avg_batch_fill: ev.avg_batch_fill(),
             islands: Vec::new(),
         },
         metrics: ev.snapshot(),

@@ -12,6 +12,7 @@
 //! land in the same no-op path), the memo *hit* path with its always-on
 //! registry counters must also stay allocation-free.
 
+use kfuse_core::batch::{BatchScratch, CandidateBatch};
 use kfuse_core::model::{PerfModel, ProposedModel, RooflineModel, SimpleModel};
 use kfuse_core::pipeline::prepare;
 use kfuse_core::synth::SynthScratch;
@@ -110,6 +111,47 @@ fn miss_path_is_allocation_free_once_warm() {
         let delta = allocations() - before;
         assert_eq!(delta, 0, "{} project_view must not allocate", m.name());
     }
+}
+
+#[test]
+fn batched_miss_path_is_allocation_free_once_warm() {
+    // The lane-batched analogue of the scalar guarantee above: once the
+    // candidate queue, lane scratch, and output vector have sized
+    // themselves, re-scoring whole batches through
+    // [`Evaluator::evaluate_uncached_batch`] must not allocate — under
+    // the 8-lane `batch` feature and the scalar fallback alike.
+    let p = kfuse_workloads::synth::scaling(60);
+    let (_, ctx) = prepare(&p, &GpuSpec::k20x(), FpPrecision::Double);
+    let model = ProposedModel::default();
+    let ev = Evaluator::new(&ctx, &model);
+
+    // Distinct candidates built BEFORE the measured region, spanning
+    // every ragged final-sweep fill (203 % 8 == 3).
+    let groups = group_pool(ctx.n_kernels());
+    let mut batch = CandidateBatch::new();
+    for g in groups.iter().take(203) {
+        batch.push(g);
+    }
+
+    let mut scratch = BatchScratch::new();
+    let mut times: Vec<f64> = Vec::new();
+    std::hint::black_box(ev.evaluate_uncached_batch(&batch, &mut scratch, &mut times));
+
+    let before = allocations();
+    let mut stats = kfuse_core::batch::BatchStats::default();
+    for _ in 0..3 {
+        stats.merge(ev.evaluate_uncached_batch(&batch, &mut scratch, &mut times));
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state batched miss-path scoring must not allocate \
+         ({delta} allocations over {} lanes in {} sweeps)",
+        stats.lanes, stats.batches
+    );
+    // Lanes count only structure-passing candidates; the pool mixes in
+    // infeasible groups on purpose, so this is a bound, not an equality.
+    assert!(stats.lanes > 0 && stats.lanes <= 3 * batch.len() as u64);
 }
 
 #[test]

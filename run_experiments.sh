@@ -17,6 +17,16 @@ if [[ "${1:-}" != "--skip-checks" ]]; then
   cargo fmt --check
   echo "== cargo clippy --workspace --all-targets -- -D warnings"
   cargo clippy --workspace --all-targets -- -D warnings
+  # Feature matrix: the workspace clippy above covers the default build
+  # (batch on x trace on); the per-crate --no-default-features builds
+  # cover the scalar fallback (batch off) and the compiled-out recorder
+  # (trace off). Feature unification re-enables a default feature the
+  # moment any selected crate asks for it, so each off-axis is linted at
+  # the crate that owns the gate.
+  echo "== clippy feature matrix: batch off (scalar fallback), trace off"
+  cargo clippy -p kfuse-core --no-default-features --all-targets -- -D warnings
+  cargo clippy -p kfuse-search --no-default-features --all-targets -- -D warnings
+  cargo clippy -p kfuse-obs --no-default-features --all-targets -- -D warnings
   echo "== cargo doc --no-deps (missing_docs gate)"
   RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 fi

@@ -360,6 +360,13 @@ fn cmd_solve(args: &[String], full_output: bool) -> Result<(), String> {
         println!();
     }
     print!("{}", out.metrics.render_table());
+    // Derived view over the batch counters: average candidate lanes per
+    // scoring sweep (up to 8 with the `batch` feature, 1 under the scalar
+    // fallback, 0 when the run never batch-scored).
+    println!(
+        "{:<20}  {:>20.6}",
+        "avg_batch_fill", out.stats.avg_batch_fill
+    );
     if full_output && !out.stats.islands.is_empty() {
         println!();
         for (i, isl) in out.stats.islands.iter().enumerate() {
