@@ -1,7 +1,14 @@
-//! The CUDA C emitter.
+//! The CUDA C emitter — public entry points.
+//!
+//! Emission is a two-stage pipeline since the module-IR refactor:
+//! [`crate::module::build_module`] lowers the program into a structured
+//! [`crate::module::GpuModule`] (typed barriers, tile declarations,
+//! resolved accesses), and [`crate::print`] renders that module to
+//! text. These wrappers preserve the historical one-call API.
 
-use kfuse_ir::{ArrayId, Expr, Kernel, Offset, Program, StagingMedium};
-use std::fmt::Write;
+use crate::module::build_module;
+use crate::print::{print_kernel, print_module};
+use kfuse_ir::{Kernel, Program};
 
 /// Emission options.
 #[derive(Debug, Clone)]
@@ -22,7 +29,7 @@ impl Default for CodegenOptions {
 }
 
 impl CodegenOptions {
-    fn ty(&self) -> &'static str {
+    pub(crate) fn ty(&self) -> &'static str {
         if self.double_precision {
             "double"
         } else {
@@ -31,454 +38,34 @@ impl CodegenOptions {
     }
 }
 
-/// Sanitize an IR name into a C identifier.
-fn cname(name: &str) -> String {
-    let mut s: String = name
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-        .collect();
-    if s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
-        s.insert(0, '_');
-    }
-    s
-}
-
-/// Where the emitted expression is being evaluated.
-#[derive(Clone, Copy)]
-enum Site<'a> {
-    /// The thread's own site: local (tx, ty), global (i, j), level `k`.
-    Interior,
-    /// A halo site handled by a specialized warp: local/global coordinate
-    /// variable names.
-    Halo {
-        /// Local x inside the extended tile.
-        lx: &'a str,
-        /// Local y inside the extended tile.
-        ly: &'a str,
-        /// Clamped global i.
-        gi: &'a str,
-        /// Clamped global j.
-        gj: &'a str,
-    },
-}
-
-/// Per-kernel staging lookup.
-struct StagingInfo {
-    array: ArrayId,
-    halo: i32,
-    medium: StagingMedium,
-}
-
-struct Emitter<'a> {
-    p: &'a Program,
-    opts: &'a CodegenOptions,
-    staging: Vec<StagingInfo>,
-}
-
-impl<'a> Emitter<'a> {
-    fn staged(&self, a: ArrayId) -> Option<&StagingInfo> {
-        self.staging.iter().find(|s| s.array == a)
-    }
-
-    fn aname(&self, a: ArrayId) -> String {
-        cname(&self.p.array(a).name)
-    }
-
-    /// GMEM load with clamped indices.
-    fn gmem_load(&self, a: ArrayId, o: Offset, site: Site) -> String {
-        let (i, j) = match site {
-            Site::Interior => ("i".to_string(), "j".to_string()),
-            Site::Halo { gi, gj, .. } => (gi.to_string(), gj.to_string()),
-        };
-        let ix = offset_index(&i, o.di, "NX");
-        let jx = offset_index(&j, o.dj, "NY");
-        let kx = offset_index("k", o.dk, "NZ");
-        format!("{}[IDX3({ix}, {jx}, {kx})]", self.aname(a))
-    }
-
-    /// SMEM tile access at local coordinates (no bounds check).
-    fn smem_at(&self, a: ArrayId, lx: &str, ly: &str) -> String {
-        format!("s_{}[{ly}][{lx}]", self.aname(a))
-    }
-
-    /// Emit one load, resolving staging per the Fig. 3 idiom.
-    fn load(&self, a: ArrayId, o: Offset, site: Site) -> String {
-        let Some(st) = self.staged(a) else {
-            return self.gmem_load(a, o, site);
-        };
-        match st.medium {
-            StagingMedium::ReadOnlyCache => {
-                // Hardware-managed: route through the read-only data path.
-                format!("__ldg(&{})", self.gmem_load(a, o, site))
-            }
-            StagingMedium::Register => {
-                if o == Offset::ZERO && matches!(site, Site::Interior) {
-                    format!("r_{}", self.aname(a))
-                } else {
-                    self.gmem_load(a, o, site)
-                }
-            }
-            StagingMedium::Smem => {
-                // Per-slice tiles: vertical offsets always read GMEM (the
-                // k loop owns the vertical direction).
-                if o.dk != 0 {
-                    return self.gmem_load(a, o, site);
-                }
-                let h = st.halo;
-                let radius = i32::from(o.di.unsigned_abs().max(o.dj.unsigned_abs()));
-                match site {
-                    Site::Interior => {
-                        let lx = format!("tx + {}", h + i32::from(o.di));
-                        let ly = format!("ty + {}", h + i32::from(o.dj));
-                        if radius <= h {
-                            // Always inside the staged tile.
-                            self.smem_at(a, &lx, &ly)
-                        } else {
-                            // Listing 7 pattern: boundary threads read GMEM.
-                            let in_tile = format!(
-                                "(tx + {dx} >= -{h} && tx + {dx} < BX + {h} && \
-                                 ty + {dy} >= -{h} && ty + {dy} < BY + {h})",
-                                dx = o.di,
-                                dy = o.dj,
-                                h = h
-                            );
-                            format!(
-                                "({in_tile} ? {} : {})",
-                                self.smem_at(a, &lx, &ly),
-                                self.gmem_load(a, o, site)
-                            )
-                        }
-                    }
-                    Site::Halo { lx, ly, .. } => {
-                        // Specialized-warp context: stay in the tile when
-                        // the neighbor is covered, else clamped GMEM.
-                        let nlx = format!("{lx} + {}", o.di);
-                        let nly = format!("{ly} + {}", o.dj);
-                        let in_tile = format!(
-                            "({lx} + {dx} >= 0 && {lx} + {dx} < BX + 2*{h} && \
-                             {ly} + {dy} >= 0 && {ly} + {dy} < BY + 2*{h})",
-                            dx = o.di,
-                            dy = o.dj,
-                            h = h
-                        );
-                        format!(
-                            "({in_tile} ? {} : {})",
-                            self.smem_at(a, &nlx, &nly),
-                            self.gmem_load(a, o, site)
-                        )
-                    }
-                }
-            }
-        }
-    }
-
-    fn expr(&self, e: &Expr, site: Site) -> String {
-        match e {
-            Expr::Load { array, offset } => self.load(*array, *offset, site),
-            Expr::Const(c) => {
-                if self.opts.double_precision {
-                    format!("{c:?}")
-                } else {
-                    format!("{c:?}f")
-                }
-            }
-            Expr::Bin { op, lhs, rhs } => {
-                use kfuse_ir::BinOp::*;
-                let l = self.expr(lhs, site);
-                let r = self.expr(rhs, site);
-                match op {
-                    Add => format!("({l} + {r})"),
-                    Sub => format!("({l} - {r})"),
-                    Mul => format!("({l} * {r})"),
-                    Div => format!("({l} / {r})"),
-                    Min => format!("fmin({l}, {r})"),
-                    Max => format!("fmax({l}, {r})"),
-                }
-            }
-        }
-    }
-}
-
-fn offset_index(base: &str, d: i8, extent: &str) -> String {
-    match d.cmp(&0) {
-        std::cmp::Ordering::Equal => format!("CLAMPI({base}, {extent})"),
-        _ => format!("CLAMPI({base} + ({d}), {extent})"),
-    }
-}
-
-/// Emit the program header: index macros and grid/block constants.
-fn emit_header(p: &Program, opts: &CodegenOptions) -> String {
-    let mut s = String::new();
-    let _ = writeln!(s, "// Generated by kfuse-codegen — program `{}`", p.name);
-    let _ = writeln!(
-        s,
-        "// Grid {}x{}x{}, block {}x{}, {} precision",
-        p.grid.nx,
-        p.grid.ny,
-        p.grid.nz,
-        p.launch.block_x,
-        p.launch.block_y,
-        if opts.double_precision {
-            "double"
-        } else {
-            "single"
-        }
-    );
-    let _ = writeln!(s);
-    let _ = writeln!(s, "#define NX {}", p.grid.nx);
-    let _ = writeln!(s, "#define NY {}", p.grid.ny);
-    let _ = writeln!(s, "#define NZ {}", p.grid.nz);
-    let _ = writeln!(s, "#define BX {}", p.launch.block_x);
-    let _ = writeln!(s, "#define BY {}", p.launch.block_y);
-    let _ = writeln!(s, "#define IDX3(i, j, k) ((((k) * NY + (j)) * NX) + (i))");
-    let _ = writeln!(
-        s,
-        "#define CLAMPI(v, n) ((v) < 0 ? 0 : ((v) >= (n) ? (n) - 1 : (v)))"
-    );
-    s
-}
-
 /// Emit one kernel as CUDA C.
+///
+/// Builds the structured module for the whole program (name resolution
+/// is program-wide) and prints the requested kernel.
 pub fn emit_kernel(p: &Program, k: &Kernel, opts: &CodegenOptions) -> String {
-    let em = Emitter {
-        p,
-        opts,
-        staging: k
-            .staging
-            .iter()
-            .map(|st| StagingInfo {
-                array: st.array,
-                halo: i32::from(st.halo),
-                medium: st.medium,
-            })
-            .collect(),
-    };
-    let ty = opts.ty();
-    let mut s = String::new();
-
-    // Signature: written arrays mutable, read-only arrays const.
-    let writes = k.writes();
-    let mut params = Vec::new();
-    for a in k.touched() {
-        let name = em.aname(a);
-        if writes.contains(&a) {
-            params.push(format!("{ty}* {name}"));
-        } else if opts.restrict {
-            params.push(format!("const {ty}* __restrict__ {name}"));
-        } else {
-            params.push(format!("const {ty}* {name}"));
-        }
-    }
-    let _ = writeln!(
-        s,
-        "// {} segment(s), {} barrier(s)",
-        k.segments.len(),
-        k.barrier_count()
-    );
-    let _ = writeln!(
-        s,
-        "__global__ void {}({}) {{",
-        cname(&k.name),
-        params.join(", ")
-    );
-    let _ = writeln!(s, "  const int tx = threadIdx.x, ty = threadIdx.y;");
-    let _ = writeln!(s, "  const int i = blockIdx.x * BX + tx;");
-    let _ = writeln!(s, "  const int j = blockIdx.y * BY + ty;");
-    let _ = writeln!(s, "  const int tid = ty * BX + tx;");
-    let _ = writeln!(s, "  (void)tid;");
-
-    // SMEM tiles (one padding column against bank conflicts, Eq. 7) and
-    // register staging.
-    for st in &em.staging {
-        let name = em.aname(st.array);
-        match st.medium {
-            StagingMedium::Smem => {
-                let h = st.halo;
-                let _ = writeln!(s, "  __shared__ {ty} s_{name}[BY + 2*{h}][BX + 2*{h} + 1];");
-            }
-            StagingMedium::Register => {
-                let _ = writeln!(s, "  {ty} r_{name} = ({ty})0;");
-            }
-            StagingMedium::ReadOnlyCache => {
-                let _ = writeln!(s, "  // {name} routed through the read-only cache (__ldg)");
-            }
-        }
-    }
-
-    let _ = writeln!(s, "  for (int k = 0; k < NZ; ++k) {{");
-
-    // Cooperative fills for loaded (clean) SMEM pivots: arrays staged but
-    // not written by this kernel.
-    let mut filled_any = false;
-    for st in &em.staging {
-        if st.medium != StagingMedium::Smem || writes.contains(&st.array) {
-            continue;
-        }
-        let name = em.aname(st.array);
-        let h = st.halo;
-        let _ = writeln!(s, "    // cooperative fill of s_{name} (halo {h})");
-        let _ = writeln!(
-            s,
-            "    for (int t = tid; t < (BX + 2*{h}) * (BY + 2*{h}); t += BX * BY) {{"
-        );
-        let _ = writeln!(s, "      const int lx = t % (BX + 2*{h});");
-        let _ = writeln!(s, "      const int ly = t / (BX + 2*{h});");
-        let _ = writeln!(
-            s,
-            "      const int gi = CLAMPI(blockIdx.x * BX + lx - {h}, NX);"
-        );
-        let _ = writeln!(
-            s,
-            "      const int gj = CLAMPI(blockIdx.y * BY + ly - {h}, NY);"
-        );
-        let _ = writeln!(s, "      s_{name}[ly][lx] = {name}[IDX3(gi, gj, k)];");
-        let _ = writeln!(s, "    }}");
-        filled_any = true;
-    }
-    if filled_any {
-        let _ = writeln!(s, "    __syncthreads();");
-    }
-
-    // Segments. `dirty` tracks SMEM tiles stored since the last barrier:
-    // a later statement reading one of them at a neighbor offset (other
-    // threads' cells) needs a __syncthreads() even inside one segment.
-    let mut val_id = 0usize;
-    let mut dirty: Vec<ArrayId> = Vec::new();
-    for seg in &k.segments {
-        if seg.barrier_before {
-            let _ = writeln!(s, "    __syncthreads();");
-            dirty.clear();
-        }
-        // Segment provenance: source ids refer to the pre-fusion program,
-        // which is not in scope here; emit the id (the fused kernel's name
-        // lists the member names).
-        let _ = writeln!(
-            s,
-            "    // ---- segment from original kernel {} ----",
-            seg.source
-        );
-        for stmt in &seg.statements {
-            let mut needs_barrier = false;
-            stmt.expr.for_each_load(&mut |a, off| {
-                if off.dk == 0 && (off.di != 0 || off.dj != 0) && dirty.contains(&a) {
-                    needs_barrier = true;
-                }
-            });
-            if needs_barrier {
-                let _ = writeln!(s, "    __syncthreads();");
-                dirty.clear();
-            }
-            let tname = em.aname(stmt.target);
-            let tst = em.staged(stmt.target);
-            let v = format!("v{val_id}_{tname}");
-            val_id += 1;
-            let rhs = em.expr(&stmt.expr, Site::Interior);
-            let _ = writeln!(s, "    {{");
-            let _ = writeln!(s, "      const {ty} {v} = {rhs};");
-            match tst {
-                Some(st) if st.medium == StagingMedium::Smem => {
-                    let h = st.halo;
-                    let _ = writeln!(s, "      s_{tname}[ty + {h}][tx + {h}] = {v};");
-                    let _ = writeln!(
-                        s,
-                        "      if (i < NX && j < NY) {tname}[IDX3(i, j, k)] = {v};"
-                    );
-                    if st.halo > 0 {
-                        // Specialized warps recompute the halo ring
-                        // (generalized Listing 6).
-                        let halo_rhs = em.expr(
-                            &stmt.expr,
-                            Site::Halo {
-                                lx: "hlx",
-                                ly: "hly",
-                                gi: "hgi",
-                                gj: "hgj",
-                            },
-                        );
-                        let _ = writeln!(
-                            s,
-                            "      // specialized warps: recompute halo ring of s_{tname}"
-                        );
-                        let _ = writeln!(
-                            s,
-                            "      for (int t = tid; t < (BX + 2*{h}) * (BY + 2*{h}); t += BX * BY) {{"
-                        );
-                        let _ = writeln!(s, "        const int hlx = t % (BX + 2*{h});");
-                        let _ = writeln!(s, "        const int hly = t / (BX + 2*{h});");
-                        let _ = writeln!(
-                            s,
-                            "        if (hlx >= {h} && hlx < BX + {h} && hly >= {h} && hly < BY + {h}) continue;"
-                        );
-                        let _ = writeln!(
-                            s,
-                            "        const int hgi = CLAMPI(blockIdx.x * BX + hlx - {h}, NX);"
-                        );
-                        let _ = writeln!(
-                            s,
-                            "        const int hgj = CLAMPI(blockIdx.y * BY + hly - {h}, NY);"
-                        );
-                        let _ = writeln!(s, "        s_{tname}[hly][hlx] = {halo_rhs};");
-                        let _ = writeln!(s, "      }}");
-                    }
-                    if !dirty.contains(&stmt.target) {
-                        dirty.push(stmt.target);
-                    }
-                }
-                Some(_) => {
-                    // Register staging.
-                    let _ = writeln!(s, "      r_{tname} = {v};");
-                    let _ = writeln!(
-                        s,
-                        "      if (i < NX && j < NY) {tname}[IDX3(i, j, k)] = {v};"
-                    );
-                }
-                None => {
-                    let _ = writeln!(
-                        s,
-                        "      if (i < NX && j < NY) {tname}[IDX3(i, j, k)] = {v};"
-                    );
-                }
-            }
-            let _ = writeln!(s, "    }}");
-        }
-    }
-
-    let _ = writeln!(s, "  }}");
-    let _ = writeln!(s, "}}");
-    s
+    let m = build_module(p, opts);
+    let idx = p
+        .kernels
+        .iter()
+        .position(|kk| std::ptr::eq(kk, k))
+        .or_else(|| p.kernels.iter().position(|kk| kk.id == k.id))
+        .expect("emit_kernel: kernel does not belong to the program");
+    print_kernel(&m, &m.kernels[idx])
 }
 
 /// Emit the whole program: header, every kernel, and a host-side launch
 /// sequence comment (including host sync points).
 pub fn emit_program(p: &Program, opts: &CodegenOptions) -> String {
-    let mut s = emit_header(p, opts);
-    let _ = writeln!(s);
-    for k in &p.kernels {
-        s.push_str(&emit_kernel(p, k, opts));
-        let _ = writeln!(s);
-    }
-    let _ = writeln!(s, "// Host launch sequence:");
-    let epochs = p.epochs();
-    let mut prev = 0u32;
-    for (ki, k) in p.kernels.iter().enumerate() {
-        if epochs[ki] != prev {
-            let _ = writeln!(s, "//   <host synchronization>");
-            prev = epochs[ki];
-        }
-        let _ = writeln!(
-            s,
-            "//   {}<<<dim3((NX+BX-1)/BX, (NY+BY-1)/BY), dim3(BX, BY)>>>(...);",
-            cname(&k.name)
-        );
-    }
-    s
+    print_module(&build_module(p, opts))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::module::sanitize as cname;
     use kfuse_ir::builder::ProgramBuilder;
     use kfuse_ir::kernel::{KernelId, Segment, Staging, Statement};
+    use kfuse_ir::{ArrayId, Expr, Offset, StagingMedium};
 
     fn ld(a: ArrayId, di: i8, dj: i8) -> Expr {
         Expr::load(a, Offset::new(di, dj, 0))
@@ -660,5 +247,74 @@ mod tests {
         assert_eq!(cname("F[k0+k1]"), "F_k0_k1_");
         assert_eq!(cname("3var"), "_3var");
         assert_eq!(cname("QFLX__r1"), "QFLX__r1");
+    }
+
+    /// Satellite fix: `rho.new` and `rho_new` both sanitize to
+    /// `rho_new`; the module-level name table must disambiguate them
+    /// instead of silently aliasing two distinct arrays.
+    #[test]
+    fn colliding_names_get_numeric_suffixes() {
+        let mut pb = ProgramBuilder::new("collide", [64, 32, 4]);
+        let a = pb.array("rho.new");
+        let b = pb.array("rho_new");
+        let c = pb.array("rho_new_2");
+        pb.kernel("mix").write(c, Expr::at(a) + Expr::at(b)).build();
+        let p = pb.build();
+        let code = emit_program(&p, &CodegenOptions::default());
+        // First claimant keeps the base name; later colliders get
+        // deterministic numeric suffixes (re-probed past taken names).
+        assert!(code.contains("const double* __restrict__ rho_new,"));
+        assert!(code.contains("__restrict__ rho_new_2,"));
+        assert!(code.contains("double* rho_new_2_2"));
+        // The store goes to the disambiguated third array, not an alias.
+        assert!(code.contains("rho_new_2_2[IDX3(i, j, k)]"));
+        // All three parameters are distinct identifiers.
+        let m = build_module(&p, &CodegenOptions::default());
+        let names = &m.kernels[0].params;
+        assert_eq!(names.len(), 3);
+        for i in 0..names.len() {
+            for j in i + 1..names.len() {
+                assert_ne!(names[i].name, names[j].name);
+            }
+        }
+    }
+
+    #[test]
+    fn colliding_kernel_names_get_numeric_suffixes() {
+        let mut pb = ProgramBuilder::new("kcollide", [64, 32, 4]);
+        let a = pb.array("A");
+        let b = pb.array("B");
+        pb.kernel("step.1").write(b, Expr::at(a)).build();
+        pb.kernel("step_1").write(b, Expr::at(a)).build();
+        let p = pb.build();
+        let m = build_module(&p, &CodegenOptions::default());
+        assert_eq!(m.kernels[0].name, "step_1");
+        assert_eq!(m.kernels[1].name, "step_1_2");
+    }
+
+    /// Golden byte-identity: the module printer must reproduce the
+    /// frozen direct emitter exactly on collision-free programs.
+    #[test]
+    fn printer_matches_frozen_reference_on_fixtures() {
+        for p in [simple_program(), fused_program()] {
+            assert_eq!(
+                emit_program(&p, &CodegenOptions::default()),
+                crate::reference::emit_program_reference(&p, &CodegenOptions::default()),
+                "program {} diverged from the frozen reference",
+                p.name
+            );
+            let opts = CodegenOptions {
+                double_precision: false,
+                restrict: false,
+            };
+            for k in &p.kernels {
+                assert_eq!(
+                    emit_kernel(&p, k, &opts),
+                    crate::reference::emit_kernel_reference(&p, k, &opts),
+                    "kernel {} diverged from the frozen reference",
+                    k.name
+                );
+            }
+        }
     }
 }

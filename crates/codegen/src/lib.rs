@@ -21,10 +21,29 @@
 //! * boundary threads falling back to clamped GMEM reads exactly like
 //!   Listing 7's `if (tx == 0) xT = T[i-1,j,k]; else xT = s_T[tx-1][ty]`.
 //!
+//! Since the module-IR refactor, text is no longer the source of truth:
+//! [`module::build_module`] lowers the program into a structured
+//! [`module::GpuModule`] — typed tile declarations, barriers tagged
+//! with their origin, guarded stores, staging-resolved affine accesses
+//! — and [`print::print_module`] derives the CUDA C text from it. The
+//! semantic analyses in `kfuse-verify` (barrier-interval race
+//! detection, barrier-divergence, symbolic bounds) consume the same
+//! module, so what is analyzed is exactly what is printed. The
+//! pre-refactor emitter is frozen in [`mod@reference`] as a byte-identity
+//! oracle for golden tests.
+//!
 //! The generated text is deterministic and structurally tested; it is not
 //! compiled in this repository (no CUDA toolchain), but it is the artifact
 //! a practitioner would hand to `nvcc`.
 
+#![warn(missing_docs)]
+
 pub mod cuda;
+pub mod module;
+pub mod print;
+#[doc(hidden)]
+pub mod reference;
 
 pub use cuda::{emit_kernel, emit_program, CodegenOptions};
+pub use module::{build_module, GpuModule};
+pub use print::{print_kernel, print_module};

@@ -247,7 +247,8 @@ pub fn prepare_with(
     let exec = ExecOrderGraph::build(&relaxed);
     let dep = DependencyGraph::build(&relaxed);
     let share = ShareGraph::build(&dep, relaxed.kernels.len());
-    (relaxed, PlanContext::new(info, exec, share))
+    let ctx = PlanContext::new(info, exec, share).with_program(relaxed.clone());
+    (relaxed, ctx)
 }
 
 /// Run Algorithm 1 end to end.

@@ -198,6 +198,11 @@ pub struct PlanContext {
     pub share: ShareGraph,
     /// Precomputed SoA synthesis tables for the allocation-free miss path.
     pub synth: SynthTables,
+    /// The relaxed program the context was extracted from, when the
+    /// caller has it (the pipeline sets this; hand-built contexts may
+    /// not). Debug hooks use it to apply accepted plans and run the
+    /// structured codegen analyses on the result.
+    pub program: Option<kfuse_ir::Program>,
 }
 
 impl PlanContext {
@@ -210,7 +215,15 @@ impl PlanContext {
             exec,
             share,
             synth,
+            program: None,
         }
+    }
+
+    /// Attach the relaxed program (builder-style), enabling the debug
+    /// codegen-analysis hook on accepted plans.
+    pub fn with_program(mut self, p: kfuse_ir::Program) -> Self {
+        self.program = Some(p);
+        self
     }
 
     /// Number of kernels.

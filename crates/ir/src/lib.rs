@@ -40,6 +40,7 @@
 //! assert_eq!(program.kernels[0].flops(), 1);
 //! ```
 
+pub mod affine;
 pub mod analysis;
 pub mod array;
 pub mod builder;

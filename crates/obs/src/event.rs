@@ -45,6 +45,9 @@ pub enum SpanId {
     HazardPass,
     /// The generated-CUDA lint pass (`kfuse-verify::cuda_lint`).
     LintPass,
+    /// The structured module-IR analysis pass (`kfuse-verify::analysis`):
+    /// barrier-interval races, barrier divergence, symbolic bounds.
+    AnalysisPass,
 }
 
 impl SpanId {
@@ -64,6 +67,7 @@ impl SpanId {
             SpanId::ConstraintPass => "constraint_pass",
             SpanId::HazardPass => "hazard_pass",
             SpanId::LintPass => "lint_pass",
+            SpanId::AnalysisPass => "analysis_pass",
         }
     }
 
@@ -74,7 +78,10 @@ impl SpanId {
             SpanId::Generation | SpanId::Epoch | SpanId::Migration => "ga",
             SpanId::MemoMiss | SpanId::Synthesis | SpanId::BatchScore => "eval",
             SpanId::GreedySweep | SpanId::Enumeration => "solver",
-            SpanId::ConstraintPass | SpanId::HazardPass | SpanId::LintPass => "verify",
+            SpanId::ConstraintPass
+            | SpanId::HazardPass
+            | SpanId::LintPass
+            | SpanId::AnalysisPass => "verify",
         }
     }
 
@@ -95,6 +102,7 @@ impl SpanId {
             SpanId::ConstraintPass => ("groups", "diagnostics"),
             SpanId::HazardPass => ("kernels", "diagnostics"),
             SpanId::LintPass => ("lines", "diagnostics"),
+            SpanId::AnalysisPass => ("kernels", "diagnostics"),
         }
     }
 }
@@ -147,11 +155,16 @@ pub enum Counter {
     /// Candidate lanes actually filled across those sweeps.
     /// `BatchLanesFilled / BatchesScored` is the average batch fill.
     BatchLanesFilled,
+    /// GPU modules run through the structured analysis passes
+    /// (`kfuse-verify::analysis`).
+    ModulesAnalyzed,
+    /// Diagnostics produced by those analysis passes (errors + warnings).
+    AnalysisDiagnostics,
 }
 
 impl Counter {
     /// Number of counters (registry slot count).
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 20;
 
     /// All counters, in registry/display order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -173,6 +186,8 @@ impl Counter {
         Counter::PartitionsScored,
         Counter::BatchesScored,
         Counter::BatchLanesFilled,
+        Counter::ModulesAnalyzed,
+        Counter::AnalysisDiagnostics,
     ];
 
     /// Stable snake_case name (metrics-dump key).
@@ -196,6 +211,8 @@ impl Counter {
             Counter::PartitionsScored => "partitions_scored",
             Counter::BatchesScored => "batches_scored",
             Counter::BatchLanesFilled => "batch_lanes_filled",
+            Counter::ModulesAnalyzed => "modules_analyzed",
+            Counter::AnalysisDiagnostics => "analysis_diagnostics",
         }
     }
 }

@@ -156,6 +156,43 @@ fn debug_verify_best(ctx: &PlanContext, model: &dyn PerfModel, plan: &FusionPlan
 #[inline(always)]
 fn debug_verify_best(_: &PlanContext, _: &dyn PerfModel, _: &FusionPlan, _: f64) {}
 
+/// Debug-build cross-check on the *final* accepted plan: apply it to the
+/// relaxed program, lower the fused result to the structured GPU module
+/// IR, and run the `kfuse-verify` analysis passes (barrier-interval
+/// races, barrier divergence, symbolic bounds). Sits alongside
+/// [`debug_verify_best`] but runs once per solve — codegen plus module
+/// analysis is far heavier than a constraint re-check, so doing it on
+/// every improvement would dominate debug-mode test time. Skipped when
+/// the context was hand-built without its source program.
+#[cfg(debug_assertions)]
+fn debug_analyze_best(ctx: &PlanContext, plan: &FusionPlan, cost: f64) {
+    if !cost.is_finite() {
+        return;
+    }
+    let Some(program) = &ctx.program else {
+        return;
+    };
+    let Ok(specs) = ctx.validate(plan) else {
+        // An invalid best is caught loudly by debug_verify_best.
+        return;
+    };
+    let fused = match kfuse_core::fuse::apply_plan(program, &ctx.info, &ctx.exec, plan, &specs) {
+        Ok(p) => p,
+        Err(_) => return,
+    };
+    let module = kfuse_codegen::build_module(&fused, &kfuse_codegen::CodegenOptions::default());
+    let report = kfuse_verify::analyze_module(&module);
+    assert!(
+        report.is_clean(),
+        "HGGA accepted a plan whose generated module fails static analysis (cost {cost}):\n{}",
+        report.render_human()
+    );
+}
+
+#[cfg(not(debug_assertions))]
+#[inline(always)]
+fn debug_analyze_best(_: &PlanContext, _: &FusionPlan, _: f64) {}
+
 /// Debug-build cross-check of the delta objective: a sealed offspring's
 /// incrementally maintained cost must equal a from-scratch
 /// [`Evaluator::plan`] on the converted plan, bit for bit.
@@ -260,6 +297,7 @@ impl HggaSolver {
             }
         }
 
+        debug_analyze_best(ctx, &best, best_cost);
         ev.metrics().set_gauge(Gauge::BestObjective, best_cost);
         ev.metrics().set_gauge(Gauge::CacheHitRate, ev.hit_rate());
         ev.metrics().set_gauge(Gauge::MissRate, ev.miss_rate());
@@ -423,6 +461,7 @@ impl HggaSolver {
                 migrations_received: isl.migrations_received,
             })
             .collect();
+        debug_analyze_best(ctx, &global_plan, global_cost);
         ev.metrics().set_gauge(Gauge::BestObjective, global_cost);
         ev.metrics().set_gauge(Gauge::CacheHitRate, ev.hit_rate());
         ev.metrics().set_gauge(Gauge::MissRate, ev.miss_rate());

@@ -1,0 +1,835 @@
+//! Semantic analyses over the structured GPU module IR.
+//!
+//! Where [`crate::cuda_lint`] pattern-matches generated CUDA *text*,
+//! this module analyzes the typed [`GpuModule`] the text is printed
+//! from — the same statements, barriers, tile declarations, and
+//! staging-resolved affine accesses the emitter commits to. Three
+//! passes:
+//!
+//! 1. **Barrier-interval race detection** (`KF0301`–`KF0303`): each
+//!    kernel body is partitioned into *barrier intervals* (maximal
+//!    barrier-free statement runs; a barrier nested under divergent
+//!    control flow does not synchronize and therefore does not split an
+//!    interval). Every shared-tile access is abstracted into a *region*
+//!    — the rectangle of tile cells it may touch, together with which
+//!    thread touches which cell — and overlapping regions touched by
+//!    different threads within one interval are reported: write→read
+//!    (`KF0301`, subsuming the text lints `KF0202`/`KF0203`),
+//!    write/write (`KF0302`), and read-then-write (`KF0303`, the
+//!    module-level mirror of the IR hazard `KF0103`).
+//! 2. **Barrier divergence** (`KF0304`): any `__syncthreads()`
+//!    reachable under thread-dependent control flow.
+//! 3. **Symbolic bounds** (`KF0305`–`KF0306`): interval analysis over
+//!    the affine access indices (via [`kfuse_ir::affine`]) proves every
+//!    tile access inside the declared `(BX+2H)·(BY+2H)` extent and
+//!    every global store inside the grid; unprovable accesses are
+//!    reported, as are tiles declared without the Eq. 7 padding column.
+//!
+//! ## Region model
+//!
+//! Per-thread accesses (`s_X[ty + c][tx + c]`) touch exactly one cell
+//! per thread: region `[c, c+BX) × [c, c+BY)`, cell owned by thread
+//! `(tx, ty)`. Cooperative loops (tile fills, halo-ring recomputes)
+//! stride the block over tile cells with a fixed `tid → cell` mapping:
+//! two cooperative accesses with that same mapping conflict only
+//! within a thread (no cross-thread race), so they are mutually clean
+//! — but against a per-thread access, or when a cooperative body reads
+//! *neighbor* cells (`s_X[hly + dj][hlx + di]`, unknown ownership),
+//! any rectangle overlap is a potential cross-thread conflict. The
+//! halo-ring region excludes the tile core, so a core-contained
+//! per-thread access never conflicts with a ring write.
+//!
+//! Deliberately out of scope (documented in DESIGN.md §14): races
+//! carried around the `k`-loop back edge — intervals are analyzed as
+//! straight-line barrier-to-barrier regions within one iteration.
+
+use crate::diag::{
+    Diagnostic, Report, Span, KF_BARRIER_DIVERGENCE, KF_BOUNDS_UNPROVEN, KF_RACE_READ_WRITE,
+    KF_RACE_WRITE_READ, KF_RACE_WRITE_WRITE, KF_TILE_UNPADDED,
+};
+use kfuse_codegen::module::{AccessKind, GpuModule, KernelModule, Stmt};
+use kfuse_ir::affine::{launched_index_range, Interval, Rect};
+use kfuse_ir::StagingMedium;
+use std::collections::BTreeSet;
+
+/// Run all three analysis passes over every kernel of the module.
+pub fn analyze_module(m: &GpuModule) -> Report {
+    let mut report = Report::default();
+    for k in &m.kernels {
+        race_pass(m, k, &mut report);
+        divergence_pass(k, &mut report);
+        bounds_pass(m, k, &mut report);
+    }
+    report.sorted()
+}
+
+/// [`analyze_module`] wrapped in a `kfuse-obs` span (`analysis_pass`,
+/// category `verify`) carrying the kernel and diagnostic counts.
+pub fn analyze_module_with(m: &GpuModule, obs: kfuse_obs::ObsHandle<'_>) -> Report {
+    let mut span = obs.span(kfuse_obs::SpanId::AnalysisPass);
+    span.set_arg(0, m.kernels.len() as u64);
+    let report = analyze_module(m);
+    span.set_arg(1, report.diagnostics.len() as u64);
+    report
+}
+
+/// [`analyze_module_with`], additionally bumping the `modules_analyzed`
+/// and `analysis_diagnostics` counters in a metrics registry.
+pub fn analyze_module_counted(
+    m: &GpuModule,
+    obs: kfuse_obs::ObsHandle<'_>,
+    metrics: &kfuse_obs::MetricsRegistry,
+) -> Report {
+    let report = analyze_module_with(m, obs);
+    metrics.add(kfuse_obs::Counter::ModulesAnalyzed, 1);
+    metrics.add(
+        kfuse_obs::Counter::AnalysisDiagnostics,
+        report.diagnostics.len() as u64,
+    );
+    report
+}
+
+// --- Pass 1: barrier-interval shared-memory races ---------------------------
+
+/// Which threads touch which cells of the region's rectangle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ownership {
+    /// One cell per thread at a fixed offset: thread `(tx, ty)` touches
+    /// exactly `(tx + ox, ty + oy)`.
+    PerThread {
+        /// x offset into the extended tile.
+        ox: i64,
+        /// y offset into the extended tile.
+        oy: i64,
+    },
+    /// Cooperative strided loop with the canonical `tid → cell`
+    /// mapping; each thread touches only its own cells. `ring` regions
+    /// exclude the tile core (the halo-recompute `continue`).
+    CoopOwn {
+        /// True when the region is only the halo ring.
+        ring: bool,
+    },
+    /// Cooperative loop touching cells of *other* threads (neighbor
+    /// reads from a halo site): ownership unknown, any overlap races.
+    CoopAny,
+}
+
+/// One abstract shared-tile access within a barrier interval.
+#[derive(Debug, Clone, Copy)]
+struct TileAccess {
+    /// Index into the kernel's stage list.
+    stage: usize,
+    /// True for writes.
+    write: bool,
+    /// Statement sequence number within the body walk (for ordering and
+    /// same-statement suppression).
+    stmt: usize,
+    own: Ownership,
+}
+
+/// Full extended-tile rectangle of a stage.
+fn tile_rect(k: &KernelModule, stage: usize, block: (u32, u32)) -> Rect {
+    let h = i64::from(k.stages[stage].halo);
+    let (bx, by) = (i64::from(block.0), i64::from(block.1));
+    Rect::new(
+        Interval::new(0, bx + 2 * h - 1),
+        Interval::new(0, by + 2 * h - 1),
+    )
+}
+
+/// Tile core (interior) rectangle of a stage.
+fn core_rect(k: &KernelModule, stage: usize, block: (u32, u32)) -> Rect {
+    let h = i64::from(k.stages[stage].halo);
+    let (bx, by) = (i64::from(block.0), i64::from(block.1));
+    Rect::new(Interval::new(h, bx + h - 1), Interval::new(h, by + h - 1))
+}
+
+/// The rectangle of tile cells an access may touch, clipped to the tile.
+fn access_rect(k: &KernelModule, a: &TileAccess, block: (u32, u32)) -> Rect {
+    let tile = tile_rect(k, a.stage, block);
+    match a.own {
+        Ownership::PerThread { ox, oy } => {
+            let (bx, by) = (i64::from(block.0), i64::from(block.1));
+            tile.intersect(Rect::new(
+                Interval::new(ox, ox + bx - 1),
+                Interval::new(oy, oy + by - 1),
+            ))
+        }
+        Ownership::CoopOwn { .. } | Ownership::CoopAny => tile,
+    }
+}
+
+/// May two accesses of the same stage touch the same cell from
+/// different threads?
+fn conflicts(k: &KernelModule, a: &TileAccess, b: &TileAccess, block: (u32, u32)) -> bool {
+    debug_assert_eq!(a.stage, b.stage);
+    let ra = access_rect(k, a, block);
+    let rb = access_rect(k, b, block);
+    let inter = ra.intersect(rb);
+    if inter.is_empty() {
+        return false;
+    }
+    let core = core_rect(k, a.stage, block);
+    // A ring region owns no core cell: if the overlap lies wholly in the
+    // core it is vacuous.
+    let ring_excludes = |own: Ownership| matches!(own, Ownership::CoopOwn { ring: true });
+    if (ring_excludes(a.own) || ring_excludes(b.own)) && core.contains(inter) {
+        return false;
+    }
+    match (a.own, b.own) {
+        // Same fixed per-thread offset → always the same thread.
+        (Ownership::PerThread { ox, oy }, Ownership::PerThread { ox: bx, oy: by }) => {
+            (ox, oy) != (bx, by)
+        }
+        // Same canonical tid→cell mapping → same thread per cell.
+        (Ownership::CoopOwn { .. }, Ownership::CoopOwn { .. }) => false,
+        // Mixed mappings or unknown ownership: any overlap may cross
+        // threads.
+        _ => true,
+    }
+}
+
+/// Collect the tile accesses of one statement (recursing into divergent
+/// branches — their accesses still happen, they are just not
+/// synchronized).
+fn collect_accesses(stmt: &Stmt, seq: &mut usize, out: &mut Vec<TileAccess>) {
+    let s = *seq;
+    *seq += 1;
+    match stmt {
+        Stmt::SegmentMark { .. } | Stmt::Barrier { .. } => {}
+        Stmt::CoopFill { stage } => out.push(TileAccess {
+            stage: *stage,
+            write: true,
+            stmt: s,
+            own: Ownership::CoopOwn { ring: false },
+        }),
+        Stmt::Compute(c) => {
+            // Interior evaluation: per-thread reads of staged tiles.
+            c.expr.for_each_access(&mut |acc| {
+                let stage = match acc.kind {
+                    AccessKind::Tile { stage } | AccessKind::TileEdge { stage } => stage,
+                    _ => return,
+                };
+                out.push(TileAccess {
+                    stage,
+                    write: false,
+                    stmt: s,
+                    own: Ownership::PerThread {
+                        ox: i64::from(acc.offset.di), // relative; rebased below
+                        oy: i64::from(acc.offset.dj),
+                    },
+                });
+            });
+            if let Some(si) = c.tile_store {
+                // Center store at (tx + h, ty + h).
+                out.push(TileAccess {
+                    stage: si,
+                    write: true,
+                    stmt: s,
+                    own: Ownership::PerThread { ox: 0, oy: 0 },
+                });
+                if c.halo_recompute {
+                    // Ring write with the canonical cooperative mapping.
+                    out.push(TileAccess {
+                        stage: si,
+                        write: true,
+                        stmt: s,
+                        own: Ownership::CoopOwn { ring: true },
+                    });
+                    // Halo-site re-evaluation: tile reads at zero offset
+                    // hit the warp's own ring cell; neighbor offsets read
+                    // foreign cells.
+                    c.expr.for_each_access(&mut |acc| {
+                        let stage = match acc.kind {
+                            AccessKind::Tile { stage } | AccessKind::TileEdge { stage } => stage,
+                            _ => return,
+                        };
+                        let own = if acc.offset.di == 0 && acc.offset.dj == 0 {
+                            Ownership::CoopOwn { ring: true }
+                        } else {
+                            Ownership::CoopAny
+                        };
+                        out.push(TileAccess {
+                            stage,
+                            write: false,
+                            stmt: s,
+                            own,
+                        });
+                    });
+                }
+            }
+        }
+        Stmt::ThreadIf { body, .. } => {
+            for inner in body {
+                collect_accesses(inner, seq, out);
+            }
+        }
+    }
+}
+
+/// Rebase per-thread read offsets from stencil space `(di, dj)` to tile
+/// space `(h + di, h + dj)` — done after collection because the halo is
+/// per-stage.
+fn rebase(k: &KernelModule, accs: &mut [TileAccess]) {
+    for a in accs {
+        if let Ownership::PerThread { ox, oy } = &mut a.own {
+            // Stores were pushed already rebased to the center (0, 0) in
+            // stencil space, which is (h, h) in tile space — uniform
+            // shift by h covers both.
+            let h = i64::from(k.stages[a.stage].halo);
+            *ox += h;
+            *oy += h;
+        }
+    }
+}
+
+fn race_pass(m: &GpuModule, k: &KernelModule, report: &mut Report) {
+    // Partition into barrier intervals. Top-level barriers split; a
+    // barrier under divergent control flow does not synchronize the
+    // block and therefore does not split (the divergence pass flags it).
+    let mut intervals: Vec<Vec<TileAccess>> = vec![Vec::new()];
+    let mut seq = 0usize;
+    for stmt in &k.body {
+        if matches!(stmt, Stmt::Barrier { .. }) {
+            seq += 1;
+            intervals.push(Vec::new());
+            continue;
+        }
+        let current = intervals.last_mut().expect("non-empty interval list");
+        collect_accesses(stmt, &mut seq, current);
+    }
+    for interval in &mut intervals {
+        rebase(k, interval);
+    }
+
+    // One diagnostic per (code, stage) per kernel keeps reports readable
+    // on badly broken modules (same dedup idiom as the hazard pass).
+    let mut seen: BTreeSet<(&'static str, usize)> = BTreeSet::new();
+    let span = Span::kernel(k.id.0);
+    for interval in &intervals {
+        for (i, a) in interval.iter().enumerate() {
+            for b in &interval[i + 1..] {
+                if a.stage != b.stage || !(a.write || b.write) {
+                    continue;
+                }
+                // Same-statement write/write pairs are disjoint by
+                // construction (interior store vs. halo ring).
+                if a.stmt == b.stmt && a.write && b.write {
+                    continue;
+                }
+                if !conflicts(k, a, b, m.block) {
+                    continue;
+                }
+                let (code, severity_error, what) = classify(a, b);
+                if !seen.insert((code, a.stage)) {
+                    continue;
+                }
+                let tile = &k.stages[a.stage].name;
+                let explanation = format!(
+                    "tile s_{tile}: {what} within one barrier interval \
+                     (statements {} and {}); another thread's cell may be \
+                     involved",
+                    a.stmt.min(b.stmt),
+                    a.stmt.max(b.stmt)
+                );
+                let suggestion = format!(
+                    "insert a __syncthreads() between the conflicting \
+                     accesses to s_{tile}"
+                );
+                report.diagnostics.push(if severity_error {
+                    Diagnostic::error(code, span.clone(), explanation, suggestion)
+                } else {
+                    Diagnostic::warning(code, span.clone(), explanation, suggestion)
+                });
+            }
+        }
+    }
+}
+
+/// Map a conflicting pair to its code: write→read (RAW), write/write
+/// (WAW), read→write (WAR, warning — same rationale as `KF0103`).
+fn classify(a: &TileAccess, b: &TileAccess) -> (&'static str, bool, &'static str) {
+    let (first, second) = if a.stmt <= b.stmt { (a, b) } else { (b, a) };
+    match (first.write, second.write) {
+        (true, true) => (KF_RACE_WRITE_WRITE, true, "two unsynchronized writes"),
+        (true, false) => (KF_RACE_WRITE_READ, true, "a read of unsynchronized writes"),
+        (false, true) => (
+            KF_RACE_READ_WRITE,
+            false,
+            "a write overlapping earlier unsynchronized reads",
+        ),
+        (false, false) => unreachable!("read/read pairs are filtered"),
+    }
+}
+
+// --- Pass 2: barrier divergence ---------------------------------------------
+
+fn divergence_pass(k: &KernelModule, report: &mut Report) {
+    fn walk(stmts: &[Stmt], divergent: Option<&str>, k: &KernelModule, report: &mut Report) {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Barrier { .. } => {
+                    if let Some(cond) = divergent {
+                        report.diagnostics.push(Diagnostic::error(
+                            KF_BARRIER_DIVERGENCE,
+                            Span::kernel(k.id.0),
+                            format!(
+                                "__syncthreads() under thread-dependent control \
+                                 flow `if ({cond})`: threads that skip the branch \
+                                 never reach the barrier"
+                            ),
+                            "hoist the barrier out of the divergent branch, or \
+                             make the condition uniform across the block",
+                        ));
+                    }
+                }
+                Stmt::ThreadIf { cond, body } => {
+                    walk(body, Some(cond), k, report);
+                }
+                _ => {}
+            }
+        }
+    }
+    walk(&k.body, None, k, report);
+}
+
+// --- Pass 3: symbolic bounds ------------------------------------------------
+
+fn bounds_pass(m: &GpuModule, k: &KernelModule, report: &mut Report) {
+    let span = Span::kernel(k.id.0);
+    let (bx, by) = (i64::from(m.block.0), i64::from(m.block.1));
+
+    // Eq. 7 padding on every SMEM tile.
+    for st in &k.stages {
+        if st.medium == StagingMedium::Smem && !st.padded {
+            report.diagnostics.push(Diagnostic::warning(
+                KF_TILE_UNPADDED,
+                span.clone(),
+                format!(
+                    "shared tile s_{} is declared without the Eq. 7 padding \
+                     column: (BX + 2*{h}) inner extent maps same-column \
+                     accesses onto one bank",
+                    st.name,
+                    h = st.halo
+                ),
+                "pad the inner dimension to BX + 2*H + 1",
+            ));
+        }
+    }
+
+    // Tile accesses: thread-local index tx + h + di over tx ∈ [0, BX)
+    // must stay inside [0, BX + 2h) (and the y axis likewise).
+    let mut seen: BTreeSet<(usize, i64, i64)> = BTreeSet::new();
+    let mut check_tile = |stage: usize, di: i64, dj: i64, report: &mut Report| {
+        let st = &k.stages[stage];
+        let h = i64::from(st.halo);
+        let ix = Interval::new(0, bx - 1).shift(h + di);
+        let iy = Interval::new(0, by - 1).shift(h + dj);
+        let ext_x = Interval::new(0, bx + 2 * h - 1);
+        let ext_y = Interval::new(0, by + 2 * h - 1);
+        if ext_x.contains(ix) && ext_y.contains(iy) {
+            return;
+        }
+        if !seen.insert((stage, di, dj)) {
+            return;
+        }
+        report.diagnostics.push(Diagnostic::error(
+            KF_BOUNDS_UNPROVEN,
+            span.clone(),
+            format!(
+                "tile access s_{}[ty + {}][tx + {}] ranges over x ∈ \
+                 [{}, {}], y ∈ [{}, {}] but the tile extent is [0, {}] × \
+                 [0, {}] (halo {})",
+                st.name,
+                h + dj,
+                h + di,
+                ix.lo,
+                ix.hi,
+                iy.lo,
+                iy.hi,
+                ext_x.hi,
+                ext_y.hi,
+                st.halo
+            ),
+            "widen the staging halo to cover the read radius, or emit the \
+             guarded tile-edge ternary",
+        ));
+    };
+
+    let mut store_checked: BTreeSet<u32> = BTreeSet::new();
+    let mut walk = |stmts: &[Stmt], report: &mut Report| {
+        // Iterative walk with an explicit stack (ThreadIf nesting).
+        let mut stack: Vec<&Stmt> = stmts.iter().rev().collect();
+        while let Some(stmt) = stack.pop() {
+            match stmt {
+                Stmt::Compute(c) => {
+                    c.expr.for_each_access(&mut |acc| {
+                        // `Tile` promises an unguarded in-tile access —
+                        // prove it. `TileEdge` carries its own guard and
+                        // GMEM fallback; GMEM/Ldg indices are clamped.
+                        if let AccessKind::Tile { stage } = acc.kind {
+                            check_tile(
+                                stage,
+                                i64::from(acc.offset.di),
+                                i64::from(acc.offset.dj),
+                                report,
+                            );
+                        }
+                    });
+                    if let Some(gs) = c.global_store {
+                        if !gs.guarded && store_checked.insert(gs.array.0) {
+                            let name = m.array_name(gs.array);
+                            let i_range = launched_index_range(i64::from(m.grid[0]), bx);
+                            let j_range = launched_index_range(i64::from(m.grid[1]), by);
+                            let nx = i64::from(m.grid[0]);
+                            let ny = i64::from(m.grid[1]);
+                            if i_range.hi > nx - 1 || j_range.hi > ny - 1 {
+                                report.diagnostics.push(Diagnostic::error(
+                                    KF_BOUNDS_UNPROVEN,
+                                    span.clone(),
+                                    format!(
+                                        "unguarded store {name}[IDX3(i, j, k)]: \
+                                         launched i ranges over [0, {}] but NX = \
+                                         {nx} (grid not divisible by block)",
+                                        i_range.hi.max(j_range.hi),
+                                    ),
+                                    "guard the store with if (i < NX && j < NY)",
+                                ));
+                            } else {
+                                report.diagnostics.push(Diagnostic::warning(
+                                    KF_BOUNDS_UNPROVEN,
+                                    span.clone(),
+                                    format!(
+                                        "unguarded store {name}[IDX3(i, j, k)] is \
+                                         in-bounds only because BX|NX and BY|NY \
+                                         ({}x{} grid, {}x{} block); any grid \
+                                         change breaks it",
+                                        nx, ny, bx, by
+                                    ),
+                                    "guard the store with if (i < NX && j < NY)",
+                                ));
+                            }
+                        }
+                    }
+                }
+                Stmt::ThreadIf { body, .. } => {
+                    for inner in body.iter().rev() {
+                        stack.push(inner);
+                    }
+                }
+                _ => {}
+            }
+        }
+    };
+    walk(&k.body, report);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{
+        KF_BARRIER_DIVERGENCE, KF_BOUNDS_UNPROVEN, KF_RACE_WRITE_READ, KF_RACE_WRITE_WRITE,
+        KF_TILE_UNPADDED,
+    };
+    use kfuse_codegen::module::{
+        build_module, Access, BarrierOrigin, CExpr, ComputeStmt, GlobalStore,
+    };
+    use kfuse_codegen::CodegenOptions;
+    use kfuse_ir::builder::ProgramBuilder;
+    use kfuse_ir::kernel::{KernelId, Segment, Staging, Statement};
+    use kfuse_ir::{ArrayId, Expr, Offset, Program, StagingMedium};
+
+    fn ld(a: ArrayId, di: i8, dj: i8) -> Expr {
+        Expr::load(a, Offset::new(di, dj, 0))
+    }
+
+    /// Producer/consumer pair fused with SMEM staging of the pivot —
+    /// the Fig. 3 `Kern_A` shape.
+    fn fused_program() -> Program {
+        let mut pb = ProgramBuilder::new("fused_demo", [64, 32, 8]);
+        let a = pb.array("A");
+        let b = pb.array("B");
+        let c = pb.array("C");
+        pb.kernel("placeholder").write(b, Expr::at(a)).build();
+        let mut p = pb.build();
+        let seg0 = Segment::new(
+            KernelId(0),
+            vec![Statement {
+                target: b,
+                expr: Expr::at(a) + Expr::lit(1.0),
+            }],
+        );
+        let mut seg1 = Segment::new(
+            KernelId(1),
+            vec![Statement {
+                target: c,
+                expr: ld(b, 1, 0) + ld(b, -1, 0),
+            }],
+        );
+        seg1.barrier_before = true;
+        p.kernels = vec![kfuse_ir::Kernel {
+            id: KernelId(0),
+            name: "Kern_A".into(),
+            segments: vec![seg0, seg1],
+            staging: vec![Staging {
+                array: b,
+                halo: 1,
+                medium: StagingMedium::Smem,
+            }],
+        }];
+        p
+    }
+
+    fn module(p: &Program) -> GpuModule {
+        build_module(p, &CodegenOptions::default())
+    }
+
+    #[test]
+    fn clean_fused_module_analyzes_clean() {
+        let p = fused_program();
+        let r = analyze_module(&module(&p));
+        assert!(r.is_clean(), "unexpected errors: {}", r.render_human());
+        assert!(r.is_empty(), "unexpected findings: {}", r.render_human());
+    }
+
+    /// The PR-2 codegen bug, structurally: dropping the barrier between
+    /// the tile-producing segment and the neighbor-reading consumer must
+    /// trip the race detector — no text lint involved.
+    #[test]
+    fn dropped_segment_barrier_is_a_write_read_race() {
+        let p = fused_program();
+        let mut m = module(&p);
+        m.kernels[0]
+            .body
+            .retain(|s| !matches!(s, Stmt::Barrier { .. }));
+        let r = analyze_module(&m);
+        assert!(r.has_code(KF_RACE_WRITE_READ), "{}", r.render_human());
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn dropped_fill_barrier_is_a_write_read_race() {
+        let mut pb = ProgramBuilder::new("fill_demo", [64, 32, 8]);
+        let a = pb.array("A");
+        let b = pb.array("B");
+        pb.kernel("smooth")
+            .write(b, ld(a, 1, 0) + ld(a, -1, 0))
+            .build();
+        let mut p = pb.build();
+        p.kernels[0].staging.push(Staging {
+            array: a,
+            halo: 1,
+            medium: StagingMedium::Smem,
+        });
+        let mut m = module(&p);
+        assert!(analyze_module(&m).is_empty());
+        m.kernels[0].body.retain(|s| {
+            !matches!(
+                s,
+                Stmt::Barrier {
+                    origin: BarrierOrigin::AfterFill
+                }
+            )
+        });
+        let r = analyze_module(&m);
+        assert!(r.has_code(KF_RACE_WRITE_READ), "{}", r.render_human());
+    }
+
+    #[test]
+    fn double_fill_of_one_tile_is_not_a_race() {
+        // Two cooperative fills share the tid→cell mapping: same thread
+        // touches the same cell, no cross-thread conflict.
+        let mut pb = ProgramBuilder::new("dfill", [64, 32, 8]);
+        let a = pb.array("A");
+        let b = pb.array("B");
+        pb.kernel("smooth").write(b, ld(a, 1, 0)).build();
+        let mut p = pb.build();
+        p.kernels[0].staging.push(Staging {
+            array: a,
+            halo: 1,
+            medium: StagingMedium::Smem,
+        });
+        let mut m = module(&p);
+        let fill = m.kernels[0].body[0].clone();
+        assert!(matches!(fill, Stmt::CoopFill { .. }));
+        m.kernels[0].body.insert(0, fill);
+        let r = analyze_module(&m);
+        assert!(!r.has_code(KF_RACE_WRITE_WRITE), "{}", r.render_human());
+    }
+
+    #[test]
+    fn unsynchronized_fill_over_store_is_write_write() {
+        // A cooperative fill of the tile in the same interval as the
+        // per-thread center store: the two writes use different
+        // thread→cell mappings, so another thread's fill may land on
+        // this thread's freshly stored cell.
+        let p = fused_program();
+        let mut m = module(&p);
+        let body = &mut m.kernels[0].body;
+        let producer = body
+            .iter()
+            .position(|s| matches!(s, Stmt::Compute(c) if c.tile_store.is_some()))
+            .unwrap();
+        body.insert(producer + 1, Stmt::CoopFill { stage: 0 });
+        let r = analyze_module(&m);
+        assert!(r.has_code(KF_RACE_WRITE_WRITE), "{}", r.render_human());
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn barrier_under_divergent_branch_is_flagged() {
+        let p = fused_program();
+        let mut m = module(&p);
+        m.kernels[0].body.push(Stmt::ThreadIf {
+            cond: "tx == 0".into(),
+            body: vec![Stmt::Barrier {
+                origin: BarrierOrigin::SegmentBoundary,
+            }],
+        });
+        let r = analyze_module(&m);
+        assert!(r.has_code(KF_BARRIER_DIVERGENCE), "{}", r.render_human());
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn divergent_barrier_does_not_split_intervals() {
+        // Replace the top-level segment barrier with one nested under a
+        // divergent branch: the race must still be reported.
+        let p = fused_program();
+        let mut m = module(&p);
+        let body = &mut m.kernels[0].body;
+        let bar = body
+            .iter()
+            .position(|s| matches!(s, Stmt::Barrier { .. }))
+            .unwrap();
+        body[bar] = Stmt::ThreadIf {
+            cond: "tid < 32".into(),
+            body: vec![Stmt::Barrier {
+                origin: BarrierOrigin::SegmentBoundary,
+            }],
+        };
+        let r = analyze_module(&m);
+        assert!(r.has_code(KF_RACE_WRITE_READ), "{}", r.render_human());
+        assert!(r.has_code(KF_BARRIER_DIVERGENCE), "{}", r.render_human());
+    }
+
+    #[test]
+    fn widened_tile_offset_fails_bounds() {
+        let p = fused_program();
+        let mut m = module(&p);
+        // Widen the consumer's +1 read to +2 (past halo 1) while keeping
+        // the `Tile` kind — the unguarded access is no longer provable.
+        fn widen(e: &mut CExpr) {
+            match e {
+                CExpr::Access(Access { offset, kind, .. }) => {
+                    if matches!(kind, AccessKind::Tile { .. }) && offset.di == 1 {
+                        offset.di = 2;
+                    }
+                }
+                CExpr::Bin { lhs, rhs, .. } => {
+                    widen(lhs);
+                    widen(rhs);
+                }
+                CExpr::Const(_) => {}
+            }
+        }
+        for s in &mut m.kernels[0].body {
+            if let Stmt::Compute(c) = s {
+                widen(&mut c.expr);
+            }
+        }
+        let r = analyze_module(&m);
+        assert!(r.has_code(KF_BOUNDS_UNPROVEN), "{}", r.render_human());
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn unguarded_store_is_reported() {
+        // 64x32 grid over a 32x4 block divides exactly → warning (fragile
+        // but provable).
+        let p = fused_program();
+        let mut m = module(&p);
+        for s in &mut m.kernels[0].body {
+            if let Stmt::Compute(c) = s {
+                if let Some(gs) = &mut c.global_store {
+                    gs.guarded = false;
+                }
+            }
+        }
+        let r = analyze_module(&m);
+        assert!(r.has_code(KF_BOUNDS_UNPROVEN), "{}", r.render_human());
+        assert!(r.is_clean(), "divisible grid should warn, not error");
+
+        // 65-wide grid does not divide by BX=32 → error.
+        let mut m2 = m.clone();
+        m2.grid = [65, 32, 8];
+        let r2 = analyze_module(&m2);
+        assert!(!r2.is_clean(), "{}", r2.render_human());
+    }
+
+    #[test]
+    fn unpadded_tile_is_reported() {
+        let p = fused_program();
+        let mut m = module(&p);
+        m.kernels[0].stages[0].padded = false;
+        let r = analyze_module(&m);
+        assert!(r.has_code(KF_TILE_UNPADDED), "{}", r.render_human());
+        assert!(r.is_clean(), "padding is a warning");
+    }
+
+    #[test]
+    fn synthetic_compute_without_origin_program() {
+        // Hand-built module: a bare Compute writing a tile then reading
+        // a neighbor in the same interval, without any builder help.
+        let p = fused_program();
+        let mut m = module(&p);
+        let read = CExpr::Access(Access {
+            array: ArrayId(1),
+            offset: Offset::new(-1, 0, 0),
+            kind: AccessKind::Tile { stage: 0 },
+        });
+        m.kernels[0].body = vec![
+            Stmt::Compute(ComputeStmt {
+                value: "v0_B".into(),
+                expr: CExpr::Const(1.0),
+                tile_store: Some(0),
+                reg_store: None,
+                global_store: Some(GlobalStore {
+                    array: ArrayId(1),
+                    guarded: true,
+                }),
+                halo_recompute: false,
+            }),
+            Stmt::Compute(ComputeStmt {
+                value: "v1_C".into(),
+                expr: read,
+                tile_store: None,
+                reg_store: None,
+                global_store: Some(GlobalStore {
+                    array: ArrayId(2),
+                    guarded: true,
+                }),
+                halo_recompute: false,
+            }),
+        ];
+        let r = analyze_module(&m);
+        assert!(r.has_code(KF_RACE_WRITE_READ), "{}", r.render_human());
+    }
+
+    #[test]
+    fn reports_are_sorted_deterministically() {
+        let p = fused_program();
+        let mut m = module(&p);
+        m.kernels[0].stages[0].padded = false;
+        m.kernels[0]
+            .body
+            .retain(|s| !matches!(s, Stmt::Barrier { .. }));
+        let r1 = analyze_module(&m);
+        let r2 = analyze_module(&m);
+        assert_eq!(r1, r2);
+        let codes: Vec<&str> = r1.diagnostics.iter().map(|d| d.code).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        assert_eq!(codes, sorted);
+    }
+}

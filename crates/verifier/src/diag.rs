@@ -11,6 +11,12 @@
 //! * `KF01xx` — IR-level hazards on (fused) kernels and the expandable
 //!   read-write renaming of `relax.rs`.
 //! * `KF02xx` — lint findings on generated CUDA text.
+//! * `KF03xx` — semantic analyses over the structured GPU module IR
+//!   (`kfuse_codegen::module`): barrier-interval shared-memory races
+//!   (`KF0301`–`KF0303`), barrier divergence (`KF0304`), and symbolic
+//!   bounds (`KF0305`–`KF0306`). These subsume the text-level `KF02xx`
+//!   checks: `KF0201→KF0306`, `KF0202/KF0203→KF0301`,
+//!   `KF0204/KF0205→KF0305`.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -206,6 +212,31 @@ impl Report {
         self.diagnostics.extend(other.diagnostics);
     }
 
+    /// Deterministic ordering: by code, then span (group, kernel, line),
+    /// then severity and explanation. Renderings of a sorted report are
+    /// diffable across runs regardless of check scheduling.
+    pub fn sorted(mut self) -> Report {
+        self.diagnostics.sort_by(|a, b| {
+            (
+                a.code,
+                a.span.group,
+                a.span.kernel,
+                a.span.line,
+                a.severity,
+                &a.explanation,
+            )
+                .cmp(&(
+                    b.code,
+                    b.span.group,
+                    b.span.kernel,
+                    b.span.line,
+                    b.severity,
+                    &b.explanation,
+                ))
+        });
+        self
+    }
+
     /// Human-readable rendering, one finding per paragraph plus a summary
     /// line.
     pub fn render_human(&self) -> String {
@@ -292,6 +323,30 @@ pub const KF_LINT_UNGUARDED_STORE: &str = "KF0204";
 /// An SMEM access uses a constant offset outside the tile's declared halo
 /// region.
 pub const KF_LINT_SMEM_OOB: &str = "KF0205";
+
+// --- Module-IR analysis codes ----------------------------------------------
+
+/// Barrier-interval race: a statement may read tile cells another thread
+/// wrote earlier in the same barrier interval (RAW across threads;
+/// structural counterpart of `KF0202`/`KF0203`).
+pub const KF_RACE_WRITE_READ: &str = "KF0301";
+/// Barrier-interval race: two statements in the same interval may write
+/// the same tile cell from different threads (WAW).
+pub const KF_RACE_WRITE_WRITE: &str = "KF0302";
+/// Barrier-interval hazard: a statement may write tile cells another
+/// thread still reads later in the same interval (WAR; mirrors the
+/// IR-level `KF0103`).
+pub const KF_RACE_READ_WRITE: &str = "KF0303";
+/// A `__syncthreads()` is reachable under thread-dependent control flow:
+/// divergent threads skip the barrier and the block deadlocks or races.
+pub const KF_BARRIER_DIVERGENCE: &str = "KF0304";
+/// Symbolic bounds: a tile or global access is not provably in-bounds
+/// under interval analysis of its affine index (structural counterpart
+/// of `KF0204`/`KF0205`).
+pub const KF_BOUNDS_UNPROVEN: &str = "KF0305";
+/// A shared tile is declared without the Eq. 7 anti-bank-conflict
+/// padding column (structural counterpart of `KF0201`).
+pub const KF_TILE_UNPADDED: &str = "KF0306";
 
 #[cfg(test)]
 mod tests {

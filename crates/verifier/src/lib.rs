@@ -15,6 +15,11 @@
 //! 3. [`cuda_lint`] — a line-oriented lint over generated CUDA text
 //!    (bank-conflict padding, barrier placement, halo index bounds,
 //!    bounds-guarded global stores).
+//! 4. [`analysis`] — semantic passes over the structured GPU module IR
+//!    (`kfuse_codegen::module`): barrier-interval shared-memory race
+//!    detection, barrier-divergence checking, and symbolic bounds via
+//!    interval analysis of affine indices. These subsume the text lint's
+//!    `KF02xx` findings with structural `KF03xx` counterparts.
 //!
 //! Every finding is a structured [`Diagnostic`] with a stable `KF####`
 //! code (see [`diag`] for the full table), a severity, a span, an
@@ -27,11 +32,13 @@
 //! up alongside solver work in exported chrome traces. Pass
 //! `ObsHandle::disabled()` (or call the plain variant) to pay nothing.
 
+pub mod analysis;
 pub mod constraints;
 pub mod cuda_lint;
 pub mod diag;
 pub mod hazards;
 
+pub use analysis::{analyze_module, analyze_module_counted, analyze_module_with};
 pub use constraints::{check_plan, check_plan_with, PlanChecker};
 pub use cuda_lint::{lint, lint_with};
 pub use diag::{Diagnostic, Report, Severity, Span};

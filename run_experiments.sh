@@ -60,6 +60,23 @@ cargo test --release -q --test synth_differential
 
 echo
 echo "================================================================"
+echo "== analyze: structured KF03 module analysis (identity + fused)"
+echo "================================================================"
+# The structured analyzer must accept the GPU modules generated for all
+# built-in workloads (warnings allowed, errors fatal); the differential
+# harness then proves the KF02 text lint is subsumed by the KF03 module
+# analysis on a corpus of deliberately broken modules.
+for ex in quickstart rk3 fig3 scale-les homme suite; do
+  echo "-- kfuse analyze $ex"
+  ./target/release/kfuse analyze "$verify_tmp/$ex.json" > /dev/null
+done
+echo "-- kfuse analyze fig3 (fused, seed 3)"
+./target/release/kfuse analyze "$verify_tmp/fig3.json" --fuse --seed 3 > /dev/null
+echo "-- lint-vs-analysis differential (KF02 subsumption, mutant corpus)"
+cargo test --release -q --test analysis_differential
+
+echo
+echo "================================================================"
 echo "== obs: traced solves on every workload + disabled-path guarantees"
 echo "================================================================"
 # Solve every built-in workload with tracing + metrics dumps on, then

@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! kfuse example rk3 > rk3.json        # dump a built-in program
-//! kfuse analyze rk3.json              # graphs, classes, reducible traffic
+//! kfuse analyze rk3.json              # graphs, classes, KF03 module analysis
+//! kfuse analyze rk3.json --fuse --json  # analyze the fused module, JSON out
 //! kfuse fuse rk3.json --gpu k20x      # search + fuse + simulate
 //! kfuse fuse rk3.json --emit-cuda out.cu
 //! kfuse solve synth60 --trace t.json  # search only, with a chrome trace
@@ -30,7 +31,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          kfuse example <quickstart|rk3|fig3|scale-les|homme|suite|synth20|synth40|synth60>\n  \
-         kfuse analyze  <program.json> [--gpu k20x|k40|gtx750ti] [--dot-deps FILE] [--dot-exec FILE]\n  \
+         kfuse analyze  <program.json> [--gpu k20x|k40|gtx750ti] [--fuse] [--seed N] [--json]\n             \
+                        [--dot-deps FILE] [--dot-exec FILE]\n  \
          kfuse simulate <program.json> [--gpu ...]\n  \
          kfuse fuse     <program.json> [--gpu ...] [--seed N] [--islands N] [--emit-cuda FILE] [--plan-out FILE]\n  \
          kfuse solve    <program.json|example> [--gpu ...] [--solver hgga|greedy|exhaustive] [--seed N]\n             \
@@ -138,6 +140,31 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     };
     let p = load_program(path)?;
     let gpu = parse_gpu(args);
+    let json = args.iter().any(|a| a == "--json");
+
+    // Program whose generated GPU module gets the structured KF03xx
+    // analysis: the input as-is, or the fused result of a full pipeline
+    // run under `--fuse`.
+    let fused;
+    let analyzed: &Program = if args.iter().any(|a| a == "--fuse") {
+        let seed = flag_value(args, "--seed")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(17u64);
+        let model = ProposedModel::default();
+        let solver = HggaSolver::with_seed(seed);
+        let r = pipeline::run(&p, &gpu, gpu.default_precision(), &model, &solver)
+            .map_err(|e| e.to_string())?;
+        fused = r.fused;
+        &fused
+    } else {
+        &p
+    };
+
+    if json {
+        // Machine-readable mode: the analysis report is the whole output.
+        return analyze_structured(analyzed, true);
+    }
+
     println!("program `{}`", p.name);
     println!(
         "  grid {}x{}x{}, block {}x{} ({} blocks)",
@@ -189,7 +216,29 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         (red.original_bytes - red.max_fused_bytes) as f64 / 1e6,
         red.original_bytes as f64 / 1e6
     );
-    Ok(())
+    analyze_structured(analyzed, false)
+}
+
+/// Build the GPU module for `p` and run the structured KF03xx analysis
+/// passes over it, reporting through [`finish_report`] (nonzero exit on
+/// any analysis error).
+fn analyze_structured(p: &Program, json: bool) -> Result<(), String> {
+    let opts = kfuse_codegen::CodegenOptions::default();
+    let module = kfuse_codegen::build_module(p, &opts);
+    let metrics = kernel_fusion::obs::MetricsRegistry::new();
+    let report = kernel_fusion::verify::analyze_module_counted(
+        &module,
+        kernel_fusion::obs::ObsHandle::disabled(),
+        &metrics,
+    );
+    if !json {
+        println!(
+            "  module analysis: {} kernel(s), {} diagnostic(s)",
+            module.kernels.len(),
+            report.diagnostics.len()
+        );
+    }
+    finish_report(report, json)
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
@@ -404,7 +453,11 @@ fn cmd_solve(args: &[String], full_output: bool) -> Result<(), String> {
 }
 
 /// Print a verifier report and turn errors into a nonzero exit.
+///
+/// Reports are sorted (code, then span) before rendering so `verify`,
+/// `lint`, and `analyze` output is deterministic across runs.
 fn finish_report(report: kernel_fusion::verify::Report, json: bool) -> Result<(), String> {
+    let report = report.sorted();
     if json {
         println!("{}", report.render_json());
     } else {

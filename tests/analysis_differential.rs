@@ -1,0 +1,350 @@
+//! Differential tests between the KF02xx CUDA-text lint and the KF03xx
+//! structured module analysis, plus the golden byte-identity check of
+//! the module printer against the frozen reference emitter.
+//!
+//! The contract pinned here (see `DESIGN.md` §14):
+//!
+//! 1. Modules built from accepted programs — the six built-in workloads
+//!    and randomized synthetic programs, identity and fused — analyze
+//!    with **zero errors**.
+//! 2. The module pipeline (`build_module` → `print_module`) reproduces
+//!    the frozen reference emitter byte for byte on those programs.
+//! 3. Broken modules (dropped barriers, unguarded stores, unpadded
+//!    tiles, widened tile offsets) trip the expected KF03 code, and
+//!    every finding of the text lint on the printed mutant has a KF03
+//!    counterpart: `KF0201→KF0306`, `KF0202/KF0203→KF0301`,
+//!    `KF0204/KF0205→KF0305`. The structured analysis subsumes the
+//!    text lint.
+//! 4. The PR-2 missing-`__syncthreads()` bug (fig3 `Kern_A`) is caught
+//!    structurally, without ever rendering text.
+
+use kernel_fusion::prelude::*;
+use kfuse_codegen::module::{AccessKind, CExpr, GpuModule, StageDecl, Stmt};
+use kfuse_codegen::{build_module, print_module, CodegenOptions};
+use kfuse_ir::StagingMedium;
+use kfuse_verify::diag;
+use kfuse_verify::{analyze_module, lint, Report};
+use kfuse_workloads::synth::{generate, SynthConfig};
+use proptest::prelude::*;
+
+/// The six built-in workloads on test-sized grids.
+fn builtins() -> Vec<(&'static str, Program)> {
+    let quickstart = {
+        let mut pb = ProgramBuilder::new("quickstart", [256, 128, 16]);
+        let a = pb.array("A");
+        let b = pb.array("B");
+        let c = pb.array("C");
+        pb.kernel("k0")
+            .write(b, Expr::at(a) + Expr::lit(1.0))
+            .build();
+        pb.kernel("k1")
+            .write(c, Expr::at(a) * Expr::lit(2.0))
+            .build();
+        pb.build()
+    };
+    let suite = kfuse_workloads::TestSuite::generate_on_grid(
+        &kfuse_workloads::SuiteParams {
+            kernels: 12,
+            arrays: 24,
+            ..Default::default()
+        },
+        [96, 32, 4],
+        (32, 4),
+    );
+    vec![
+        ("quickstart", quickstart),
+        ("rk3", kfuse_workloads::scale_les::rk_core([96, 32, 4])),
+        ("fig3", kfuse_workloads::motivating::program([64, 16, 4]).0),
+        (
+            "scale-les",
+            kfuse_workloads::scale_les::full_on_grid([96, 32, 2]),
+        ),
+        ("homme", kfuse_workloads::homme::full_on_grid([52, 26, 4])),
+        ("suite", suite),
+    ]
+}
+
+fn quick_solver(seed: u64) -> HggaSolver {
+    HggaSolver {
+        config: HggaConfig {
+            population: 40,
+            max_generations: 120,
+            stall_generations: 25,
+            seed,
+            ..HggaConfig::default()
+        },
+    }
+}
+
+/// Run the full pipeline and return the fused program.
+fn fuse(p: &Program, seed: u64) -> Program {
+    let gpu = GpuSpec::k20x();
+    let model = ProposedModel::default();
+    pipeline::run(p, &gpu, FpPrecision::Double, &model, &quick_solver(seed))
+        .expect("pipeline succeeds")
+        .fused
+}
+
+// ---------------------------------------------------------------------
+// 1. Accepted programs analyze clean.
+// ---------------------------------------------------------------------
+
+#[test]
+fn builtin_modules_analyze_without_errors() {
+    let opts = CodegenOptions::default();
+    for (name, p) in builtins() {
+        let fused = fuse(&p, 3);
+        for (tag, prog) in [("identity", &p), ("fused", &fused)] {
+            let m = build_module(prog, &opts);
+            let r = analyze_module(&m);
+            assert_eq!(
+                r.error_count(),
+                0,
+                "{name}/{tag} module has analysis errors:\n{}",
+                r.render_human()
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. Golden byte-identity: module printer == frozen reference emitter.
+// ---------------------------------------------------------------------
+
+#[test]
+fn printer_is_byte_identical_to_reference_on_builtins() {
+    for opts in [
+        CodegenOptions::default(),
+        CodegenOptions {
+            double_precision: false,
+            restrict: false,
+        },
+    ] {
+        for (name, p) in builtins() {
+            let fused = fuse(&p, 3);
+            for (tag, prog) in [("identity", &p), ("fused", &fused)] {
+                let via_module = print_module(&build_module(prog, &opts));
+                let reference = kfuse_codegen::reference::emit_program_reference(prog, &opts);
+                assert_eq!(
+                    via_module, reference,
+                    "{name}/{tag}: module printer diverged from the reference emitter"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 4. fig3 Kern_A regression: dropped planned barrier caught
+//    structurally (no text lint involved).
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig3_dropped_segment_barrier_is_caught_structurally() {
+    let p = kfuse_workloads::motivating::program([64, 16, 4]).0;
+    let fused = fuse(&p, 3);
+    let mut m = build_module(&fused, &CodegenOptions::default());
+    let k = m
+        .kernels
+        .iter_mut()
+        .find(|k| k.segment_count() >= 2 && k.planned_barrier_count() > 0)
+        .expect("the fig3 plan fuses dependent kernels into a Kern_A-style kernel");
+    // The PR-2 emitter bug produced Kern_A with no `__syncthreads()` at
+    // all between the producer's tile store and the consumer's neighbor
+    // reads; model it by dropping every barrier in that kernel. (The
+    // planned `SegmentBoundary` barrier alone is not enough to break
+    // it: the dirty-tile barrier inside the first segment still
+    // separates the write from every read.)
+    let before = k.body.len();
+    k.body.retain(|s| !matches!(s, Stmt::Barrier { .. }));
+    assert!(k.body.len() < before, "barriers were dropped");
+    let r = analyze_module(&m);
+    assert!(
+        r.has_code(diag::KF_RACE_WRITE_READ),
+        "missing inter-segment barrier must surface as KF0301:\n{}",
+        r.render_human()
+    );
+    assert!(r.error_count() > 0);
+}
+
+// ---------------------------------------------------------------------
+// 3. Mutation corpus + KF02/KF03 subsumption differential.
+// ---------------------------------------------------------------------
+
+fn small_config(seed: u64, kernels: usize) -> SynthConfig {
+    SynthConfig {
+        name: format!("diff_{seed}"),
+        kernels,
+        arrays: kernels * 2,
+        data_copies: 2,
+        sharing_set: 3,
+        thread_load: 4,
+        kinship: 3,
+        grid: [64, 16, 2],
+        block: (32, 4),
+        dep_prob: 0.5,
+        reads_per_kernel: 2,
+        pointwise_prob: 0.3,
+        sync_interval: None,
+        seed,
+    }
+}
+
+/// Remove every `__syncthreads()` from every kernel body.
+fn drop_barriers(m: &mut GpuModule) -> bool {
+    let mut changed = false;
+    for k in &mut m.kernels {
+        let before = k.body.len();
+        k.body.retain(|s| !matches!(s, Stmt::Barrier { .. }));
+        changed |= k.body.len() < before;
+    }
+    changed
+}
+
+/// Strip the `if (i < NX && j < NY)` guard from every global store.
+fn unguard_stores(m: &mut GpuModule) -> bool {
+    let mut changed = false;
+    for k in &mut m.kernels {
+        for s in &mut k.body {
+            if let Stmt::Compute(c) = s {
+                if let Some(gs) = &mut c.global_store {
+                    changed |= gs.guarded;
+                    gs.guarded = false;
+                }
+            }
+        }
+    }
+    changed
+}
+
+/// Drop the bank-conflict padding column from every SMEM tile.
+fn unpad_tiles(m: &mut GpuModule) -> bool {
+    let mut changed = false;
+    for k in &mut m.kernels {
+        for st in &mut k.stages {
+            if st.medium == StagingMedium::Smem && st.padded {
+                st.padded = false;
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Push every provably-in-tile access one cell past its declared halo.
+fn widen_tile_offsets(m: &mut GpuModule) -> bool {
+    fn widen(expr: &mut CExpr, stages: &[StageDecl]) -> bool {
+        match expr {
+            CExpr::Const(_) => false,
+            CExpr::Bin { lhs, rhs, .. } => {
+                let l = widen(lhs, stages);
+                let r = widen(rhs, stages);
+                l || r
+            }
+            CExpr::Access(a) => {
+                if let AccessKind::Tile { stage } = a.kind {
+                    a.offset.di = (stages[stage].halo + 1) as i8;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+    let mut changed = false;
+    for k in &mut m.kernels {
+        for s in &mut k.body {
+            if let Stmt::Compute(c) = s {
+                changed |= widen(&mut c.expr, &k.stages);
+            }
+        }
+    }
+    changed
+}
+
+/// The KF02 → KF03 subsumption map: every text-lint finding on a
+/// printed module must have a structured counterpart in the analysis
+/// report of the same module.
+fn assert_lint_subsumed(linted: &Report, analysis: &Report) {
+    for d in &linted.diagnostics {
+        let counterpart = match d.code {
+            "KF0201" => "KF0306",
+            "KF0202" | "KF0203" => "KF0301",
+            "KF0204" | "KF0205" => "KF0305",
+            _ => continue,
+        };
+        assert!(
+            analysis.has_code(counterpart),
+            "lint finding {} (`{}`) has no {} counterpart in:\n{}",
+            d.code,
+            d.explanation,
+            counterpart,
+            analysis.render_human()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized synthetic programs produce modules that analyze
+    /// without errors, identity and fused.
+    #[test]
+    fn synth_modules_analyze_without_errors(seed in 0u64..1000, kernels in 4usize..12) {
+        let p = generate(&small_config(seed, kernels));
+        let fused = fuse(&p, seed);
+        for prog in [&p, &fused] {
+            let m = build_module(prog, &CodegenOptions::default());
+            let r = analyze_module(&m);
+            prop_assert!(
+                r.error_count() == 0,
+                "synth module has analysis errors:\n{}",
+                r.render_human()
+            );
+        }
+    }
+
+    /// Each mutation class trips its expected KF03 code, and the text
+    /// lint on the printed mutant is fully subsumed by the analysis.
+    #[test]
+    fn mutated_modules_trip_kf03_and_subsume_kf02(
+        seed in 0u64..500,
+        kernels in 4usize..12,
+        mutation in 0usize..4,
+    ) {
+        let p = generate(&small_config(seed, kernels));
+        let mut m = build_module(&p, &CodegenOptions::default());
+        let (changed, expected) = match mutation {
+            0 => (drop_barriers(&mut m), diag::KF_RACE_WRITE_READ),
+            1 => (unguard_stores(&mut m), diag::KF_BOUNDS_UNPROVEN),
+            2 => (unpad_tiles(&mut m), diag::KF_TILE_UNPADDED),
+            _ => (widen_tile_offsets(&mut m), diag::KF_BOUNDS_UNPROVEN),
+        };
+        if changed {
+            let analysis = analyze_module(&m);
+            prop_assert!(
+                analysis.has_code(expected),
+                "mutation {mutation} did not trip {expected}:\n{}",
+                analysis.render_human()
+            );
+            let linted = lint(&print_module(&m));
+            assert_lint_subsumed(&linted, &analysis);
+        }
+    }
+
+    /// The subsumption also holds with all mutations applied at once.
+    #[test]
+    fn combined_mutants_keep_lint_subsumed(seed in 0u64..200, kernels in 4usize..10) {
+        let p = generate(&small_config(seed, kernels));
+        let mut m = build_module(&p, &CodegenOptions::default());
+        let changed = drop_barriers(&mut m)
+            | unguard_stores(&mut m)
+            | unpad_tiles(&mut m)
+            | widen_tile_offsets(&mut m);
+        if changed {
+            let analysis = analyze_module(&m);
+            let linted = lint(&print_module(&m));
+            assert_lint_subsumed(&linted, &analysis);
+        }
+    }
+}
