@@ -28,6 +28,12 @@
 //!    `Evaluator::evaluate_uncached_batch` (8-lane synthesis + batched
 //!    projection under the `batch` feature), against the scalar SoA
 //!    unit.
+//! 6. **Hierarchical partition-first scaling** — `hgga-hier` wall-clock
+//!    on clustered programs of 1k/5k/10k kernels (the regime where the
+//!    flat solver is DNF), a like-for-like flat-vs-hier wall comparison
+//!    at 250/500 kernels under a reduced GA budget, and solution-quality
+//!    ratios on synth60 and SCALE-LES under a *forced* decomposition
+//!    (`Auto` would simply delegate to the flat path below 200 kernels).
 //!
 //! Results go to `results/search_scaling.json`; the machine-readable
 //! headline for the regression gate goes to `BENCH_search.json` in the
@@ -48,7 +54,7 @@ use kfuse_gpu::GpuSpec;
 use kfuse_ir::KernelId;
 use kfuse_obs::{InMemoryRecorder, ObsHandle};
 use kfuse_search::eval::legacy::LegacyEvaluator;
-use kfuse_search::{Evaluator, HggaConfig, HggaSolver};
+use kfuse_search::{Evaluator, HggaConfig, HggaHierSolver, HggaSolver, PartitionMode};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -146,6 +152,47 @@ struct BatchPoint {
     avg_batch_fill: f64,
 }
 
+/// One solver run in the hierarchical-scaling study.
+#[derive(Serialize, Clone)]
+struct HierScalePoint {
+    kernels: usize,
+    /// `"flat"` or `"hier"`.
+    solver: String,
+    /// GA budget label: `"study"` (pop 64 / 60 gens) or `"default"`.
+    budget: String,
+    wall_s: f64,
+    objective: f64,
+    groups: usize,
+    regions_solved: u64,
+    boundary_kernels: u64,
+    stitch_merges: u64,
+}
+
+/// Flat-vs-forced-hier solution quality on one small workload.
+#[derive(Serialize, Clone)]
+struct HierQualityPoint {
+    workload: String,
+    kernels: usize,
+    flat_objective: f64,
+    hier_objective: f64,
+    /// hier / flat projected time — ≤ 1.02 is the acceptance gate.
+    ratio: f64,
+}
+
+/// The hierarchical partition-first section of the benchmark file.
+#[derive(Serialize, Clone)]
+struct HierSection {
+    max_region: usize,
+    scaling: Vec<HierScalePoint>,
+    quality: Vec<HierQualityPoint>,
+    /// hier wall(10k kernels) / hier wall(1k kernels). Linear scaling
+    /// would put this at 10; the gate allows ≤ 15 (wall-clock ratios are
+    /// noisy on shared machines even though both runs see similar load).
+    scale_10k_over_1k: f64,
+    /// Worst hier/flat objective ratio over the quality points.
+    worst_quality_ratio: f64,
+}
+
 #[derive(Serialize)]
 struct WorkloadReport {
     kernels: usize,
@@ -160,6 +207,7 @@ struct WorkloadReport {
 #[derive(Serialize)]
 struct Report {
     workloads: Vec<WorkloadReport>,
+    hier: HierSection,
 }
 
 /// Machine-readable headline committed at the repo root and consumed by
@@ -173,6 +221,7 @@ struct BenchFile {
     miss_path: Vec<MissPoint>,
     batch: Vec<BatchPoint>,
     variants: Vec<BenchVariant>,
+    hier: HierSection,
     headline: Headline,
 }
 
@@ -635,6 +684,152 @@ fn variant_point(
     }
 }
 
+/// The clustered large-program family (`kfuse solve synthN` for N > 200
+/// builds the same programs).
+fn clustered(kernels: usize) -> kfuse_ir::Program {
+    kfuse_workloads::synth::generate_clustered(&kfuse_workloads::synth::ClusteredConfig {
+        name: format!("clustered_{kernels}"),
+        kernels,
+        seed: 0xC10C + kernels as u64,
+        ..Default::default()
+    })
+}
+
+fn hier_scale_point(
+    kernels: usize,
+    solver: &str,
+    budget: &str,
+    wall: f64,
+    out: &kfuse_core::pipeline::SolveOutcome,
+) -> HierScalePoint {
+    use kfuse_obs::Counter;
+    HierScalePoint {
+        kernels,
+        solver: solver.to_string(),
+        budget: budget.to_string(),
+        wall_s: wall,
+        objective: out.objective,
+        groups: out.plan.groups.len(),
+        regions_solved: out.metrics.get(Counter::RegionsSolved),
+        boundary_kernels: out.metrics.get(Counter::BoundaryKernels),
+        stitch_merges: out.metrics.get(Counter::StitchMerges),
+    }
+}
+
+/// Stage 6: hierarchical partition-first scaling and quality.
+///
+/// All runs are seeded, so every objective in this section is
+/// deterministic; only the wall-clock columns vary run to run. The flat
+/// solver is not measured at 1k+ kernels: a single flat run on the
+/// 1000-kernel clustered program exceeds 15 minutes under the default
+/// budget (superlinear in program size), which is exactly the regime the
+/// hierarchical path exists for.
+fn hier_stage(gpu: &GpuSpec, model: &ProposedModel) -> HierSection {
+    const SEED: u64 = 17;
+    let max_region = HggaHierSolver::DEFAULT_MAX_REGION;
+    let mut scaling = Vec::new();
+
+    // Like-for-like wall trend at the sizes the flat solver still
+    // finishes: both solvers under the same reduced GA budget.
+    for &kernels in &[250usize, 500] {
+        let program = clustered(kernels);
+        let (_, ctx) = prepare(&program, gpu, gpu.default_precision());
+        let flat = HggaSolver {
+            config: HggaConfig {
+                seed: SEED,
+                ..study_config(1)
+            },
+        };
+        let t = Instant::now();
+        let out = flat.solve(&ctx, model);
+        let flat_wall = t.elapsed().as_secs_f64();
+        scaling.push(hier_scale_point(kernels, "flat", "study", flat_wall, &out));
+        let hier = HggaHierSolver {
+            config: HggaConfig {
+                seed: SEED,
+                ..study_config(1)
+            },
+            ..HggaHierSolver::with_seed(SEED)
+        };
+        let t = Instant::now();
+        let out = hier.solve(&ctx, model);
+        let wall = t.elapsed().as_secs_f64();
+        println!(
+            "  hier trend {kernels}: hier {wall:.2} s vs flat {flat_wall:.2} s ({:.1}x)   {} regions",
+            flat_wall / wall,
+            out.metrics.get(kfuse_obs::Counter::RegionsSolved),
+        );
+        scaling.push(hier_scale_point(kernels, "hier", "study", wall, &out));
+    }
+
+    // Headline near-linearity points under the CLI-default budget.
+    let (mut wall_1k, mut wall_10k) = (f64::NAN, f64::NAN);
+    for &kernels in &[1000usize, 5000, 10_000] {
+        let program = clustered(kernels);
+        let (_, ctx) = prepare(&program, gpu, gpu.default_precision());
+        let hier = HggaHierSolver::with_seed(SEED);
+        let t = Instant::now();
+        let out = hier.solve(&ctx, model);
+        let wall = t.elapsed().as_secs_f64();
+        println!(
+            "  hier scale {kernels}: {wall:.2} s   objective {:.6e}   {} regions   {} groups",
+            out.objective,
+            out.metrics.get(kfuse_obs::Counter::RegionsSolved),
+            out.plan.groups.len(),
+        );
+        if kernels == 1000 {
+            wall_1k = wall;
+        }
+        if kernels == 10_000 {
+            wall_10k = wall;
+        }
+        scaling.push(hier_scale_point(kernels, "hier", "default", wall, &out));
+    }
+
+    // Quality under a forced decomposition (Auto would delegate to the
+    // flat path below 200 kernels, making the ratio exactly 1).
+    let mut quality = Vec::new();
+    for (name, program) in [
+        ("synth60", synth(60)),
+        ("scale-les", kfuse_workloads::scale_les::full()),
+    ] {
+        let (_, ctx) = prepare(&program, gpu, gpu.default_precision());
+        let flat = HggaSolver {
+            config: HggaConfig {
+                seed: SEED,
+                ..HggaConfig::default()
+            },
+        };
+        let flat_out = flat.solve(&ctx, model);
+        let hier = HggaHierSolver {
+            partition: PartitionMode::MaxRegion(max_region),
+            ..HggaHierSolver::with_seed(SEED)
+        };
+        let hier_out = hier.solve(&ctx, model);
+        let ratio = hier_out.objective / flat_out.objective;
+        println!(
+            "  hier quality {name}: hier {:.6e} vs flat {:.6e} (ratio {ratio:.4})",
+            hier_out.objective, flat_out.objective,
+        );
+        quality.push(HierQualityPoint {
+            workload: name.to_string(),
+            kernels: ctx.n_kernels(),
+            flat_objective: flat_out.objective,
+            hier_objective: hier_out.objective,
+            ratio,
+        });
+    }
+
+    let worst = quality.iter().map(|q| q.ratio).fold(f64::NAN, f64::max);
+    HierSection {
+        max_region,
+        scaling,
+        quality,
+        scale_10k_over_1k: wall_10k / wall_1k,
+        worst_quality_ratio: worst,
+    }
+}
+
 fn main() {
     let mut trace = false;
     let check_against: Option<String> = {
@@ -655,9 +850,7 @@ fn main() {
     };
     let gpu = GpuSpec::k20x();
     let model = ProposedModel::default();
-    let mut report = Report {
-        workloads: Vec::new(),
-    };
+    let mut workloads: Vec<WorkloadReport> = Vec::new();
 
     for &kernels in &KERNEL_COUNTS {
         let program = synth(kernels);
@@ -805,7 +998,7 @@ fn main() {
             write_trace(kernels, &ctx, &model);
         }
 
-        report.workloads.push(WorkloadReport {
+        workloads.push(WorkloadReport {
             kernels,
             evaluator,
             neighbor,
@@ -816,6 +1009,17 @@ fn main() {
         });
     }
 
+    println!("== hierarchical partition-first ==");
+    let hier = hier_stage(&gpu, &model);
+    println!(
+        "  hier headline: wall(10k)/wall(1k) = {:.2}   worst quality ratio {:.4}",
+        hier.scale_10k_over_1k, hier.worst_quality_ratio
+    );
+
+    let report = Report {
+        workloads,
+        hier: hier.clone(),
+    };
     write_json("search_scaling", &report);
 
     // Headline number for the changelog: 60-kernel workload at 8 threads.
@@ -914,6 +1118,7 @@ fn main() {
         miss_path: bench_miss,
         batch: bench_batch,
         variants: bench_variants,
+        hier,
     };
     println!(
         "\nheadline: 60 kernels @ 8 threads — delta {:.0} evals/s vs full rebuild {:.0} evals/s ({:.2}x)",
@@ -1006,6 +1211,47 @@ fn main() {
                 println!(
                     "regression gate: {what} {fresh:.0} evals/s vs baseline {baseline:.0} — ok"
                 );
+            }
+        }
+        // Fifth gate: hierarchical scaling. Absolute acceptance thresholds
+        // first (wall(10k)/wall(1k) ≤ 15, forced-decomposition quality
+        // within 2% of flat), then drift against the committed baseline's
+        // scale factor — skipped gracefully when the baseline predates the
+        // hier section.
+        let scale = bench.hier.scale_10k_over_1k;
+        let quality = bench.hier.worst_quality_ratio;
+        if scale.is_nan() || scale > 15.0 {
+            eprintln!(
+                "REGRESSION: hier wall(10k)/wall(1k) = {scale:.2} exceeds the near-linear \
+                 scaling gate of 15"
+            );
+            failed = true;
+        }
+        if quality.is_nan() || quality > 1.02 {
+            eprintln!(
+                "REGRESSION: hier worst quality ratio {quality:.4} exceeds the 2% gate \
+                 against the flat solver"
+            );
+            failed = true;
+        }
+        match committed["hier"]["scale_10k_over_1k"]
+            .as_f64()
+            .filter(|s| *s > 0.0)
+        {
+            None => eprintln!("baseline {path} has no hier section; skipping hier scale drift"),
+            Some(baseline) => {
+                if scale > 1.5 * baseline {
+                    eprintln!(
+                        "REGRESSION: hier scale factor {scale:.2} is more than 50% above the \
+                         committed baseline {baseline:.2} ({path})"
+                    );
+                    failed = true;
+                } else {
+                    println!(
+                        "regression gate: hier scale factor {scale:.2} vs baseline \
+                         {baseline:.2} — ok (quality ratio {quality:.4})"
+                    );
+                }
             }
         }
         if failed {

@@ -17,11 +17,17 @@ pub struct ShareGraph {
     /// Connected-component label per kernel.
     comp: Vec<u32>,
     /// All-pairs shortest-path distances (u8::MAX = unreachable);
-    /// `dist[u*n+v]`.
+    /// `dist[u*n+v]`. Empty above [`ShareGraph::DENSE_DIST_LIMIT`] kernels,
+    /// where [`ShareGraph::kinship`] runs a per-query BFS instead.
     dist: Vec<u8>,
 }
 
 impl ShareGraph {
+    /// Largest kernel count for which the n×n distance matrix is
+    /// precomputed. Beyond this the matrix would cost O(n²) bytes (100 MB
+    /// at 10k kernels) while the planner only needs adjacency and
+    /// components; exact kinship queries fall back to an on-demand BFS.
+    pub const DENSE_DIST_LIMIT: usize = 2048;
     /// Build from the dependency graph of an `n_kernels`-kernel program.
     pub fn build(dep: &DependencyGraph, n_kernels: usize) -> Self {
         let n = n_kernels;
@@ -61,19 +67,22 @@ impl ShareGraph {
             next_comp += 1;
         }
 
-        let mut dist = vec![u8::MAX; n * n];
-        let mut queue = std::collections::VecDeque::new();
-        for s in 0..n {
-            dist[s * n + s] = 0;
-            queue.clear();
-            queue.push_back(s);
-            while let Some(u) = queue.pop_front() {
-                let du = dist[s * n + u];
-                for &v in &adj[u] {
-                    let v = v as usize;
-                    if dist[s * n + v] == u8::MAX {
-                        dist[s * n + v] = du.saturating_add(1);
-                        queue.push_back(v);
+        let mut dist = Vec::new();
+        if n <= Self::DENSE_DIST_LIMIT {
+            dist = vec![u8::MAX; n * n];
+            let mut queue = std::collections::VecDeque::new();
+            for s in 0..n {
+                dist[s * n + s] = 0;
+                queue.clear();
+                queue.push_back(s);
+                while let Some(u) = queue.pop_front() {
+                    let du = dist[s * n + u];
+                    for &v in &adj[u] {
+                        let v = v as usize;
+                        if dist[s * n + v] == u8::MAX {
+                            dist[s * n + v] = du.saturating_add(1);
+                            queue.push_back(v);
+                        }
                     }
                 }
             }
@@ -89,9 +98,34 @@ impl ShareGraph {
 
     /// Degree of kinship `(a, b)°`: chain length minus one, `None` if no
     /// chain exists. `Some(0)` for a kernel with itself.
+    ///
+    /// O(1) from the dense matrix up to [`ShareGraph::DENSE_DIST_LIMIT`]
+    /// kernels; a single-source BFS per query beyond it.
     pub fn kinship(&self, a: KernelId, b: KernelId) -> Option<u8> {
-        let d = self.dist[a.index() * self.n + b.index()];
-        (d != u8::MAX).then_some(d)
+        if !self.dist.is_empty() {
+            let d = self.dist[a.index() * self.n + b.index()];
+            return (d != u8::MAX).then_some(d);
+        }
+        if self.comp[a.index()] != self.comp[b.index()] {
+            return None;
+        }
+        let (src, dst) = (a.index(), b.index());
+        let mut dist = vec![u8::MAX; self.n];
+        dist[src] = 0;
+        let mut queue = std::collections::VecDeque::from([src]);
+        while let Some(u) = queue.pop_front() {
+            if u == dst {
+                return Some(dist[u]);
+            }
+            for &v in &self.adj[u] {
+                let v = v as usize;
+                if dist[v] == u8::MAX {
+                    dist[v] = dist[u].saturating_add(1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
     }
 
     /// Connected-component label of `k`.
@@ -191,5 +225,23 @@ mod tests {
     fn self_kinship_is_zero() {
         let g = graph();
         assert_eq!(g.kinship(KernelId(0), KernelId(0)), Some(0));
+    }
+
+    #[test]
+    fn bfs_fallback_matches_dense_matrix() {
+        // Simulate the large-program regime (n > DENSE_DIST_LIMIT) by
+        // clearing the dense matrix: every query must agree with it.
+        let dense = graph();
+        let mut sparse = dense.clone();
+        sparse.dist.clear();
+        for a in 0..5u32 {
+            for b in 0..5u32 {
+                assert_eq!(
+                    sparse.kinship(KernelId(a), KernelId(b)),
+                    dense.kinship(KernelId(a), KernelId(b)),
+                    "kinship({a},{b}) diverged in BFS fallback"
+                );
+            }
+        }
     }
 }

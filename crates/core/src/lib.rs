@@ -52,6 +52,7 @@ pub mod plan;
 pub mod relax;
 pub mod repeat;
 pub mod spec;
+pub mod subprogram;
 pub mod synth;
 pub mod tuner;
 pub mod util;

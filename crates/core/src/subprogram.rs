@@ -1,0 +1,243 @@
+//! Region sub-program extraction for hierarchical planning.
+//!
+//! The partition-first solver clusters a large program into weakly-coupled
+//! regions and solves each one independently. A region solve needs a
+//! self-contained [`Program`] whose kernels and arrays are renumbered to a
+//! dense local id space: [`extract_region`] builds it, and the returned
+//! [`RegionMap`] translates the region-local plan back to global ids.
+//!
+//! Extraction is meant to run on the *relaxed* program (the one a
+//! [`crate::plan::PlanContext`] carries), so the expandable-array renaming
+//! has already happened and does not need to be redone per region.
+
+use kfuse_ir::{ArrayDecl, ArrayId, Kernel, KernelId, Program, Segment, Statement};
+
+/// Local ↔ global id translation for one extracted region.
+#[derive(Debug, Clone)]
+pub struct RegionMap {
+    /// Global kernel id of each local kernel (local id = position).
+    pub kernels: Vec<KernelId>,
+    /// Global array id of each local array (local id = position).
+    pub arrays: Vec<ArrayId>,
+}
+
+impl RegionMap {
+    /// Translate a region-local kernel group to global ids.
+    pub fn to_global(&self, local_group: &[KernelId]) -> Vec<KernelId> {
+        local_group
+            .iter()
+            .map(|k| self.kernels[k.index()])
+            .collect()
+    }
+}
+
+/// Extract the sub-program induced by `region` (global kernel ids, strictly
+/// ascending). Kernels keep their relative invocation order and are
+/// renumbered `0..region.len()`; arrays are restricted to the touched set
+/// and renumbered densely, with every reference (statement targets,
+/// expression loads, staging directives, redundant-copy links) remapped.
+/// Host-sync epoch boundaries and stream assignments between the selected
+/// kernels are preserved, so the sub-solve sees the same fusion barriers
+/// the global context would impose.
+///
+/// # Panics
+/// Panics if `region` is empty, unsorted, or contains duplicate ids.
+pub fn extract_region(p: &Program, region: &[KernelId]) -> (Program, RegionMap) {
+    assert!(!region.is_empty(), "cannot extract an empty region");
+    assert!(
+        region.windows(2).all(|w| w[0] < w[1]),
+        "region kernel ids must be strictly ascending"
+    );
+
+    // Dense array renumbering over the touched set, in global id order so
+    // extraction is deterministic and order-insensitive.
+    let mut touched: Vec<ArrayId> = region.iter().flat_map(|&k| p.kernel(k).touched()).collect();
+    touched.sort_unstable();
+    touched.dedup();
+    let mut a_local: Vec<Option<ArrayId>> = vec![None; p.arrays.len()];
+    for (li, &ga) in touched.iter().enumerate() {
+        a_local[ga.index()] = Some(ArrayId(li as u32));
+    }
+    let map_a = |ga: ArrayId| a_local[ga.index()].expect("touched array has a local id");
+
+    let arrays: Vec<ArrayDecl> = touched
+        .iter()
+        .enumerate()
+        .map(|(li, &ga)| {
+            let d = p.array(ga);
+            ArrayDecl {
+                id: ArrayId(li as u32),
+                name: d.name.clone(),
+                // Keep the relaxation provenance only when the source copy
+                // is itself part of the region; it is informational either
+                // way (the region is not re-relaxed).
+                redundant_copy_of: d.redundant_copy_of.and_then(|src| a_local[src.index()]),
+            }
+        })
+        .collect();
+
+    let mut k_local: Vec<Option<KernelId>> = vec![None; p.kernels.len()];
+    for (li, &gk) in region.iter().enumerate() {
+        k_local[gk.index()] = Some(KernelId(li as u32));
+    }
+
+    let kernels: Vec<Kernel> = region
+        .iter()
+        .enumerate()
+        .map(|(li, &gk)| {
+            let k = p.kernel(gk);
+            Kernel {
+                id: KernelId(li as u32),
+                name: k.name.clone(),
+                segments: k
+                    .segments
+                    .iter()
+                    .map(|s| Segment {
+                        // Segment provenance points at region-local ids;
+                        // sources outside the region cannot occur because
+                        // extraction runs on unfused kernels.
+                        source: k_local[s.source.index()].unwrap_or(KernelId(li as u32)),
+                        barrier_before: s.barrier_before,
+                        statements: s
+                            .statements
+                            .iter()
+                            .map(|st| Statement {
+                                target: map_a(st.target),
+                                expr: st.expr.map_arrays(&map_a),
+                            })
+                            .collect(),
+                    })
+                    .collect(),
+                staging: k
+                    .staging
+                    .iter()
+                    .map(|s| kfuse_ir::kernel::Staging {
+                        array: map_a(s.array),
+                        halo: s.halo,
+                        medium: s.medium,
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+
+    // Re-create epoch boundaries: a local sync before kernel i whenever the
+    // global epochs of local kernels i-1 and i differ.
+    let epochs = p.epochs();
+    let host_syncs: Vec<u32> = region
+        .windows(2)
+        .enumerate()
+        .filter(|(_, w)| epochs[w[0].index()] != epochs[w[1].index()])
+        .map(|(i, _)| i as u32 + 1)
+        .collect();
+    let streams: Vec<u32> = region.iter().map(|&k| p.stream_of(k)).collect();
+
+    let sub = Program {
+        name: format!("{}#r{}", p.name, region[0].0),
+        grid: p.grid,
+        launch: p.launch,
+        arrays,
+        kernels,
+        host_syncs,
+        streams,
+    };
+    debug_assert!(sub.validate().is_ok(), "extracted region must validate");
+    (
+        sub,
+        RegionMap {
+            kernels: region.to_vec(),
+            arrays: touched,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfuse_ir::builder::ProgramBuilder;
+    use kfuse_ir::Expr;
+
+    /// Two loosely-coupled halves: k0→k1 over A,B and k2→k3 over C,D,
+    /// with a host sync between k1 and k2 and k3 on stream 1.
+    fn program() -> Program {
+        let mut pb = ProgramBuilder::new("p", [64, 16, 2]);
+        let a = pb.array("A");
+        let b = pb.array("B");
+        let c = pb.array("C");
+        let d = pb.array("D");
+        let e = pb.array("E");
+        pb.kernel("k0").write(b, Expr::at(a)).build();
+        pb.kernel("k1")
+            .write(c, Expr::at(b) * Expr::lit(2.0))
+            .build();
+        pb.host_sync();
+        pb.kernel("k2").write(d, Expr::at(c)).build();
+        pb.kernel("k3").write(e, Expr::at(d) + Expr::at(c)).build();
+        let mut p = pb.build();
+        p.streams = vec![0, 0, 0, 1];
+        p
+    }
+
+    #[test]
+    fn extraction_renumbers_kernels_and_arrays() {
+        let p = program();
+        let (sub, map) = extract_region(&p, &[KernelId(2), KernelId(3)]);
+        assert_eq!(sub.kernels.len(), 2);
+        // Touched arrays: C, D, E → local 0, 1, 2.
+        assert_eq!(sub.arrays.len(), 3);
+        assert_eq!(map.arrays, vec![ArrayId(2), ArrayId(3), ArrayId(4)]);
+        assert_eq!(sub.arrays[0].name, "C");
+        assert_eq!(sub.kernels[0].id, KernelId(0));
+        assert_eq!(sub.kernels[1].name, "k3");
+        // k2 writes D (local 1) reading C (local 0).
+        let st = &sub.kernels[0].segments[0].statements[0];
+        assert_eq!(st.target, ArrayId(1));
+        assert_eq!(
+            st.expr.loads(),
+            vec![(ArrayId(0), kfuse_ir::Offset::new(0, 0, 0))]
+        );
+        assert!(sub.validate().is_ok());
+    }
+
+    #[test]
+    fn epochs_and_streams_are_preserved() {
+        let p = program();
+        // Region spanning the sync: k1 (epoch 0) and k2 (epoch 1).
+        let (sub, _) = extract_region(&p, &[KernelId(1), KernelId(2)]);
+        assert_eq!(sub.host_syncs, vec![1]);
+        assert_eq!(sub.epochs(), vec![0, 1]);
+        // Region with no internal sync keeps one epoch.
+        let (sub2, _) = extract_region(&p, &[KernelId(2), KernelId(3)]);
+        assert!(sub2.host_syncs.is_empty());
+        assert_eq!(sub2.streams, vec![0, 1]);
+    }
+
+    #[test]
+    fn local_plan_maps_back_to_global_ids() {
+        let p = program();
+        let (_, map) = extract_region(&p, &[KernelId(1), KernelId(3)]);
+        assert_eq!(
+            map.to_global(&[KernelId(0), KernelId(1)]),
+            vec![KernelId(1), KernelId(3)]
+        );
+    }
+
+    #[test]
+    fn extracted_metadata_matches_global_metadata() {
+        use crate::metadata::ProgramInfo;
+        use kfuse_gpu::{FpPrecision, GpuSpec};
+        let p = program();
+        let gpu = GpuSpec::k20x();
+        let global = ProgramInfo::extract(&p, &gpu, FpPrecision::Double);
+        let (sub, map) = extract_region(&p, &[KernelId(2), KernelId(3)]);
+        let local = ProgramInfo::extract(&sub, &gpu, FpPrecision::Double);
+        for (li, &gk) in map.kernels.iter().enumerate() {
+            let lm = &local.kernels[li];
+            let gm = global.meta(gk);
+            assert_eq!(lm.name, gm.name);
+            assert_eq!(lm.flops, gm.flops);
+            assert_eq!(lm.regs_per_thread, gm.regs_per_thread);
+            assert!((lm.runtime_s - gm.runtime_s).abs() < 1e-18);
+        }
+    }
+}

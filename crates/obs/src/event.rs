@@ -48,6 +48,15 @@ pub enum SpanId {
     /// The structured module-IR analysis pass (`kfuse-verify::analysis`):
     /// barrier-interval races, barrier divergence, symbolic bounds.
     AnalysisPass,
+    /// The hierarchical solver's clustering of kernels into weakly-coupled
+    /// regions (`kfuse-search::partition`).
+    PartitionPass,
+    /// One region's independent sub-solve in the hierarchical solver
+    /// (tracked per region: `track` = region index + 1).
+    RegionSolve,
+    /// The boundary-stitching pass re-opening inter-region candidate
+    /// groups after the region solves.
+    StitchPass,
 }
 
 impl SpanId {
@@ -68,6 +77,9 @@ impl SpanId {
             SpanId::HazardPass => "hazard_pass",
             SpanId::LintPass => "lint_pass",
             SpanId::AnalysisPass => "analysis_pass",
+            SpanId::PartitionPass => "partition_pass",
+            SpanId::RegionSolve => "region_solve",
+            SpanId::StitchPass => "stitch_pass",
         }
     }
 
@@ -82,6 +94,7 @@ impl SpanId {
             | SpanId::HazardPass
             | SpanId::LintPass
             | SpanId::AnalysisPass => "verify",
+            SpanId::PartitionPass | SpanId::RegionSolve | SpanId::StitchPass => "hier",
         }
     }
 
@@ -103,6 +116,9 @@ impl SpanId {
             SpanId::HazardPass => ("kernels", "diagnostics"),
             SpanId::LintPass => ("lines", "diagnostics"),
             SpanId::AnalysisPass => ("kernels", "diagnostics"),
+            SpanId::PartitionPass => ("kernels", "regions"),
+            SpanId::RegionSolve => ("kernels", "region"),
+            SpanId::StitchPass => ("candidates", "merges"),
         }
     }
 }
@@ -160,11 +176,18 @@ pub enum Counter {
     ModulesAnalyzed,
     /// Diagnostics produced by those analysis passes (errors + warnings).
     AnalysisDiagnostics,
+    /// Regions independently solved by the hierarchical solver (singleton
+    /// regions pass through without a sub-solve and are not counted).
+    RegionsSolved,
+    /// Kernels whose sharing sets cross a region cut (stitch candidates).
+    BoundaryKernels,
+    /// Cross-region group merges the stitching pass committed.
+    StitchMerges,
 }
 
 impl Counter {
     /// Number of counters (registry slot count).
-    pub const COUNT: usize = 20;
+    pub const COUNT: usize = 23;
 
     /// All counters, in registry/display order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -188,6 +211,9 @@ impl Counter {
         Counter::BatchLanesFilled,
         Counter::ModulesAnalyzed,
         Counter::AnalysisDiagnostics,
+        Counter::RegionsSolved,
+        Counter::BoundaryKernels,
+        Counter::StitchMerges,
     ];
 
     /// Stable snake_case name (metrics-dump key).
@@ -213,6 +239,9 @@ impl Counter {
             Counter::BatchLanesFilled => "batch_lanes_filled",
             Counter::ModulesAnalyzed => "modules_analyzed",
             Counter::AnalysisDiagnostics => "analysis_diagnostics",
+            Counter::RegionsSolved => "regions_solved",
+            Counter::BoundaryKernels => "boundary_kernels",
+            Counter::StitchMerges => "stitch_merges",
         }
     }
 }

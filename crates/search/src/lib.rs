@@ -22,6 +22,10 @@
 //! * [`greedy`] — a first-fit-style baseline that repeatedly applies the
 //!   best profitable pairwise merge; stands in for the "polynomial-time
 //!   approximation" strawman of §III-A.
+//! * [`partition`] — hierarchical partition-first planning for 1k–10k
+//!   kernel programs: cluster the sharing graph into weakly-coupled
+//!   regions, solve each region with the HGGA in parallel, then stitch
+//!   profitable cross-region fusions back in with a bounded local search.
 //!
 //! All solvers implement `Solver::solve_observed` from `kfuse-core`: pass
 //! a `kfuse_obs::ObsHandle` to record spans (generations, epochs,
@@ -36,9 +40,11 @@ pub mod eval;
 pub mod exhaustive;
 pub mod greedy;
 pub mod hgga;
+pub mod partition;
 pub mod reference;
 
 pub use eval::{BatchProbe, Evaluator};
 pub use exhaustive::ExhaustiveSolver;
 pub use greedy::GreedySolver;
 pub use hgga::{HggaConfig, HggaSolver};
+pub use partition::{partition_regions, HggaHierSolver, Partition, PartitionMode};

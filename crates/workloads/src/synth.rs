@@ -126,6 +126,190 @@ pub fn scaling(kernels: usize) -> Program {
     })
 }
 
+/// Configuration for the clustered large-program generator
+/// ([`generate_clustered`]): `regions` weakly-coupled clusters of
+/// `kernels_per_region` kernels each, with dense intra-region sharing
+/// (per-region hub arrays + dependency chains) and a tunable fraction of
+/// kernels that also consume an output of the previous region.
+#[derive(Debug, Clone)]
+pub struct ClusteredConfig {
+    /// Program name.
+    pub name: String,
+    /// Total kernel count (the last region may be smaller than
+    /// `kernels_per_region` when this is not a multiple of it).
+    pub kernels: usize,
+    /// Kernels per region.
+    pub kernels_per_region: usize,
+    /// Probability that a kernel also reads an output produced by the
+    /// previous region (cross-cut sharing the partitioner must sever and
+    /// the stitching pass may recover).
+    pub coupling: f64,
+    /// Widely-shared stencil input arrays per region.
+    pub hubs_per_region: usize,
+    /// Thread load (stencil footprint) of hub reads.
+    pub thread_load: usize,
+    /// Grid extents.
+    pub grid: [u32; 3],
+    /// Block tile.
+    pub block: (u32, u32),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ClusteredConfig {
+    fn default() -> Self {
+        ClusteredConfig {
+            name: "clustered".into(),
+            kernels: 1000,
+            kernels_per_region: 40,
+            coupling: 0.15,
+            hubs_per_region: 3,
+            thread_load: 4,
+            grid: [64, 16, 2],
+            block: (32, 4),
+            seed: 0,
+        }
+    }
+}
+
+/// The scaled workload for the hierarchical-planning study:
+/// `regions × kernels_per_region` kernels with realistic intra-region
+/// sharing density and `coupling` cross-region sharing, deterministic in
+/// the region shape (seed derives from the kernel count).
+pub fn clustered(regions: usize, kernels_per_region: usize, coupling: f64) -> Program {
+    let kernels = regions * kernels_per_region;
+    generate_clustered(&ClusteredConfig {
+        name: format!("clustered_{kernels}"),
+        kernels,
+        kernels_per_region,
+        coupling,
+        seed: 0xC10C + kernels as u64,
+        ..ClusteredConfig::default()
+    })
+}
+
+/// Generate a clustered program from `cfg`. O(kernels) work and memory:
+/// sharing sets stay region-local (bounded cardinality), so graph
+/// construction over the result is near-linear too.
+pub fn generate_clustered(cfg: &ClusteredConfig) -> Program {
+    assert!(cfg.kernels >= 2, "need at least two kernels");
+    assert!(
+        cfg.kernels_per_region >= 2,
+        "regions need at least 2 kernels"
+    );
+    let kpr = cfg.kernels_per_region;
+    let hubs_n = cfg.hubs_per_region.max(1);
+    let n_regions = cfg.kernels.div_ceil(kpr);
+
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xC1_05_7E_12);
+    let mut pb = ProgramBuilder::new(cfg.name.clone(), cfg.grid);
+    pb.launch(cfg.block.0, cfg.block.1);
+
+    // Per-region hub arrays, then one output array per kernel. Declaring
+    // region-by-region keeps array ids clustered like the kernels.
+    let mut hubs: Vec<Vec<ArrayId>> = Vec::with_capacity(n_regions);
+    let mut outs: Vec<ArrayId> = Vec::with_capacity(cfg.kernels);
+    for r in 0..n_regions {
+        hubs.push((0..hubs_n).map(|h| pb.array(format!("H{r}_{h}"))).collect());
+        let lo = r * kpr;
+        let hi = (lo + kpr).min(cfg.kernels);
+        for i in lo..hi {
+            outs.push(pb.array(format!("O{i}")));
+        }
+    }
+
+    for ki in 0..cfg.kernels {
+        let r = ki / kpr;
+        let li = ki % kpr; // region-local index
+        let mut reads: Vec<(ArrayId, usize)> = Vec::new();
+
+        // Hub reads: one rotating primary (stencil), sometimes a second.
+        let region_hubs = &hubs[r];
+        reads.push((
+            region_hubs[li % hubs_n],
+            jitter_load(cfg.thread_load, &mut rng),
+        ));
+        if hubs_n > 1 && rng.gen_bool(0.4) {
+            let h = region_hubs[(li + 1) % hubs_n];
+            if !reads.iter().any(|(a, _)| *a == h) {
+                reads.push((h, 1));
+            }
+        }
+
+        // Intra-region dependency chain: consume a recent local output.
+        if li > 0 && rng.gen_bool(0.6) {
+            let back = 1 + rng.gen_range(0..li.min(3));
+            let a = outs[ki - back];
+            if !reads.iter().any(|(x, _)| *x == a) {
+                reads.push((a, 1));
+            }
+        }
+
+        // Cross-region coupling: read one of the previous region's last
+        // outputs (these arrays' sharing sets then cross the region cut).
+        if r > 0 && rng.gen_bool(cfg.coupling) {
+            let prev_hi = r * kpr; // first kernel of this region
+            let back = 1 + rng.gen_range(0..4.min(prev_hi));
+            let a = outs[prev_hi - back];
+            if !reads.iter().any(|(x, _)| *x == a) {
+                reads.push((a, 1));
+            }
+        }
+
+        let mut expr: Option<Expr> = None;
+        for (ri, &(a, t)) in reads.iter().enumerate() {
+            let mut term: Option<Expr> = None;
+            for (oi, &o) in footprint(t).iter().enumerate() {
+                let load = Expr::load(a, o);
+                let scaled = if oi % 3 == 2 {
+                    load * Expr::lit(0.5 + oi as f64 * 0.125)
+                } else {
+                    load
+                };
+                term = Some(match term {
+                    None => scaled,
+                    Some(t) => t + scaled,
+                });
+            }
+            let term = term.expect("footprint is non-empty");
+            let term = if ri % 2 == 1 {
+                term * Expr::lit(1.0 / (ri as f64 + 2.0))
+            } else {
+                term
+            };
+            expr = Some(match expr {
+                None => term,
+                Some(e) => e + term,
+            });
+        }
+        pb.kernel(format!("r{r}k{li}"))
+            .write(outs[ki], expr.expect("every kernel reads something"))
+            .build();
+    }
+
+    let mut p = pb.build();
+    // "Rigorously optimized" originals, as in [`generate`]: SMEM staging
+    // for every wide read.
+    for k in &mut p.kernels {
+        let reads = k.reads();
+        let mut staging = Vec::new();
+        for &a in reads.keys() {
+            if k.thread_load(a) > 1 {
+                staging.push(Staging {
+                    array: a,
+                    halo: 0,
+                    medium: StagingMedium::Smem,
+                });
+            }
+        }
+        staging.sort_unstable_by_key(|s| s.array);
+        k.staging = staging;
+    }
+
+    debug_assert!(p.validate().is_ok());
+    p
+}
+
 /// Generate a program from `cfg`.
 pub fn generate(cfg: &SynthConfig) -> Program {
     let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5EED_5EED);
@@ -455,6 +639,46 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn clustered_has_requested_size_and_is_deterministic() {
+        let p = clustered(5, 20, 0.2);
+        assert_eq!(p.kernels.len(), 100);
+        assert!(p.validate().is_ok());
+        assert_eq!(p, clustered(5, 20, 0.2));
+        // Non-multiple totals truncate the last region.
+        let q = generate_clustered(&ClusteredConfig {
+            kernels: 50,
+            kernels_per_region: 40,
+            ..ClusteredConfig::default()
+        });
+        assert_eq!(q.kernels.len(), 50);
+        assert!(q.validate().is_ok());
+    }
+
+    #[test]
+    fn clustered_sharing_crosses_region_cuts() {
+        let p = clustered(4, 25, 0.5);
+        let dep = DependencyGraph::build(&p);
+        let region_of = |k: usize| k / 25;
+        let mut cross = 0;
+        for a in 0..p.arrays.len() {
+            let s = dep.sharing_set(ArrayId(a as u32));
+            if s.len() >= 2
+                && s.iter()
+                    .any(|k| region_of(k.index()) != region_of(s[0].index()))
+            {
+                cross += 1;
+            }
+        }
+        assert!(cross >= 1, "coupling must create cross-region sharing sets");
+        // Intra-region sharing stays dense: hubs reach several readers.
+        let max_sharing = (0..p.arrays.len())
+            .map(|a| dep.sharing_set(ArrayId(a as u32)).len())
+            .max()
+            .unwrap();
+        assert!(max_sharing >= 4, "hub sharing too thin: {max_sharing}");
     }
 
     #[test]

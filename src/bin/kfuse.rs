@@ -30,14 +30,16 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
-         kfuse example <quickstart|rk3|fig3|scale-les|homme|suite|synth20|synth40|synth60>\n  \
+         kfuse example <quickstart|rk3|fig3|scale-les|homme|suite|synthN>  (N<=200 scaling, N>200 clustered)\n  \
          kfuse analyze  <program.json> [--gpu k20x|k40|gtx750ti] [--fuse] [--seed N] [--json]\n             \
                         [--dot-deps FILE] [--dot-exec FILE]\n  \
          kfuse simulate <program.json> [--gpu ...]\n  \
          kfuse fuse     <program.json> [--gpu ...] [--seed N] [--islands N] [--emit-cuda FILE] [--plan-out FILE]\n  \
-         kfuse solve    <program.json|example> [--gpu ...] [--solver hgga|greedy|exhaustive] [--seed N]\n             \
-                        [--islands N] [--trace FILE] [--metrics FILE] [--plan-out FILE]\n  \
-         kfuse stats    <program.json|example> [--gpu ...] [--solver ...] [--seed N] [--islands N]\n  \
+         kfuse solve    <program.json|example> [--gpu ...] [--solver hgga|hgga-hier|greedy|exhaustive]\n             \
+                        [--seed N] [--islands N] [--partition auto|off|MAX_REGION]\n             \
+                        [--trace FILE] [--metrics FILE] [--plan-out FILE]\n  \
+         kfuse stats    <program.json|example> [--gpu ...] [--solver ...] [--seed N] [--islands N]\n             \
+                        [--partition auto|off|MAX_REGION]\n  \
          kfuse codegen  <program.json> [--single]\n  \
          kfuse verify   <program.json> [--gpu ...] [--plan FILE] [--json]\n  \
          kfuse lint     <program.json|kernels.cu> [--gpu ...] [--fuse] [--seed N] [--json]"
@@ -95,11 +97,24 @@ fn main() -> ExitCode {
 }
 
 /// Build a built-in example program by name. `synth<N>` (e.g. `synth60`)
-/// is the N-kernel scaling-study workload from `kfuse_workloads::synth`.
+/// is the N-kernel scaling-study workload from `kfuse_workloads::synth`
+/// up to 200 kernels; above that it is the clustered large-program
+/// workload of the hierarchical-planning study (`synth1000`, `synth5000`,
+/// `synth10000`).
 fn builtin_program(name: &str) -> Option<Program> {
     if let Some(n) = name.strip_prefix("synth") {
-        let kernels: usize = n.parse().ok().filter(|&k| (2..=200).contains(&k))?;
-        return Some(kfuse_workloads::synth::scaling(kernels));
+        let kernels: usize = n.parse().ok().filter(|&k| (2..=20_000).contains(&k))?;
+        if kernels <= 200 {
+            return Some(kfuse_workloads::synth::scaling(kernels));
+        }
+        return Some(kfuse_workloads::synth::generate_clustered(
+            &kfuse_workloads::synth::ClusteredConfig {
+                name: format!("clustered_{kernels}"),
+                kernels,
+                seed: 0xC10C + kernels as u64,
+                ..Default::default()
+            },
+        ));
     }
     Some(match name {
         "quickstart" => {
@@ -374,16 +389,47 @@ fn cmd_solve(args: &[String], full_output: bool) -> Result<(), String> {
         .and_then(|s| s.parse().ok())
         .unwrap_or(1usize);
 
+    let partition = match flag_value(args, "--partition") {
+        Some(v) => Some(v.parse::<PartitionMode>()?),
+        None => None,
+    };
+
     let hgga;
+    let hier;
+    let exhaustive;
     let solver: &dyn Solver = match flag_value(args, "--solver").as_deref() {
-        None | Some("hgga") => {
+        // `--partition` implies the hierarchical solver: it is the only
+        // one with a decomposition layer to configure.
+        None | Some("hgga") if partition.is_none() => {
             let mut s = HggaSolver::with_seed(seed);
             s.config.islands = islands;
             hgga = s;
             &hgga
         }
+        None | Some("hgga") | Some("hgga-hier") => {
+            let mut s = HggaHierSolver::with_seed(seed);
+            s.config.islands = islands;
+            if let Some(mode) = partition {
+                s.partition = mode;
+            }
+            hier = s;
+            &hier
+        }
         Some("greedy") => &GreedySolver,
-        Some("exhaustive") => &ExhaustiveSolver::default(),
+        Some("exhaustive") => {
+            let s = ExhaustiveSolver::default();
+            if p.kernels.len() > s.max_kernels {
+                return Err(format!(
+                    "the exhaustive solver enumerates all set partitions and is capped at \
+                     {} kernels (Bell-number blowup); `{target}` has {} — \
+                     use --solver hgga or hgga-hier instead",
+                    s.max_kernels,
+                    p.kernels.len()
+                ));
+            }
+            exhaustive = s;
+            &exhaustive
+        }
         Some(other) => return Err(format!("unknown solver `{other}`")),
     };
 

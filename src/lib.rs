@@ -16,7 +16,7 @@
 //! | [`ir`] | stencil-kernel IR, traffic/FLOP analysis |
 //! | [`sim`] | functional interpreter + timing simulator |
 //! | [`core`] | graphs, constraints, fusion transform, projection models |
-//! | [`search`] | HGGA, exhaustive and greedy solvers |
+//! | [`search`] | HGGA, hierarchical partition-first, exhaustive and greedy solvers |
 //! | [`verify`] | independent plan verifier, hazard analyzer, CUDA lint |
 //! | [`workloads`] | Fig. 3 example, CloverLeaf suite, SCALE-LES, HOMME |
 //! | [`obs`] | structured tracing, metrics registry, chrome-trace export |
@@ -62,6 +62,8 @@ pub mod prelude {
     pub use kfuse_gpu::{FpPrecision, GpuSpec};
     pub use kfuse_ir::builder::ProgramBuilder;
     pub use kfuse_ir::{ArrayId, Expr, KernelId, Program};
-    pub use kfuse_search::{ExhaustiveSolver, GreedySolver, HggaConfig, HggaSolver};
+    pub use kfuse_search::{
+        ExhaustiveSolver, GreedySolver, HggaConfig, HggaHierSolver, HggaSolver, PartitionMode,
+    };
     pub use kfuse_sim::{run_block_mode, run_reference, simulate_program, DeviceState};
 }
