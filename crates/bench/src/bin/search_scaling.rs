@@ -1159,12 +1159,27 @@ fn main() {
         }
     });
 
-    match serde_json::to_string_pretty(&bench) {
-        Ok(s) => {
-            if let Err(e) = std::fs::write("BENCH_search.json", s) {
-                eprintln!("warning: could not write BENCH_search.json: {e}");
-            } else {
-                eprintln!("wrote BENCH_search.json");
+    // Carry the warm-start study's section (owned by the `warm_start`
+    // bin) over from the previous file: this bin regenerates only the
+    // search-scaling sections.
+    let carried: Option<serde_json::Value> = std::fs::read_to_string("BENCH_search.json")
+        .ok()
+        .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).ok())
+        .and_then(|mut v| v.as_object_mut().and_then(|o| o.remove("warm_start")));
+    match serde_json::to_value(&bench) {
+        Ok(mut v) => {
+            if let (Some(obj), Some(ws)) = (v.as_object_mut(), carried) {
+                obj.insert("warm_start".into(), ws);
+            }
+            match serde_json::to_string_pretty(&v) {
+                Ok(s) => {
+                    if let Err(e) = std::fs::write("BENCH_search.json", s) {
+                        eprintln!("warning: could not write BENCH_search.json: {e}");
+                    } else {
+                        eprintln!("wrote BENCH_search.json");
+                    }
+                }
+                Err(e) => eprintln!("warning: could not serialize BENCH_search.json: {e}"),
             }
         }
         Err(e) => eprintln!("warning: could not serialize BENCH_search.json: {e}"),

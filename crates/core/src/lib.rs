@@ -43,6 +43,7 @@ pub mod depgraph;
 pub mod dot;
 pub mod efficiency;
 pub mod exec_order;
+pub mod fingerprint;
 pub mod fuse;
 pub mod kinship;
 pub mod metadata;
@@ -60,6 +61,7 @@ pub mod util;
 pub use batch::{BatchScratch, BatchStats, CandidateBatch, LANES};
 pub use depgraph::{DependencyGraph, TouchClass};
 pub use exec_order::ExecOrderGraph;
+pub use fingerprint::{kernel_colors, kernel_signatures, program_fingerprint, region_fingerprint};
 pub use kinship::ShareGraph;
 pub use metadata::{KernelMeta, ProgramInfo};
 pub use model::{PerfModel, ProposedModel, RooflineModel, SimpleModel};

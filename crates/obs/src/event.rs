@@ -57,6 +57,9 @@ pub enum SpanId {
     /// The boundary-stitching pass re-opening inter-region candidate
     /// groups after the region solves.
     StitchPass,
+    /// One plan-cache lookup: fingerprint the program, scan the loaded
+    /// entries for an exact or near match.
+    CacheProbe,
 }
 
 impl SpanId {
@@ -80,6 +83,7 @@ impl SpanId {
             SpanId::PartitionPass => "partition_pass",
             SpanId::RegionSolve => "region_solve",
             SpanId::StitchPass => "stitch_pass",
+            SpanId::CacheProbe => "cache_probe",
         }
     }
 
@@ -95,6 +99,7 @@ impl SpanId {
             | SpanId::LintPass
             | SpanId::AnalysisPass => "verify",
             SpanId::PartitionPass | SpanId::RegionSolve | SpanId::StitchPass => "hier",
+            SpanId::CacheProbe => "cache",
         }
     }
 
@@ -119,6 +124,7 @@ impl SpanId {
             SpanId::PartitionPass => ("kernels", "regions"),
             SpanId::RegionSolve => ("kernels", "region"),
             SpanId::StitchPass => ("candidates", "merges"),
+            SpanId::CacheProbe => ("entries", "outcome"),
         }
     }
 }
@@ -183,11 +189,24 @@ pub enum Counter {
     BoundaryKernels,
     /// Cross-region group merges the stitching pass committed.
     StitchMerges,
+    /// Plan-cache lookups attempted (exact or near, hit or miss).
+    CacheProbes,
+    /// Plan-cache probes answered by an exact fingerprint hit whose plan
+    /// re-validated cleanly and was served without a search.
+    CacheHits,
+    /// Plan-cache probes that found no usable entry (no match, or the
+    /// matched plan failed re-validation).
+    CacheMisses,
+    /// Solves seeded from a remapped near-match cache entry.
+    WarmStarts,
+    /// Per-region greedy-floor computations skipped because the region's
+    /// sub-fingerprint hit the cache.
+    RegionFloorSkips,
 }
 
 impl Counter {
     /// Number of counters (registry slot count).
-    pub const COUNT: usize = 23;
+    pub const COUNT: usize = 28;
 
     /// All counters, in registry/display order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -214,6 +233,11 @@ impl Counter {
         Counter::RegionsSolved,
         Counter::BoundaryKernels,
         Counter::StitchMerges,
+        Counter::CacheProbes,
+        Counter::CacheHits,
+        Counter::CacheMisses,
+        Counter::WarmStarts,
+        Counter::RegionFloorSkips,
     ];
 
     /// Stable snake_case name (metrics-dump key).
@@ -242,6 +266,11 @@ impl Counter {
             Counter::RegionsSolved => "regions_solved",
             Counter::BoundaryKernels => "boundary_kernels",
             Counter::StitchMerges => "stitch_merges",
+            Counter::CacheProbes => "cache_probes",
+            Counter::CacheHits => "cache_hits",
+            Counter::CacheMisses => "cache_misses",
+            Counter::WarmStarts => "warm_starts",
+            Counter::RegionFloorSkips => "region_floor_skips",
         }
     }
 }

@@ -101,6 +101,43 @@ impl Default for HggaConfig {
     }
 }
 
+/// External controls a caller can thread into a solve without changing
+/// the solver's configuration: warm-start seeds, a wall-clock deadline
+/// (the `--budget-ms` anytime mode), and the set of region fingerprints
+/// the plan cache knows about (hierarchical greedy-floor reuse).
+///
+/// The default value is the **cold** state, and every consumer gates on
+/// it: with no seeds, no deadline and no cached fingerprints the solve
+/// performs zero extra RNG draws, probes or clock reads, so cold-path
+/// trajectories stay bit-for-bit identical to a solver without controls.
+#[derive(Debug, Clone, Default)]
+pub struct SolveControls {
+    /// Plans injected into the initial population (each replaces the
+    /// current worst individual after construction). Infeasible groups in
+    /// a seed are repaired by the normal `finalize` path, so remapped
+    /// near-match plans are safe to inject as-is.
+    pub seeds: Vec<FusionPlan>,
+    /// Hard wall-clock deadline: generation/epoch loops return best-so-far
+    /// at the first boundary past it.
+    pub deadline: Option<Instant>,
+    /// Region fingerprints (see `kfuse_core::fingerprint`) with a cached
+    /// plan. The hierarchical solver skips the per-region greedy floor for
+    /// seeded regions whose fingerprint is in this set.
+    pub cached_region_fps: std::collections::HashSet<u64>,
+}
+
+impl SolveControls {
+    /// True when the controls are the do-nothing cold state.
+    pub fn is_cold(&self) -> bool {
+        self.seeds.is_empty() && self.deadline.is_none() && self.cached_region_fps.is_empty()
+    }
+
+    /// True once the deadline (if any) has passed.
+    fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
 /// The HGGA solver.
 #[derive(Debug, Clone, Default)]
 pub struct HggaSolver {
@@ -225,21 +262,35 @@ impl Solver for HggaSolver {
         model: &dyn PerfModel,
         obs: ObsHandle<'_>,
     ) -> SolveOutcome {
-        if self.config.islands <= 1 {
-            self.solve_single(ctx, model, obs)
-        } else {
-            self.solve_islands(ctx, model, obs)
-        }
+        self.solve_controlled(ctx, model, obs, &SolveControls::default())
     }
 }
 
 impl HggaSolver {
+    /// [`Solver::solve_observed`] with external [`SolveControls`]
+    /// (warm-start seeds and/or a deadline). Default controls reproduce
+    /// the uncontrolled solve bit for bit.
+    pub fn solve_controlled(
+        &self,
+        ctx: &PlanContext,
+        model: &dyn PerfModel,
+        obs: ObsHandle<'_>,
+        controls: &SolveControls,
+    ) -> SolveOutcome {
+        if self.config.islands <= 1 {
+            self.solve_single(ctx, model, obs, controls)
+        } else {
+            self.solve_islands(ctx, model, obs, controls)
+        }
+    }
+
     /// The single-population algorithm (`islands <= 1`).
     fn solve_single(
         &self,
         ctx: &PlanContext,
         model: &dyn PerfModel,
         obs: ObsHandle<'_>,
+        controls: &SolveControls,
     ) -> SolveOutcome {
         let cfg = &self.config;
         let ev = Evaluator::observed(ctx, model, obs);
@@ -261,6 +312,9 @@ impl HggaSolver {
                 .collect()
         };
         pop.sort_by(|a, b| a.cost().total_cmp(&b.cost()));
+        if !controls.seeds.is_empty() {
+            inject_seeds(&ev, &mut pop, &controls.seeds, &mut scratch);
+        }
 
         let mut best = pop[0].chromo.to_plan();
         let mut best_cost = pop[0].cost();
@@ -271,11 +325,22 @@ impl HggaSolver {
         let mut generations = 0u32;
 
         for gen in 1..=cfg.max_generations {
+            if controls.expired() {
+                break;
+            }
             generations = gen;
             {
                 let mut gen_span = obs.span(SpanId::Generation);
                 gen_span.set_arg(0, gen as u64);
-                step_generation(&ev, cfg, cfg.population, &mut pop, &mut rng, &mut scratch);
+                step_generation(
+                    &ev,
+                    cfg,
+                    cfg.population,
+                    &mut pop,
+                    &mut rng,
+                    &mut scratch,
+                    controls.deadline,
+                );
             }
             ev.count(Counter::Generations, 1);
             obs.value(Gauge::GenerationBest, pop[0].cost());
@@ -324,6 +389,7 @@ impl HggaSolver {
         ctx: &PlanContext,
         model: &dyn PerfModel,
         obs: ObsHandle<'_>,
+        controls: &SolveControls,
     ) -> SolveOutcome {
         let cfg = &self.config;
         let n_islands = cfg.islands;
@@ -375,6 +441,14 @@ impl HggaSolver {
             });
         }
 
+        // Warm-start seeds join island 0 (the ring spreads them onward).
+        if !controls.seeds.is_empty() {
+            let isl = &mut islands[0];
+            inject_seeds(&ev, &mut isl.pop, &controls.seeds, &mut isl.scratch);
+            isl.best = isl.pop[0].chromo.to_plan();
+            isl.best_cost = isl.pop[0].cost();
+        }
+
         let mut global_plan = islands[0].best.clone();
         let mut global_cost = islands[0].best_cost;
         let mut global_gen = 0u32;
@@ -389,15 +463,19 @@ impl HggaSolver {
         let mut stall = 0u32;
         let mut gens_done = 0u32;
         while gens_done < cfg.max_generations {
+            if controls.expired() {
+                break;
+            }
             let epoch = interval.min(cfg.max_generations - gens_done);
             {
                 let ev = &ev;
+                let deadline = controls.deadline;
                 let mut epoch_span = obs.span(SpanId::Epoch);
                 epoch_span.set_arg(0, gens_done as u64);
                 epoch_span.set_arg(1, n_islands as u64);
                 rayon::scope(|s| {
                     for isl in islands.iter_mut() {
-                        s.spawn(move || evolve_island(ev, cfg, pop_target, isl, epoch));
+                        s.spawn(move || evolve_island(ev, cfg, pop_target, isl, epoch, deadline));
                     }
                 });
             }
@@ -509,6 +587,26 @@ fn island_seed(seed: u64, island: usize) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Seed the population with externally supplied plans (warm start): each
+/// seed is rebuilt as a chromosome, repaired + scored by the normal
+/// `finalize` path, and replaces the current worst individual. Draws no
+/// RNG, so injecting seeds perturbs nothing but population content.
+fn inject_seeds(
+    ev: &Evaluator<'_>,
+    pop: &mut [Individual],
+    seeds: &[FusionPlan],
+    scratch: &mut OpScratch,
+) {
+    for plan in seeds {
+        let mut chromo = Chromosome::from_plan(plan, ev);
+        chromo.finalize(ev, scratch);
+        if let Some(worst) = pop.last_mut() {
+            *worst = Individual { chromo };
+            pop.sort_by(|a, b| a.cost().total_cmp(&b.cost()));
+        }
+    }
+}
+
 /// Run `gens` generations of one island. Same generation step as the
 /// single-population solver — the breeding/scoring path exists once.
 fn evolve_island(
@@ -517,9 +615,13 @@ fn evolve_island(
     pop_target: usize,
     isl: &mut Island,
     gens: u32,
+    deadline: Option<Instant>,
 ) {
     let obs = ev.obs();
     for _ in 0..gens {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            break;
+        }
         isl.generations += 1;
         {
             let mut gen_span = obs.span_on(SpanId::Generation, isl.track);
@@ -532,6 +634,7 @@ fn evolve_island(
                 &mut isl.pop,
                 &mut isl.rng,
                 &mut isl.scratch,
+                deadline,
             );
         }
         ev.count(Counter::Generations, 1);
@@ -548,6 +651,12 @@ fn evolve_island(
 /// selection → crossover → mutation → local search. Offspring arrive
 /// already sealed (finalized + scored incrementally), so this single
 /// helper replaces the old separate parallel/serial `evaluate` paths.
+///
+/// With a `deadline`, breeding stops between offspring once the clock
+/// runs out (a truncated generation still sorts and replaces, so the best
+/// individual bred so far survives into the returned population). Without
+/// one — the cold path — the clock is never read and the RNG stream is
+/// untouched by the check.
 fn step_generation(
     ev: &Evaluator<'_>,
     cfg: &HggaConfig,
@@ -555,6 +664,7 @@ fn step_generation(
     pop: &mut Vec<Individual>,
     rng: &mut SmallRng,
     scratch: &mut OpScratch,
+    deadline: Option<Instant>,
 ) {
     let mut offspring: Vec<Individual> = Vec::with_capacity(pop_target);
     // Elites survive unchanged.
@@ -562,6 +672,9 @@ fn step_generation(
         offspring.push(e.clone());
     }
     while offspring.len() < pop_target {
+        if !offspring.is_empty() && deadline.is_some_and(|d| Instant::now() >= d) {
+            break;
+        }
         let pa = tournament(pop, cfg.tournament, rng);
         let pb = tournament(pop, cfg.tournament, rng);
         let mut child = if rng.gen_bool(cfg.crossover_rate) {

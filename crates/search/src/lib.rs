@@ -26,6 +26,13 @@
 //!   kernel programs: cluster the sharing graph into weakly-coupled
 //!   regions, solve each region with the HGGA in parallel, then stitch
 //!   profitable cross-region fusions back in with a bounded local search.
+//! * [`plancache`] / [`warmstart`] — the cross-solve reuse layer
+//!   (DESIGN.md §16): a persistent JSONL plan cache keyed by the
+//!   order-insensitive program fingerprint of `kfuse_core::fingerprint`,
+//!   and the [`warmstart::WarmSolver`] wrapper that serves exact repeats
+//!   outright (after independent re-validation), seeds the GA from
+//!   remapped near matches, and enforces an anytime wall-clock budget
+//!   with a greedy quality floor.
 //!
 //! All solvers implement `Solver::solve_observed` from `kfuse-core`: pass
 //! a `kfuse_obs::ObsHandle` to record spans (generations, epochs,
@@ -41,10 +48,14 @@ pub mod exhaustive;
 pub mod greedy;
 pub mod hgga;
 pub mod partition;
+pub mod plancache;
 pub mod reference;
+pub mod warmstart;
 
 pub use eval::{BatchProbe, Evaluator};
 pub use exhaustive::ExhaustiveSolver;
 pub use greedy::GreedySolver;
-pub use hgga::{HggaConfig, HggaSolver};
+pub use hgga::{HggaConfig, HggaSolver, SolveControls};
 pub use partition::{partition_regions, HggaHierSolver, Partition, PartitionMode};
+pub use plancache::{CacheEntry, CacheWarning, PlanCache};
+pub use warmstart::WarmSolver;

@@ -31,9 +31,10 @@
 
 use crate::eval::Evaluator;
 use crate::greedy::GreedySolver;
-use crate::hgga::{HggaConfig, HggaSolver};
+use crate::hgga::{HggaConfig, HggaSolver, SolveControls};
 use kfuse_core::depgraph::DependencyGraph;
 use kfuse_core::exec_order::ExecOrderGraph;
+use kfuse_core::fingerprint::{kernel_signatures, region_fingerprint};
 use kfuse_core::fuse::{condensation_order_with, CondensationScratch};
 use kfuse_core::kinship::ShareGraph;
 use kfuse_core::metadata::ProgramInfo;
@@ -300,6 +301,7 @@ impl HggaHierSolver {
         model: &dyn PerfModel,
         obs: ObsHandle<'_>,
         max_region: usize,
+        controls: &SolveControls,
     ) -> SolveOutcome {
         let n = ctx.n_kernels();
         let program = ctx
@@ -328,6 +330,50 @@ impl HggaHierSolver {
         ev.metrics()
             .add(Counter::BoundaryKernels, part.boundary.len() as u64);
 
+        // Warm-start projection: restrict each seed plan to the groups that
+        // fall wholly inside a region (remapped to region-local ids), and
+        // decide per region whether the cached sub-fingerprint lets the
+        // greedy floor be skipped. All of it is gated on non-cold controls,
+        // so the cold path computes no colors and skips nothing.
+        let mut region_ctrl: Vec<(SolveControls, bool)> = Vec::new();
+        region_ctrl.resize_with(part.regions.len(), Default::default);
+        if !controls.is_cold() {
+            // Region sub-fingerprints fold the members' *local* signatures
+            // (not the WL-refined colors): a perturbation elsewhere in the
+            // program must not invalidate an untouched region's entry.
+            let sigs =
+                (!controls.cached_region_fps.is_empty()).then(|| kernel_signatures(&ctx.info));
+            let mut skips = 0u64;
+            for (ri, region) in part.regions.iter().enumerate() {
+                if region.len() < 2 {
+                    continue;
+                }
+                let mut c = SolveControls {
+                    deadline: controls.deadline,
+                    ..Default::default()
+                };
+                c.seeds.extend(
+                    controls
+                        .seeds
+                        .iter()
+                        .filter_map(|plan| project_seed(plan, region)),
+                );
+                // Skip the greedy floor only when the cache both knows this
+                // exact sub-program *and* contributed a seed to climb from.
+                let skip = !c.seeds.is_empty()
+                    && sigs.as_ref().is_some_and(|sigs| {
+                        controls
+                            .cached_region_fps
+                            .contains(&region_fingerprint(sigs, region))
+                    });
+                if skip {
+                    skips += 1;
+                }
+                region_ctrl[ri] = (c, skip);
+            }
+            ev.metrics().add(Counter::RegionFloorSkips, skips);
+        }
+
         // 2. Parallel region solves. Slots are indexed by region, so the
         // merge order — and with it the whole trajectory — is independent
         // of how the solves are scheduled across threads.
@@ -336,7 +382,12 @@ impl HggaHierSolver {
         let seed = self.config.seed;
         let base_cfg = &self.config;
         rayon::scope(|s| {
-            for (ri, (slot, region)) in results.iter_mut().zip(&part.regions).enumerate() {
+            for (ri, ((slot, region), ctrl)) in results
+                .iter_mut()
+                .zip(&part.regions)
+                .zip(&region_ctrl)
+                .enumerate()
+            {
                 if region.len() < 2 {
                     *slot = Some(RegionResult {
                         groups: vec![region.clone()],
@@ -346,7 +397,9 @@ impl HggaHierSolver {
                 }
                 s.spawn(move || {
                     let t0 = Instant::now();
-                    let r = solve_one_region(program, ctx, model, base_cfg, seed, ri, region);
+                    let r = solve_one_region(
+                        program, ctx, model, base_cfg, seed, ri, region, &ctrl.0, ctrl.1,
+                    );
                     obs.record_span(
                         SpanId::RegionSolve,
                         ri as u32 + 1,
@@ -672,10 +725,53 @@ impl HggaHierSolver {
     }
 }
 
+/// Restrict a whole-program seed plan to one region: each group is
+/// intersected with the region (the stitch pass can have merged region
+/// results into boundary-crossing groups, so requiring full containment
+/// would discard almost every cached plan) and intersections that keep at
+/// least two members survive, remapped to region-local ids — local id =
+/// position in the sorted region. Everything else becomes a singleton.
+/// Returns `None` when no multi-member group survives, since a
+/// pure-singleton seed is just the identity plan and teaches the region
+/// solve nothing.
+fn project_seed(plan: &FusionPlan, region: &[KernelId]) -> Option<FusionPlan> {
+    let mut covered = vec![false; region.len()];
+    let mut groups: Vec<Vec<KernelId>> = Vec::new();
+    for g in &plan.groups {
+        if g.len() < 2 {
+            continue;
+        }
+        // Region and group are both sorted, so local ids come out sorted.
+        let locals: Vec<KernelId> = g
+            .iter()
+            .filter_map(|k| region.binary_search(k).ok().map(|li| KernelId(li as u32)))
+            .collect();
+        if locals.len() >= 2 {
+            for l in &locals {
+                covered[l.index()] = true;
+            }
+            groups.push(locals);
+        }
+    }
+    if groups.is_empty() {
+        return None;
+    }
+    for (li, done) in covered.iter().enumerate() {
+        if !done {
+            groups.push(vec![KernelId(li as u32)]);
+        }
+    }
+    groups.sort_by_key(|g| g[0]);
+    Some(FusionPlan::from_sorted_groups(groups))
+}
+
 /// Solve one region: extract the sub-program, build its context, run the
 /// HGGA with a region-derived RNG stream, and keep the greedy plan instead
-/// if it scores better (the warm-start quality floor). Returns groups in
-/// global kernel ids.
+/// if it scores better (the warm-start quality floor). `controls` carries
+/// region-local warm-start seeds and the deadline; `skip_floor` elides the
+/// greedy floor when the plan cache already knows this sub-program.
+/// Returns groups in global kernel ids.
+#[allow(clippy::too_many_arguments)]
 fn solve_one_region(
     program: &kfuse_ir::Program,
     ctx: &PlanContext,
@@ -684,6 +780,8 @@ fn solve_one_region(
     seed: u64,
     region_idx: usize,
     region: &[KernelId],
+    controls: &SolveControls,
+    skip_floor: bool,
 ) -> RegionResult {
     let (sub, map) = extract_region(program, region);
     let info = ProgramInfo::extract(&sub, &ctx.info.gpu, ctx.info.precision);
@@ -699,12 +797,16 @@ fn solve_one_region(
             ..base_cfg.clone()
         },
     };
-    let out = solver.solve(&sub_ctx, model);
-    let greedy = GreedySolver.solve(&sub_ctx, model);
-    let best = if greedy.objective < out.objective - 1e-15 {
-        greedy
-    } else {
+    let out = solver.solve_controlled(&sub_ctx, model, ObsHandle::disabled(), controls);
+    let best = if skip_floor {
         out
+    } else {
+        let greedy = GreedySolver.solve(&sub_ctx, model);
+        if greedy.objective < out.objective - 1e-15 {
+            greedy
+        } else {
+            out
+        }
     };
     RegionResult {
         groups: best.plan.groups.iter().map(|g| map.to_global(g)).collect(),
@@ -784,20 +886,41 @@ impl Solver for HggaHierSolver {
         model: &dyn PerfModel,
         obs: ObsHandle<'_>,
     ) -> SolveOutcome {
-        let n = ctx.n_kernels();
-        let max_region = match self.partition {
+        self.solve_controlled(ctx, model, obs, &SolveControls::default())
+    }
+}
+
+impl HggaHierSolver {
+    /// Effective region-size cap for a program of `n` kernels, or `None`
+    /// when this solver configuration would solve it flat.
+    pub fn effective_max_region(&self, n: usize) -> Option<usize> {
+        match self.partition {
             PartitionMode::Off => None,
             PartitionMode::Auto if n < Self::FLAT_THRESHOLD => None,
             PartitionMode::Auto => Some(Self::DEFAULT_MAX_REGION),
             PartitionMode::MaxRegion(m) => Some(m.max(2)),
-        };
-        match max_region {
+        }
+    }
+
+    /// [`Solver::solve_observed`] with external [`SolveControls`]
+    /// (warm-start seeds, deadline, cached region fingerprints). Default
+    /// controls reproduce the uncontrolled solve bit for bit.
+    pub fn solve_controlled(
+        &self,
+        ctx: &PlanContext,
+        model: &dyn PerfModel,
+        obs: ObsHandle<'_>,
+        controls: &SolveControls,
+    ) -> SolveOutcome {
+        match self.effective_max_region(ctx.n_kernels()) {
             // Flat delegation: identical to today's solver, bit for bit.
             // Region extraction needs the relaxed program; contexts built
             // without one also fall back to the flat path.
-            None => self.flat().solve_observed(ctx, model, obs),
-            Some(_) if ctx.program.is_none() => self.flat().solve_observed(ctx, model, obs),
-            Some(m) => self.solve_hier(ctx, model, obs, m),
+            None => self.flat().solve_controlled(ctx, model, obs, controls),
+            Some(_) if ctx.program.is_none() => {
+                self.flat().solve_controlled(ctx, model, obs, controls)
+            }
+            Some(m) => self.solve_hier(ctx, model, obs, m, controls),
         }
     }
 }

@@ -1,0 +1,474 @@
+//! The persistent, content-addressed plan cache.
+//!
+//! One JSONL file (`plans.jsonl`) per cache directory: each line is a
+//! versioned [`CacheEntry`] keyed by the order-insensitive program
+//! fingerprint of [`kfuse_core::fingerprint`], storing the best plan
+//! found, its objective, the device/precision it was solved for, the
+//! per-kernel local signatures (near-match lookup + remapping) and the
+//! sub-fingerprints of the partition regions the hierarchical solver cut
+//! (greedy-floor reuse).
+//!
+//! Durability over cleverness: loads are **corruption-tolerant** — a
+//! truncated line, bad JSON, version or device mismatch, or an entry with
+//! out-of-range members is *skipped* with a structured [`CacheWarning`],
+//! never a panic, so a half-written cache from a killed process degrades
+//! to a smaller cache. Writes append one line per solve; rewrites happen
+//! only to replace a same-fingerprint entry with a better objective.
+//! Cached plans are advisory either way: the warm-start layer re-validates
+//! anything it serves through the independent verifier before trusting it.
+
+use kfuse_core::plan::FusionPlan;
+use kfuse_ir::KernelId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Entry format version; bump on any incompatible field change so old
+/// caches age out instead of deserializing garbage.
+pub const CACHE_VERSION: u32 = 1;
+
+/// Cache file name inside the cache directory.
+const CACHE_FILE: &str = "plans.jsonl";
+
+/// One cached solve: the best plan found for a program fingerprint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheEntry {
+    /// Format version ([`CACHE_VERSION`] at write time).
+    pub version: u32,
+    /// Order-insensitive program fingerprint (the lookup key).
+    pub fingerprint: u64,
+    /// Program name, informational only (never matched on).
+    pub program: String,
+    /// GPU the plan was solved for (`GpuSpec::name`); entries for another
+    /// device are stale and skipped at load.
+    pub gpu: String,
+    /// Precision tag (`"Single"`/`"Double"`), matched like the GPU.
+    pub precision: String,
+    /// Kernel count, for cheap plausibility checks before remapping.
+    pub n_kernels: u32,
+    /// Objective of the cached plan (projected seconds).
+    pub objective: f64,
+    /// Per-kernel local signatures in kernel-id order
+    /// ([`kfuse_core::fingerprint::kernel_signatures`]): the near-match
+    /// overlap metric and the kernel remapping key.
+    pub kernel_sigs: Vec<u64>,
+    /// The plan's groups as kernel indices.
+    pub groups: Vec<Vec<u32>>,
+    /// Region sub-fingerprints from the hierarchical solve (empty for flat
+    /// solves); lets a warm start skip per-region greedy floors.
+    pub region_fps: Vec<u64>,
+}
+
+impl CacheEntry {
+    /// The cached groups as a [`FusionPlan`] (members and groups sorted as
+    /// `from_sorted_groups` requires). `None` when any member is out of
+    /// range for the entry's own `n_kernels` or a kernel appears twice —
+    /// a malformed entry, treated as a miss.
+    pub fn plan(&self) -> Option<FusionPlan> {
+        let n = self.n_kernels as usize;
+        let mut seen = vec![false; n];
+        let mut groups: Vec<Vec<KernelId>> = Vec::with_capacity(self.groups.len());
+        for g in &self.groups {
+            let mut members: Vec<KernelId> = Vec::with_capacity(g.len());
+            for &k in g {
+                if k as usize >= n || std::mem::replace(&mut seen[k as usize], true) {
+                    return None;
+                }
+                members.push(KernelId(k));
+            }
+            members.sort_unstable();
+            if members.is_empty() {
+                return None;
+            }
+            groups.push(members);
+        }
+        if !seen.iter().all(|&s| s) {
+            return None;
+        }
+        groups.sort_by_key(|g| g[0]);
+        Some(FusionPlan::from_sorted_groups(groups))
+    }
+
+    /// Multiset overlap of this entry's kernel signatures with `sigs`,
+    /// normalized by the larger program: 1.0 means identical signature
+    /// multisets, 0.0 means nothing in common.
+    pub fn overlap(&self, sigs: &[u64]) -> f64 {
+        if self.kernel_sigs.is_empty() || sigs.is_empty() {
+            return 0.0;
+        }
+        let mut a = self.kernel_sigs.clone();
+        let mut b = sigs.to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        let (mut i, mut j, mut common) = (0usize, 0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    common += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        common as f64 / a.len().max(b.len()) as f64
+    }
+}
+
+/// A load-time problem with one cache line, reported instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheWarning {
+    /// 1-based line number in `plans.jsonl`.
+    pub line: usize,
+    /// What was wrong (bad JSON, version/device mismatch, malformed plan).
+    pub reason: String,
+}
+
+impl std::fmt::Display for CacheWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "plan cache line {}: {} (skipped)",
+            self.line, self.reason
+        )
+    }
+}
+
+/// The loaded cache: usable entries plus the warnings loading produced.
+#[derive(Debug)]
+pub struct PlanCache {
+    dir: PathBuf,
+    gpu: String,
+    precision: String,
+    /// Usable entries, in file order (later same-fingerprint lines win).
+    entries: Vec<CacheEntry>,
+    /// Structured load warnings (corrupt/stale lines that were skipped).
+    pub warnings: Vec<CacheWarning>,
+    /// The file ended mid-line (e.g. a killed writer); the next append
+    /// must start with a newline or it would fuse with the partial line.
+    unterminated: bool,
+}
+
+impl PlanCache {
+    /// Load the cache in `dir` for one device/precision pair. A missing
+    /// directory or file is an empty cache; unreadable or stale lines are
+    /// skipped into [`PlanCache::warnings`]. Never panics on cache
+    /// content.
+    pub fn open(dir: &Path, gpu: &str, precision: &str) -> Self {
+        let mut cache = PlanCache {
+            dir: dir.to_path_buf(),
+            gpu: gpu.to_string(),
+            precision: precision.to_string(),
+            entries: Vec::new(),
+            warnings: Vec::new(),
+            unterminated: false,
+        };
+        let text = match std::fs::read_to_string(dir.join(CACHE_FILE)) {
+            Ok(t) => t,
+            Err(_) => return cache,
+        };
+        cache.unterminated = !text.is_empty() && !text.ends_with('\n');
+        for (i, line) in text.lines().enumerate() {
+            let lineno = i + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let entry: CacheEntry = match serde_json::from_str(line) {
+                Ok(e) => e,
+                Err(e) => {
+                    cache.warnings.push(CacheWarning {
+                        line: lineno,
+                        reason: format!("unparseable entry: {e}"),
+                    });
+                    continue;
+                }
+            };
+            if entry.version != CACHE_VERSION {
+                cache.warnings.push(CacheWarning {
+                    line: lineno,
+                    reason: format!("version {} != supported {CACHE_VERSION}", entry.version),
+                });
+                continue;
+            }
+            if entry.gpu != gpu || entry.precision != precision {
+                cache.warnings.push(CacheWarning {
+                    line: lineno,
+                    reason: format!(
+                        "entry for {}/{}, cache opened for {gpu}/{precision}",
+                        entry.gpu, entry.precision
+                    ),
+                });
+                continue;
+            }
+            if entry.kernel_sigs.len() != entry.n_kernels as usize
+                || !entry.objective.is_finite()
+                || entry.plan().is_none()
+            {
+                cache.warnings.push(CacheWarning {
+                    line: lineno,
+                    reason: "malformed entry (bad plan, signatures, or objective)".into(),
+                });
+                continue;
+            }
+            // Later lines supersede earlier ones for the same fingerprint
+            // (append-mostly writes leave the old line in place).
+            cache.entries.retain(|e| e.fingerprint != entry.fingerprint);
+            cache.entries.push(entry);
+        }
+        cache
+    }
+
+    /// Number of usable entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no usable entry was loaded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry for an exact fingerprint, if any.
+    pub fn lookup_exact(&self, fingerprint: u64) -> Option<&CacheEntry> {
+        self.entries.iter().find(|e| e.fingerprint == fingerprint)
+    }
+
+    /// The nearest entry by kernel-signature overlap, excluding the exact
+    /// fingerprint (which [`PlanCache::lookup_exact`] already covers) and
+    /// anything below `min_overlap`. Ties break to the earlier entry.
+    pub fn lookup_near(
+        &self,
+        fingerprint: u64,
+        sigs: &[u64],
+        min_overlap: f64,
+    ) -> Option<(&CacheEntry, f64)> {
+        let mut best: Option<(&CacheEntry, f64)> = None;
+        for e in &self.entries {
+            if e.fingerprint == fingerprint {
+                continue;
+            }
+            let ov = e.overlap(sigs);
+            if ov >= min_overlap && best.is_none_or(|(_, b)| ov > b) {
+                best = Some((e, ov));
+            }
+        }
+        best
+    }
+
+    /// The union of every cached region sub-fingerprint plus the whole-
+    /// program fingerprints (a whole cached program is also a reusable
+    /// "region" when it reappears inside a larger one).
+    pub fn region_fps(&self) -> HashSet<u64> {
+        let mut fps = HashSet::new();
+        for e in &self.entries {
+            fps.insert(e.fingerprint);
+            fps.extend(e.region_fps.iter().copied());
+        }
+        fps
+    }
+
+    /// Insert (or improve) the entry for `entry.fingerprint` and persist.
+    /// Appends one JSONL line; when the fingerprint already exists the
+    /// whole file is rewritten iff the new objective is strictly better,
+    /// otherwise the insert is a no-op. IO errors are returned, not
+    /// panicked, so a read-only cache degrades to read-through.
+    pub fn insert(&mut self, entry: CacheEntry) -> std::io::Result<()> {
+        if let Some(old) = self.lookup_exact(entry.fingerprint) {
+            if old.objective <= entry.objective {
+                return Ok(());
+            }
+            self.entries.retain(|e| e.fingerprint != entry.fingerprint);
+            self.entries.push(entry);
+            return self.rewrite();
+        }
+        std::fs::create_dir_all(&self.dir)?;
+        let line = serde_json::to_string(&entry)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.dir.join(CACHE_FILE))?;
+        if std::mem::take(&mut self.unterminated) {
+            writeln!(f)?;
+        }
+        writeln!(f, "{line}")?;
+        self.entries.push(entry);
+        Ok(())
+    }
+
+    /// Rewrite the whole file from the in-memory entries (used when an
+    /// existing fingerprint improves).
+    fn rewrite(&mut self) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let mut out = String::new();
+        for e in &self.entries {
+            let line = serde_json::to_string(e)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+            out.push_str(&line);
+            out.push('\n');
+        }
+        self.unterminated = false;
+        std::fs::write(self.dir.join(CACHE_FILE), out)
+    }
+
+    /// The GPU name this cache was opened for.
+    pub fn gpu(&self) -> &str {
+        &self.gpu
+    }
+
+    /// The precision tag this cache was opened for.
+    pub fn precision(&self) -> &str {
+        &self.precision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir()
+            .join("kfuse-plancache-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn entry(fp: u64, objective: f64) -> CacheEntry {
+        CacheEntry {
+            version: CACHE_VERSION,
+            fingerprint: fp,
+            program: "p".into(),
+            gpu: "K20X".into(),
+            precision: "Double".into(),
+            n_kernels: 3,
+            objective,
+            kernel_sigs: vec![10, 20, 30],
+            groups: vec![vec![0, 2], vec![1]],
+            region_fps: vec![77],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_entries() {
+        let dir = tmpdir("roundtrip");
+        let mut cache = PlanCache::open(&dir, "K20X", "Double");
+        assert!(cache.is_empty());
+        cache.insert(entry(1, 0.5)).unwrap();
+        cache.insert(entry(2, 0.7)).unwrap();
+
+        let reloaded = PlanCache::open(&dir, "K20X", "Double");
+        assert_eq!(reloaded.len(), 2);
+        assert!(reloaded.warnings.is_empty());
+        let e = reloaded.lookup_exact(1).unwrap();
+        assert_eq!(e.objective, 0.5);
+        let plan = e.plan().unwrap();
+        assert_eq!(plan.groups.len(), 2);
+        assert_eq!(
+            plan.groups[0],
+            vec![KernelId(0), KernelId(2)],
+            "groups come back sorted"
+        );
+        assert!(reloaded.region_fps().contains(&77));
+        assert!(reloaded.region_fps().contains(&1));
+    }
+
+    #[test]
+    fn better_objective_replaces_worse_keeps() {
+        let dir = tmpdir("improve");
+        let mut cache = PlanCache::open(&dir, "K20X", "Double");
+        cache.insert(entry(1, 0.5)).unwrap();
+        cache.insert(entry(1, 0.9)).unwrap(); // worse: no-op
+        assert_eq!(cache.lookup_exact(1).unwrap().objective, 0.5);
+        cache.insert(entry(1, 0.3)).unwrap(); // better: replaces
+        assert_eq!(cache.lookup_exact(1).unwrap().objective, 0.3);
+        let reloaded = PlanCache::open(&dir, "K20X", "Double");
+        assert_eq!(reloaded.len(), 1);
+        assert_eq!(reloaded.lookup_exact(1).unwrap().objective, 0.3);
+    }
+
+    #[test]
+    fn truncated_line_is_skipped_with_warning() {
+        let dir = tmpdir("truncated");
+        let mut cache = PlanCache::open(&dir, "K20X", "Double");
+        cache.insert(entry(1, 0.5)).unwrap();
+        // Simulate a crash mid-append: half a JSON object on the last line.
+        let path = dir.join(CACHE_FILE);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        let full = serde_json::to_string(&entry(2, 0.7)).unwrap();
+        text.push_str(&full[..full.len() / 2]);
+        std::fs::write(&path, text).unwrap();
+
+        let reloaded = PlanCache::open(&dir, "K20X", "Double");
+        assert_eq!(reloaded.len(), 1, "intact entry survives");
+        assert_eq!(reloaded.warnings.len(), 1);
+        assert_eq!(reloaded.warnings[0].line, 2);
+        assert!(reloaded.warnings[0].reason.contains("unparseable"));
+    }
+
+    #[test]
+    fn version_and_device_mismatches_are_stale() {
+        let dir = tmpdir("stale");
+        let mut old = entry(1, 0.5);
+        old.version = CACHE_VERSION + 1;
+        // Bypass insert's invariants by writing the lines directly.
+        let mut other = entry(2, 0.5);
+        other.gpu = "K40".into();
+        let good = entry(3, 0.5);
+        let text = [&old, &other, &good]
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap())
+            .collect::<Vec<_>>()
+            .join("\n");
+        std::fs::write(dir.join(CACHE_FILE), text).unwrap();
+        let cache = PlanCache::open(&dir, "K20X", "Double");
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup_exact(3).is_some());
+        assert_eq!(cache.warnings.len(), 2);
+        assert!(cache.warnings[0].reason.contains("version"));
+        assert!(cache.warnings[1].reason.contains("K40"));
+    }
+
+    #[test]
+    fn malformed_plans_are_rejected() {
+        let dir = tmpdir("malformed");
+        let mut bad = entry(1, 0.5);
+        bad.groups = vec![vec![0, 7], vec![1, 2]]; // member 7 out of range
+        let mut dup = entry(2, 0.5);
+        dup.groups = vec![vec![0, 1], vec![1, 2]]; // kernel 1 twice
+        let mut nan = entry(3, f64::NAN);
+        nan.groups = vec![vec![0], vec![1], vec![2]];
+        let text = [&bad, &dup, &nan]
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap())
+            .collect::<Vec<_>>()
+            .join("\n");
+        std::fs::write(dir.join(CACHE_FILE), text).unwrap();
+        let cache = PlanCache::open(&dir, "K20X", "Double");
+        assert!(cache.is_empty());
+        assert_eq!(cache.warnings.len(), 3);
+    }
+
+    #[test]
+    fn near_lookup_ranks_by_signature_overlap() {
+        let dir = tmpdir("near");
+        let mut cache = PlanCache::open(&dir, "K20X", "Double");
+        let mut close = entry(1, 0.5);
+        close.kernel_sigs = vec![10, 20, 99];
+        let mut far = entry(2, 0.5);
+        far.kernel_sigs = vec![98, 97, 99];
+        cache.insert(close).unwrap();
+        cache.insert(far).unwrap();
+
+        let (hit, ov) = cache.lookup_near(42, &[10, 20, 30], 0.3).unwrap();
+        assert_eq!(hit.fingerprint, 1);
+        assert!((ov - 2.0 / 3.0).abs() < 1e-12);
+        // The exact fingerprint is excluded from near lookup.
+        assert!(cache.lookup_near(1, &[10, 20, 99], 0.99).is_none());
+        // Below the threshold nothing matches.
+        assert!(cache.lookup_near(42, &[1, 2, 3], 0.3).is_none());
+    }
+}

@@ -3,13 +3,64 @@
 # written as JSON under results/ (see EXPERIMENTS.md for the index).
 # Pass --skip-checks to bypass the formatting/lint gate.
 # Pass `bench` to run only the search-throughput smoke stage: it re-runs
-# the search scaling study and fails if evals/s regresses more than 20%
-# against the committed BENCH_search.json baseline.
+# the search scaling and warm-start studies and fails if either regresses
+# more than 20% against the committed BENCH_search.json baseline.
+# Pass `cache` to run only the plan-cache stage: cold solve, exact warm
+# repeat, and perturbed near-repeat on synth60 and SCALE-LES, then the
+# warm-start acceptance gates.
 set -euo pipefail
+
+# Plan-cache smoke stage (DESIGN.md §16): each workload is solved cold
+# into a fresh cache directory, repeated (the repeat must be served from
+# the cache with zero GA generations), then re-solved after perturbing
+# 10% of its kernels (the near-repeat must warm-start the GA from the
+# remapped cached plan).
+cache_stage() {
+  local cache_tmp out
+  cache_tmp=$(mktemp -d)
+  for ex in synth60 scale-les; do
+    local dir="$cache_tmp/cache-$ex"
+    mkdir -p "$dir"
+    ./target/release/kfuse example "$ex" > "$cache_tmp/$ex.json"
+    echo "-- $ex: cold solve (populates the cache)"
+    ./target/release/kfuse stats "$cache_tmp/$ex.json" --cache-dir "$dir" \
+      | grep -E "^cache_(probes|hits|misses)"
+    echo "-- $ex: warm repeat (exact hit, plan served without search)"
+    out=$(./target/release/kfuse stats "$cache_tmp/$ex.json" --cache-dir "$dir")
+    echo "$out" | grep -E "^(cache_hits|generations)"
+    [[ $(echo "$out" | awk '$1 == "cache_hits" {print $2}') == 1 ]] \
+      || { echo "FAIL: expected an exact cache hit on the repeat"; exit 1; }
+    [[ $(echo "$out" | awk '$1 == "generations" {print $2}') == 0 ]] \
+      || { echo "FAIL: a served plan must run no search"; exit 1; }
+    echo "-- $ex: perturbed near-repeat (10% of kernels changed, GA warm-started)"
+    python3 - "$cache_tmp/$ex.json" "$cache_tmp/$ex-perturbed.json" <<'PY'
+import json, sys
+p = json.load(open(sys.argv[1]))
+for i, k in enumerate(p["kernels"]):
+    if i % 10 == 0:
+        st = k["segments"][0]["statements"][0]
+        st["expr"] = {"Bin": {"op": "Add", "lhs": st["expr"], "rhs": {"Const": 1.0}}}
+json.dump(p, open(sys.argv[2], "w"))
+PY
+    out=$(./target/release/kfuse stats "$cache_tmp/$ex-perturbed.json" --cache-dir "$dir")
+    echo "$out" | grep -E "^(cache_probes|warm_starts|region_floor_skips)"
+    [[ $(echo "$out" | awk '$1 == "warm_starts" {print $2}') == 1 ]] \
+      || { echo "FAIL: expected a near-hit warm start on the perturbed repeat"; exit 1; }
+  done
+  rm -rf "$cache_tmp"
+}
 
 if [[ "${1:-}" == "bench" ]]; then
   cargo build --release -p kfuse-bench
-  exec ./target/release/search_scaling --check-against BENCH_search.json
+  ./target/release/search_scaling --check-against BENCH_search.json
+  exec ./target/release/warm_start --check-against BENCH_search.json
+fi
+
+if [[ "${1:-}" == "cache" ]]; then
+  cargo build --release --bin kfuse
+  cargo build --release -p kfuse-bench --bin warm_start
+  cache_stage
+  exec ./target/release/warm_start --check-against BENCH_search.json
 fi
 
 if [[ "${1:-}" != "--skip-checks" ]]; then
@@ -114,6 +165,18 @@ done
 
 echo
 echo "================================================================"
+echo "== cache: plan cache cold/warm/near-repeat (synth60, SCALE-LES)"
+echo "================================================================"
+cache_stage
+
+echo
+echo "================================================================"
 echo "== search_scaling (+ evals/s regression gate vs BENCH_search.json)"
 echo "================================================================"
 ./target/release/search_scaling --check-against BENCH_search.json --trace
+
+echo
+echo "================================================================"
+echo "== warm_start (+ warm-start acceptance gates vs BENCH_search.json)"
+echo "================================================================"
+./target/release/warm_start --check-against BENCH_search.json

@@ -37,9 +37,10 @@ fn usage() -> ExitCode {
          kfuse fuse     <program.json> [--gpu ...] [--seed N] [--islands N] [--emit-cuda FILE] [--plan-out FILE]\n  \
          kfuse solve    <program.json|example> [--gpu ...] [--solver hgga|hgga-hier|greedy|exhaustive]\n             \
                         [--seed N] [--islands N] [--partition auto|off|MAX_REGION]\n             \
+                        [--cache-dir DIR] [--budget-ms N]\n             \
                         [--trace FILE] [--metrics FILE] [--plan-out FILE]\n  \
          kfuse stats    <program.json|example> [--gpu ...] [--solver ...] [--seed N] [--islands N]\n             \
-                        [--partition auto|off|MAX_REGION]\n  \
+                        [--partition auto|off|MAX_REGION] [--cache-dir DIR] [--budget-ms N]\n  \
          kfuse codegen  <program.json> [--single]\n  \
          kfuse verify   <program.json> [--gpu ...] [--plan FILE] [--json]\n  \
          kfuse lint     <program.json|kernels.cu> [--gpu ...] [--fuse] [--seed N] [--json]"
@@ -393,14 +394,32 @@ fn cmd_solve(args: &[String], full_output: bool) -> Result<(), String> {
         Some(v) => Some(v.parse::<PartitionMode>()?),
         None => None,
     };
+    let cache_dir = flag_value(args, "--cache-dir").map(std::path::PathBuf::from);
+    let budget = flag_value(args, "--budget-ms")
+        .map(|s| {
+            s.parse::<u64>()
+                .map_err(|_| format!("--budget-ms expects whole milliseconds, got `{s}`"))
+        })
+        .transpose()?
+        .map(std::time::Duration::from_millis);
+    // Plan reuse and deadlines live in the warm-start wrapper around the
+    // GA; the enumerative solvers have neither populations to seed nor
+    // generations to cut short.
+    let reuse = cache_dir.is_some() || budget.is_some();
 
     let hgga;
     let hier;
+    let warm;
     let exhaustive;
     let solver: &dyn Solver = match flag_value(args, "--solver").as_deref() {
+        Some(other @ ("greedy" | "exhaustive")) if reuse => {
+            return Err(format!(
+                "--cache-dir/--budget-ms require a GA solver; `{other}` does not support them"
+            ));
+        }
         // `--partition` implies the hierarchical solver: it is the only
         // one with a decomposition layer to configure.
-        None | Some("hgga") if partition.is_none() => {
+        None | Some("hgga") if partition.is_none() && !reuse => {
             let mut s = HggaSolver::with_seed(seed);
             s.config.islands = islands;
             hgga = s;
@@ -411,9 +430,19 @@ fn cmd_solve(args: &[String], full_output: bool) -> Result<(), String> {
             s.config.islands = islands;
             if let Some(mode) = partition {
                 s.partition = mode;
+            } else if !matches!(flag_value(args, "--solver").as_deref(), Some("hgga-hier")) {
+                // Plain `hgga` + cache/budget: keep the flat search
+                // trajectory (the hier solver with partitioning off
+                // delegates to the flat GA bit-for-bit).
+                s.partition = PartitionMode::Off;
             }
-            hier = s;
-            &hier
+            if reuse {
+                warm = WarmSolver::new(s, cache_dir, budget);
+                &warm
+            } else {
+                hier = s;
+                &hier
+            }
         }
         Some("greedy") => &GreedySolver,
         Some("exhaustive") => {

@@ -64,6 +64,7 @@ pub mod prelude {
     pub use kfuse_ir::{ArrayId, Expr, KernelId, Program};
     pub use kfuse_search::{
         ExhaustiveSolver, GreedySolver, HggaConfig, HggaHierSolver, HggaSolver, PartitionMode,
+        WarmSolver,
     };
     pub use kfuse_sim::{run_block_mode, run_reference, simulate_program, DeviceState};
 }

@@ -179,6 +179,71 @@ fn lint_fused_rk3_is_clean() {
 }
 
 #[test]
+fn solve_with_cache_dir_hits_on_repeat() {
+    let dir = tmp(&format!("plan-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Extract one counter row from the `stats`-style table.
+    fn counter(out: &std::process::Output, name: &str) -> u64 {
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .find(|l| l.starts_with(name))
+            .and_then(|l| l.split_whitespace().last())
+            .and_then(|v| v.replace(',', "").parse().ok())
+            .unwrap_or_else(|| panic!("counter {name} missing from stats table"))
+    }
+
+    let cold = kfuse(&["solve", "synth12", "--cache-dir", dir.to_str().unwrap()]);
+    assert!(
+        cold.status.success(),
+        "{}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    assert_eq!(counter(&cold, "cache_probes"), 1);
+    assert_eq!(counter(&cold, "cache_misses"), 1);
+    assert!(
+        dir.join("plans.jsonl").exists(),
+        "cold solve populates cache"
+    );
+
+    let warm = kfuse(&["solve", "synth12", "--cache-dir", dir.to_str().unwrap()]);
+    assert!(warm.status.success());
+    assert_eq!(counter(&warm, "cache_hits"), 1);
+    assert_eq!(
+        counter(&warm, "generations"),
+        0,
+        "served plans run no search"
+    );
+}
+
+#[test]
+fn solve_budget_flag_is_ga_only() {
+    let out = kfuse(&["solve", "synth12", "--budget-ms", "2000"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("hgga-warm"));
+
+    let bad = kfuse(&[
+        "solve",
+        "synth12",
+        "--solver",
+        "greedy",
+        "--budget-ms",
+        "100",
+    ]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("require a GA solver"));
+
+    let bad_ms = kfuse(&["solve", "synth12", "--budget-ms", "soon"]);
+    assert!(!bad_ms.status.success());
+    assert!(String::from_utf8_lossy(&bad_ms.stderr).contains("whole milliseconds"));
+}
+
+#[test]
 fn lint_flags_broken_cuda_file() {
     let src = tmp("rk3_broken.cu");
     let path = tmp("rk3_lint_src.json");
