@@ -163,6 +163,18 @@ impl GpuSpec {
         }
     }
 
+    /// Look up one of the paper's three evaluation devices by its CLI /
+    /// wire-protocol name (case-insensitive): `"k20x"`, `"k40"`, or
+    /// `"gtx750ti"`. `None` for anything else.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "k20x" => Some(Self::k20x()),
+            "k40" => Some(Self::k40()),
+            "gtx750ti" => Some(Self::gtx750ti()),
+            _ => None,
+        }
+    }
+
     /// Hypothetical Kepler-class device with `smem_kib` KiB of SMEM per SMX,
     /// used by the §VI-E2 what-if study (128 KiB → 1.56x, 256 KiB → 1.65x
     /// projected SCALE-LES improvement in the paper).

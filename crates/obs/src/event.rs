@@ -60,6 +60,15 @@ pub enum SpanId {
     /// One plan-cache lookup: fingerprint the program, scan the loaded
     /// entries for an exact or near match.
     CacheProbe,
+    /// One whole daemon request, from the line being read off the wire to
+    /// the response line being written (`kfuse serve`).
+    Request,
+    /// Time a request spent in the daemon's bounded queue between
+    /// admission and a worker picking it up.
+    QueueWait,
+    /// The worker-side portion of a request: cache probe + solve +
+    /// response assembly (tracked per worker: `track` = worker index + 1).
+    WorkerSolve,
 }
 
 impl SpanId {
@@ -84,6 +93,9 @@ impl SpanId {
             SpanId::RegionSolve => "region_solve",
             SpanId::StitchPass => "stitch_pass",
             SpanId::CacheProbe => "cache_probe",
+            SpanId::Request => "request",
+            SpanId::QueueWait => "queue_wait",
+            SpanId::WorkerSolve => "worker_solve",
         }
     }
 
@@ -100,6 +112,7 @@ impl SpanId {
             | SpanId::AnalysisPass => "verify",
             SpanId::PartitionPass | SpanId::RegionSolve | SpanId::StitchPass => "hier",
             SpanId::CacheProbe => "cache",
+            SpanId::Request | SpanId::QueueWait | SpanId::WorkerSolve => "serve",
         }
     }
 
@@ -125,6 +138,9 @@ impl SpanId {
             SpanId::RegionSolve => ("kernels", "region"),
             SpanId::StitchPass => ("candidates", "merges"),
             SpanId::CacheProbe => ("entries", "outcome"),
+            SpanId::Request => ("seq", "outcome"),
+            SpanId::QueueWait => ("seq", "depth"),
+            SpanId::WorkerSolve => ("seq", "worker"),
         }
     }
 }
@@ -202,11 +218,20 @@ pub enum Counter {
     /// Per-region greedy-floor computations skipped because the region's
     /// sub-fingerprint hit the cache.
     RegionFloorSkips,
+    /// Request lines the daemon read off a connection (`kfuse serve`),
+    /// including ones later rejected or found malformed.
+    RequestsReceived,
+    /// Requests the daemon answered with an `"ok": true` response.
+    RequestsServed,
+    /// Requests the daemon answered with a structured error response
+    /// (malformed line, invalid program, queue-full backpressure, expired
+    /// budget, verifier rejection, drain refusal).
+    RequestsRejected,
 }
 
 impl Counter {
     /// Number of counters (registry slot count).
-    pub const COUNT: usize = 28;
+    pub const COUNT: usize = 31;
 
     /// All counters, in registry/display order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -238,6 +263,9 @@ impl Counter {
         Counter::CacheMisses,
         Counter::WarmStarts,
         Counter::RegionFloorSkips,
+        Counter::RequestsReceived,
+        Counter::RequestsServed,
+        Counter::RequestsRejected,
     ];
 
     /// Stable snake_case name (metrics-dump key).
@@ -271,6 +299,9 @@ impl Counter {
             Counter::CacheMisses => "cache_misses",
             Counter::WarmStarts => "warm_starts",
             Counter::RegionFloorSkips => "region_floor_skips",
+            Counter::RequestsReceived => "requests_received",
+            Counter::RequestsServed => "requests_served",
+            Counter::RequestsRejected => "requests_rejected",
         }
     }
 }
@@ -290,11 +321,14 @@ pub enum Gauge {
     CacheHitRate,
     /// Final memo miss rate, `misses / probes`.
     MissRate,
+    /// Momentary depth of the daemon's bounded request queue, sampled at
+    /// every admission and dequeue (`kfuse serve`).
+    QueueDepth,
 }
 
 impl Gauge {
     /// Number of gauges (registry slot count).
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 5;
 
     /// All gauges, in registry/display order.
     pub const ALL: [Gauge; Gauge::COUNT] = [
@@ -302,6 +336,7 @@ impl Gauge {
         Gauge::GenerationBest,
         Gauge::CacheHitRate,
         Gauge::MissRate,
+        Gauge::QueueDepth,
     ];
 
     /// Stable snake_case name (metrics-dump key and counter-track label).
@@ -311,6 +346,7 @@ impl Gauge {
             Gauge::GenerationBest => "generation_best",
             Gauge::CacheHitRate => "cache_hit_rate",
             Gauge::MissRate => "miss_rate",
+            Gauge::QueueDepth => "queue_depth",
         }
     }
 }

@@ -42,6 +42,8 @@
 //! `SolveOutcome` carries the final `MetricsSnapshot` from which its
 //! legacy `SolveStats` view is derived.
 
+#![warn(missing_docs)]
+
 pub mod chromo;
 pub mod eval;
 pub mod exhaustive;

@@ -14,15 +14,25 @@
 //! never a panic, so a half-written cache from a killed process degrades
 //! to a smaller cache. Writes append one line per solve; rewrites happen
 //! only to replace a same-fingerprint entry with a better objective.
+//!
+//! Writers are **concurrency-disciplined** for the daemon's worker pool:
+//! each append is a single `write_all` of a whole line on an `O_APPEND`
+//! handle, serialized (together with rewrites) through a process-wide
+//! per-file lock, and rewrites go through a temp-file rename that
+//! preserves every line the rewriting instance does not own (other
+//! devices/precisions, lines appended since its load). Multiple
+//! [`PlanCache`] instances over one file therefore never interleave
+//! partial JSONL lines.
 //! Cached plans are advisory either way: the warm-start layer re-validates
 //! anything it serves through the independent verifier before trusting it.
 
 use kfuse_core::plan::FusionPlan;
 use kfuse_ir::KernelId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Entry format version; bump on any incompatible field change so old
 /// caches age out instead of deserializing garbage.
@@ -30,6 +40,27 @@ pub const CACHE_VERSION: u32 = 1;
 
 /// Cache file name inside the cache directory.
 const CACHE_FILE: &str = "plans.jsonl";
+
+/// Process-wide append/rewrite locks, one per cache file path.
+///
+/// Several [`PlanCache`] instances can point at the same `plans.jsonl` —
+/// the daemon opens one per worker-visible device/precision pair, and its
+/// workers insert concurrently. Appends are written as a single
+/// `write_all` of a whole line (newline included) on an `O_APPEND`
+/// handle, *and* serialized through this lock, so two in-process writers
+/// can never interleave partial JSONL lines. The lock is keyed by the
+/// path as given (not canonicalized), which is exact for the daemon's
+/// single shared `--cache-dir`; cross-*process* writers are outside its
+/// scope and rely on the single-`write_all` append plus the
+/// corruption-tolerant loader.
+fn file_lock(path: &Path) -> Arc<Mutex<()>> {
+    static LOCKS: OnceLock<Mutex<HashMap<PathBuf, Arc<Mutex<()>>>>> = OnceLock::new();
+    let mut map = LOCKS
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("plan-cache lock registry poisoned");
+    map.entry(path.to_path_buf()).or_default().clone()
+}
 
 /// One cached solve: the best plan found for a program fingerprint.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -137,6 +168,33 @@ impl std::fmt::Display for CacheWarning {
 }
 
 /// The loaded cache: usable entries plus the warnings loading produced.
+///
+/// ```
+/// use kfuse_search::plancache::{CacheEntry, PlanCache, CACHE_VERSION};
+///
+/// let dir = std::env::temp_dir().join(format!("kfuse-doc-cache-{}", std::process::id()));
+/// let mut cache = PlanCache::open(&dir, "K20X", "Double");
+/// assert!(cache.is_empty() && cache.warnings.is_empty());
+/// cache.insert(CacheEntry {
+///     version: CACHE_VERSION,
+///     fingerprint: 0xFEED,
+///     program: "demo".into(),
+///     gpu: "K20X".into(),
+///     precision: "Double".into(),
+///     n_kernels: 2,
+///     objective: 1e-3,
+///     kernel_sigs: vec![10, 20],
+///     groups: vec![vec![0, 1]],
+///     region_fps: vec![],
+/// }).unwrap();
+///
+/// // A fresh load (e.g. the next process) sees the persisted entry.
+/// let reloaded = PlanCache::open(&dir, "K20X", "Double");
+/// assert_eq!(reloaded.lookup_exact(0xFEED).unwrap().n_kernels, 2);
+/// // ...scoped by device: the same file opened for the K40 hides it.
+/// assert!(PlanCache::open(&dir, "K40", "Double").is_empty());
+/// # std::fs::remove_dir_all(&dir).unwrap();
+/// ```
 #[derive(Debug)]
 pub struct PlanCache {
     dir: PathBuf,
@@ -165,10 +223,14 @@ impl PlanCache {
             warnings: Vec::new(),
             unterminated: false,
         };
-        let text = match std::fs::read_to_string(dir.join(CACHE_FILE)) {
+        let path = dir.join(CACHE_FILE);
+        let lock = file_lock(&path);
+        let guard = lock.lock().expect("plan-cache file lock poisoned");
+        let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
             Err(_) => return cache,
         };
+        drop(guard);
         cache.unterminated = !text.is_empty() && !text.ends_with('\n');
         for (i, line) in text.lines().enumerate() {
             let lineno = i + 1;
@@ -284,25 +346,70 @@ impl PlanCache {
             return self.rewrite();
         }
         std::fs::create_dir_all(&self.dir)?;
-        let line = serde_json::to_string(&entry)
+        // One buffer, one `write_all`: the whole line (newline included,
+        // plus a leading newline when the file ended mid-line) lands in a
+        // single `O_APPEND` write so concurrent appenders cannot
+        // interleave partial JSONL lines. The per-path [`file_lock`]
+        // additionally serializes in-process writers against rewrites.
+        let json = serde_json::to_string(&entry)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut buf = String::with_capacity(json.len() + 2);
+        if std::mem::take(&mut self.unterminated) {
+            buf.push('\n');
+        }
+        buf.push_str(&json);
+        buf.push('\n');
+        let path = self.dir.join(CACHE_FILE);
+        let lock = file_lock(&path);
+        let _guard = lock.lock().expect("plan-cache file lock poisoned");
         let mut f = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
-            .open(self.dir.join(CACHE_FILE))?;
-        if std::mem::take(&mut self.unterminated) {
-            writeln!(f)?;
-        }
-        writeln!(f, "{line}")?;
+            .open(&path)?;
+        f.write_all(buf.as_bytes())?;
         self.entries.push(entry);
         Ok(())
     }
 
-    /// Rewrite the whole file from the in-memory entries (used when an
-    /// existing fingerprint improves).
+    /// Rewrite the file to replace this cache's superseded lines (used
+    /// when an existing fingerprint improves).
+    ///
+    /// The file may hold more than this instance loaded — entries for
+    /// other devices or precisions, lines appended by another instance
+    /// since our load — so the rewrite re-reads it under the per-path
+    /// lock and preserves every line it does not own: a line is replaced
+    /// only when it parses to this cache's GPU/precision/version and its
+    /// fingerprint is one of ours. Unparseable (truncated) lines are
+    /// dropped — the corruption-tolerant load would skip them anyway.
+    /// The result is written to a temp file and renamed into place so a
+    /// kill mid-rewrite leaves either the old or the new file, never a
+    /// torn one.
     fn rewrite(&mut self) -> std::io::Result<()> {
         std::fs::create_dir_all(&self.dir)?;
+        let path = self.dir.join(CACHE_FILE);
+        let lock = file_lock(&path);
+        let _guard = lock.lock().expect("plan-cache file lock poisoned");
         let mut out = String::new();
+        if let Ok(existing) = std::fs::read_to_string(&path) {
+            for line in existing.lines() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let foreign = match serde_json::from_str::<CacheEntry>(line) {
+                    Ok(e) => {
+                        e.version != CACHE_VERSION
+                            || e.gpu != self.gpu
+                            || e.precision != self.precision
+                            || self.lookup_exact(e.fingerprint).is_none()
+                    }
+                    Err(_) => false,
+                };
+                if foreign {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+        }
         for e in &self.entries {
             let line = serde_json::to_string(e)
                 .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
@@ -310,7 +417,32 @@ impl PlanCache {
             out.push('\n');
         }
         self.unterminated = false;
-        std::fs::write(self.dir.join(CACHE_FILE), out)
+        let tmp = self
+            .dir
+            .join(format!("{CACHE_FILE}.tmp.{}", std::process::id()));
+        std::fs::write(&tmp, out)?;
+        std::fs::rename(&tmp, &path)
+    }
+
+    /// Newline-terminate the file's tail if some (possibly killed) writer
+    /// left it mid-line, so the next appender — which may be a plain
+    /// `kfuse solve --cache-dir` run with no knowledge of the damage —
+    /// starts on a fresh line. The daemon calls this once per cache
+    /// during graceful drain. A missing file is a no-op.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        let path = self.dir.join(CACHE_FILE);
+        let lock = file_lock(&path);
+        let _guard = lock.lock().expect("plan-cache file lock poisoned");
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(_) => return Ok(()),
+        };
+        if !text.is_empty() && !text.ends_with('\n') {
+            let mut f = std::fs::OpenOptions::new().append(true).open(&path)?;
+            f.write_all(b"\n")?;
+        }
+        self.unterminated = false;
+        Ok(())
     }
 
     /// The GPU name this cache was opened for.
@@ -450,6 +582,62 @@ mod tests {
         let cache = PlanCache::open(&dir, "K20X", "Double");
         assert!(cache.is_empty());
         assert_eq!(cache.warnings.len(), 3);
+    }
+
+    #[test]
+    fn concurrent_appends_never_interleave_lines() {
+        // Eight threads, each with its *own* PlanCache instance on the
+        // same directory (the daemon's worker pool shape), hammering
+        // inserts of distinct fingerprints. Every line must come back
+        // parseable: a reload sees all entries and zero warnings.
+        let dir = tmpdir("hammer");
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 25;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let dir = dir.clone();
+                s.spawn(move || {
+                    let mut cache = PlanCache::open(&dir, "K20X", "Double");
+                    for i in 0..PER_THREAD {
+                        cache.insert(entry(1 + t * PER_THREAD + i, 0.5)).unwrap();
+                    }
+                });
+            }
+        });
+        let reloaded = PlanCache::open(&dir, "K20X", "Double");
+        assert_eq!(
+            reloaded.warnings,
+            Vec::new(),
+            "concurrent appends produced corrupt lines"
+        );
+        assert_eq!(reloaded.len() as u64, THREADS * PER_THREAD);
+    }
+
+    #[test]
+    fn rewrite_preserves_entries_it_does_not_own() {
+        // Two device-scoped views of one file: improving an entry in the
+        // K20X view triggers a rewrite, which must not drop the K40
+        // entry (or a same-device entry appended by another instance
+        // after our load).
+        let dir = tmpdir("foreign");
+        let mut k20x = PlanCache::open(&dir, "K20X", "Double");
+        k20x.insert(entry(1, 0.5)).unwrap();
+        let mut k40 = PlanCache::open(&dir, "K40", "Double");
+        let mut e40 = entry(7, 0.4);
+        e40.gpu = "K40".into();
+        k40.insert(e40).unwrap();
+        let mut late = PlanCache::open(&dir, "K20X", "Double");
+        late.insert(entry(9, 0.6)).unwrap(); // invisible to `k20x`
+        k20x.insert(entry(1, 0.3)).unwrap(); // improvement: rewrites
+
+        let r20 = PlanCache::open(&dir, "K20X", "Double");
+        assert_eq!(r20.lookup_exact(1).unwrap().objective, 0.3);
+        assert!(r20.lookup_exact(9).is_some(), "late append lost in rewrite");
+        let r40 = PlanCache::open(&dir, "K40", "Double");
+        assert!(
+            r40.lookup_exact(7).is_some(),
+            "foreign device lost in rewrite"
+        );
     }
 
     #[test]

@@ -42,6 +42,7 @@ use kfuse_ir::KernelId;
 use kfuse_obs::{Counter, Gauge, MetricsRegistry, ObsHandle, SpanId};
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// `cache_probe` span outcome codes (second span argument).
@@ -51,6 +52,29 @@ const PROBE_EXACT: u64 = 2;
 
 /// The cache-aware, budget-aware solver the CLI uses for `--cache-dir`
 /// and `--budget-ms`.
+///
+/// ```
+/// use kfuse_core::pipeline::{self, Solver};
+/// use kfuse_core::model::ProposedModel;
+/// use kfuse_gpu::{FpPrecision, GpuSpec};
+/// use kfuse_ir::{builder::ProgramBuilder, expr::Expr};
+/// use kfuse_search::{HggaHierSolver, WarmSolver};
+///
+/// let mut pb = ProgramBuilder::new("demo", [256, 128, 16]);
+/// let (a, b, c) = (pb.array("A"), pb.array("B"), pb.array("C"));
+/// pb.kernel("k0").write(b, Expr::at(a) + Expr::lit(1.0)).build();
+/// pb.kernel("k1").write(c, Expr::at(a) * Expr::lit(2.0)).build();
+/// let (_, ctx) = pipeline::prepare(&pb.build(), &GpuSpec::k20x(), FpPrecision::Double);
+///
+/// // No cache dir, no budget: bit-for-bit the plain hierarchical solve.
+/// let warm = WarmSolver::new(HggaHierSolver::with_seed(17), None, None);
+/// let out = warm.solve(&ctx, &ProposedModel::default());
+/// assert!(out.objective.is_finite());
+/// ```
+///
+/// With a cache directory the same call serves exact repeats without
+/// search and warm-starts near repeats; the daemon threads a shared
+/// in-memory cache through [`WarmSolver::solve_shared`] instead.
 #[derive(Debug, Clone)]
 pub struct WarmSolver {
     /// The solver that runs when the cache cannot answer outright.
@@ -95,15 +119,7 @@ impl Solver for WarmSolver {
         model: &dyn PerfModel,
         obs: ObsHandle<'_>,
     ) -> SolveOutcome {
-        let start = Instant::now();
-        let deadline = self.budget.map(|b| start + b);
-        let reg = MetricsRegistry::new();
-        let mut controls = SolveControls {
-            deadline,
-            ..Default::default()
-        };
-
-        let mut cache = self.cache_dir.as_ref().map(|dir| {
+        let cache = self.cache_dir.as_ref().map(|dir| {
             let c = PlanCache::open(
                 dir,
                 &ctx.info.gpu.name,
@@ -112,12 +128,50 @@ impl Solver for WarmSolver {
             for w in &c.warnings {
                 eprintln!("warning: {w}");
             }
-            c
+            Mutex::new(c)
         });
+        self.solve_shared(ctx, model, obs, cache.as_ref())
+    }
+}
+
+/// Lock a shared cache, recovering from poisoning: cache mutations are
+/// line-atomic on disk, so a panicked peer leaves nothing worth
+/// propagating (a long-running daemon must not wedge on one bad request).
+fn lock(m: &Mutex<PlanCache>) -> std::sync::MutexGuard<'_, PlanCache> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl WarmSolver {
+    /// [`Solver::solve_observed`] against an external, shareable plan
+    /// cache: the daemon keeps one [`PlanCache`] per device/precision
+    /// pair behind a [`Mutex`] and threads it through every request, so
+    /// cache state (entries, warm tables) persists *across* solves
+    /// instead of being reloaded per process. The lock is held only
+    /// around probe and insert, never during the solve itself.
+    ///
+    /// With `cache: None` this is a plain (budget-aware) solve; with
+    /// [`WarmSolver::solve_observed`] the wrapper opens its own cache
+    /// from [`WarmSolver::cache_dir`] and delegates here.
+    pub fn solve_shared(
+        &self,
+        ctx: &PlanContext,
+        model: &dyn PerfModel,
+        obs: ObsHandle<'_>,
+        cache: Option<&Mutex<PlanCache>>,
+    ) -> SolveOutcome {
+        let start = Instant::now();
+        let deadline = self.budget.map(|b| start + b);
+        let reg = MetricsRegistry::new();
+        let mut controls = SolveControls {
+            deadline,
+            ..Default::default()
+        };
 
         // Probe: fingerprint the program, look for an exact or near entry.
+        // Candidate entries are cloned out so the lock drops before any
+        // re-validation or search work.
         let mut probe: Option<(u64, Vec<u64>)> = None;
-        if let Some(cache) = &cache {
+        if let Some(shared) = cache {
             let t0 = Instant::now();
             let colors = kernel_colors(&ctx.info);
             let sigs = kernel_signatures(&ctx.info);
@@ -125,7 +179,18 @@ impl Solver for WarmSolver {
             reg.incr(Counter::CacheProbes);
             let mut outcome_code = PROBE_MISS;
 
-            if let Some(entry) = cache.lookup_exact(fp) {
+            let (exact, near, region_fps, n_entries) = {
+                let c = lock(shared);
+                (
+                    c.lookup_exact(fp).cloned(),
+                    c.lookup_near(fp, &sigs, self.min_overlap)
+                        .map(|(e, _overlap)| e.clone()),
+                    c.region_fps(),
+                    c.len() as u64,
+                )
+            };
+
+            if let Some(entry) = &exact {
                 if let Some(served) = self.try_serve(ctx, model, entry) {
                     reg.incr(Counter::CacheHits);
                     obs.record_span(
@@ -133,7 +198,7 @@ impl Solver for WarmSolver {
                         0,
                         t0,
                         t0.elapsed(),
-                        [cache.len() as u64, PROBE_EXACT],
+                        [n_entries, PROBE_EXACT],
                     );
                     return finish(served, &reg, start);
                 }
@@ -147,7 +212,7 @@ impl Solver for WarmSolver {
                 }
             }
             if controls.seeds.is_empty() {
-                if let Some((entry, _overlap)) = cache.lookup_near(fp, &sigs, self.min_overlap) {
+                if let Some(entry) = &near {
                     if let Some(seed) = remap_entry(entry, &sigs) {
                         controls.seeds.push(seed);
                         reg.incr(Counter::WarmStarts);
@@ -158,13 +223,13 @@ impl Solver for WarmSolver {
             if outcome_code == PROBE_MISS {
                 reg.incr(Counter::CacheMisses);
             }
-            controls.cached_region_fps = cache.region_fps();
+            controls.cached_region_fps = region_fps;
             obs.record_span(
                 SpanId::CacheProbe,
                 0,
                 t0,
                 t0.elapsed(),
-                [cache.len() as u64, outcome_code],
+                [n_entries, outcome_code],
             );
             probe = Some((fp, sigs));
         }
@@ -187,7 +252,7 @@ impl Solver for WarmSolver {
         // Region sub-fingerprints fold *local* signatures, matching the
         // hierarchical solver's floor-skip lookup (perturbation-local:
         // changing one kernel leaves other regions' fingerprints intact).
-        if let (Some(cache), Some((fp, sigs))) = (&mut cache, &probe) {
+        if let (Some(shared), Some((fp, sigs))) = (cache, &probe) {
             let region_fps = match (
                 self.inner.effective_max_region(ctx.n_kernels()),
                 &ctx.program,
@@ -217,7 +282,7 @@ impl Solver for WarmSolver {
                     .collect(),
                 region_fps,
             };
-            if let Err(e) = cache.insert(entry) {
+            if let Err(e) = lock(shared).insert(entry) {
                 eprintln!("warning: plan cache write failed: {e}");
             }
         }

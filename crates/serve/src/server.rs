@@ -1,0 +1,789 @@
+//! The daemon: bounded request queue, worker pool, shared plan caches.
+//!
+//! Architecture (see DESIGN.md §17 and SERVING.md):
+//!
+//! ```text
+//!  stdin ─┐                       ┌─ worker 0 ─┐
+//!  unix ──┼─ handle_line ─ queue ─┼─ worker 1 ─┼─ shared PlanCache(s)
+//!  local ─┘   (admission)         └─ worker N ─┘   (one per gpu/precision)
+//! ```
+//!
+//! Admission happens on the *reader* thread: control ops (`ping`,
+//! `stats`, `shutdown`) are answered inline and never touch the queue;
+//! `solve`/`verify` are either enqueued or refused immediately with a
+//! structured error ([`ErrorCode::QueueFull`] backpressure when the
+//! bounded queue is at capacity, [`ErrorCode::ShuttingDown`] once a
+//! drain has begun). Workers pop FIFO, check the request's deadline,
+//! solve against the shared per-device [`PlanCache`], and write the
+//! response as one `write_all` of a single `\n`-terminated JSONL line —
+//! responses from concurrent workers never interleave.
+//!
+//! Responses deliberately carry **no wall-clock fields**: with
+//! `workers = 1` the daemon's output is bit-for-bit reproducible across
+//! runs (given a fresh cache directory), which the integration tests
+//! assert. Latency is the client's to measure; timing telemetry lives in
+//! the span stream (`request`, `queue_wait`, `cache_probe`,
+//! `worker_solve`) and the metrics registry instead.
+
+use crate::protocol::{
+    error_response, hex_u64, num_f64, num_u64, obj, ok_response, ErrorCode, Request,
+    PROTOCOL_VERSION,
+};
+use kfuse_core::fingerprint::{kernel_colors, program_fingerprint_with};
+use kfuse_core::model::ProposedModel;
+use kfuse_core::pipeline;
+use kfuse_core::plan::{FusionPlan, PlanContext};
+use kfuse_gpu::GpuSpec;
+use kfuse_ir::{KernelId, Program};
+use kfuse_obs::{
+    chrome_trace, Counter, Gauge, InMemoryRecorder, MetricsRegistry, MetricsSnapshot, ObsHandle,
+    SpanId,
+};
+use kfuse_search::{HggaHierSolver, PlanCache, WarmSolver};
+use serde_json::Value;
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Daemon configuration, one field per `kfuse serve` flag.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads. `1` guarantees FIFO processing and bit-for-bit
+    /// reproducible output (the deterministic mode).
+    pub workers: usize,
+    /// Bounded queue capacity; admission beyond it is refused with
+    /// [`ErrorCode::QueueFull`].
+    pub queue_depth: usize,
+    /// Directory holding the shared `plans.jsonl`; `None` disables
+    /// caching (every solve is cold).
+    pub cache_dir: Option<PathBuf>,
+    /// Default device for requests that do not name one.
+    pub gpu: String,
+    /// Default solver seed for requests that do not carry one.
+    pub seed: u64,
+    /// The `retry_after_ms` hint attached to queue-full rejections.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 1,
+            queue_depth: 64,
+            cache_dir: None,
+            gpu: "k20x".into(),
+            seed: 17,
+            retry_after_ms: 50,
+        }
+    }
+}
+
+/// Where a response line goes.
+enum Reply {
+    /// A shared byte sink (socket or stdout). Each response is one
+    /// `write_all` of a `\n`-terminated line under the sink's mutex, so
+    /// concurrent workers cannot interleave partial lines.
+    Stream(Arc<Mutex<Box<dyn Write + Send>>>),
+    /// An in-process channel ([`LocalClient`]); lines are sent without
+    /// the trailing newline.
+    Channel(mpsc::Sender<String>),
+}
+
+impl Reply {
+    fn send(&self, line: &str) {
+        match self {
+            Reply::Stream(w) => {
+                let mut buf = String::with_capacity(line.len() + 1);
+                buf.push_str(line);
+                buf.push('\n');
+                let mut w = lock(w);
+                let _ = w.write_all(buf.as_bytes());
+                let _ = w.flush();
+            }
+            Reply::Channel(tx) => {
+                let _ = tx.send(line.to_string());
+            }
+        }
+    }
+}
+
+/// One admitted request, waiting for (or held by) a worker.
+struct Job {
+    seq: u64,
+    req: Request,
+    enqueued: Instant,
+    /// `enqueued + budget_ms`: queue wait spends the budget too.
+    deadline: Option<Instant>,
+    reply: Reply,
+}
+
+/// Mutable queue state, all under one mutex.
+struct QueueState {
+    jobs: VecDeque<Job>,
+    in_flight: usize,
+    /// Set by `shutdown`: refuse new work, finish what is queued.
+    draining: bool,
+    next_seq: u64,
+}
+
+/// The lazily-opened shared plan caches, keyed by (gpu, precision).
+type CacheMap = HashMap<(String, String), Arc<Mutex<PlanCache>>>;
+
+/// State shared between reader threads and workers.
+struct Shared {
+    cfg: ServeConfig,
+    queue: Mutex<QueueState>,
+    /// Signals workers that a job (or shutdown) is available.
+    work_ready: Condvar,
+    /// Signals the drainer that the queue is empty and nothing is in
+    /// flight.
+    idle: Condvar,
+    metrics: MetricsRegistry,
+    recorder: InMemoryRecorder,
+    /// One shared cache per (gpu, precision) pair, opened lazily.
+    caches: Mutex<CacheMap>,
+    /// Terminal flag: workers and accept loops exit.
+    shutdown: AtomicBool,
+}
+
+/// Lock, recovering from poisoning: a worker that panicked on one
+/// request must not wedge the whole daemon.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// `request` span outcome codes (second span argument): `0` for a served
+/// response, `1 + ErrorCode discriminant` for rejections.
+fn outcome_code(err: Option<ErrorCode>) -> u64 {
+    match err {
+        None => 0,
+        Some(c) => 1 + c as u64,
+    }
+}
+
+/// A running daemon: worker pool plus shared state. Dropping the handle
+/// does **not** stop the workers; call [`Daemon::shutdown`] for the
+/// graceful drain (the stdin and Unix-socket front-ends do).
+pub struct Daemon {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Start the worker pool. Does not bind any socket — pair with
+    /// [`serve_stdin`] / [`serve_unix`], or drive it in-process through
+    /// [`Daemon::client`].
+    pub fn start(cfg: ServeConfig) -> Daemon {
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            cfg,
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                in_flight: 0,
+                draining: false,
+                next_seq: 0,
+            }),
+            work_ready: Condvar::new(),
+            idle: Condvar::new(),
+            metrics: MetricsRegistry::new(),
+            recorder: InMemoryRecorder::new(),
+            caches: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("kfused-worker-{i}"))
+                    .spawn(move || worker_loop(&sh, i))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Daemon {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// An in-process client for tests and embedding: requests flow
+    /// through the same admission, queue, and workers as socket clients.
+    pub fn client(&self) -> LocalClient {
+        LocalClient {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Snapshot of the daemon-wide metrics (request counters plus the
+    /// merged per-solve counters).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Chrome-trace JSON of every span recorded so far (`request`,
+    /// `queue_wait`, `cache_probe`, `worker_solve`, solver internals).
+    pub fn trace_json(&self) -> String {
+        chrome_trace(&self.shared.recorder)
+    }
+
+    /// Graceful drain: refuse new work, let in-flight and queued requests
+    /// finish, flush the plan caches (newline-terminating any damaged
+    /// tail), then stop and join the workers. Idempotent.
+    pub fn shutdown(mut self) {
+        drain(&self.shared);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.work_ready.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Block until the queue is empty and no request is in flight, refusing
+/// new admissions from the moment it is called. Flushes caches last.
+fn drain(shared: &Shared) {
+    let mut q = lock(&shared.queue);
+    q.draining = true;
+    shared.work_ready.notify_all();
+    while !q.jobs.is_empty() || q.in_flight > 0 {
+        q = shared
+            .idle
+            .wait_timeout(q, Duration::from_millis(100))
+            .map(|(g, _)| g)
+            .unwrap_or_else(|e| e.into_inner().0);
+    }
+    drop(q);
+    for cache in lock(&shared.caches).values() {
+        if let Err(e) = lock(cache).flush() {
+            eprintln!("warning: plan cache flush failed: {e}");
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, worker: usize) {
+    loop {
+        let (job, depth) = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    q.in_flight += 1;
+                    let depth = q.jobs.len() as u64;
+                    shared.metrics.set_gauge(Gauge::QueueDepth, depth as f64);
+                    break (job, depth);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) || q.draining {
+                    return;
+                }
+                q = shared.work_ready.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+
+        let obs = ObsHandle::new(&shared.recorder);
+        let picked = Instant::now();
+        obs.record_span(
+            SpanId::QueueWait,
+            0,
+            job.enqueued,
+            picked - job.enqueued,
+            [job.seq, depth],
+        );
+
+        let expired = job.deadline.is_some_and(|d| picked >= d);
+        let (line, err) = if expired {
+            let line = error_response(
+                job.req.id.as_deref(),
+                ErrorCode::BudgetExceeded,
+                "budget_ms elapsed while the request was still queued",
+                vec![],
+            );
+            (line, Some(ErrorCode::BudgetExceeded))
+        } else {
+            let t0 = Instant::now();
+            let result = process(shared, &job, obs);
+            obs.record_span(
+                SpanId::WorkerSolve,
+                worker as u32 + 1,
+                t0,
+                t0.elapsed(),
+                [job.seq, worker as u64],
+            );
+            result
+        };
+        // Count before replying: a client that has seen this response and
+        // immediately asks for `stats` (answered inline on the reader
+        // thread) must observe the updated counters.
+        shared.metrics.incr(if err.is_none() {
+            Counter::RequestsServed
+        } else {
+            Counter::RequestsRejected
+        });
+        job.reply.send(&line);
+        obs.record_span(
+            SpanId::Request,
+            0,
+            job.enqueued,
+            job.enqueued.elapsed(),
+            [job.seq, outcome_code(err)],
+        );
+
+        let mut q = lock(&shared.queue);
+        q.in_flight -= 1;
+        if q.jobs.is_empty() && q.in_flight == 0 {
+            shared.idle.notify_all();
+        }
+    }
+}
+
+/// Resolve the request's program: inline `program` JSON or a built-in
+/// `example` name, exactly one of the two.
+fn resolve_program(req: &Request) -> Result<Program, String> {
+    match (&req.program, &req.example) {
+        (Some(_), Some(_)) => Err("give either `program` or `example`, not both".into()),
+        (None, None) => Err("a `solve`/`verify` request needs `program` or `example`".into()),
+        (Some(v), None) => {
+            let p: Program = serde_json::from_value(v.clone())
+                .map_err(|e| format!("`program` does not parse as a kfuse program: {e}"))?;
+            p.validate()
+                .map_err(|e| format!("program fails validation: {e}"))?;
+            Ok(p)
+        }
+        (None, Some(name)) => {
+            kfuse_workloads::by_name(name).ok_or_else(|| format!("unknown example `{name}`"))
+        }
+    }
+}
+
+/// Resolve the request's device (falling back to the daemon default) and
+/// prepare the planning context. Precision follows the device default,
+/// the same convention the `kfuse` CLI uses: double on K20X/K40, single
+/// on the Maxwell part.
+fn resolve_ctx(
+    shared: &Shared,
+    req: &Request,
+) -> Result<(GpuSpec, PlanContext), (ErrorCode, String)> {
+    let gpu_name = req.gpu.as_deref().unwrap_or(&shared.cfg.gpu);
+    let gpu = GpuSpec::by_name(gpu_name).ok_or_else(|| {
+        (
+            ErrorCode::Unsupported,
+            format!("unknown gpu `{gpu_name}` (try k20x, k40, gtx750ti)"),
+        )
+    })?;
+    let program = resolve_program(req).map_err(|m| (ErrorCode::InvalidProgram, m))?;
+    let precision = gpu.default_precision();
+    let (_p, ctx) = pipeline::prepare(&program, &gpu, precision);
+    Ok((gpu, ctx))
+}
+
+/// The shared cache for one (gpu, precision) pair, opened on first use.
+/// `None` when the daemon runs cacheless.
+fn cache_for(shared: &Shared, gpu: &str, precision: &str) -> Option<Arc<Mutex<PlanCache>>> {
+    let dir = shared.cfg.cache_dir.as_ref()?;
+    let key = (gpu.to_string(), precision.to_string());
+    let mut caches = lock(&shared.caches);
+    Some(
+        caches
+            .entry(key)
+            .or_insert_with(|| {
+                let c = PlanCache::open(dir, gpu, precision);
+                for w in &c.warnings {
+                    eprintln!("warning: {w}");
+                }
+                Arc::new(Mutex::new(c))
+            })
+            .clone(),
+    )
+}
+
+/// Process one dequeued `solve`/`verify` job. Returns the response line
+/// and, for rejections, the error code (for counters and the `request`
+/// span).
+fn process(shared: &Shared, job: &Job, obs: ObsHandle<'_>) -> (String, Option<ErrorCode>) {
+    let id = job.req.id.as_deref();
+    let (gpu, ctx) = match resolve_ctx(shared, &job.req) {
+        Ok(v) => v,
+        Err((code, msg)) => return (error_response(id, code, &msg, vec![]), Some(code)),
+    };
+    match job.req.op.as_str() {
+        "solve" => solve_job(shared, job, obs, &gpu, &ctx),
+        "verify" => verify_job(job, &ctx),
+        _ => unreachable!("admission only queues solve/verify"),
+    }
+}
+
+fn solve_job(
+    shared: &Shared,
+    job: &Job,
+    obs: ObsHandle<'_>,
+    gpu: &GpuSpec,
+    ctx: &PlanContext,
+) -> (String, Option<ErrorCode>) {
+    let budget = job
+        .deadline
+        .map(|d| d.saturating_duration_since(Instant::now()));
+    let seed = job.req.seed.unwrap_or(shared.cfg.seed);
+    let warm = WarmSolver::new(HggaHierSolver::with_seed(seed), None, budget);
+    let model = ProposedModel::default();
+    let precision = format!("{:?}", ctx.info.precision);
+    let cache = cache_for(shared, &gpu.name, &precision);
+    let out = warm.solve_shared(ctx, &model, obs, cache.as_deref());
+
+    // Fold the solve's counters into the daemon-wide registry, so `stats`
+    // reports cumulative cache hits / warm starts / generations.
+    for c in Counter::ALL {
+        shared.metrics.add(c, out.metrics.get(c));
+    }
+
+    let outcome = if out.metrics.get(Counter::CacheHits) > 0 {
+        "exact_hit"
+    } else if out.metrics.get(Counter::WarmStarts) > 0 {
+        "warm_start"
+    } else if out.metrics.get(Counter::CacheProbes) > 0 {
+        "cold"
+    } else {
+        "uncached"
+    };
+    let colors = kernel_colors(&ctx.info);
+    let fp = program_fingerprint_with(&ctx.info, &colors);
+    let groups = Value::Array(
+        out.plan
+            .groups
+            .iter()
+            .map(|g| Value::Array(g.iter().map(|k| num_u64(k.0 as u64)).collect()))
+            .collect(),
+    );
+    let result = obj([
+        ("program", Value::String(ctx.info.name.clone())),
+        ("gpu", Value::String(gpu.name.clone())),
+        ("kernels", num_u64(ctx.n_kernels() as u64)),
+        ("fingerprint", hex_u64(fp)),
+        ("outcome", Value::String(outcome.into())),
+        ("objective", num_f64(out.objective)),
+        ("n_groups", num_u64(out.plan.groups.len() as u64)),
+        (
+            "generations",
+            num_u64(out.metrics.get(Counter::Generations)),
+        ),
+        ("groups", groups),
+    ]);
+    (ok_response(job.req.id.as_deref(), result), None)
+}
+
+fn verify_job(job: &Job, ctx: &PlanContext) -> (String, Option<ErrorCode>) {
+    let id = job.req.id.as_deref();
+    let Some(raw) = &job.req.plan else {
+        return (
+            error_response(
+                id,
+                ErrorCode::MalformedRequest,
+                "a `verify` request needs `plan` (groups of kernel indices)",
+                vec![],
+            ),
+            Some(ErrorCode::MalformedRequest),
+        );
+    };
+    let n = ctx.n_kernels() as u32;
+    let mut seen = vec![false; n as usize];
+    let mut groups: Vec<Vec<KernelId>> = Vec::with_capacity(raw.len());
+    for g in raw {
+        let mut members = Vec::with_capacity(g.len());
+        for &k in g {
+            if k >= n || std::mem::replace(&mut seen[k as usize], true) {
+                return (
+                    error_response(
+                        id,
+                        ErrorCode::MalformedRequest,
+                        &format!("`plan` is not a partition of 0..{n}: bad kernel index {k}"),
+                        vec![],
+                    ),
+                    Some(ErrorCode::MalformedRequest),
+                );
+            }
+            members.push(KernelId(k));
+        }
+        if members.is_empty() {
+            continue;
+        }
+        members.sort_unstable();
+        groups.push(members);
+    }
+    for (k, &s) in seen.iter().enumerate() {
+        if !s {
+            groups.push(vec![KernelId(k as u32)]);
+        }
+    }
+    groups.sort_by_key(|g| g[0]);
+    let plan = FusionPlan::from_sorted_groups(groups);
+
+    let model = ProposedModel::default();
+    let report = kfuse_verify::check_plan(&ctx.info, &plan, Some(&model)).sorted();
+    let errors = report.error_count();
+    let warnings = report.diagnostics.len() - errors;
+    if errors > 0 {
+        let diags = serde_json::from_str::<Value>(&report.render_json()).unwrap_or(Value::Null);
+        return (
+            error_response(
+                id,
+                ErrorCode::VerifierRejected,
+                &format!("{errors} error(s) from the plan verifier"),
+                vec![("diagnostics", diags)],
+            ),
+            Some(ErrorCode::VerifierRejected),
+        );
+    }
+    let result = obj([
+        ("program", Value::String(ctx.info.name.clone())),
+        ("valid", Value::Bool(true)),
+        ("errors", num_u64(0)),
+        ("warnings", num_u64(warnings as u64)),
+    ]);
+    (ok_response(id, result), None)
+}
+
+/// Handle one request line on a reader thread: answer control ops
+/// inline, enqueue `solve`/`verify` (or refuse with backpressure), and
+/// reject anything unparseable with a structured error. Empty lines are
+/// ignored. This is the single admission path all front-ends share.
+fn handle_line(shared: &Arc<Shared>, line: &str, reply: &Reply) {
+    let line = line.trim();
+    if line.is_empty() {
+        return;
+    }
+    shared.metrics.incr(Counter::RequestsReceived);
+
+    // Parse to a Value first so a schema-invalid request still echoes
+    // its `id` back.
+    let raw: Value = match serde_json::from_str(line) {
+        Ok(v) => v,
+        Err(e) => {
+            shared.metrics.incr(Counter::RequestsRejected);
+            reply.send(&error_response(
+                None,
+                ErrorCode::MalformedRequest,
+                &format!("request is not valid JSON: {e}"),
+                vec![],
+            ));
+            return;
+        }
+    };
+    let id_owned = raw
+        .get("id")
+        .and_then(|v| v.as_str())
+        .map(|s| s.to_string());
+    let id = id_owned.as_deref();
+    let req: Request = match serde_json::from_value(raw) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.metrics.incr(Counter::RequestsRejected);
+            reply.send(&error_response(
+                id,
+                ErrorCode::MalformedRequest,
+                &format!("request does not match the schema: {e}"),
+                vec![],
+            ));
+            return;
+        }
+    };
+
+    match req.op.as_str() {
+        "ping" => {
+            shared.metrics.incr(Counter::RequestsServed);
+            reply.send(&ok_response(
+                id,
+                obj([
+                    ("protocol", num_u64(PROTOCOL_VERSION as u64)),
+                    ("workers", num_u64(shared.cfg.workers as u64)),
+                    ("gpu", Value::String(shared.cfg.gpu.clone())),
+                    ("cache", Value::Bool(shared.cfg.cache_dir.is_some())),
+                ]),
+            ));
+        }
+        "stats" => {
+            shared.metrics.incr(Counter::RequestsServed);
+            let snap = shared.metrics.snapshot();
+            let counters = serde_json::from_str::<Value>(&snap.to_json()).unwrap_or(Value::Null);
+            let depth = lock(&shared.queue).jobs.len() as u64;
+            reply.send(&ok_response(
+                id,
+                obj([("queue_depth", num_u64(depth)), ("metrics", counters)]),
+            ));
+        }
+        "shutdown" => {
+            // Drain on this reader thread: in-flight and queued work
+            // finishes first, so this response is the last line the
+            // daemon emits for a well-behaved session.
+            drain(shared);
+            let served = shared.metrics.get(Counter::RequestsServed);
+            let rejected = shared.metrics.get(Counter::RequestsRejected);
+            shared.metrics.incr(Counter::RequestsServed);
+            reply.send(&ok_response(
+                id,
+                obj([
+                    ("draining", Value::Bool(true)),
+                    ("served", num_u64(served)),
+                    ("rejected", num_u64(rejected)),
+                ]),
+            ));
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.work_ready.notify_all();
+        }
+        "solve" | "verify" => {
+            let mut q = lock(&shared.queue);
+            if q.draining || shared.shutdown.load(Ordering::SeqCst) {
+                drop(q);
+                shared.metrics.incr(Counter::RequestsRejected);
+                reply.send(&error_response(
+                    id,
+                    ErrorCode::ShuttingDown,
+                    "daemon is draining; no new work accepted",
+                    vec![],
+                ));
+                return;
+            }
+            if q.jobs.len() >= shared.cfg.queue_depth {
+                drop(q);
+                shared.metrics.incr(Counter::RequestsRejected);
+                reply.send(&error_response(
+                    id,
+                    ErrorCode::QueueFull,
+                    &format!(
+                        "queue is at capacity ({}); retry after the hinted delay",
+                        shared.cfg.queue_depth
+                    ),
+                    vec![("retry_after_ms", num_u64(shared.cfg.retry_after_ms))],
+                ));
+                return;
+            }
+            let seq = q.next_seq;
+            q.next_seq += 1;
+            let now = Instant::now();
+            let deadline = req.budget_ms.map(|ms| now + Duration::from_millis(ms));
+            let reply = match reply {
+                Reply::Stream(w) => Reply::Stream(Arc::clone(w)),
+                Reply::Channel(tx) => Reply::Channel(tx.clone()),
+            };
+            q.jobs.push_back(Job {
+                seq,
+                req,
+                enqueued: now,
+                deadline,
+                reply,
+            });
+            shared
+                .metrics
+                .set_gauge(Gauge::QueueDepth, q.jobs.len() as f64);
+            drop(q);
+            shared.work_ready.notify_one();
+        }
+        other => {
+            shared.metrics.incr(Counter::RequestsRejected);
+            reply.send(&error_response(
+                id,
+                ErrorCode::Unsupported,
+                &format!("unknown op `{other}` (ping, solve, verify, stats, shutdown)"),
+                vec![],
+            ));
+        }
+    }
+}
+
+/// An in-process client bound to a running [`Daemon`], used by the
+/// integration tests and embedders. Requests take the exact admission
+/// path socket clients do.
+pub struct LocalClient {
+    shared: Arc<Shared>,
+}
+
+impl LocalClient {
+    /// Submit one request line without waiting: the response line (sans
+    /// newline) arrives on the returned channel. Control-op responses are
+    /// delivered before this returns; queued ops deliver when a worker
+    /// finishes. Never blocks on a full queue — that is a `queue_full`
+    /// response, not backpressure-by-blocking.
+    pub fn submit(&self, line: &str) -> mpsc::Receiver<String> {
+        let (tx, rx) = mpsc::channel();
+        handle_line(&self.shared, line, &Reply::Channel(tx));
+        rx
+    }
+
+    /// Submit and block for the single response line.
+    pub fn request(&self, line: &str) -> String {
+        self.submit(line)
+            .recv()
+            .unwrap_or_else(|_| "{\"ok\":false}".into())
+    }
+}
+
+/// Run the daemon over stdin/stdout: one JSONL request per input line,
+/// one JSONL response per output line. EOF triggers the same graceful
+/// drain as a `shutdown` request (minus the response). This is the
+/// deterministic mode's natural transport: `kfuse serve --stdin
+/// --workers 1 < requests.jsonl` is a pure function of its input.
+pub fn serve_stdin(cfg: ServeConfig) -> std::io::Result<()> {
+    let daemon = Daemon::start(cfg);
+    let shared = Arc::clone(&daemon.shared);
+    let out: Arc<Mutex<Box<dyn Write + Send>>> = Arc::new(Mutex::new(Box::new(std::io::stdout())));
+    let reply = Reply::Stream(out);
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        handle_line(&shared, &line?, &reply);
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    daemon.shutdown();
+    Ok(())
+}
+
+/// Run the daemon on a Unix domain socket. Each connection gets a reader
+/// thread; responses go back over the same stream, serialized through a
+/// shared writer lock. A `shutdown` request (from any connection) drains
+/// the queue, stops the accept loop, and removes the socket file.
+#[cfg(unix)]
+pub fn serve_unix(cfg: ServeConfig, path: &std::path::Path) -> std::io::Result<()> {
+    use std::os::unix::net::UnixListener;
+
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    let daemon = Daemon::start(cfg);
+    let shared = Arc::clone(&daemon.shared);
+    eprintln!("kfused: listening on {}", path.display());
+
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let reader = stream.try_clone()?;
+                let writer: Arc<Mutex<Box<dyn Write + Send>>> =
+                    Arc::new(Mutex::new(Box::new(stream)));
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name("kfused-conn".into())
+                    .spawn(move || {
+                        let reply = Reply::Stream(writer);
+                        let buf = std::io::BufReader::new(reader);
+                        for line in buf.lines() {
+                            let Ok(line) = line else { break };
+                            handle_line(&sh, &line, &reply);
+                            if sh.shutdown.load(Ordering::SeqCst) {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawn connection thread");
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => {
+                let _ = std::fs::remove_file(path);
+                return Err(e);
+            }
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    daemon.shutdown();
+    Ok(())
+}

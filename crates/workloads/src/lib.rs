@@ -30,3 +30,54 @@ pub mod synth;
 
 pub use suite::{SuiteParams, TestSuite};
 pub use synth::SynthConfig;
+
+/// Resolve a built-in example program by its CLI / wire-protocol name.
+///
+/// Known names are `quickstart`, `rk3`, `fig3`, `scale-les`, `homme`,
+/// `suite`, and `synth<N>` (`2 <= N <= 20000`): up to 200 kernels the
+/// N-kernel scaling-study workload of [`synth::scaling`], above that the
+/// clustered large-program workload of the hierarchical-planning study
+/// ([`synth::generate_clustered`]). `None` for anything else.
+///
+/// ```
+/// let p = kfuse_workloads::by_name("synth60").unwrap();
+/// assert_eq!(p.kernels.len(), 60);
+/// assert!(kfuse_workloads::by_name("nope").is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<kfuse_ir::Program> {
+    use kfuse_ir::builder::ProgramBuilder;
+    use kfuse_ir::expr::Expr;
+    if let Some(n) = name.strip_prefix("synth") {
+        let kernels: usize = n.parse().ok().filter(|&k| (2..=20_000).contains(&k))?;
+        if kernels <= 200 {
+            return Some(synth::scaling(kernels));
+        }
+        return Some(synth::generate_clustered(&synth::ClusteredConfig {
+            name: format!("clustered_{kernels}"),
+            kernels,
+            seed: 0xC10C + kernels as u64,
+            ..Default::default()
+        }));
+    }
+    Some(match name {
+        "quickstart" => {
+            let mut pb = ProgramBuilder::new("quickstart", [256, 128, 16]);
+            let a = pb.array("A");
+            let b = pb.array("B");
+            let c = pb.array("C");
+            pb.kernel("k0")
+                .write(b, Expr::at(a) + Expr::lit(1.0))
+                .build();
+            pb.kernel("k1")
+                .write(c, Expr::at(a) * Expr::lit(2.0))
+                .build();
+            pb.build()
+        }
+        "rk3" => scale_les::rk_core([1280, 32, 32]),
+        "fig3" => motivating::program([1280, 32, 32]).0,
+        "scale-les" => scale_les::full(),
+        "homme" => homme::full(),
+        "suite" => TestSuite::generate(&SuiteParams::default()),
+        _ => return None,
+    })
+}

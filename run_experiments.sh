@@ -8,6 +8,10 @@
 # Pass `cache` to run only the plan-cache stage: cold solve, exact warm
 # repeat, and perturbed near-repeat on synth60 and SCALE-LES, then the
 # warm-start acceptance gates.
+# Pass `serve` to run only the daemon stage: it executes the worked
+# session from SERVING.md verbatim against a live kfused (cache-hit
+# counters, the >=10x exact-repeat latency gate, queue backpressure,
+# graceful shutdown).
 set -euo pipefail
 
 # Plan-cache smoke stage (DESIGN.md §16): each workload is solved cold
@@ -50,6 +54,77 @@ PY
   rm -rf "$cache_tmp"
 }
 
+# Daemon smoke stage (DESIGN.md §17, SERVING.md): the documentation IS
+# the test — the `serving-*` fenced blocks of SERVING.md are extracted
+# and executed verbatim (daemon launch, the full worked Python session
+# with its cache-hit and >=10x latency assertions, the shutdown
+# epilogue), every `json` example block is checked to parse, and a
+# queue-overflow burst must come back as structured `queue_full`
+# rejections, not hangs.
+serve_stage() {
+  local serve_tmp
+  serve_tmp=$(mktemp -d)
+  echo "-- extracting serving-* blocks from SERVING.md"
+  for block in serving-launch serving-session serving-epilogue; do
+    awk "/^\\\`\\\`\\\`(bash|python) $block\$/{f=1;next} /^\\\`\\\`\\\`\$/{f=0} f" \
+      SERVING.md > "$serve_tmp/$block"
+    [[ -s "$serve_tmp/$block" ]] || { echo "FAIL: SERVING.md lost its $block block"; exit 1; }
+  done
+  echo "-- validating every json example block in SERVING.md"
+  python3 - <<'PY'
+import json, re
+text = open("SERVING.md").read()
+blocks = re.findall(r"^```json\n(.*?)^```$", text, re.S | re.M)
+assert len(blocks) >= 10, f"expected the documented examples, found {len(blocks)}"
+for b in blocks:
+    json.loads(b)
+print(f"   ok: {len(blocks)} json examples parse")
+PY
+  echo "-- worked session: launch daemon, drive SERVING.md session, drain"
+  (
+    cd "$(pwd)"
+    source "$serve_tmp/serving-launch"
+    python3 "$serve_tmp/serving-session"
+    source "$serve_tmp/serving-epilogue"
+  )
+  echo "-- queue backpressure: burst into a 1-deep queue, expect queue_full"
+  rm -rf /tmp/kfused-cache /tmp/kfused.sock
+  ./target/release/kfuse serve --socket /tmp/kfused.sock \
+    --workers 1 --queue-depth 1 &
+  local pid=$!
+  while [ ! -S /tmp/kfused.sock ]; do sleep 0.1; done
+  python3 - <<'PY'
+import json, socket
+sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+sock.connect("/tmp/kfused.sock")
+rfile = sock.makefile("r")
+# One slow solve occupies the worker, one fills the queue slot; the rest
+# of the burst must be refused immediately with the structured rejection.
+burst = 8
+for i in range(burst):
+    sock.sendall((json.dumps(
+        {"id": f"b{i}", "op": "solve", "example": "synth200", "budget_ms": 1500}
+    ) + "\n").encode())
+codes = [json.loads(rfile.readline()) for _ in range(burst)]
+full = [r for r in codes if not r["ok"] and r["error"]["code"] == "queue_full"]
+assert full, "a burst past queue capacity must yield queue_full rejections"
+assert all("retry_after_ms" in r["error"] for r in full), full[0]
+served = [r for r in codes if r["ok"] or r["error"]["code"] == "budget_exceeded"]
+assert len(served) + len(full) == burst, codes
+print(f"   ok: {len(full)} rejected with retry_after_ms, {len(served)} drained")
+sock.sendall(b'{"id":"bye","op":"shutdown"}\n')
+assert json.loads(rfile.readline())["ok"]
+PY
+  wait "$pid"
+  rm -rf /tmp/kfused-cache "$serve_tmp"
+}
+
+if [[ "${1:-}" == "serve" ]]; then
+  cargo build --release --bin kfuse
+  serve_stage
+  exit 0
+fi
+
 if [[ "${1:-}" == "bench" ]]; then
   cargo build --release -p kfuse-bench
   ./target/release/search_scaling --check-against BENCH_search.json
@@ -77,6 +152,7 @@ if [[ "${1:-}" != "--skip-checks" ]]; then
   echo "== clippy feature matrix: batch off (scalar fallback), trace off"
   cargo clippy -p kfuse-core --no-default-features --all-targets -- -D warnings
   cargo clippy -p kfuse-search --no-default-features --all-targets -- -D warnings
+  cargo clippy -p kfuse-serve --no-default-features --all-targets -- -D warnings
   cargo clippy -p kfuse-obs --no-default-features --all-targets -- -D warnings
   echo "== cargo doc --no-deps (missing_docs gate)"
   RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
@@ -168,6 +244,12 @@ echo "================================================================"
 echo "== cache: plan cache cold/warm/near-repeat (synth60, SCALE-LES)"
 echo "================================================================"
 cache_stage
+
+echo
+echo "================================================================"
+echo "== serve: kfused daemon, SERVING.md worked session + backpressure"
+echo "================================================================"
+serve_stage
 
 echo
 echo "================================================================"

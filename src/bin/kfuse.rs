@@ -43,7 +43,9 @@ fn usage() -> ExitCode {
                         [--partition auto|off|MAX_REGION] [--cache-dir DIR] [--budget-ms N]\n  \
          kfuse codegen  <program.json> [--single]\n  \
          kfuse verify   <program.json> [--gpu ...] [--plan FILE] [--json]\n  \
-         kfuse lint     <program.json|kernels.cu> [--gpu ...] [--fuse] [--seed N] [--json]"
+         kfuse lint     <program.json|kernels.cu> [--gpu ...] [--fuse] [--seed N] [--json]\n  \
+         kfuse serve    (--socket PATH | --stdin) [--workers N] [--queue-depth N]\n             \
+                        [--cache-dir DIR] [--gpu ...] [--seed N] [--retry-after-ms N]"
     );
     ExitCode::from(2)
 }
@@ -86,6 +88,7 @@ fn main() -> ExitCode {
         "codegen" => cmd_codegen(rest),
         "verify" => cmd_verify(rest),
         "lint" => cmd_lint(rest),
+        "serve" => cmd_serve(rest),
         _ => return usage(),
     };
     match result {
@@ -101,43 +104,10 @@ fn main() -> ExitCode {
 /// is the N-kernel scaling-study workload from `kfuse_workloads::synth`
 /// up to 200 kernels; above that it is the clustered large-program
 /// workload of the hierarchical-planning study (`synth1000`, `synth5000`,
-/// `synth10000`).
+/// `synth10000`). The daemon resolves the same names per request, so the
+/// list lives in `kfuse_workloads::by_name`.
 fn builtin_program(name: &str) -> Option<Program> {
-    if let Some(n) = name.strip_prefix("synth") {
-        let kernels: usize = n.parse().ok().filter(|&k| (2..=20_000).contains(&k))?;
-        if kernels <= 200 {
-            return Some(kfuse_workloads::synth::scaling(kernels));
-        }
-        return Some(kfuse_workloads::synth::generate_clustered(
-            &kfuse_workloads::synth::ClusteredConfig {
-                name: format!("clustered_{kernels}"),
-                kernels,
-                seed: 0xC10C + kernels as u64,
-                ..Default::default()
-            },
-        ));
-    }
-    Some(match name {
-        "quickstart" => {
-            let mut pb = ProgramBuilder::new("quickstart", [256, 128, 16]);
-            let a = pb.array("A");
-            let b = pb.array("B");
-            let c = pb.array("C");
-            pb.kernel("k0")
-                .write(b, Expr::at(a) + Expr::lit(1.0))
-                .build();
-            pb.kernel("k1")
-                .write(c, Expr::at(a) * Expr::lit(2.0))
-                .build();
-            pb.build()
-        }
-        "rk3" => kfuse_workloads::scale_les::rk_core([1280, 32, 32]),
-        "fig3" => kfuse_workloads::motivating::program([1280, 32, 32]).0,
-        "scale-les" => kfuse_workloads::scale_les::full(),
-        "homme" => kfuse_workloads::homme::full(),
-        "suite" => kfuse_workloads::TestSuite::generate(&kfuse_workloads::SuiteParams::default()),
-        _ => return None,
-    })
+    kfuse_workloads::by_name(name)
 }
 
 fn cmd_example(args: &[String]) -> Result<(), String> {
@@ -619,4 +589,39 @@ fn cmd_codegen(args: &[String]) -> Result<(), String> {
     };
     print!("{}", kfuse_codegen::emit_program(&p, &opts));
     Ok(())
+}
+
+/// `kfuse serve`: run the `kfused` planning daemon. JSONL requests over
+/// a Unix socket (`--socket PATH`) or stdin (`--stdin`); the wire
+/// protocol is documented in SERVING.md. `--workers 1` (the default) is
+/// the deterministic mode: same request stream, same byte stream.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let num = |flag: &str, default: u64| -> Result<u64, String> {
+        match flag_value(args, flag) {
+            None => Ok(default),
+            Some(s) => s
+                .parse()
+                .map_err(|_| format!("{flag} expects a number, got `{s}`")),
+        }
+    };
+    let cfg = kfuse_serve::ServeConfig {
+        workers: num("--workers", 1)? as usize,
+        queue_depth: num("--queue-depth", 64)?.max(1) as usize,
+        cache_dir: flag_value(args, "--cache-dir").map(std::path::PathBuf::from),
+        gpu: flag_value(args, "--gpu").unwrap_or_else(|| "k20x".into()),
+        seed: num("--seed", 17)?,
+        retry_after_ms: num("--retry-after-ms", 50)?,
+    };
+    if GpuSpec::by_name(&cfg.gpu).is_none() {
+        return Err(format!("unknown gpu `{}`", cfg.gpu));
+    }
+    let socket = flag_value(args, "--socket");
+    let use_stdin = args.iter().any(|a| a == "--stdin");
+    match (socket, use_stdin) {
+        (Some(path), false) => kfuse_serve::serve_unix(cfg, std::path::Path::new(&path))
+            .map_err(|e| format!("serve on {path}: {e}")),
+        (None, true) => kfuse_serve::serve_stdin(cfg).map_err(|e| format!("serve on stdin: {e}")),
+        (Some(_), true) => Err("choose one of --socket and --stdin".into()),
+        (None, false) => Err("serve needs --socket PATH or --stdin".into()),
+    }
 }

@@ -261,3 +261,62 @@ fn lint_flags_broken_cuda_file() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("KF0201"));
 }
+
+/// Run `kfuse serve --stdin` with a request stream on stdin, returning
+/// the JSONL response stream.
+fn kfuse_serve_stdin(extra: &[&str], input: &str) -> Vec<u8> {
+    use std::io::Write;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_kfuse"))
+        .arg("serve")
+        .arg("--stdin")
+        .args(extra)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("kfuse binary runs");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(input.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    out.stdout
+}
+
+#[test]
+fn serve_stdin_session_is_deterministic_and_caches() {
+    let dir = tmp("serve-stdin-cache");
+    let _ = std::fs::remove_dir_all(&dir);
+    let requests = "{\"id\":\"p\",\"op\":\"ping\"}\n\
+                    {\"id\":\"a\",\"op\":\"solve\",\"example\":\"synth20\"}\n\
+                    {\"id\":\"b\",\"op\":\"solve\",\"example\":\"synth20\"}\n\
+                    {\"id\":\"bye\",\"op\":\"shutdown\"}\n";
+
+    // Deterministic mode: two fresh runs (no cache), identical bytes.
+    let one = kfuse_serve_stdin(&["--workers", "1"], requests);
+    let two = kfuse_serve_stdin(&["--workers", "1"], requests);
+    assert_eq!(one, two, "--workers 1 must be bit-for-bit reproducible");
+
+    // With a cache directory the repeat within one session is an exact
+    // hit served with zero search.
+    let out = kfuse_serve_stdin(
+        &["--workers", "1", "--cache-dir", dir.to_str().unwrap()],
+        requests,
+    );
+    let text = String::from_utf8_lossy(&out);
+    assert!(text.contains("\"outcome\":\"cold\""), "{text}");
+    assert!(text.contains("\"outcome\":\"exact_hit\""), "{text}");
+    assert!(text.contains("\"generations\":0"), "{text}");
+    assert!(text.contains("\"draining\":true"), "{text}");
+    // ...and the cache persists: a second daemon starts warm.
+    let out = kfuse_serve_stdin(
+        &["--workers", "1", "--cache-dir", dir.to_str().unwrap()],
+        "{\"id\":\"c\",\"op\":\"solve\",\"example\":\"synth20\"}\n",
+    );
+    let text = String::from_utf8_lossy(&out);
+    assert!(text.contains("\"outcome\":\"exact_hit\""), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
